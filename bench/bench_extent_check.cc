@@ -1,0 +1,143 @@
+// E8: view-extent (P3) validation — agreement between the PC-based
+// inference (CVS Step 6) and empirical containment measured by evaluating
+// old and new views over constraint-consistent database states, plus the
+// cost of the empirical check as the database grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "cvs/cvs.h"
+#include "esql/binder.h"
+#include "mkb/evolution.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+struct Fixture {
+  Mkb mkb;
+  Mkb mkb_prime;
+  ViewDefinition view;
+  CvsResult result;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.mkb = MakeTravelAgencyMkb().MoveValue();
+  Status status = AddAccidentInsPc(&f.mkb);
+  if (status.ok()) status = AddFlightResPc(&f.mkb);
+  if (!status.ok()) {
+    std::cerr << status << std::endl;
+    std::exit(1);
+  }
+  f.view = ParseAndBindView(CustomerPassengersAsiaSql(), f.mkb.catalog())
+               .MoveValue();
+  f.mkb_prime =
+      EvolveMkb(f.mkb, CapabilityChange::DeleteRelation("Customer"))
+          .MoveValue()
+          .mkb;
+  f.result =
+      SynchronizeDeleteRelation(f.view, "Customer", f.mkb, f.mkb_prime)
+          .MoveValue();
+  return f;
+}
+
+void PrintReproduction() {
+  Fixture f = MakeFixture();
+  std::cout << "=== E8: inferred vs empirical view-extent relationship ===\n"
+            << "rewritings of Customer-Passengers-Asia under "
+               "delete-relation Customer, checked over 20 random "
+               "constraint-consistent database states\n\n";
+  std::printf("%-44s %-12s %-22s %s\n", "rewriting (FROM)", "inferred",
+              "empirical (20 seeds)", "consistent");
+  for (const SynchronizedView& rewriting : f.result.rewritings) {
+    size_t equal = 0;
+    size_t superset = 0;
+    size_t other = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      Database db;
+      Status status = PopulateTravelAgencyDatabase(f.mkb, &db, 40, seed);
+      if (!status.ok()) {
+        std::cerr << status << std::endl;
+        std::exit(1);
+      }
+      const Result<ExtentRelation> empirical = CompareExtentsEmpirically(
+          f.view, rewriting.view, db, f.mkb.catalog(), f.mkb.catalog());
+      if (!empirical.ok()) {
+        std::cerr << empirical.status() << std::endl;
+        std::exit(1);
+      }
+      switch (empirical.value()) {
+        case ExtentRelation::kEqual:
+          ++equal;
+          break;
+        case ExtentRelation::kSuperset:
+          ++superset;
+          break;
+        default:
+          ++other;
+          break;
+      }
+    }
+    std::string from;
+    for (const std::string& rel : rewriting.view.FromRelationNames()) {
+      if (!from.empty()) from += ",";
+      from += rel;
+    }
+    const bool inferred_superset =
+        rewriting.legality.inferred_extent == ExtentRelation::kSuperset ||
+        rewriting.legality.inferred_extent == ExtentRelation::kEqual;
+    const bool consistent = !inferred_superset || other == 0;
+    char empirical_desc[32];
+    std::snprintf(empirical_desc, sizeof(empirical_desc),
+                  "=:%zu ⊇:%zu ?:%zu", equal, superset, other);
+    std::printf("%-44s %-12s %-22s %s\n", from.c_str(),
+                std::string(ExtentRelationToString(
+                                rewriting.legality.inferred_extent))
+                    .c_str(),
+                empirical_desc, consistent ? "yes" : "NO");
+  }
+  std::cout << "\nexpected: inferred ⊇ (PC-justified) is never "
+               "contradicted; the paper's P3 is conservative.\n\n";
+}
+
+void BM_ExtentInferenceViaCvs(benchmark::State& state) {
+  const Fixture f = MakeFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SynchronizeDeleteRelation(f.view, "Customer", f.mkb, f.mkb_prime));
+  }
+}
+BENCHMARK(BM_ExtentInferenceViaCvs);
+
+void BM_EmpiricalExtentCheck(benchmark::State& state) {
+  Fixture f = MakeFixture();
+  Database db;
+  Status status = PopulateTravelAgencyDatabase(
+      f.mkb, &db, static_cast<size_t>(state.range(0)), 3);
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  const ViewDefinition& rewriting = f.result.rewritings.front().view;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareExtentsEmpirically(
+        f.view, rewriting, db, f.mkb.catalog(), f.mkb.catalog()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EmpiricalExtentCheck)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) {
+  eve::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

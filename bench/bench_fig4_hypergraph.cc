@@ -1,0 +1,98 @@
+// E2 / Fig. 4: the hypergraphs H(MKB) and H'(MKB'). Prints the connected
+// components before and after "delete-relation Customer" (the two panels
+// of the paper's figure), then measures hypergraph construction and
+// connectivity queries as the MKB grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/join_graph.h"
+#include "mkb/evolution.h"
+#include "workload/generator.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+void PrintReproduction() {
+  const Mkb mkb = MakeTravelAgencyMkb().value();
+  std::cout << "=== E2 / Fig. 4 (left panel): H(MKB) ===\n"
+            << Hypergraph::Build(mkb).Summary() << "\n";
+  const auto evolution =
+      EvolveMkb(mkb, CapabilityChange::DeleteRelation("Customer"));
+  if (!evolution.ok()) {
+    std::cerr << evolution.status() << std::endl;
+    std::exit(1);
+  }
+  std::cout << "=== E2 / Fig. 4 (right panel): H'(MKB') after "
+               "delete-relation Customer ===\n"
+            << Hypergraph::Build(evolution.value().mkb).Summary()
+            << "\npaper: the Customer component splits into "
+               "{FlightRes, Accident-Ins} and {Participant, Tour}; "
+               "{Hotels, RentACar} is untouched.\n\n";
+}
+
+void BM_HypergraphBuild(benchmark::State& state) {
+  ChainMkbSpec spec;
+  spec.length = static_cast<size_t>(state.range(0));
+  const Mkb mkb = MakeChainMkb(spec).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hypergraph::Build(mkb));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HypergraphBuild)->Range(8, 1024)->Complexity();
+
+void BM_JoinGraphBuild(benchmark::State& state) {
+  ChainMkbSpec spec;
+  spec.length = static_cast<size_t>(state.range(0));
+  const Mkb mkb = MakeChainMkb(spec).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinGraph::Build(mkb));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JoinGraphBuild)->Range(8, 1024)->Complexity();
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  ChainMkbSpec spec;
+  spec.length = static_cast<size_t>(state.range(0));
+  const Mkb mkb = MakeChainMkb(spec).value();
+  const JoinGraph graph = JoinGraph::Build(mkb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.Components());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConnectedComponents)->Range(8, 1024)->Complexity();
+
+void BM_ComponentOfQuery(benchmark::State& state) {
+  const Mkb mkb = MakeGridMkb(8, 8).value();
+  const JoinGraph graph = JoinGraph::Build(mkb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.ComponentOf("R0"));
+  }
+}
+BENCHMARK(BM_ComponentOfQuery);
+
+void BM_EraseRelation(benchmark::State& state) {
+  const Mkb mkb = MakeGridMkb(8, 8).value();
+  const JoinGraph graph = JoinGraph::Build(mkb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.EraseRelation("R27"));
+  }
+}
+BENCHMARK(BM_EraseRelation);
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) {
+  eve::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E9: MKB evolution and affected-view detection throughput — the cost of
+// each of the six capability-change operators on large MKBs, and the
+// EveSystem end-to-end change pipeline with a large registered view pool.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "eve/eve_system.h"
+#include "mkb/evolution.h"
+#include "workload/generator.h"
+
+namespace eve {
+namespace {
+
+Mkb BigMkb(size_t n) {
+  ChainMkbSpec spec;
+  spec.length = n;
+  spec.skip_edges = true;
+  spec.cover_distance = 2;
+  return MakeChainMkb(spec).MoveValue();
+}
+
+void PrintReproduction() {
+  std::cout << "=== E9: MKB evolution + EVE change pipeline ===\n";
+  const Mkb mkb = BigMkb(200);
+  std::printf("%-32s %-10s %s\n", "operator", "ok",
+              "dropped/weakened constraints");
+  struct Case {
+    const char* name;
+    CapabilityChange change;
+  };
+  RelationDef fresh;
+  fresh.source = "ISX";
+  fresh.name = "Fresh";
+  fresh.schema = Schema({{"f", DataType::kInt}});
+  const Case cases[] = {
+      {"add-relation", CapabilityChange::AddRelation(fresh)},
+      {"add-attribute",
+       CapabilityChange::AddAttribute("R100", {"Extra", DataType::kInt})},
+      {"rename-relation",
+       CapabilityChange::RenameRelation("R100", "R100x")},
+      {"rename-attribute",
+       CapabilityChange::RenameAttribute("R100", "P100", "P100x")},
+      {"delete-attribute",
+       CapabilityChange::DeleteAttribute("R100", "P100")},
+      {"delete-relation", CapabilityChange::DeleteRelation("R100")},
+  };
+  for (const Case& c : cases) {
+    const Result<MkbEvolutionReport> report = EvolveMkb(mkb, c.change);
+    if (report.ok()) {
+      std::printf("%-32s %-10s %zu/%zu\n", c.name, "yes",
+                  report.value().dropped_constraints.size(),
+                  report.value().weakened_constraints.size());
+    } else {
+      std::printf("%-32s %-10s %s\n", c.name, "NO",
+                  report.status().ToString().c_str());
+    }
+  }
+  std::cout << "\n";
+}
+
+void BM_EvolveDeleteRelation(benchmark::State& state) {
+  const Mkb mkb = BigMkb(static_cast<size_t>(state.range(0)));
+  const CapabilityChange change = CapabilityChange::DeleteRelation(
+      "R" + std::to_string(state.range(0) / 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvolveMkb(mkb, change));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvolveDeleteRelation)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+void BM_EvolveRenameRelation(benchmark::State& state) {
+  const Mkb mkb = BigMkb(static_cast<size_t>(state.range(0)));
+  const CapabilityChange change = CapabilityChange::RenameRelation(
+      "R" + std::to_string(state.range(0) / 2), "Renamed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvolveMkb(mkb, change));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvolveRenameRelation)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+void BM_EvolveDeleteAttribute(benchmark::State& state) {
+  const Mkb mkb = BigMkb(static_cast<size_t>(state.range(0)));
+  const std::string rel = "R" + std::to_string(state.range(0) / 2);
+  const std::string attr = "P" + std::to_string(state.range(0) / 2);
+  const CapabilityChange change =
+      CapabilityChange::DeleteAttribute(rel, attr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvolveMkb(mkb, change));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvolveDeleteAttribute)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+// End-to-end pipeline: many registered views, one change.
+void BM_EveSystemApplyChange(benchmark::State& state) {
+  const size_t num_views = static_cast<size_t>(state.range(0));
+  const Mkb mkb = BigMkb(64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    EveSystem system(mkb);
+    std::mt19937_64 rng(7);
+    for (size_t i = 0; i < num_views; ++i) {
+      ViewDefinition view = MakeRandomConnectedView(mkb, &rng, 3).MoveValue();
+      view.set_name("view_" + std::to_string(i));
+      benchmark::DoNotOptimize(system.RegisterView(view));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        system.ApplyChange(CapabilityChange::DeleteRelation("R30")));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EveSystemApplyChange)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity();
+
+void BM_AffectedViewDetection(benchmark::State& state) {
+  const Mkb mkb = BigMkb(64);
+  EveSystem system(mkb);
+  std::mt19937_64 rng(7);
+  for (size_t i = 0; i < static_cast<size_t>(state.range(0)); ++i) {
+    ViewDefinition view = MakeRandomConnectedView(mkb, &rng, 3).MoveValue();
+    view.set_name("view_" + std::to_string(i));
+    benchmark::DoNotOptimize(system.RegisterView(view));
+  }
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R30");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.AffectedViews(change));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AffectedViewDetection)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity();
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) {
+  eve::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E7: CVS scalability characterization — synchronization latency as the
+// MKB grows (chain / star / grid topologies), as the view widens, and as
+// the replacement search bound increases (the ablation DESIGN.md calls
+// out: anchored search vs wider Steiner exploration).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "cvs/cvs.h"
+#include "mkb/evolution.h"
+#include "workload/generator.h"
+
+namespace eve {
+namespace {
+
+void PrintReproduction() {
+  std::cout << "=== E7: scalability characterization ===\n"
+            << "CVS latency vs MKB size / view width / search bound; see "
+               "benchmark table below. Expected shape: near-linear in MKB "
+               "size for chain topologies (anchored search), growing with "
+               "the Steiner bound on grids.\n\n";
+  // A quick preserved-rate sanity sweep across sizes.
+  std::printf("%-12s %-12s %s\n", "chain size", "preserved", "rewritings");
+  for (const size_t n : {10, 50, 200, 1000}) {
+    ChainMkbSpec spec;
+    spec.length = n;
+    spec.skip_edges = true;
+    spec.cover_distance = 2;
+    const Mkb mkb = MakeChainMkb(spec).value();
+    const ViewDefinition view = MakeChainView(mkb, 0, 3).value();
+    const Mkb prime = EvolveMkb(mkb, CapabilityChange::DeleteRelation("R1"))
+                          .MoveValue()
+                          .mkb;
+    const Result<CvsResult> result =
+        SynchronizeDeleteRelation(view, "R1", mkb, prime);
+    std::printf("%-12zu %-12s %zu\n", n,
+                result.ok() && result.value().ViewPreserved() ? "yes" : "NO",
+                result.ok() ? result.value().rewritings.size() : 0);
+  }
+  std::cout << "\n";
+}
+
+// --- MKB size sweeps ---------------------------------------------------------
+
+void BM_CvsChainMkbSize(benchmark::State& state) {
+  ChainMkbSpec spec;
+  spec.length = static_cast<size_t>(state.range(0));
+  spec.skip_edges = true;
+  spec.cover_distance = 2;
+  const Mkb mkb = MakeChainMkb(spec).value();
+  const ViewDefinition view = MakeChainView(mkb, 0, 3).value();
+  const Mkb prime = EvolveMkb(mkb, CapabilityChange::DeleteRelation("R1"))
+                        .MoveValue()
+                        .mkb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SynchronizeDeleteRelation(view, "R1", mkb, prime));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CvsChainMkbSize)->RangeMultiplier(4)->Range(8, 2048)
+    ->Complexity();
+
+void BM_CvsStarMkbSize(benchmark::State& state) {
+  const Mkb mkb = MakeStarMkb(static_cast<size_t>(state.range(0))).value();
+  // View over hub and spoke R1; delete the spoke (covered on the hub).
+  const ViewDefinition view = [&] {
+    std::mt19937_64 rng(1);
+    return MakeRandomConnectedView(mkb, &rng, 2).MoveValue();
+  }();
+  const std::string victim = view.FromRelationNames().back();
+  const Mkb prime = EvolveMkb(mkb, CapabilityChange::DeleteRelation(victim))
+                        .MoveValue()
+                        .mkb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SynchronizeDeleteRelation(view, victim, mkb, prime));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CvsStarMkbSize)->RangeMultiplier(4)->Range(8, 512)
+    ->Complexity();
+
+void BM_CvsGridMkbSize(benchmark::State& state) {
+  const size_t side = static_cast<size_t>(state.range(0));
+  const Mkb mkb = MakeGridMkb(side, side).value();
+  std::mt19937_64 rng(2);
+  const ViewDefinition view = MakeRandomConnectedView(mkb, &rng, 3)
+                                  .MoveValue();
+  const std::string victim = view.FromRelationNames().front();
+  const Mkb prime = EvolveMkb(mkb, CapabilityChange::DeleteRelation(victim))
+                        .MoveValue()
+                        .mkb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SynchronizeDeleteRelation(view, victim, mkb, prime));
+  }
+  state.SetComplexityN(static_cast<int64_t>(side * side));
+}
+BENCHMARK(BM_CvsGridMkbSize)->DenseRange(3, 11, 2)->Complexity();
+
+// --- View width sweep ----------------------------------------------------------
+
+void BM_CvsViewWidth(benchmark::State& state) {
+  ChainMkbSpec spec;
+  spec.length = 64;
+  spec.skip_edges = true;
+  spec.cover_distance = 2;
+  const Mkb mkb = MakeChainMkb(spec).value();
+  const size_t span = static_cast<size_t>(state.range(0));
+  const ViewDefinition view = MakeChainView(mkb, 0, span).value();
+  const Mkb prime = EvolveMkb(mkb, CapabilityChange::DeleteRelation("R1"))
+                        .MoveValue()
+                        .mkb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SynchronizeDeleteRelation(view, "R1", mkb, prime));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CvsViewWidth)->DenseRange(2, 14, 3)->Complexity();
+
+// --- Search bound ablation ---------------------------------------------------
+
+void BM_CvsSearchBound(benchmark::State& state) {
+  ChainMkbSpec spec;
+  spec.length = 24;
+  spec.skip_edges = true;
+  spec.cover_distance = 4;
+  const Mkb mkb = MakeChainMkb(spec).value();
+  const ViewDefinition view = MakeChainView(mkb, 0, 2).value();
+  const Mkb prime = EvolveMkb(mkb, CapabilityChange::DeleteRelation("R1"))
+                        .MoveValue()
+                        .mkb;
+  CvsOptions options;
+  options.replacement.max_extra_relations =
+      static_cast<size_t>(state.range(0));
+  size_t preserved = 0;
+  for (auto _ : state) {
+    const Result<CvsResult> result =
+        SynchronizeDeleteRelation(view, "R1", mkb, prime, options);
+    preserved += result.ok() && result.value().ViewPreserved() ? 1 : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["preserved"] =
+      benchmark::Counter(static_cast<double>(preserved),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CvsSearchBound)->DenseRange(0, 6, 1);
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) {
+  eve::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Federation simulation with live data: materializes a view over the
+// travel-agency database, lets the Customer source leave the federation,
+// and shows that the synchronized view — evaluated over the surviving
+// sources only — still answers the original question, with the extent
+// relationship the PC constraints promised.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cvs/cvs.h"
+#include "esql/binder.h"
+#include "esql/evaluator.h"
+#include "mkb/evolution.h"
+#include "workload/travel_agency.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(eve::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status() << std::endl;
+    std::exit(1);
+  }
+  return result.MoveValue();
+}
+
+void Check(const eve::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status << std::endl;
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  eve::Mkb mkb = Unwrap(eve::MakeTravelAgencyMkb(), "building MKB");
+  Check(eve::AddAccidentInsPc(&mkb), "PC constraint");
+
+  // The federation's current data.
+  eve::Database db;
+  Check(eve::PopulateTravelAgencyDatabase(mkb, &db, 80, /*seed=*/2026),
+        "populating federation");
+
+  // The marketing department's view: Asia-bound customers with ages.
+  const eve::ViewDefinition view = Unwrap(
+      eve::ParseAndBindView(R"sql(
+        CREATE VIEW AsiaPassengers (VE = >=) AS
+        SELECT C.Name (false, true), C.Age (false, true)
+        FROM Customer C (true, true), FlightRes F
+        WHERE (C.Name = F.PName) (false, true)
+          AND (F.Dest = 'Asia') (false, false)
+      )sql",
+                            mkb.catalog()),
+      "binding view");
+
+  const eve::Table before =
+      Unwrap(eve::EvaluateView(view, db, mkb.catalog()), "evaluating view");
+  std::cout << "== AsiaPassengers, served by the Customer source ==\n"
+            << before.ToString(8) << "\n";
+
+  // The Customer source leaves the federation.
+  const eve::CapabilityChange change =
+      eve::CapabilityChange::DeleteRelation("Customer");
+  std::cout << "== " << change.ToString()
+            << " (the IS leaves the federation) ==\n\n";
+  const eve::MkbEvolutionReport evolution =
+      Unwrap(eve::EvolveMkb(mkb, change), "evolving MKB");
+
+  const eve::CvsResult result = Unwrap(
+      eve::SynchronizeDeleteRelation(view, "Customer", mkb, evolution.mkb),
+      "running CVS");
+  if (result.rewritings.empty()) {
+    std::cout << "view disabled:\n";
+    for (const std::string& diagnostic : result.diagnostics) {
+      std::cout << "  " << diagnostic << "\n";
+    }
+    return 1;
+  }
+  const eve::SynchronizedView& best = result.rewritings.front();
+  std::cout << "== Synchronized view (extent "
+            << eve::ExtentRelationToString(best.legality.inferred_extent)
+            << ", VE = >= satisfied) ==\n"
+            << best.view.ToString() << "\n\n";
+
+  // Drop the Customer table — the source is gone — and serve the new view
+  // from the survivors. (The post-change catalog governs evaluation.)
+  Check(db.DropTable("Customer"), "dropping departed source's table");
+  const eve::Table after =
+      Unwrap(eve::EvaluateView(best.view, db, evolution.mkb.catalog()),
+             "evaluating synchronized view");
+  std::cout << "== AsiaPassengers, served by Accident-Ins instead ==\n"
+            << after.ToString(8) << "\n";
+
+  std::cout << "every original answer is still present (VE = >=): "
+            << (before.IsSubsetOf(after) ? "yes" : "NO") << "\n";
+  return 0;
+}

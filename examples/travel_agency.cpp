@@ -1,0 +1,97 @@
+// Travel-agency lifecycle demo: the full EVE three-step strategy driven
+// through the EveSystem facade. Registers several E-SQL views over the
+// Fig. 2 federation, then streams a sequence of IS capability changes and
+// prints each change report — rewritten views keep serving, incurable
+// views are disabled.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "eve/eve_system.h"
+#include "workload/travel_agency.h"
+
+namespace {
+
+void Check(const eve::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status << std::endl;
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(eve::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status() << std::endl;
+    std::exit(1);
+  }
+  return result.MoveValue();
+}
+
+void PrintViews(const eve::EveSystem& system) {
+  for (const std::string& name : system.ViewNames()) {
+    const eve::RegisteredView* view = *system.GetView(name);
+    std::cout << "  [" << (view->state == eve::ViewState::kActive
+                               ? "active"
+                               : "DISABLED")
+              << "] " << name << "\n";
+    if (view->state == eve::ViewState::kActive) {
+      std::cout << view->definition.ToString() << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  eve::Mkb mkb = Unwrap(eve::MakeTravelAgencyMkb(), "building MKB");
+  Check(eve::AddPersonExtension(&mkb), "Person extension");
+  Check(eve::AddAccidentInsPc(&mkb), "PC constraint");
+
+  eve::EveSystem system(std::move(mkb));
+
+  // Three views with different evolution preferences.
+  Check(system.RegisterViewText(eve::CustomerPassengersAsiaSql()),
+        "registering CustomerPassengersAsia");
+  Check(system.RegisterViewText(eve::AsiaCustomerSql()),
+        "registering AsiaCustomer");
+  Check(system.RegisterViewText(R"sql(
+          CREATE VIEW HotelCars AS
+          SELECT H.City (false, true), R.Company (false, true)
+          FROM Hotels H, RentACar R
+          WHERE H.Address = R.Location
+        )sql"),
+        "registering HotelCars");
+
+  std::cout << "== Registered views ==\n";
+  PrintViews(system);
+
+  const eve::CapabilityChange changes[] = {
+      eve::CapabilityChange::DeleteAttribute("Customer", "Addr"),
+      eve::CapabilityChange::RenameAttribute("FlightRes", "Dest",
+                                             "Destination"),
+      eve::CapabilityChange::DeleteRelation("Customer"),
+      eve::CapabilityChange::DeleteRelation("RentACar"),
+  };
+  for (const eve::CapabilityChange& change : changes) {
+    std::cout << "== Applying: " << change.ToString() << " ==\n";
+    const eve::ChangeReport report =
+        Unwrap(system.ApplyChange(change), "applying change");
+    std::cout << report.ToString() << "\n";
+  }
+
+  std::cout << "== Final state (" << system.NumActiveViews() << "/"
+            << system.NumViews() << " views still active) ==\n";
+  PrintViews(system);
+
+  std::cout << "== Change history ==\n";
+  for (const eve::ChangeReport& report : system.change_log()) {
+    std::cout << "  " << report.change.ToString() << ": "
+              << report.CountOutcome(eve::ViewOutcomeKind::kRewritten)
+              << " rewritten, "
+              << report.CountOutcome(eve::ViewOutcomeKind::kDisabled)
+              << " disabled\n";
+  }
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "algebra/eval.h"
+
+#include <cmath>
+
+namespace eve {
+
+namespace {
+
+// Reference date for `today` in deterministic tests/benches: 2026-07-07.
+Date Today() { return Date::FromYmd(2026, 7, 7).value(); }
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  // Date arithmetic: date - date -> int days; date +/- int -> date.
+  if (lhs.type() == DataType::kDate && rhs.type() == DataType::kDate &&
+      op == BinaryOp::kSub) {
+    return Value::Int(lhs.date_value().days_since_epoch() -
+                      rhs.date_value().days_since_epoch());
+  }
+  if (lhs.type() == DataType::kDate && rhs.type() == DataType::kInt &&
+      (op == BinaryOp::kAdd || op == BinaryOp::kSub)) {
+    const int64_t delta =
+        op == BinaryOp::kAdd ? rhs.int_value() : -rhs.int_value();
+    return Value::MakeDate(lhs.date_value().AddDays(delta));
+  }
+  // String concatenation via '+'.
+  if (lhs.type() == DataType::kString && rhs.type() == DataType::kString &&
+      op == BinaryOp::kAdd) {
+    return Value::String(lhs.string_value() + rhs.string_value());
+  }
+  if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
+    return Status::TypeError("arithmetic on non-numeric values: " +
+                             lhs.ToString() + " " +
+                             std::string(BinaryOpToString(op)) + " " +
+                             rhs.ToString());
+  }
+  if (lhs.type() == DataType::kInt && rhs.type() == DataType::kInt) {
+    const int64_t a = lhs.int_value();
+    const int64_t b = rhs.int_value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case BinaryOp::kSub:
+        return Value::Int(a - b);
+      case BinaryOp::kMul:
+        return Value::Int(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(a / b);
+      default:
+        break;
+    }
+  }
+  EVE_ASSIGN_OR_RETURN(const double a, lhs.AsDouble());
+  EVE_ASSIGN_OR_RETURN(const double b, rhs.AsDouble());
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case BinaryOp::kSub:
+      return Value::Double(a - b);
+    case BinaryOp::kMul:
+      return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    default:
+      return Status::Internal("unexpected arithmetic op");
+  }
+}
+
+Result<Value> EvalComparison(BinaryOp op, const Value& lhs, const Value& rhs) {
+  const CompareResult cmp = Compare(lhs, rhs);
+  if (cmp == CompareResult::kNull) return Value::Null();
+  if (cmp == CompareResult::kIncomparable) {
+    // Bool equality is still meaningful.
+    if (lhs.type() == DataType::kBool && rhs.type() == DataType::kBool &&
+        (op == BinaryOp::kEq || op == BinaryOp::kNe)) {
+      const bool eq = lhs.bool_value() == rhs.bool_value();
+      return Value::Bool(op == BinaryOp::kEq ? eq : !eq);
+    }
+    return Status::TypeError("cannot compare " + lhs.ToString() + " with " +
+                             rhs.ToString());
+  }
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      result = cmp == CompareResult::kEqual;
+      break;
+    case BinaryOp::kNe:
+      result = cmp != CompareResult::kEqual;
+      break;
+    case BinaryOp::kLt:
+      result = cmp == CompareResult::kLess;
+      break;
+    case BinaryOp::kLe:
+      result = cmp != CompareResult::kGreater;
+      break;
+    case BinaryOp::kGt:
+      result = cmp == CompareResult::kGreater;
+      break;
+    case BinaryOp::kGe:
+      result = cmp != CompareResult::kLess;
+      break;
+    default:
+      return Status::Internal("unexpected comparison op");
+  }
+  return Value::Bool(result);
+}
+
+// Kleene three-valued AND/OR.
+Result<Value> EvalLogic(BinaryOp op, const Value& lhs, const Value& rhs) {
+  auto as_tri = [](const Value& v) -> Result<int> {
+    if (v.is_null()) return -1;  // unknown
+    if (v.type() != DataType::kBool) {
+      return Status::TypeError("logical operand is not boolean: " +
+                               v.ToString());
+    }
+    return v.bool_value() ? 1 : 0;
+  };
+  EVE_ASSIGN_OR_RETURN(const int a, as_tri(lhs));
+  EVE_ASSIGN_OR_RETURN(const int b, as_tri(rhs));
+  if (op == BinaryOp::kAnd) {
+    if (a == 0 || b == 0) return Value::Bool(false);
+    if (a == -1 || b == -1) return Value::Null();
+    return Value::Bool(true);
+  }
+  // OR
+  if (a == 1 || b == 1) return Value::Bool(true);
+  if (a == -1 || b == -1) return Value::Null();
+  return Value::Bool(false);
+}
+
+}  // namespace
+
+void FunctionRegistry::Register(std::string name, Fn fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+Result<Value> FunctionRegistry::Call(const std::string& name,
+                                     const std::vector<Value>& args) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("unknown function: " + name);
+  }
+  return it->second(args);
+}
+
+FunctionRegistry FunctionRegistry::Default() {
+  FunctionRegistry registry;
+  registry.Register(
+      "identity", [](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("identity expects 1 argument");
+        }
+        return args[0];
+      });
+  registry.Register(
+      "years_since", [](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("years_since expects 1 argument");
+        }
+        if (args[0].is_null()) return Value::Null();
+        if (args[0].type() != DataType::kDate) {
+          return Status::TypeError("years_since expects a date");
+        }
+        const int64_t days = Today().days_since_epoch() -
+                             args[0].date_value().days_since_epoch();
+        return Value::Int(days / 365);
+      });
+  return registry;
+}
+
+Result<Value> RowBinding::Lookup(const AttributeRef& ref) const {
+  auto it = values_.find(ref);
+  if (it == values_.end()) {
+    return Status::NotFound("unbound attribute: " + ref.ToString());
+  }
+  return it->second;
+}
+
+Result<Value> EvalExpr(const Expr& expr, const RowBinding& binding,
+                       const FunctionRegistry* registry) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn:
+      return binding.Lookup(expr.column());
+    case ExprKind::kLiteral:
+      return expr.literal();
+    case ExprKind::kUnary: {
+      EVE_ASSIGN_OR_RETURN(const Value operand,
+                           EvalExpr(*expr.child(0), binding, registry));
+      if (operand.is_null()) return Value::Null();
+      if (expr.unary_op() == UnaryOp::kNot) {
+        if (operand.type() != DataType::kBool) {
+          return Status::TypeError("NOT on non-boolean value");
+        }
+        return Value::Bool(!operand.bool_value());
+      }
+      if (operand.type() == DataType::kInt) {
+        return Value::Int(-operand.int_value());
+      }
+      if (operand.type() == DataType::kDouble) {
+        return Value::Double(-operand.double_value());
+      }
+      return Status::TypeError("negation on non-numeric value");
+    }
+    case ExprKind::kBinary: {
+      EVE_ASSIGN_OR_RETURN(const Value lhs,
+                           EvalExpr(*expr.child(0), binding, registry));
+      EVE_ASSIGN_OR_RETURN(const Value rhs,
+                           EvalExpr(*expr.child(1), binding, registry));
+      const BinaryOp op = expr.binary_op();
+      if (IsComparisonOp(op)) return EvalComparison(op, lhs, rhs);
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        return EvalLogic(op, lhs, rhs);
+      }
+      return EvalArithmetic(op, lhs, rhs);
+    }
+    case ExprKind::kFunctionCall: {
+      if (registry == nullptr) {
+        return Status::FailedPrecondition(
+            "function call without a registry: " + expr.function_name());
+      }
+      std::vector<Value> args;
+      args.reserve(expr.children().size());
+      for (const ExprPtr& child : expr.children()) {
+        EVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*child, binding, registry));
+        args.push_back(std::move(v));
+      }
+      return registry->Call(expr.function_name(), args);
+    }
+  }
+  return Status::Internal("unexpected expression kind");
+}
+
+Result<DataType> InferType(const Expr& expr, const Catalog& catalog) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn:
+      return catalog.TypeOf(expr.column());
+    case ExprKind::kLiteral:
+      return expr.literal().type();
+    case ExprKind::kUnary: {
+      EVE_ASSIGN_OR_RETURN(const DataType t,
+                           InferType(*expr.child(0), catalog));
+      if (expr.unary_op() == UnaryOp::kNot) {
+        if (t != DataType::kBool) {
+          return Status::TypeError("NOT requires a boolean operand");
+        }
+        return DataType::kBool;
+      }
+      if (!IsNumeric(t)) {
+        return Status::TypeError("negation requires a numeric operand");
+      }
+      return t;
+    }
+    case ExprKind::kBinary: {
+      EVE_ASSIGN_OR_RETURN(const DataType lt,
+                           InferType(*expr.child(0), catalog));
+      EVE_ASSIGN_OR_RETURN(const DataType rt,
+                           InferType(*expr.child(1), catalog));
+      const BinaryOp op = expr.binary_op();
+      if (IsComparisonOp(op) || op == BinaryOp::kAnd ||
+          op == BinaryOp::kOr) {
+        return DataType::kBool;
+      }
+      if (lt == DataType::kDate && rt == DataType::kDate &&
+          op == BinaryOp::kSub) {
+        return DataType::kInt;
+      }
+      if (lt == DataType::kDate && rt == DataType::kInt &&
+          (op == BinaryOp::kAdd || op == BinaryOp::kSub)) {
+        return DataType::kDate;
+      }
+      if (lt == DataType::kString && rt == DataType::kString &&
+          op == BinaryOp::kAdd) {
+        return DataType::kString;
+      }
+      if (!IsNumeric(lt) || !IsNumeric(rt)) {
+        return Status::TypeError("arithmetic requires numeric operands: " +
+                                 expr.ToString());
+      }
+      if (lt == DataType::kDouble || rt == DataType::kDouble) {
+        return DataType::kDouble;
+      }
+      return DataType::kInt;
+    }
+    case ExprKind::kFunctionCall:
+      // Function results are data-dependent; conservatively type calls by
+      // their first argument when possible, else string. The registry's
+      // built-ins (years_since -> int) are special-cased.
+      if (expr.function_name() == "years_since") return DataType::kInt;
+      if (!expr.children().empty()) {
+        return InferType(*expr.child(0), catalog);
+      }
+      return DataType::kString;
+  }
+  return Status::Internal("unexpected expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const RowBinding& binding,
+                           const FunctionRegistry* registry) {
+  EVE_ASSIGN_OR_RETURN(const Value v, EvalExpr(expr, binding, registry));
+  if (v.is_null()) return false;
+  if (v.type() != DataType::kBool) {
+    return Status::TypeError("predicate did not evaluate to boolean: " +
+                             expr.ToString());
+  }
+  return v.bool_value();
+}
+
+}  // namespace eve

@@ -1,0 +1,53 @@
+// Executor for conjunctive SELECT-PROJECT-JOIN queries over the in-memory
+// Database — the evaluation substrate for E-SQL views. Joins are computed
+// with a predicate-pushdown nested-loop strategy: each conjunct is applied
+// as soon as all relations it references are bound.
+
+#ifndef EVE_ALGEBRA_EXECUTOR_H_
+#define EVE_ALGEBRA_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/eval.h"
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace eve {
+
+// A conjunctive query: FROM `relations` WHERE AND(conjuncts)
+// SELECT projections AS output_names. Columns inside expressions are
+// qualified by relation name (no aliases at this layer).
+struct ConjunctiveQuery {
+  std::vector<std::string> relations;
+  std::vector<ExprPtr> conjuncts;
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> output_names;
+  // Result uses set semantics (duplicates removed) when true, matching the
+  // paper's extent-containment definitions.
+  bool distinct = true;
+};
+
+enum class JoinStrategy {
+  // Predicate-pushdown nested loops: no memory overhead, O(∏|Ri|) worst
+  // case.
+  kNestedLoop,
+  // Left-deep hash joins on equi-join conjuncts (column = column across
+  // relations); non-equi conjuncts become post-filters. Falls back to a
+  // cartesian extension for relations with no equi-join link.
+  kHash,
+};
+
+// Executes `query` against `db`; output schema types are inferred from
+// `catalog`. `registry` resolves function calls (may be null). Both
+// strategies produce identical result sets (tested in tests/algebra).
+Result<Table> Execute(const ConjunctiveQuery& query, const Database& db,
+                      const Catalog& catalog,
+                      const FunctionRegistry* registry = nullptr,
+                      JoinStrategy strategy = JoinStrategy::kNestedLoop);
+
+}  // namespace eve
+
+#endif  // EVE_ALGEBRA_EXECUTOR_H_

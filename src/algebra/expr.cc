@@ -1,0 +1,262 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+namespace eve {
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // =, <> are symmetric
+  }
+}
+
+ExprPtr Expr::Column(AttributeRef ref) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_ = std::move(ref);
+  return e;
+}
+
+ExprPtr Expr::Lit(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->unary_op_ = op;
+  e->children_.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->binary_op_ = op;
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Func(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kFunctionCall;
+  e->function_name_ = std::move(name);
+  e->children_ = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::ColumnsEqual(AttributeRef a, AttributeRef b) {
+  return Binary(BinaryOp::kEq, Column(std::move(a)), Column(std::move(b)));
+}
+
+void Expr::CollectColumns(std::vector<AttributeRef>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    out->push_back(column_);
+    return;
+  }
+  for (const ExprPtr& child : children_) child->CollectColumns(out);
+}
+
+std::vector<std::string> Expr::ReferencedRelations() const {
+  std::vector<AttributeRef> cols;
+  CollectColumns(&cols);
+  std::vector<std::string> rels;
+  for (const AttributeRef& ref : cols) {
+    if (std::find(rels.begin(), rels.end(), ref.relation) == rels.end()) {
+      rels.push_back(ref.relation);
+    }
+  }
+  return rels;
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_ == other.column_;
+    case ExprKind::kLiteral:
+      return literal_ == other.literal_;
+    case ExprKind::kUnary:
+      if (unary_op_ != other.unary_op_) return false;
+      break;
+    case ExprKind::kBinary:
+      if (binary_op_ != other.binary_op_) return false;
+      break;
+    case ExprKind::kFunctionCall:
+      if (function_name_ != other.function_name_) return false;
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr Expr::SubstituteColumn(const AttributeRef& from,
+                               const ExprPtr& replacement) const {
+  if (kind_ == ExprKind::kColumn) {
+    if (column_ == from) return replacement;
+    return Column(column_);
+  }
+  if (kind_ == ExprKind::kLiteral) return Lit(literal_);
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(children_.size());
+  bool changed = false;
+  for (const ExprPtr& child : children_) {
+    ExprPtr new_child = child->SubstituteColumn(from, replacement);
+    changed = changed || new_child.get() != child.get();
+    new_children.push_back(std::move(new_child));
+  }
+  switch (kind_) {
+    case ExprKind::kUnary:
+      return Unary(unary_op_, std::move(new_children[0]));
+    case ExprKind::kBinary:
+      return Binary(binary_op_, std::move(new_children[0]),
+                    std::move(new_children[1]));
+    case ExprKind::kFunctionCall:
+      return Func(function_name_, std::move(new_children));
+    default:
+      return Lit(literal_);  // unreachable
+  }
+}
+
+ExprPtr Expr::TransformColumns(
+    const std::function<AttributeRef(const AttributeRef&)>& fn) const {
+  if (kind_ == ExprKind::kColumn) return Column(fn(column_));
+  if (kind_ == ExprKind::kLiteral) return Lit(literal_);
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(children_.size());
+  for (const ExprPtr& child : children_) {
+    new_children.push_back(child->TransformColumns(fn));
+  }
+  switch (kind_) {
+    case ExprKind::kUnary:
+      return Unary(unary_op_, std::move(new_children[0]));
+    case ExprKind::kBinary:
+      return Binary(binary_op_, std::move(new_children[0]),
+                    std::move(new_children[1]));
+    case ExprKind::kFunctionCall:
+      return Func(function_name_, std::move(new_children));
+    default:
+      return Lit(literal_);  // unreachable
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_.ToString();
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kUnary:
+      if (unary_op_ == UnaryOp::kNot) {
+        return "NOT (" + children_[0]->ToString() + ")";
+      }
+      return "-(" + children_[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + children_[0]->ToString() + " " +
+             std::string(BinaryOpToString(binary_op_)) + " " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = function_name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+void FlattenConjunction(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary &&
+      expr->binary_op() == BinaryOp::kAnd) {
+    FlattenConjunction(expr->child(0), out);
+    FlattenConjunction(expr->child(1), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr MakeConjunction(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return Expr::Lit(Value::Bool(true));
+  ExprPtr result = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    result = Expr::Binary(BinaryOp::kAnd, result, conjuncts[i]);
+  }
+  return result;
+}
+
+bool ClausesEquivalent(const Expr& a, const Expr& b) {
+  if (a.Equals(b)) return true;
+  if (a.kind() != ExprKind::kBinary || b.kind() != ExprKind::kBinary) {
+    return false;
+  }
+  if (!IsComparisonOp(a.binary_op()) || !IsComparisonOp(b.binary_op())) {
+    return false;
+  }
+  // a: x op y; b equivalent if b is y flip(op) x.
+  return FlipComparison(a.binary_op()) == b.binary_op() &&
+         a.child(0)->Equals(*b.child(1)) && a.child(1)->Equals(*b.child(0));
+}
+
+}  // namespace eve

@@ -1,0 +1,128 @@
+// Expr: immutable scalar/boolean expression trees. Used for
+//  * WHERE-clause primitive clauses of E-SQL views,
+//  * SELECT-list items (plain columns or function-of replacements like
+//    f(Accident-Ins.Birthday) in the paper's Eq. (13)),
+//  * MISD function-of constraint bodies (F3: (today - Birthday)/365).
+// Columns are addressed by relation-qualified AttributeRef; alias
+// resolution happens during binding (esql/), so algebra sees only
+// canonical relation names.
+
+#ifndef EVE_ALGEBRA_EXPR_H_
+#define EVE_ALGEBRA_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/attribute_ref.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace eve {
+
+enum class ExprKind { kColumn, kLiteral, kUnary, kBinary, kFunctionCall };
+
+enum class BinaryOp {
+  // Arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // Comparison.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Logic.
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+// "=", "<", "AND", "+", ...
+std::string_view BinaryOpToString(BinaryOp op);
+bool IsComparisonOp(BinaryOp op);
+// For comparisons: the op with swapped operands (< -> >, = -> =).
+BinaryOp FlipComparison(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  static ExprPtr Column(AttributeRef ref);
+  static ExprPtr Lit(Value value);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+
+  // Convenience: Column(a) = Column(b).
+  static ExprPtr ColumnsEqual(AttributeRef a, AttributeRef b);
+
+  ExprKind kind() const { return kind_; }
+
+  // kColumn only.
+  const AttributeRef& column() const { return column_; }
+  // kLiteral only.
+  const Value& literal() const { return literal_; }
+  // kUnary/kBinary only.
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  // kFunctionCall only.
+  const std::string& function_name() const { return function_name_; }
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+
+  // Appends every column reference in the tree (with duplicates).
+  void CollectColumns(std::vector<AttributeRef>* out) const;
+
+  // All distinct relations referenced.
+  std::vector<std::string> ReferencedRelations() const;
+
+  // Structural equality.
+  bool Equals(const Expr& other) const;
+
+  // Returns a tree with every occurrence of `from` replaced by
+  // `replacement` (used when splicing attribute replacements into a
+  // rewritten view).
+  ExprPtr SubstituteColumn(const AttributeRef& from,
+                           const ExprPtr& replacement) const;
+
+  // Returns a tree with every column reference rewritten by `fn`
+  // (used for relation/attribute renames during MKB evolution).
+  ExprPtr TransformColumns(
+      const std::function<AttributeRef(const AttributeRef&)>& fn) const;
+
+  // Infix rendering, parenthesized per precedence.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  AttributeRef column_;
+  Value literal_;
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  BinaryOp binary_op_ = BinaryOp::kAnd;
+  std::string function_name_;
+  std::vector<ExprPtr> children_;
+};
+
+// Splits an AND-tree into its conjuncts (leaves of the AND spine).
+void FlattenConjunction(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+// Rebuilds an AND-tree from conjuncts; empty input yields literal TRUE.
+ExprPtr MakeConjunction(const std::vector<ExprPtr>& conjuncts);
+
+// True if two comparison clauses are equal modulo operand order
+// ("R.A = S.B" matches "S.B = R.A", "R.A < S.B" matches "S.B > R.A").
+bool ClausesEquivalent(const Expr& a, const Expr& b);
+
+}  // namespace eve
+
+#endif  // EVE_ALGEBRA_EXPR_H_

@@ -1,0 +1,34 @@
+// AttributeRef: a relation-qualified attribute name ("Customer.Name").
+// Relation names are unique across the federation (the paper addresses
+// relations as IS.R but refers to them by relation name everywhere else;
+// we keep the IS in the relation description).
+
+#ifndef EVE_CATALOG_ATTRIBUTE_REF_H_
+#define EVE_CATALOG_ATTRIBUTE_REF_H_
+
+#include <functional>
+#include <string>
+
+namespace eve {
+
+struct AttributeRef {
+  std::string relation;
+  std::string attribute;
+
+  std::string ToString() const { return relation + "." + attribute; }
+
+  bool operator==(const AttributeRef&) const = default;
+  auto operator<=>(const AttributeRef&) const = default;
+};
+
+struct AttributeRefHash {
+  size_t operator()(const AttributeRef& ref) const {
+    const size_t h1 = std::hash<std::string>{}(ref.relation);
+    const size_t h2 = std::hash<std::string>{}(ref.attribute);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+}  // namespace eve
+
+#endif  // EVE_CATALOG_ATTRIBUTE_REF_H_

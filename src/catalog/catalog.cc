@@ -1,0 +1,200 @@
+#include "catalog/catalog.h"
+
+#include <sstream>
+
+namespace eve {
+
+namespace {
+
+// Enforces the paper's convention that attributes exported under the same
+// name have the same type, across all relations in the catalog.
+Status CheckSameNameSameType(
+    const std::map<std::string, RelationDef>& relations,
+    const std::string& relation, const AttributeDef& attr) {
+  for (const auto& [name, def] : relations) {
+    if (name == relation) continue;
+    if (auto idx = def.schema.IndexOf(attr.name)) {
+      const DataType existing = def.schema.attribute(*idx).type;
+      if (existing != attr.type) {
+        return Status::TypeError(
+            "attribute '" + attr.name + "' already exported by relation '" +
+            name + "' with type " + std::string(DataTypeToString(existing)) +
+            ", conflicting with type " +
+            std::string(DataTypeToString(attr.type)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Catalog::AddRelation(RelationDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (def.source.empty()) {
+    return Status::InvalidArgument("information source must not be empty");
+  }
+  if (relations_.count(def.name) > 0) {
+    return Status::AlreadyExists("relation already exists: " + def.name);
+  }
+  for (const AttributeDef& attr : def.schema.attributes()) {
+    EVE_RETURN_IF_ERROR(CheckSameNameSameType(relations_, def.name, attr));
+  }
+  for (const std::string& ordered_attr : def.ordered_by) {
+    if (!def.schema.Contains(ordered_attr)) {
+      return Status::InvalidArgument(
+          "order-integrity constraint references unknown attribute: " +
+          ordered_attr);
+    }
+  }
+  relations_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DropRelation(const std::string& relation) {
+  if (relations_.erase(relation) == 0) {
+    return Status::NotFound("relation not found: " + relation);
+  }
+  return Status::OK();
+}
+
+Status Catalog::RenameRelation(const std::string& relation,
+                               const std::string& new_name) {
+  if (new_name.empty()) {
+    return Status::InvalidArgument("new relation name must not be empty");
+  }
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + relation);
+  }
+  if (relation == new_name) return Status::OK();
+  if (relations_.count(new_name) > 0) {
+    return Status::AlreadyExists("relation already exists: " + new_name);
+  }
+  RelationDef def = std::move(it->second);
+  relations_.erase(it);
+  def.name = new_name;
+  relations_.emplace(new_name, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::AddAttribute(const std::string& relation, AttributeDef attr) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + relation);
+  }
+  if (it->second.schema.Contains(attr.name)) {
+    return Status::AlreadyExists("attribute already exists: " + relation +
+                                 "." + attr.name);
+  }
+  EVE_RETURN_IF_ERROR(CheckSameNameSameType(relations_, relation, attr));
+  std::vector<AttributeDef> attrs = it->second.schema.attributes();
+  attrs.push_back(std::move(attr));
+  EVE_ASSIGN_OR_RETURN(it->second.schema, Schema::Create(std::move(attrs)));
+  return Status::OK();
+}
+
+Status Catalog::DropAttribute(const std::string& relation,
+                              const std::string& attribute) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + relation);
+  }
+  std::vector<AttributeDef> attrs = it->second.schema.attributes();
+  auto pos = it->second.schema.IndexOf(attribute);
+  if (!pos) {
+    return Status::NotFound("attribute not found: " + relation + "." +
+                            attribute);
+  }
+  attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*pos));
+  EVE_ASSIGN_OR_RETURN(it->second.schema, Schema::Create(std::move(attrs)));
+  std::erase(it->second.ordered_by, attribute);
+  return Status::OK();
+}
+
+Status Catalog::RenameAttribute(const std::string& relation,
+                                const std::string& attribute,
+                                const std::string& new_name) {
+  if (new_name.empty()) {
+    return Status::InvalidArgument("new attribute name must not be empty");
+  }
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + relation);
+  }
+  auto pos = it->second.schema.IndexOf(attribute);
+  if (!pos) {
+    return Status::NotFound("attribute not found: " + relation + "." +
+                            attribute);
+  }
+  if (attribute == new_name) return Status::OK();
+  if (it->second.schema.Contains(new_name)) {
+    return Status::AlreadyExists("attribute already exists: " + relation +
+                                 "." + new_name);
+  }
+  std::vector<AttributeDef> attrs = it->second.schema.attributes();
+  EVE_RETURN_IF_ERROR(
+      CheckSameNameSameType(relations_, relation,
+                            AttributeDef{new_name, attrs[*pos].type}));
+  attrs[*pos].name = new_name;
+  EVE_ASSIGN_OR_RETURN(it->second.schema, Schema::Create(std::move(attrs)));
+  for (std::string& ordered_attr : it->second.ordered_by) {
+    if (ordered_attr == attribute) ordered_attr = new_name;
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasRelation(const std::string& relation) const {
+  return relations_.count(relation) > 0;
+}
+
+bool Catalog::HasAttribute(const AttributeRef& ref) const {
+  auto it = relations_.find(ref.relation);
+  return it != relations_.end() && it->second.schema.Contains(ref.attribute);
+}
+
+Result<const RelationDef*> Catalog::GetRelation(
+    const std::string& relation) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + relation);
+  }
+  return &it->second;
+}
+
+Result<DataType> Catalog::TypeOf(const AttributeRef& ref) const {
+  EVE_ASSIGN_OR_RETURN(const RelationDef* def, GetRelation(ref.relation));
+  auto idx = def->schema.IndexOf(ref.attribute);
+  if (!idx) {
+    return Status::NotFound("attribute not found: " + ref.ToString());
+  }
+  return def->schema.attribute(*idx).type;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, def] : relations_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Catalog::RelationsOfSource(
+    const std::string& source) const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : relations_) {
+    if (def.source == source) names.push_back(name);
+  }
+  return names;
+}
+
+std::string Catalog::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, def] : relations_) {
+    os << def.QualifiedName() << def.schema.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eve

@@ -1,0 +1,87 @@
+// Catalog: structural descriptions of the federation — information sources
+// and the relations they export (the data-structure part of MISD, Sec. 2).
+// Semantic constraints (join, function-of, PC, ...) live in mkb/.
+
+#ifndef EVE_CATALOG_CATALOG_H_
+#define EVE_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/attribute_ref.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace eve {
+
+// One exported relation IS.R(A1, ..., An). The schema doubles as the
+// MISD type-integrity constraint TC_{R,Ai} (Fig. 1): attribute Ai has
+// type Type_i.
+struct RelationDef {
+  std::string source;    // owning information source, e.g. "IS1"
+  std::string name;      // relation name, unique across the federation
+  Schema schema;
+  // MISD order-integrity constraint OC_R: the attributes (by name) whose
+  // ordering the source guarantees; empty when unordered.
+  std::vector<std::string> ordered_by;
+
+  std::string QualifiedName() const { return source + "." + name; }
+};
+
+// Registry of information sources and relation definitions. Relation names
+// are unique across sources; attribute names sharing a name across
+// relations are assumed to share a type (paper, Sec. 2).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers `def`; rejects duplicate relation names, empty names, and
+  // attribute-name/type clashes with the same-name-same-type convention.
+  Status AddRelation(RelationDef def);
+
+  // Removes a relation; error if absent.
+  Status DropRelation(const std::string& relation);
+
+  // Renames a relation; error if absent or the new name clashes.
+  Status RenameRelation(const std::string& relation,
+                        const std::string& new_name);
+
+  // Adds an attribute to an existing relation.
+  Status AddAttribute(const std::string& relation, AttributeDef attr);
+
+  // Drops an attribute from an existing relation.
+  Status DropAttribute(const std::string& relation,
+                       const std::string& attribute);
+
+  // Renames an attribute within a relation.
+  Status RenameAttribute(const std::string& relation,
+                         const std::string& attribute,
+                         const std::string& new_name);
+
+  bool HasRelation(const std::string& relation) const;
+  bool HasAttribute(const AttributeRef& ref) const;
+
+  Result<const RelationDef*> GetRelation(const std::string& relation) const;
+
+  // Type of `ref`; NotFound if the relation or attribute is unknown.
+  Result<DataType> TypeOf(const AttributeRef& ref) const;
+
+  // All relation names, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  // All relations exported by `source`, sorted by name.
+  std::vector<std::string> RelationsOfSource(const std::string& source) const;
+
+  size_t NumRelations() const { return relations_.size(); }
+
+  // Multi-line dump for debugging and docs.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationDef> relations_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_CATALOG_CATALOG_H_

@@ -1,0 +1,89 @@
+// Result<T>: a value-or-Status holder, the return type for fallible
+// functions that produce a value (Arrow's arrow::Result idiom).
+
+#ifndef EVE_COMMON_RESULT_H_
+#define EVE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace eve {
+
+// Holds either a T or a non-OK Status. Constructing a Result from an OK
+// Status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // inside functions returning Result<T>.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  // Returns the held status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  // Accessors require ok(); violating that aborts (no exceptions).
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T&& MoveValue() {
+    CheckOk();
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result accessed with error status: "
+                << std::get<Status>(state_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> state_;
+};
+
+}  // namespace eve
+
+#define EVE_CONCAT_IMPL_(a, b) a##b
+#define EVE_CONCAT_(a, b) EVE_CONCAT_IMPL_(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+// assigns the value to `lhs` (which may include a declaration).
+#define EVE_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  EVE_ASSIGN_OR_RETURN_IMPL_(EVE_CONCAT_(_eve_result_, __LINE__), \
+                             lhs, rexpr)
+
+#define EVE_ASSIGN_OR_RETURN_IMPL_(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = result_name.MoveValue()
+
+#endif  // EVE_COMMON_RESULT_H_

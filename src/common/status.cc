@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace eve {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kViewDisabled:
+      return "view_disabled";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace eve

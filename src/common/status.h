@@ -1,0 +1,104 @@
+// Status: lightweight error propagation without exceptions, following the
+// idiom used by Arrow and RocksDB. Functions that can fail return a Status
+// (or a Result<T>, see result.h); callers chain them with the
+// EVE_RETURN_IF_ERROR / EVE_ASSIGN_OR_RETURN macros.
+
+#ifndef EVE_COMMON_STATUS_H_
+#define EVE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eve {
+
+// Broad machine-inspectable failure categories. The human-readable detail
+// lives in the Status message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kFailedPrecondition,
+  kViewDisabled,  // view synchronization failed; the view must be disabled
+  kInternal,
+};
+
+// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value type carrying a StatusCode and, for non-OK codes, a message.
+// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ViewDisabled(std::string msg) {
+    return Status(StatusCode::kViewDisabled, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace eve
+
+// Propagates a non-OK Status to the caller.
+#define EVE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::eve::Status _eve_status = (expr);          \
+    if (!_eve_status.ok()) return _eve_status;   \
+  } while (false)
+
+#endif  // EVE_COMMON_STATUS_H_

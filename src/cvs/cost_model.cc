@@ -1,0 +1,79 @@
+#include "cvs/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eve {
+
+std::string RewritingCost::ToString() const {
+  std::ostringstream os;
+  os << "cost " << total << " (dropped attrs: " << dropped_attributes
+     << ", dropped conds: " << dropped_conditions
+     << ", extra relations: " << extra_relations << ", extent "
+     << ExtentRelationToString(extent) << ")";
+  return os.str();
+}
+
+RewritingCost ScoreRewriting(const ViewDefinition& original,
+                             const ViewDefinition& rewriting,
+                             ExtentRelation extent,
+                             const RewritingCostModel& model) {
+  RewritingCost cost;
+  cost.extent = extent;
+
+  // Dropped interface attributes (by output name).
+  const std::vector<std::string> new_names = rewriting.InterfaceNames();
+  for (const ViewSelectItem& item : original.select()) {
+    if (std::find(new_names.begin(), new_names.end(), item.output_name) ==
+        new_names.end()) {
+      ++cost.dropped_attributes;
+    }
+  }
+
+  // Dropped conditions: an original clause with no counterpart. A clause
+  // that referenced a relation no longer in the rewriting counts as
+  // substituted (its join role was re-routed), not dropped, when the
+  // rewriting added replacement join conditions; we approximate by
+  // counting clauses over surviving relations only.
+  for (const ViewCondition& cond : original.where()) {
+    const std::vector<std::string> rels =
+        cond.clause->ReferencedRelations();
+    const bool over_survivors = std::all_of(
+        rels.begin(), rels.end(), [&](const std::string& rel) {
+          return rewriting.HasFromRelation(rel);
+        });
+    if (!over_survivors) continue;
+    const bool survives = std::any_of(
+        rewriting.where().begin(), rewriting.where().end(),
+        [&](const ViewCondition& nc) {
+          return ClausesEquivalent(*nc.clause, *cond.clause);
+        });
+    if (!survives) ++cost.dropped_conditions;
+  }
+
+  if (rewriting.from().size() > original.from().size()) {
+    cost.extra_relations = rewriting.from().size() - original.from().size();
+  }
+
+  cost.total =
+      model.dropped_attribute_penalty *
+          static_cast<double>(cost.dropped_attributes) +
+      model.dropped_condition_penalty *
+          static_cast<double>(cost.dropped_conditions) +
+      model.extra_relation_penalty *
+          static_cast<double>(cost.extra_relations);
+  switch (extent) {
+    case ExtentRelation::kEqual:
+      break;
+    case ExtentRelation::kSuperset:
+    case ExtentRelation::kSubset:
+      cost.total += model.extent_directional_penalty;
+      break;
+    case ExtentRelation::kUnknown:
+      cost.total += model.extent_unknown_penalty;
+      break;
+  }
+  return cost;
+}
+
+}  // namespace eve

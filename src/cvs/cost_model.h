@@ -1,0 +1,49 @@
+// Cost model for ranking legal rewritings — the paper's Sec. 7 names
+// "cost models for maximal view preservation" as future work; this is the
+// natural instantiation. A rewriting's cost combines what was lost
+// (dropped interface attributes, dropped conditions), what it now costs
+// to maintain (extra joined relations), and how weak the extent guarantee
+// is. Lower is better.
+
+#ifndef EVE_CVS_COST_MODEL_H_
+#define EVE_CVS_COST_MODEL_H_
+
+#include "cvs/extent.h"
+#include "esql/view_definition.h"
+
+namespace eve {
+
+struct RewritingCostModel {
+  // Each SELECT item of the original missing from the rewriting.
+  double dropped_attribute_penalty = 10.0;
+  // Each WHERE condition of the original with no counterpart (verbatim or
+  // substituted) in the rewriting.
+  double dropped_condition_penalty = 4.0;
+  // Each FROM relation in the rewriting beyond the original count
+  // (maintenance cost of wider joins).
+  double extra_relation_penalty = 1.0;
+  // Extent-guarantee penalties relative to ≡.
+  double extent_directional_penalty = 2.0;  // ⊇ or ⊆ instead of ≡
+  double extent_unknown_penalty = 8.0;      // no guarantee at all
+};
+
+// Itemized cost of `rewriting` as a replacement for `original`.
+struct RewritingCost {
+  size_t dropped_attributes = 0;
+  size_t dropped_conditions = 0;
+  size_t extra_relations = 0;
+  ExtentRelation extent = ExtentRelation::kUnknown;
+  double total = 0.0;
+
+  std::string ToString() const;
+};
+
+// Scores `rewriting` against `original` under `model`.
+RewritingCost ScoreRewriting(const ViewDefinition& original,
+                             const ViewDefinition& rewriting,
+                             ExtentRelation extent,
+                             const RewritingCostModel& model = {});
+
+}  // namespace eve
+
+#endif  // EVE_CVS_COST_MODEL_H_

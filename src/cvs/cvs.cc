@@ -1,0 +1,278 @@
+#include "cvs/cvs.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "cvs/extent.h"
+#include "cvs/rewriting.h"
+#include "hypergraph/join_graph.h"
+
+namespace eve {
+
+namespace {
+
+// Ranks an extent relation for result ordering (stronger first).
+int ExtentRank(ExtentRelation relation) {
+  switch (relation) {
+    case ExtentRelation::kEqual:
+      return 0;
+    case ExtentRelation::kSuperset:
+      return 1;
+    case ExtentRelation::kSubset:
+      return 2;
+    case ExtentRelation::kUnknown:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+std::string SynchronizedView::ToString() const {
+  std::ostringstream os;
+  os << (is_drop ? "[drop-based]" : "[replacement-based]") << " "
+     << legality.ToString() << "\n";
+  if (!is_drop) os << candidate.ToString() << "\n";
+  os << view.ToString();
+  return os.str();
+}
+
+Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
+                                            const std::string& relation,
+                                            const Mkb& mkb,
+                                            const Mkb& mkb_prime,
+                                            const CvsOptions& options) {
+  CvsResult result;
+  if (!view.HasFromRelation(relation)) {
+    // Unaffected view: CVS is a no-op (the caller detects affectedness;
+    // returning the view unchanged keeps the API composable).
+    SynchronizedView unchanged;
+    unchanged.view = view;
+    unchanged.legality.p1_unaffected = true;
+    unchanged.legality.p2_evaluable = true;
+    unchanged.legality.p3_extent = true;
+    unchanged.legality.p4_parameters = true;
+    unchanged.legality.inferred_extent = ExtentRelation::kEqual;
+    result.rewritings.push_back(std::move(unchanged));
+    return result;
+  }
+
+  const CapabilityChange change = CapabilityChange::DeleteRelation(relation);
+
+  // Step 1: H_R(MKB) — we work on the relation-level join graph of MKB'
+  // (H'_R is its restriction to R's former component).
+  const JoinGraph graph_prime = JoinGraph::Build(mkb_prime);
+
+  // Step 2: R-mapping (Def. 2).
+  EVE_ASSIGN_OR_RETURN(const RMapping mapping,
+                       ComputeRMapping(view, relation, mkb));
+
+  // Step 3: R-replacement (Def. 3).
+  const Result<std::vector<ReplacementCandidate>> candidates_or =
+      ComputeRReplacements(view, mapping, mkb, graph_prime,
+                           options.replacement);
+  std::vector<ReplacementCandidate> candidates;
+  if (candidates_or.ok()) {
+    candidates = candidates_or.value();
+  } else {
+    result.diagnostics.push_back(candidates_or.status().ToString());
+  }
+  if (candidates.empty() && candidates_or.ok()) {
+    result.diagnostics.push_back(
+        "R-replacement(" + view.name() + ", H'_" + relation +
+        "(MKB')) is empty: no join chain in MKB' covers the required "
+        "attributes");
+  }
+
+  // Relation evolution parameters gate the replacement path (P4).
+  EvolutionParams r_params{false, true};
+  for (const ViewRelation& rel : view.from()) {
+    if (rel.name == relation) r_params = rel.params;
+  }
+
+  int name_counter = 0;
+  auto next_name = [&]() {
+    ++name_counter;
+    std::string name = view.name() + options.rename_suffix;
+    if (name_counter > 1) name += std::to_string(name_counter);
+    return name;
+  };
+
+  // Steps 4-6 per candidate.
+  if (r_params.replaceable) {
+    for (const ReplacementCandidate& candidate : candidates) {
+      const Result<ViewDefinition> spliced =
+          SpliceRewriting(view, mapping, candidate, next_name());
+      if (!spliced.ok()) {
+        result.diagnostics.push_back("candidate rejected: " +
+                                     spliced.status().ToString());
+        continue;
+      }
+      std::map<AttributeRef, ExprPtr> substitution;
+      for (const AttributeReplacement& repl : candidate.replacements) {
+        substitution.emplace(repl.original, repl.replacement);
+      }
+      const ExtentRelation extent = InferExtentRelation(
+          view, spliced.value(), mapping, candidate, mkb);
+      SynchronizedView synced;
+      synced.view = spliced.value();
+      synced.mapping = mapping;
+      synced.candidate = candidate;
+      synced.legality = CheckLegality(view, spliced.value(), change,
+                                      mkb_prime, extent, substitution);
+      if (!synced.legality.legal()) {
+        if (options.require_view_extent || !synced.legality.p1_unaffected ||
+            !synced.legality.p2_evaluable ||
+            !synced.legality.p4_parameters) {
+          result.diagnostics.push_back("candidate rejected: " +
+                                       synced.legality.ToString());
+          continue;
+        }
+      }
+      result.rewritings.push_back(std::move(synced));
+    }
+  } else {
+    result.diagnostics.push_back("relation " + relation +
+                                 " is non-replaceable (RR=false); "
+                                 "replacement path skipped");
+  }
+
+  // Drop-based rewriting for a dispensable relation.
+  if (options.include_drop_rewriting && r_params.dispensable) {
+    const Result<ViewDefinition> dropped =
+        DropRelationRewriting(view, relation, next_name());
+    if (dropped.ok()) {
+      SynchronizedView synced;
+      synced.view = dropped.value();
+      synced.mapping = mapping;
+      synced.is_drop = true;
+      // Dropping a relation (and only dispensable components with it)
+      // projects away columns and removes join filters: on the common
+      // interface the new extent contains the old one.
+      synced.legality = CheckLegality(view, dropped.value(), change,
+                                      mkb_prime, ExtentRelation::kSuperset,
+                                      {});
+      if (synced.legality.legal() || !options.require_view_extent) {
+        result.rewritings.push_back(std::move(synced));
+      } else {
+        result.diagnostics.push_back("drop-based rewriting rejected: " +
+                                     synced.legality.ToString());
+      }
+    } else {
+      result.diagnostics.push_back("drop-based rewriting not possible: " +
+                                   dropped.status().ToString());
+    }
+  }
+
+  if (options.cost_model.has_value()) {
+    // Cost-model ranking (paper Sec. 7 future work): lowest cost first.
+    for (SynchronizedView& rewriting : result.rewritings) {
+      rewriting.cost =
+          ScoreRewriting(view, rewriting.view,
+                         rewriting.legality.inferred_extent,
+                         *options.cost_model);
+    }
+    std::stable_sort(
+        result.rewritings.begin(), result.rewritings.end(),
+        [](const SynchronizedView& a, const SynchronizedView& b) {
+          return a.cost.total < b.cost.total;
+        });
+    return result;
+  }
+  // Default rank: strongest extent first, then maximal preservation (most
+  // SELECT items kept — EVE's "preserve as much as possible"), then
+  // smaller joins.
+  std::stable_sort(result.rewritings.begin(), result.rewritings.end(),
+                   [](const SynchronizedView& a, const SynchronizedView& b) {
+                     const int ra = ExtentRank(a.legality.inferred_extent);
+                     const int rb = ExtentRank(b.legality.inferred_extent);
+                     if (ra != rb) return ra < rb;
+                     if (a.view.select().size() != b.view.select().size()) {
+                       return a.view.select().size() >
+                              b.view.select().size();
+                     }
+                     return a.view.from().size() < b.view.from().size();
+                   });
+  return result;
+}
+
+ViewDefinition ApplyRenameToView(const ViewDefinition& view,
+                                 const CapabilityChange& change) {
+  auto rename_ref = [&](const AttributeRef& ref) -> AttributeRef {
+    if (change.kind == CapabilityChange::Kind::kRenameRelation &&
+        ref.relation == change.relation) {
+      return AttributeRef{change.new_name, ref.attribute};
+    }
+    if (change.kind == CapabilityChange::Kind::kRenameAttribute &&
+        ref.relation == change.relation && ref.attribute == change.attribute) {
+      return AttributeRef{ref.relation, change.new_name};
+    }
+    return ref;
+  };
+  std::vector<ViewSelectItem> select;
+  for (const ViewSelectItem& item : view.select()) {
+    select.push_back(ViewSelectItem{item.expr->TransformColumns(rename_ref),
+                                    item.output_name, item.params});
+  }
+  std::vector<ViewRelation> from;
+  for (const ViewRelation& rel : view.from()) {
+    std::string name = rel.name;
+    if (change.kind == CapabilityChange::Kind::kRenameRelation &&
+        name == change.relation) {
+      name = change.new_name;
+    }
+    from.push_back(ViewRelation{std::move(name), rel.params});
+  }
+  std::vector<ViewCondition> where;
+  for (const ViewCondition& cond : view.where()) {
+    where.push_back(ViewCondition{cond.clause->TransformColumns(rename_ref),
+                                  cond.params});
+  }
+  return ViewDefinition(view.name(), view.extent(), std::move(select),
+                        std::move(from), std::move(where));
+}
+
+Result<CvsResult> Synchronize(const ViewDefinition& view,
+                              const CapabilityChange& change, const Mkb& mkb,
+                              const Mkb& mkb_prime,
+                              const CvsOptions& options) {
+  switch (change.kind) {
+    case CapabilityChange::Kind::kAddRelation:
+    case CapabilityChange::Kind::kAddAttribute: {
+      CvsResult result;
+      SynchronizedView unchanged;
+      unchanged.view = view;
+      unchanged.legality.p1_unaffected = true;
+      unchanged.legality.p2_evaluable = true;
+      unchanged.legality.p3_extent = true;
+      unchanged.legality.p4_parameters = true;
+      unchanged.legality.inferred_extent = ExtentRelation::kEqual;
+      result.rewritings.push_back(std::move(unchanged));
+      return result;
+    }
+    case CapabilityChange::Kind::kRenameRelation:
+    case CapabilityChange::Kind::kRenameAttribute: {
+      CvsResult result;
+      SynchronizedView renamed;
+      renamed.view = ApplyRenameToView(view, change);
+      renamed.legality.p1_unaffected = true;
+      renamed.legality.p2_evaluable = true;
+      renamed.legality.p3_extent = true;
+      renamed.legality.p4_parameters = true;
+      renamed.legality.inferred_extent = ExtentRelation::kEqual;
+      result.rewritings.push_back(std::move(renamed));
+      return result;
+    }
+    case CapabilityChange::Kind::kDeleteRelation:
+      return SynchronizeDeleteRelation(view, change.relation, mkb, mkb_prime,
+                                       options);
+    case CapabilityChange::Kind::kDeleteAttribute:
+      return SynchronizeDeleteAttribute(view, change.relation,
+                                        change.attribute, mkb, mkb_prime,
+                                        options);
+  }
+  return Status::Internal("unexpected capability change kind");
+}
+
+}  // namespace eve

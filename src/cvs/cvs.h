@@ -1,0 +1,95 @@
+// The CVS (Complex View Synchronization) algorithm — paper Sec. 5.
+// Given an E-SQL view, the pre-/post-change MKBs and a capability change,
+// produces the set of legal rewritings (Def. 1), built by chaining join
+// constraints through the MKB hypergraph (Defs. 2 and 3).
+
+#ifndef EVE_CVS_CVS_H_
+#define EVE_CVS_CVS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cvs/cost_model.h"
+#include "cvs/legality.h"
+#include "cvs/r_mapping.h"
+#include "cvs/r_replacement.h"
+#include "esql/view_definition.h"
+#include "mkb/capability_change.h"
+#include "mkb/evolution.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+struct CvsOptions {
+  RReplacementOptions replacement;
+  // Also consider dropping a dispensable relation outright (in addition to
+  // replacement-based rewritings).
+  bool include_drop_rewriting = true;
+  // When true, rewritings failing P3 are excluded from `rewritings` and
+  // reported in diagnostics; when false they are kept with
+  // legality.p3_extent == false (useful for inspection).
+  bool require_view_extent = true;
+  // Suffix appended to the view name for rewritings ("'" in the paper).
+  std::string rename_suffix = "'";
+  // When set, rewritings are ranked by this cost model (lowest cost
+  // first) instead of the default lexicographic order (extent strength,
+  // attributes preserved, join width). See cvs/cost_model.h.
+  std::optional<RewritingCostModel> cost_model;
+};
+
+// One synchronized view with full provenance.
+struct SynchronizedView {
+  ViewDefinition view;
+  RMapping mapping;
+  ReplacementCandidate candidate;  // empty tree for drop-based rewritings
+  bool is_drop = false;
+  LegalityReport legality;
+  // Itemized cost against the original view (populated when the options
+  // carry a cost model; total is 0 otherwise).
+  RewritingCost cost;
+
+  std::string ToString() const;
+};
+
+struct CvsResult {
+  // Legal rewritings, best-first (fewest new relations, strongest extent).
+  std::vector<SynchronizedView> rewritings;
+  // Human-readable notes on rejected candidates and failure causes.
+  std::vector<std::string> diagnostics;
+
+  bool ViewPreserved() const { return !rewritings.empty(); }
+};
+
+// CVS for ch = delete-relation R (the paper's in-depth case).
+Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
+                                            const std::string& relation,
+                                            const Mkb& mkb,
+                                            const Mkb& mkb_prime,
+                                            const CvsOptions& options = {});
+
+// The simplified CVS variant for ch = delete-attribute R.A.
+Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
+                                             const std::string& relation,
+                                             const std::string& attribute,
+                                             const Mkb& mkb,
+                                             const Mkb& mkb_prime,
+                                             const CvsOptions& options = {});
+
+// Dispatch over all six capability changes. add-relation / add-attribute
+// leave the view untouched; renames rewrite references in place (always
+// legal); deletes run the two algorithms above. Views not referencing the
+// changed element are returned unchanged.
+Result<CvsResult> Synchronize(const ViewDefinition& view,
+                              const CapabilityChange& change, const Mkb& mkb,
+                              const Mkb& mkb_prime,
+                              const CvsOptions& options = {});
+
+// Rewrites view references under a rename change (helper shared with eve/).
+ViewDefinition ApplyRenameToView(const ViewDefinition& view,
+                                 const CapabilityChange& change);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_CVS_H_

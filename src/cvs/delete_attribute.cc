@@ -1,0 +1,334 @@
+// The delete-attribute synchronization algorithm — the paper describes it
+// as "a simplified version" of the delete-relation CVS (Sec. 5) and
+// illustrates it in Ex. 4: the affected attribute is either dropped (when
+// dispensable) or replaced by f(S.B) from a function-of constraint, with
+// the cover relation S joined in through a chain of MKB' join constraints
+// anchored at the attribute's own relation R (which still exists).
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "cvs/cvs.h"
+#include "cvs/extent.h"
+#include "cvs/rewriting.h"
+#include "hypergraph/join_graph.h"
+
+namespace eve {
+
+namespace {
+
+bool ExprMentions(const Expr& expr, const AttributeRef& attr) {
+  std::vector<AttributeRef> cols;
+  expr.CollectColumns(&cols);
+  return std::find(cols.begin(), cols.end(), attr) != cols.end();
+}
+
+// Builds the rewriting for one cover choice: joins the tree's new
+// relations into the view and substitutes the deleted attribute.
+Result<ViewDefinition> SpliceAttributeReplacement(
+    const ViewDefinition& view, const AttributeRef& attr,
+    const FunctionOfConstraint& cover, const JoinTree& tree,
+    const std::string& new_name) {
+  std::vector<ViewSelectItem> select;
+  for (const ViewSelectItem& item : view.select()) {
+    if (!ExprMentions(*item.expr, attr)) {
+      select.push_back(item);
+      continue;
+    }
+    select.push_back(
+        ViewSelectItem{item.expr->SubstituteColumn(attr, cover.fn),
+                       item.output_name, item.params});
+  }
+
+  std::vector<ViewRelation> from = view.from();
+  std::set<std::string> present;
+  for (const ViewRelation& rel : from) present.insert(rel.name);
+  for (const std::string& rel : tree.relations) {
+    if (present.insert(rel).second) {
+      // New relations stand in for the deleted attribute's source; they are
+      // indispensable for the replacement but themselves replaceable.
+      from.push_back(ViewRelation{rel, EvolutionParams{false, true}});
+    }
+  }
+
+  std::vector<ViewCondition> where;
+  std::set<std::string> existing_clauses;
+  for (const ViewCondition& cond : view.where()) {
+    if (!ExprMentions(*cond.clause, attr)) {
+      where.push_back(cond);
+      existing_clauses.insert(cond.clause->ToString());
+      continue;
+    }
+    where.push_back(ViewCondition{
+        cond.clause->SubstituteColumn(attr, cover.fn), cond.params});
+    existing_clauses.insert(where.back().clause->ToString());
+  }
+  for (const JoinConstraint& edge : tree.edges) {
+    for (const ExprPtr& clause : edge.clauses) {
+      // The view may already contain this join condition (e.g. the cover
+      // relation was in the FROM list); avoid duplicating it.
+      const bool duplicate = std::any_of(
+          where.begin(), where.end(), [&](const ViewCondition& wc) {
+            return ClausesEquivalent(*wc.clause, *clause);
+          });
+      if (!duplicate) {
+        where.push_back(ViewCondition{clause, EvolutionParams{false, true}});
+      }
+    }
+  }
+
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.reserve(where.size());
+  for (const ViewCondition& cond : where) conjuncts.push_back(cond.clause);
+  EVE_RETURN_IF_ERROR(CheckConjunctionConsistency(conjuncts));
+
+  return ViewDefinition(new_name, view.extent(), std::move(select),
+                        std::move(from), std::move(where));
+}
+
+// Drop-based rewriting: removes every component referencing the attribute
+// (all must be dispensable).
+Result<ViewDefinition> DropAttributeRewriting(const ViewDefinition& view,
+                                              const AttributeRef& attr,
+                                              const std::string& new_name) {
+  std::vector<ViewSelectItem> select;
+  for (const ViewSelectItem& item : view.select()) {
+    if (!ExprMentions(*item.expr, attr)) {
+      select.push_back(item);
+      continue;
+    }
+    if (!item.params.dispensable) {
+      return Status::ViewDisabled("SELECT item '" + item.output_name +
+                                  "' is indispensable but references " +
+                                  attr.ToString());
+    }
+  }
+  if (select.empty()) {
+    return Status::ViewDisabled("dropping " + attr.ToString() +
+                                " would empty the SELECT list of " +
+                                view.name());
+  }
+  std::vector<ViewCondition> where;
+  for (const ViewCondition& cond : view.where()) {
+    if (!ExprMentions(*cond.clause, attr)) {
+      where.push_back(cond);
+      continue;
+    }
+    if (!cond.params.dispensable) {
+      return Status::ViewDisabled("condition '" + cond.clause->ToString() +
+                                  "' is indispensable but references " +
+                                  attr.ToString());
+    }
+  }
+  return ViewDefinition(new_name, view.extent(), std::move(select),
+                        view.from(), std::move(where));
+}
+
+// Extent contribution of replacing `attr` via the cover pair
+// (R.attr -> S.source), from PC constraints in the pre-change MKB. Only a
+// constraint that certifies this correspondence counts (Ex. 4 (iv):
+// π[Name, PAddr](Person) ⊇ π[Name, Addr](Customer) lists the pair
+// (Addr, PAddr)).
+ExtentRelation AttrPcJustification(const Mkb& mkb, const AttributeRef& attr,
+                                   const AttributeRef& source) {
+  const std::string& r = attr.relation;
+  const std::string& s = source.relation;
+  ExtentRelation best = ExtentRelation::kUnknown;
+  for (const PCConstraint* pc : mkb.PCConstraintsBetween(r, s)) {
+    const bool s_is_lhs = pc->lhs_relation == s;
+    const std::vector<AttributeRef>& s_attrs =
+        s_is_lhs ? pc->lhs_attrs : pc->rhs_attrs;
+    const std::vector<AttributeRef>& r_attrs =
+        s_is_lhs ? pc->rhs_attrs : pc->lhs_attrs;
+    bool certifies = false;
+    for (size_t i = 0; i < s_attrs.size(); ++i) {
+      if (s_attrs[i] == source && r_attrs[i] == attr) certifies = true;
+    }
+    if (!certifies) continue;
+    SetRelation rel = pc->relation;
+    if (pc->lhs_relation == r) rel = FlipSetRelation(rel);
+    ExtentRelation contribution = ExtentRelation::kUnknown;
+    switch (rel) {
+      case SetRelation::kEqual:
+        contribution = ExtentRelation::kEqual;
+        break;
+      case SetRelation::kSuperset:
+      case SetRelation::kProperSuperset:
+        contribution = ExtentRelation::kSuperset;
+        break;
+      case SetRelation::kSubset:
+      case SetRelation::kProperSubset:
+        contribution = ExtentRelation::kSubset;
+        break;
+    }
+    if (contribution == ExtentRelation::kEqual) return contribution;
+    if (best == ExtentRelation::kUnknown) best = contribution;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
+                                             const std::string& relation,
+                                             const std::string& attribute,
+                                             const Mkb& mkb,
+                                             const Mkb& mkb_prime,
+                                             const CvsOptions& options) {
+  CvsResult result;
+  const AttributeRef attr{relation, attribute};
+  const CapabilityChange change =
+      CapabilityChange::DeleteAttribute(relation, attribute);
+
+  if (!view.ReferencesAttribute(attr)) {
+    SynchronizedView unchanged;
+    unchanged.view = view;
+    unchanged.legality.p1_unaffected = true;
+    unchanged.legality.p2_evaluable = true;
+    unchanged.legality.p3_extent = true;
+    unchanged.legality.p4_parameters = true;
+    unchanged.legality.inferred_extent = ExtentRelation::kEqual;
+    result.rewritings.push_back(std::move(unchanged));
+    return result;
+  }
+
+  // Classify usages of the attribute.
+  bool any_indispensable = false;
+  bool replacement_allowed = true;
+  for (const ViewSelectItem& item : view.select()) {
+    if (!ExprMentions(*item.expr, attr)) continue;
+    if (!item.params.dispensable) {
+      any_indispensable = true;
+      if (!item.params.replaceable) replacement_allowed = false;
+    }
+  }
+  for (const ViewCondition& cond : view.where()) {
+    if (!ExprMentions(*cond.clause, attr)) continue;
+    if (!cond.params.dispensable) {
+      any_indispensable = true;
+      if (!cond.params.replaceable) replacement_allowed = false;
+    }
+  }
+  if (any_indispensable && !replacement_allowed) {
+    result.diagnostics.push_back(
+        attr.ToString() +
+        " is used by an indispensable, non-replaceable component; the view "
+        "must be disabled");
+    return result;
+  }
+
+  int name_counter = 0;
+  auto next_name = [&]() {
+    ++name_counter;
+    std::string name = view.name() + options.rename_suffix;
+    if (name_counter > 1) name += std::to_string(name_counter);
+    return name;
+  };
+
+  // Replacement path: cover the attribute via a function-of constraint
+  // from the pre-change MKB, joined in through MKB' (anchored at R, which
+  // still exists after a delete-attribute change).
+  const JoinGraph graph_prime = JoinGraph::Build(mkb_prime);
+  for (const FunctionOfConstraint* cover : mkb.CoversOf(attr)) {
+    if (cover->source.relation == relation) continue;
+    if (!graph_prime.HasRelation(cover->source.relation)) continue;
+    JoinTreeSearchOptions search;
+    search.max_extra_relations = options.replacement.max_extra_relations;
+    search.max_results = options.replacement.max_results;
+    const std::vector<JoinTree> trees = graph_prime.FindConnectingTrees(
+        {relation, cover->source.relation}, {}, search);
+    if (trees.empty()) {
+      result.diagnostics.push_back(
+          "cover " + cover->id + " (" + cover->source.relation +
+          ") is not reachable from " + relation + " in H'(MKB')");
+    }
+    for (const JoinTree& tree : trees) {
+      const Result<ViewDefinition> spliced =
+          SpliceAttributeReplacement(view, attr, *cover, tree, next_name());
+      if (!spliced.ok()) {
+        result.diagnostics.push_back("candidate rejected: " +
+                                     spliced.status().ToString());
+        continue;
+      }
+      std::map<AttributeRef, ExprPtr> substitution;
+      substitution.emplace(attr, cover->fn);
+      const ExtentRelation extent =
+          AttrPcJustification(mkb, attr, cover->source);
+      SynchronizedView synced;
+      synced.view = spliced.value();
+      synced.candidate.tree = tree;
+      synced.candidate.replacements.push_back(AttributeReplacement{
+          attr, cover->fn, cover->source.relation, cover->id});
+      synced.legality = CheckLegality(view, spliced.value(), change,
+                                      mkb_prime, extent, substitution);
+      if (!synced.legality.legal() && options.require_view_extent) {
+        result.diagnostics.push_back("candidate rejected: " +
+                                     synced.legality.ToString());
+        continue;
+      }
+      if (!synced.legality.p1_unaffected || !synced.legality.p2_evaluable ||
+          !synced.legality.p4_parameters) {
+        result.diagnostics.push_back("candidate rejected: " +
+                                     synced.legality.ToString());
+        continue;
+      }
+      result.rewritings.push_back(std::move(synced));
+      if (result.rewritings.size() >= options.replacement.max_results) break;
+    }
+  }
+
+  // Drop path: only when every usage is dispensable.
+  if (options.include_drop_rewriting && !any_indispensable) {
+    const Result<ViewDefinition> dropped =
+        DropAttributeRewriting(view, attr, next_name());
+    if (dropped.ok()) {
+      SynchronizedView synced;
+      synced.view = dropped.value();
+      synced.is_drop = true;
+      // Dropping a dispensable projection column leaves the extent equal
+      // on the common interface; dropping a dispensable filter widens it.
+      bool dropped_condition = false;
+      for (const ViewCondition& cond : view.where()) {
+        if (ExprMentions(*cond.clause, attr)) dropped_condition = true;
+      }
+      const ExtentRelation extent = dropped_condition
+                                        ? ExtentRelation::kSuperset
+                                        : ExtentRelation::kEqual;
+      synced.legality =
+          CheckLegality(view, dropped.value(), change, mkb_prime, extent, {});
+      if (synced.legality.legal() || !options.require_view_extent) {
+        result.rewritings.push_back(std::move(synced));
+      } else {
+        result.diagnostics.push_back("drop-based rewriting rejected: " +
+                                     synced.legality.ToString());
+      }
+    } else {
+      result.diagnostics.push_back("drop-based rewriting not possible: " +
+                                   dropped.status().ToString());
+    }
+  }
+
+  if (options.cost_model.has_value()) {
+    for (SynchronizedView& rewriting : result.rewritings) {
+      rewriting.cost =
+          ScoreRewriting(view, rewriting.view,
+                         rewriting.legality.inferred_extent,
+                         *options.cost_model);
+    }
+    std::stable_sort(
+        result.rewritings.begin(), result.rewritings.end(),
+        [](const SynchronizedView& a, const SynchronizedView& b) {
+          return a.cost.total < b.cost.total;
+        });
+  }
+
+  if (result.rewritings.empty()) {
+    result.diagnostics.push_back("no legal rewriting found for " +
+                                 view.name() + " under " + change.ToString());
+  }
+  return result;
+}
+
+}  // namespace eve

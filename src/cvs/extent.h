@@ -1,0 +1,68 @@
+// View-extent reasoning for P3 of Def. 1 (CVS Step 6): inferring the
+// relationship between the old and new view extents from PC constraints,
+// and checking it empirically by evaluating both views.
+//
+// The paper defers a complete P3 procedure to future work; we implement
+// the natural conservative inference it sketches in Ex. 4 (PC constraints
+// justify that a cover join loses no tuples) and cross-validate it
+// empirically in tests (E8 in DESIGN.md).
+
+#ifndef EVE_CVS_EXTENT_H_
+#define EVE_CVS_EXTENT_H_
+
+#include "algebra/eval.h"
+#include "common/result.h"
+#include "cvs/r_mapping.h"
+#include "cvs/r_replacement.h"
+#include "esql/view_definition.h"
+#include "mkb/mkb.h"
+#include "storage/database.h"
+
+namespace eve {
+
+// Relationship between the new extent V' and the old extent V, projected
+// on the common interface: V' <rel> V.
+enum class ExtentRelation {
+  kEqual,     // V' ≡ V
+  kSuperset,  // V' ⊇ V
+  kSubset,    // V' ⊆ V
+  kUnknown,   // cannot be established
+};
+
+std::string_view ExtentRelationToString(ExtentRelation relation);
+
+// Lattice meet for composing per-component effects: Equal is neutral,
+// Superset/Subset absorb Equal, mixing Superset with Subset (or anything
+// with Unknown) yields Unknown.
+ExtentRelation CombineExtent(ExtentRelation a, ExtentRelation b);
+
+// True when the inferred relation meets the view's VE requirement
+// (≡ needs Equal; ⊇ accepts Equal or Superset; ⊆ accepts Equal or Subset;
+// ≈ accepts anything).
+bool SatisfiesViewExtent(ExtentRelation inferred, ViewExtent required);
+
+// Conservative inference for a replacement-based rewriting:
+//  * each cover relation S for R justified by a PC constraint
+//    π(S) θ π(R) contributes θ's direction;
+//  * each dropped dispensable condition contributes Superset;
+//  * Steiner relations without PC justification contribute Unknown.
+// `mkb` is the PRE-change MKB: PC constraints mentioning the deleted
+// relation only exist there (MKB' drops them), yet they still describe
+// the data and justify the rewriting.
+ExtentRelation InferExtentRelation(const ViewDefinition& old_view,
+                                   const ViewDefinition& new_view,
+                                   const RMapping& mapping,
+                                   const ReplacementCandidate& candidate,
+                                   const Mkb& mkb);
+
+// Empirical comparison: evaluates both views over `db` (which must still
+// hold the pre-change tables so the old view is evaluable), projects each
+// onto the common interface attributes, and compares as sets.
+Result<ExtentRelation> CompareExtentsEmpirically(
+    const ViewDefinition& old_view, const ViewDefinition& new_view,
+    const Database& db, const Catalog& old_catalog,
+    const Catalog& new_catalog, const FunctionRegistry* registry = nullptr);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_EXTENT_H_

@@ -1,0 +1,297 @@
+#include "cvs/implication.h"
+
+#include <algorithm>
+
+#include "algebra/eval.h"
+
+namespace eve {
+
+namespace {
+
+bool IsTermExpr(const Expr& expr) {
+  return expr.kind() == ExprKind::kColumn ||
+         expr.kind() == ExprKind::kLiteral;
+}
+
+// Numeric view of a constant term, when it has one.
+std::optional<double> NumericOf(const Value& v) {
+  const Result<double> d = v.AsDouble();
+  if (d.ok()) return d.value();
+  return std::nullopt;
+}
+
+}  // namespace
+
+ImplicationContext::ImplicationContext(const std::vector<ExprPtr>& premises)
+    : premises_(premises) {
+  // Pass 1: create terms and union equalities.
+  for (const ExprPtr& clause : premises) {
+    if (clause->kind() != ExprKind::kBinary) continue;
+    const Expr& lhs = *clause->child(0);
+    const Expr& rhs = *clause->child(1);
+    if (!IsTermExpr(lhs) || !IsTermExpr(rhs)) continue;
+    const int a = ClassOf(lhs);
+    const int b = ClassOf(rhs);
+    switch (clause->binary_op()) {
+      case BinaryOp::kEq:
+        Union(a, b);
+        break;
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kNe:
+        order_facts_.push_back(OrderFact{a, clause->binary_op(), b});
+        break;
+      default:
+        break;
+    }
+  }
+  // Pass 2: attach constants to class roots.
+  class_constant_.assign(terms_.size(), -1);
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (!terms_[t].first) continue;  // columns carry no constant
+    const int root = Root(static_cast<int>(t));
+    class_constant_[root] = static_cast<int>(t);
+  }
+}
+
+int ImplicationContext::ClassOf(const Expr& expr) {
+  const int existing = FindClass(expr);
+  if (existing >= 0) return existing;
+  if (expr.kind() == ExprKind::kColumn) {
+    columns_.push_back(expr.column());
+    terms_.emplace_back(false, columns_.size() - 1);
+  } else {
+    constants_.push_back(expr.literal());
+    terms_.emplace_back(true, constants_.size() - 1);
+  }
+  parent_.push_back(static_cast<int>(terms_.size()) - 1);
+  if (!class_constant_.empty()) {
+    class_constant_.push_back(-1);  // keep aligned after construction
+  }
+  return static_cast<int>(terms_.size()) - 1;
+}
+
+int ImplicationContext::FindClass(const Expr& expr) const {
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (expr.kind() == ExprKind::kColumn && !terms_[t].first &&
+        columns_[terms_[t].second] == expr.column()) {
+      return static_cast<int>(t);
+    }
+    if (expr.kind() == ExprKind::kLiteral && terms_[t].first &&
+        constants_[terms_[t].second] == expr.literal()) {
+      return static_cast<int>(t);
+    }
+  }
+  return -1;
+}
+
+int ImplicationContext::Root(int cls) const {
+  while (parent_[cls] != cls) {
+    parent_[cls] = parent_[parent_[cls]];
+    cls = parent_[cls];
+  }
+  return cls;
+}
+
+void ImplicationContext::Union(int a, int b) {
+  parent_[Root(a)] = Root(b);
+}
+
+bool ImplicationContext::Implies(const Expr& conclusion) const {
+  // Fallback first: an identical premise always implies.
+  for (const ExprPtr& premise : premises_) {
+    if (ClausesEquivalent(*premise, conclusion)) return true;
+  }
+  if (conclusion.kind() != ExprKind::kBinary) return false;
+  const Expr& lhs = *conclusion.child(0);
+  const Expr& rhs = *conclusion.child(1);
+  if (!IsTermExpr(lhs) || !IsTermExpr(rhs)) return false;
+
+  const int lc = FindClass(lhs);
+  const int rc = FindClass(rhs);
+
+  // Constant-only conclusions evaluate directly.
+  if (lhs.kind() == ExprKind::kLiteral && rhs.kind() == ExprKind::kLiteral) {
+    const RowBinding empty;
+    const Result<Value> v = EvalExpr(conclusion, empty, nullptr);
+    return v.ok() && v.value().type() == DataType::kBool &&
+           v.value().bool_value();
+  }
+
+  const BinaryOp op = conclusion.binary_op();
+
+  // Resolve each side to (class root, attached constant).
+  auto resolve = [&](const Expr& side,
+                     int cls) -> std::pair<int, std::optional<Value>> {
+    if (cls < 0) {
+      // Unknown term: a literal still has its own value; a column is
+      // unconstrained.
+      if (side.kind() == ExprKind::kLiteral) {
+        return {-1, side.literal()};
+      }
+      return {-1, std::nullopt};
+    }
+    const int root = Root(cls);
+    std::optional<Value> constant;
+    if (class_constant_[root] >= 0) {
+      constant = constants_[terms_[class_constant_[root]].second];
+    } else if (side.kind() == ExprKind::kLiteral) {
+      constant = side.literal();
+    }
+    return {root, constant};
+  };
+  const auto [lroot, lconst] = resolve(lhs, lc);
+  const auto [rroot, rconst] = resolve(rhs, rc);
+
+  if (op == BinaryOp::kEq) {
+    if (lroot >= 0 && lroot == rroot) return true;
+    if (lconst && rconst) {
+      return Compare(*lconst, *rconst) == CompareResult::kEqual;
+    }
+    return false;
+  }
+
+  // Comparisons between known constants decide immediately.
+  if (lconst && rconst) {
+    const CompareResult cmp = Compare(*lconst, *rconst);
+    if (cmp == CompareResult::kNull || cmp == CompareResult::kIncomparable) {
+      return false;
+    }
+    switch (op) {
+      case BinaryOp::kLt:
+        return cmp == CompareResult::kLess;
+      case BinaryOp::kLe:
+        return cmp != CompareResult::kGreater;
+      case BinaryOp::kGt:
+        return cmp == CompareResult::kGreater;
+      case BinaryOp::kGe:
+        return cmp != CompareResult::kLess;
+      case BinaryOp::kNe:
+        return cmp != CompareResult::kEqual;
+      default:
+        return false;
+    }
+  }
+
+  // Order facts over the same equality classes (x < y implied by x' < y'
+  // with x≡x', y≡y'; strict implies non-strict).
+  auto implies_op = [](BinaryOp premise, BinaryOp wanted) {
+    if (premise == wanted) return true;
+    if (premise == BinaryOp::kLt &&
+        (wanted == BinaryOp::kLe || wanted == BinaryOp::kNe)) {
+      return true;
+    }
+    if (premise == BinaryOp::kGt &&
+        (wanted == BinaryOp::kGe || wanted == BinaryOp::kNe)) {
+      return true;
+    }
+    return false;
+  };
+  for (const OrderFact& fact : order_facts_) {
+    const int froot_l = Root(fact.lhs);
+    const int froot_r = Root(fact.rhs);
+    if (lroot >= 0 && rroot >= 0 && froot_l == lroot && froot_r == rroot &&
+        implies_op(fact.op, op)) {
+      return true;
+    }
+    // Flipped orientation.
+    if (lroot >= 0 && rroot >= 0 && froot_l == rroot && froot_r == lroot &&
+        implies_op(FlipComparison(fact.op), op)) {
+      return true;
+    }
+  }
+
+  // Constant-bound strengthening: "x > 5" implies "x > 1" etc. Look for a
+  // fact relating lroot (or rroot) to a constant class.
+  auto numeric_const_of_root = [&](int root) -> std::optional<double> {
+    if (root < 0 || class_constant_[root] < 0) return std::nullopt;
+    return NumericOf(constants_[terms_[class_constant_[root]].second]);
+  };
+  // Normalize the conclusion to "column-root OP constant".
+  int var_root = -1;
+  std::optional<double> bound;
+  BinaryOp norm_op = op;
+  if (rconst && !lconst && lroot >= 0) {
+    var_root = lroot;
+    bound = NumericOf(*rconst);
+  } else if (lconst && !rconst && rroot >= 0) {
+    var_root = rroot;
+    bound = NumericOf(*lconst);
+    norm_op = FlipComparison(op);
+  }
+  if (var_root >= 0 && bound) {
+    for (const OrderFact& fact : order_facts_) {
+      int fact_var = -1;
+      std::optional<double> fact_bound;
+      BinaryOp fact_op = fact.op;
+      if (Root(fact.lhs) == var_root) {
+        fact_var = var_root;
+        fact_bound = numeric_const_of_root(Root(fact.rhs));
+      } else if (Root(fact.rhs) == var_root) {
+        fact_var = var_root;
+        fact_bound = numeric_const_of_root(Root(fact.lhs));
+        fact_op = FlipComparison(fact.op);
+      }
+      if (fact_var < 0 || !fact_bound) continue;
+      // fact: x fact_op fact_bound; wanted: x norm_op bound.
+      const double fb = *fact_bound;
+      const double wb = *bound;
+      switch (norm_op) {
+        case BinaryOp::kGt:
+          if ((fact_op == BinaryOp::kGt && fb >= wb) ||
+              (fact_op == BinaryOp::kGe && fb > wb)) {
+            return true;
+          }
+          break;
+        case BinaryOp::kGe:
+          if ((fact_op == BinaryOp::kGt && fb >= wb) ||
+              (fact_op == BinaryOp::kGe && fb >= wb)) {
+            return true;
+          }
+          break;
+        case BinaryOp::kLt:
+          if ((fact_op == BinaryOp::kLt && fb <= wb) ||
+              (fact_op == BinaryOp::kLe && fb < wb)) {
+            return true;
+          }
+          break;
+        case BinaryOp::kLe:
+          if ((fact_op == BinaryOp::kLt && fb <= wb) ||
+              (fact_op == BinaryOp::kLe && fb <= wb)) {
+            return true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    // Equality to a constant also bounds: x = 7 implies x > 5.
+    const std::optional<double> eq_const = numeric_const_of_root(var_root);
+    if (eq_const) {
+      switch (norm_op) {
+        case BinaryOp::kGt:
+          return *eq_const > *bound;
+        case BinaryOp::kGe:
+          return *eq_const >= *bound;
+        case BinaryOp::kLt:
+          return *eq_const < *bound;
+        case BinaryOp::kLe:
+          return *eq_const <= *bound;
+        case BinaryOp::kNe:
+          return *eq_const != *bound;
+        default:
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+bool ConjunctionImplies(const std::vector<ExprPtr>& premises,
+                        const Expr& conclusion) {
+  return ImplicationContext(premises).Implies(conclusion);
+}
+
+}  // namespace eve

@@ -1,0 +1,74 @@
+// Conjunction implication for Def. 2: does a set of WHERE clauses imply a
+// join-constraint clause? The paper requires Max(V_R) ⊆ Min(H_R), i.e.
+// each JC of Min implied by the view's conditions. Plain syntactic
+// matching misses semantically implied clauses (e.g. A.x = C.z following
+// from A.x = B.y AND B.y = C.z), so CVS uses this engine:
+//
+//  * equalities: congruence closure (union-find) over columns and
+//    constants — an equality is implied when both sides land in the same
+//    class, or both classes carry the same constant;
+//  * order comparisons: entailment from a matching premise over the same
+//    equality classes (x < y implied by x' < y' when x≡x', y≡y'), from
+//    constant bounds (x > 5 implies x > 1), or by constant evaluation;
+//  * everything else falls back to clause-equivalence matching.
+//
+// The engine is sound (never claims an implication that can fail on some
+// database state) but deliberately incomplete — exactly the conservative
+// direction Def. 2 needs.
+
+#ifndef EVE_CVS_IMPLICATION_H_
+#define EVE_CVS_IMPLICATION_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace eve {
+
+// Precomputed closure of a conjunction of premises, reusable across many
+// conclusion checks (R-mapping probes every JC of the MKB).
+class ImplicationContext {
+ public:
+  // Builds the closure of `premises` (a conjunction).
+  explicit ImplicationContext(const std::vector<ExprPtr>& premises);
+
+  // True when `premises AND NOT conclusion` is unsatisfiable by the
+  // engine's reasoning — i.e. the conjunction implies `conclusion`.
+  bool Implies(const Expr& conclusion) const;
+
+ private:
+  struct Term;  // canonicalized column-or-constant
+  struct Bound;
+
+  // Index of the term's equivalence class, creating it if new (const
+  // lookups use Find on the existing table only).
+  int ClassOf(const Expr& expr);
+  int FindClass(const Expr& expr) const;
+  int Root(int cls) const;
+  void Union(int a, int b);
+
+  std::vector<AttributeRef> columns_;   // column per column-term
+  std::vector<Value> constants_;        // constant per constant-term
+  // Term table: (is_constant, index into columns_/constants_).
+  std::vector<std::pair<bool, size_t>> terms_;
+  mutable std::vector<int> parent_;     // union-find over term ids
+  // Constant value attached to a class root (if any): index into terms_.
+  std::vector<int> class_constant_;
+  // Order premises between class roots: (lhs term, op, rhs term).
+  struct OrderFact {
+    int lhs;
+    BinaryOp op;  // kLt, kLe, kGt, kGe, kNe
+    int rhs;
+  };
+  std::vector<OrderFact> order_facts_;
+  // Original premises for the equivalence fallback.
+  std::vector<ExprPtr> premises_;
+};
+
+// One-shot convenience.
+bool ConjunctionImplies(const std::vector<ExprPtr>& premises,
+                        const Expr& conclusion);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_IMPLICATION_H_

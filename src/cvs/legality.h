@@ -1,0 +1,48 @@
+// Legal-rewriting checks (paper Def. 1): P1 the change no longer affects
+// the view, P2 the view is evaluable over MKB', P3 the view-extent
+// parameter holds, P4 all component evolution parameters are respected.
+
+#ifndef EVE_CVS_LEGALITY_H_
+#define EVE_CVS_LEGALITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cvs/extent.h"
+#include "esql/view_definition.h"
+#include "mkb/capability_change.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+struct LegalityReport {
+  bool p1_unaffected = false;
+  bool p2_evaluable = false;
+  bool p3_extent = false;
+  bool p4_parameters = false;
+  ExtentRelation inferred_extent = ExtentRelation::kUnknown;
+  std::vector<std::string> violations;
+
+  bool legal() const {
+    return p1_unaffected && p2_evaluable && p3_extent && p4_parameters;
+  }
+  std::string ToString() const;
+};
+
+// Checks Def. 1 for `new_view` as a rewriting of `old_view` under `change`.
+// `inferred_extent` comes from InferExtentRelation (or an empirical check).
+// `substitution` maps old attributes to their replacement expressions; it
+// lets P4 verify that indispensable-replaceable components survived in
+// substituted form. Pass an empty map for rewritings with no attribute
+// replacement (e.g. drop-based ones).
+LegalityReport CheckLegality(
+    const ViewDefinition& old_view, const ViewDefinition& new_view,
+    const CapabilityChange& change, const Mkb& mkb_prime,
+    ExtentRelation inferred_extent,
+    const std::map<AttributeRef, ExprPtr>& substitution);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_LEGALITY_H_

@@ -1,0 +1,134 @@
+#include "cvs/r_mapping.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "cvs/implication.h"
+
+namespace eve {
+
+namespace {
+
+// Returns the indices of view clauses that make `jc` implied by the view.
+// Each JC clause is first matched syntactically (modulo comparison
+// symmetry) so the consuming view clause can be attributed; clauses with
+// no syntactic twin fall back to the semantic implication engine
+// (congruence closure + bounds) and consume nothing — they stay in the
+// view, which is conservative and correct. Empty optional when the JC is
+// not implied at all.
+std::optional<std::vector<size_t>> ImpliedBy(
+    const JoinConstraint& jc, const ViewDefinition& view,
+    const ImplicationContext& context) {
+  std::vector<size_t> used;
+  for (const ExprPtr& jc_clause : jc.clauses) {
+    bool found = false;
+    for (size_t i = 0; i < view.where().size(); ++i) {
+      if (ClausesEquivalent(*jc_clause, *view.where()[i].clause)) {
+        used.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found && !context.Implies(*jc_clause)) return std::nullopt;
+  }
+  return used;
+}
+
+}  // namespace
+
+std::string RMapping::ToString() const {
+  std::ostringstream os;
+  os << "R-mapping for " << relation << ":\n  Max/Min relations: {";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << relations[i];
+  }
+  os << "}\n  Min edges: ";
+  for (size_t i = 0; i < min_edges.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << min_edges[i].id;
+  }
+  os << "\n  consumed=" << consumed_conditions.size()
+     << " local=" << local_conditions.size()
+     << " rest=" << rest_conditions.size();
+  return os.str();
+}
+
+Result<RMapping> ComputeRMapping(const ViewDefinition& view,
+                                 const std::string& relation,
+                                 const Mkb& mkb) {
+  if (!view.HasFromRelation(relation)) {
+    return Status::InvalidArgument("view " + view.name() +
+                                   " does not use relation " + relation);
+  }
+  if (!mkb.catalog().HasRelation(relation)) {
+    return Status::NotFound("relation not described in MKB: " + relation);
+  }
+
+  RMapping mapping;
+  mapping.relation = relation;
+
+  // Closure of the view's conjunction, shared across every JC probe.
+  std::vector<ExprPtr> premises;
+  premises.reserve(view.where().size());
+  for (const ViewCondition& cond : view.where()) {
+    premises.push_back(cond.clause);
+  }
+  const ImplicationContext context(premises);
+
+  // Greedy closure from R (Def. 2 (IV) maximality): repeatedly absorb a
+  // view relation joined to the current set by an implied MKB JC.
+  std::set<std::string> max_set{relation};
+  std::set<size_t> consumed;
+  const std::vector<std::string> from = view.FromRelationNames();
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const std::string& candidate : from) {
+      if (max_set.count(candidate) > 0) continue;
+      for (const std::string& anchor : max_set) {
+        bool absorbed = false;
+        for (const JoinConstraint* jc :
+             mkb.JoinConstraintsBetween(anchor, candidate)) {
+          if (auto used = ImpliedBy(*jc, view, context)) {
+            max_set.insert(candidate);
+            mapping.min_edges.push_back(*jc);
+            consumed.insert(used->begin(), used->end());
+            grew = true;
+            absorbed = true;
+            break;
+          }
+        }
+        if (absorbed) break;
+      }
+    }
+  }
+
+  mapping.relations.assign(max_set.begin(), max_set.end());
+
+  // Classify the view's conditions.
+  for (size_t i = 0; i < view.where().size(); ++i) {
+    if (consumed.count(i) > 0) {
+      mapping.consumed_conditions.push_back(i);
+      continue;
+    }
+    const std::vector<std::string> rels =
+        view.where()[i].clause->ReferencedRelations();
+    const bool local = std::all_of(
+        rels.begin(), rels.end(),
+        [&](const std::string& rel) { return max_set.count(rel) > 0; });
+    if (local) {
+      mapping.local_conditions.push_back(i);
+    } else {
+      mapping.rest_conditions.push_back(i);
+    }
+  }
+  for (const std::string& rel : from) {
+    if (max_set.count(rel) == 0) mapping.rest_relations.push_back(rel);
+  }
+  return mapping;
+}
+
+}  // namespace eve

@@ -1,0 +1,52 @@
+// R-mapping (paper Def. 2): decomposes a view V with respect to a relation
+// R into
+//   Max(V_R): the maximal join of view relations around R whose join
+//             conditions imply MKB join constraints, and
+//   Min(H_R): the minimal MKB join expression containing it,
+// so that V = π( σ_{C_Max/Min}(Min(H_R)) ⋈_{C_Rest} Rest )   (Eq. 10).
+
+#ifndef EVE_CVS_R_MAPPING_H_
+#define EVE_CVS_R_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/view_definition.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+struct RMapping {
+  // The relation being analyzed (R).
+  std::string relation;
+  // Relations of Max(V_R) / Min(H_R): R plus every view relation reachable
+  // from R through implied join constraints. Sorted.
+  std::vector<std::string> relations;
+  // The join constraints of Min(H_R) — a spanning tree over `relations`.
+  std::vector<JoinConstraint> min_edges;
+  // Indices into view.where() of clauses consumed by Min's join
+  // constraints (they are implied join conditions, Eq. 6/7).
+  std::vector<size_t> consumed_conditions;
+  // Indices of clauses over `relations` only, not consumed: C_{Max/Min}.
+  std::vector<size_t> local_conditions;
+  // Indices of the remaining clauses: C_Rest.
+  std::vector<size_t> rest_conditions;
+  // View FROM relations outside Max(V_R): Rest.
+  std::vector<std::string> rest_relations;
+
+  std::string ToString() const;
+};
+
+// Computes the R-mapping of `view` w.r.t. `relation` against `mkb`
+// (which must still contain `relation` — this is the *pre-change* MKB).
+// A view JC-implication uses syntactic matching: an MKB join constraint is
+// implied when each of its clauses appears among the view's WHERE clauses
+// (modulo comparison symmetry).
+Result<RMapping> ComputeRMapping(const ViewDefinition& view,
+                                 const std::string& relation,
+                                 const Mkb& mkb);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_R_MAPPING_H_

@@ -1,0 +1,87 @@
+// R-replacement (paper Def. 3): candidate join expressions built from
+// H'(MKB') that avoid R, retain the surviving part of Min(H_R), and cover
+// every attribute of R the view cannot lose, via function-of constraints.
+
+#ifndef EVE_CVS_R_REPLACEMENT_H_
+#define EVE_CVS_R_REPLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cvs/r_mapping.h"
+#include "esql/view_definition.h"
+#include "hypergraph/join_graph.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+// One attribute substitution R.A -> f(S.B) (Def. 3 (IV)): S is the cover,
+// f(S.B) the replacement.
+struct AttributeReplacement {
+  AttributeRef original;
+  ExprPtr replacement;          // f over the cover's source attribute
+  std::string cover_relation;   // S
+  std::string constraint_id;    // the function-of constraint used
+
+  std::string ToString() const {
+    return original.ToString() + " -> " + replacement->ToString() + "  [" +
+           constraint_id + "]";
+  }
+};
+
+// One Max(V_{j,R}) candidate: the join skeleton plus the attribute
+// substitutions it supports.
+struct ReplacementCandidate {
+  JoinTree tree;
+  std::vector<AttributeReplacement> replacements;
+  // Attributes of R used only in dispensable components for which no cover
+  // exists in this candidate; the splice step drops those components.
+  std::vector<AttributeRef> unreplaced;
+
+  std::string ToString() const;
+};
+
+struct RReplacementOptions {
+  // Bounds passed to the join-tree search.
+  size_t max_extra_relations = 3;
+  size_t max_results = 32;
+  // Bound on the cartesian product of per-attribute cover choices.
+  size_t max_cover_combinations = 256;
+  // When true, covers of *dispensable* attributes are chased too: the
+  // enumeration also proposes join trees that reach them, instead of only
+  // replacing them opportunistically when a cover happens to sit in the
+  // tree (paper Ex. 10). Default off — the paper's Ex. 9 enumerates
+  // candidates anchored by indispensable attributes only; turn on for
+  // maximal preservation (see cvs/cost_model.h and bench_cost_model).
+  bool chase_optional_covers = false;
+};
+
+// How each attribute of R is used by the view, derived from evolution
+// parameters: attributes in indispensable components must be covered;
+// attributes only in dispensable components are covered opportunistically.
+struct AttributeNeeds {
+  std::vector<AttributeRef> mandatory;
+  std::vector<AttributeRef> optional;
+};
+
+// Classifies R's attributes in `view`. Fails with kViewDisabled when an
+// indispensable, non-replaceable component references R (P4 can never be
+// met by any rewriting).
+Result<AttributeNeeds> ClassifyAttributeNeeds(const ViewDefinition& view,
+                                              const RMapping& mapping);
+
+// Enumerates replacement candidates. `mkb` is the PRE-change MKB: the
+// function-of constraints that cover R's attributes mention R and are
+// therefore dropped from MKB', yet they still describe the data (paper
+// Ex. 9 uses F1/F2/F4 after Customer is deleted). `graph_prime` is the
+// join graph of MKB' — candidate join chains must avoid R and be
+// evaluable post-change. An empty result means CVS fails for this view
+// (Def. 3's R-replacement set is empty).
+Result<std::vector<ReplacementCandidate>> ComputeRReplacements(
+    const ViewDefinition& view, const RMapping& mapping, const Mkb& mkb,
+    const JoinGraph& graph_prime, const RReplacementOptions& options);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_R_REPLACEMENT_H_

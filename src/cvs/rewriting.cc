@@ -1,0 +1,355 @@
+#include "cvs/rewriting.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "algebra/eval.h"
+
+namespace eve {
+
+namespace {
+
+bool MentionsRelation(const Expr& expr, const std::string& relation) {
+  std::vector<AttributeRef> cols;
+  expr.CollectColumns(&cols);
+  return std::any_of(cols.begin(), cols.end(), [&](const AttributeRef& ref) {
+    return ref.relation == relation;
+  });
+}
+
+// Applies every substitution in `map` to `expr`; returns nullopt when the
+// expression still references `relation` afterwards (an uncovered attr).
+std::optional<ExprPtr> SubstituteAll(
+    const ExprPtr& expr, const std::map<AttributeRef, ExprPtr>& map,
+    const std::string& relation) {
+  ExprPtr result = expr;
+  for (const auto& [from, to] : map) {
+    result = result->SubstituteColumn(from, to);
+  }
+  if (MentionsRelation(*result, relation)) return std::nullopt;
+  return result;
+}
+
+}  // namespace
+
+Result<ViewDefinition> SpliceRewriting(const ViewDefinition& view,
+                                       const RMapping& mapping,
+                                       const ReplacementCandidate& candidate,
+                                       const std::string& new_name) {
+  const std::string& r = mapping.relation;
+
+  std::map<AttributeRef, ExprPtr> substitution;
+  for (const AttributeReplacement& repl : candidate.replacements) {
+    substitution.emplace(repl.original, repl.replacement);
+  }
+
+  // Evolution params of R in the original view, inherited by the
+  // replacement relations (Step 5).
+  EvolutionParams r_params;
+  for (const ViewRelation& rel : view.from()) {
+    if (rel.name == r) r_params = rel.params;
+  }
+
+  // --- SELECT ------------------------------------------------------------
+  std::vector<ViewSelectItem> select;
+  for (const ViewSelectItem& item : view.select()) {
+    if (!MentionsRelation(*item.expr, r)) {
+      select.push_back(item);
+      continue;
+    }
+    const std::optional<ExprPtr> substituted =
+        SubstituteAll(item.expr, substitution, r);
+    if (substituted.has_value()) {
+      select.push_back(
+          ViewSelectItem{*substituted, item.output_name, item.params});
+      continue;
+    }
+    if (!item.params.dispensable) {
+      return Status::Internal(
+          "mandatory SELECT item '" + item.output_name +
+          "' has no replacement; candidate enumeration is inconsistent");
+    }
+    // Dispensable and uncovered: dropped.
+  }
+  if (select.empty()) {
+    return Status::ViewDisabled("rewriting of " + view.name() +
+                                " would have an empty SELECT list");
+  }
+
+  // --- FROM ---------------------------------------------------------------
+  std::vector<ViewRelation> from;
+  std::set<std::string> present;
+  for (const ViewRelation& rel : view.from()) {
+    if (rel.name == r) continue;
+    from.push_back(rel);
+    present.insert(rel.name);
+  }
+  for (const std::string& rel : candidate.tree.relations) {
+    if (present.insert(rel).second) {
+      from.push_back(ViewRelation{rel, r_params});
+    }
+  }
+
+  // --- WHERE ---------------------------------------------------------------
+  std::vector<ViewCondition> where;
+  const std::set<size_t> consumed(mapping.consumed_conditions.begin(),
+                                  mapping.consumed_conditions.end());
+  // Ids of Min edges that survive in the candidate (kept join conditions).
+  std::set<std::string> kept_edge_ids;
+  for (const JoinConstraint& edge : mapping.min_edges) {
+    if (!edge.Involves(r)) kept_edge_ids.insert(edge.id);
+  }
+
+  for (size_t i = 0; i < view.where().size(); ++i) {
+    const ViewCondition& cond = view.where()[i];
+    if (consumed.count(i) > 0) {
+      // Join condition of Min(H_R): keep it only when it does not touch R
+      // (the R-side join conditions are superseded by the new tree edges).
+      if (!MentionsRelation(*cond.clause, r)) where.push_back(cond);
+      continue;
+    }
+    if (!MentionsRelation(*cond.clause, r)) {
+      where.push_back(cond);
+      continue;
+    }
+    const std::optional<ExprPtr> substituted =
+        SubstituteAll(cond.clause, substitution, r);
+    if (substituted.has_value()) {
+      where.push_back(ViewCondition{*substituted, cond.params});
+      continue;
+    }
+    if (!cond.params.dispensable) {
+      return Status::Internal(
+          "mandatory condition '" + cond.clause->ToString() +
+          "' has no replacement; candidate enumeration is inconsistent");
+    }
+    // Dispensable and uncovered: dropped.
+  }
+
+  // Join conditions of new tree edges (Def. 3 (I)): indispensable,
+  // replaceable.
+  for (const JoinConstraint& edge : candidate.tree.edges) {
+    if (kept_edge_ids.count(edge.id) > 0) continue;
+    for (const ExprPtr& clause : edge.clauses) {
+      where.push_back(
+          ViewCondition{clause, EvolutionParams{false, true}});
+    }
+  }
+
+  // Step 4's consistency check.
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.reserve(where.size());
+  for (const ViewCondition& cond : where) conjuncts.push_back(cond.clause);
+  EVE_RETURN_IF_ERROR(CheckConjunctionConsistency(conjuncts));
+
+  return ViewDefinition(new_name, view.extent(), std::move(select),
+                        std::move(from), std::move(where));
+}
+
+Result<ViewDefinition> DropRelationRewriting(const ViewDefinition& view,
+                                             const std::string& relation,
+                                             const std::string& new_name) {
+  for (const ViewRelation& rel : view.from()) {
+    if (rel.name == relation && !rel.params.dispensable) {
+      return Status::ViewDisabled("relation " + relation +
+                                  " is indispensable in view " + view.name());
+    }
+  }
+  std::vector<ViewSelectItem> select;
+  for (const ViewSelectItem& item : view.select()) {
+    if (!MentionsRelation(*item.expr, relation)) {
+      select.push_back(item);
+      continue;
+    }
+    if (!item.params.dispensable) {
+      return Status::ViewDisabled(
+          "SELECT item '" + item.output_name +
+          "' is indispensable but references dropped relation " + relation);
+    }
+  }
+  if (select.empty()) {
+    return Status::ViewDisabled("dropping " + relation + " from " +
+                                view.name() +
+                                " would empty the SELECT list");
+  }
+  std::vector<ViewCondition> where;
+  for (const ViewCondition& cond : view.where()) {
+    if (!MentionsRelation(*cond.clause, relation)) {
+      where.push_back(cond);
+      continue;
+    }
+    if (!cond.params.dispensable) {
+      return Status::ViewDisabled(
+          "condition '" + cond.clause->ToString() +
+          "' is indispensable but references dropped relation " + relation);
+    }
+  }
+  std::vector<ViewRelation> from;
+  for (const ViewRelation& rel : view.from()) {
+    if (rel.name != relation) from.push_back(rel);
+  }
+  return ViewDefinition(new_name, view.extent(), std::move(select),
+                        std::move(from), std::move(where));
+}
+
+namespace {
+
+// Equality-group representative finder for the consistency check.
+class ColumnGroups {
+ public:
+  std::string Find(const std::string& col) {
+    auto it = parent_.find(col);
+    if (it == parent_.end()) {
+      parent_[col] = col;
+      return col;
+    }
+    std::string root = col;
+    while (parent_[root] != root) root = parent_[root];
+    return root;
+  }
+  void Unite(const std::string& a, const std::string& b) {
+    parent_[Find(a)] = Find(b);
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+struct Range {
+  std::optional<double> lower;
+  bool lower_strict = false;
+  std::optional<double> upper;
+  bool upper_strict = false;
+
+  bool Empty() const {
+    if (!lower || !upper) return false;
+    if (*lower > *upper) return true;
+    return *lower == *upper && (lower_strict || upper_strict);
+  }
+};
+
+}  // namespace
+
+Status CheckConjunctionConsistency(const std::vector<ExprPtr>& conjuncts) {
+  ColumnGroups groups;
+  // First pass: union column=column equalities.
+  for (const ExprPtr& clause : conjuncts) {
+    if (clause->kind() != ExprKind::kBinary ||
+        clause->binary_op() != BinaryOp::kEq) {
+      continue;
+    }
+    const Expr& lhs = *clause->child(0);
+    const Expr& rhs = *clause->child(1);
+    if (lhs.kind() == ExprKind::kColumn && rhs.kind() == ExprKind::kColumn) {
+      groups.Unite(lhs.column().ToString(), rhs.column().ToString());
+    }
+  }
+
+  std::map<std::string, Value> constants;
+  std::map<std::string, Range> ranges;
+  const RowBinding empty_binding;
+
+  for (const ExprPtr& clause : conjuncts) {
+    if (clause->kind() != ExprKind::kBinary ||
+        !IsComparisonOp(clause->binary_op())) {
+      continue;
+    }
+    const Expr* lhs = clause->child(0).get();
+    const Expr* rhs = clause->child(1).get();
+    BinaryOp op = clause->binary_op();
+
+    // Constant-only comparison: evaluate directly.
+    if (lhs->kind() == ExprKind::kLiteral &&
+        rhs->kind() == ExprKind::kLiteral) {
+      const Result<Value> value = EvalExpr(*clause, empty_binding, nullptr);
+      if (value.ok() && value.value().type() == DataType::kBool &&
+          !value.value().bool_value()) {
+        return Status::FailedPrecondition(
+            "inconsistent WHERE clause: " + clause->ToString() +
+            " is always false");
+      }
+      continue;
+    }
+
+    // Normalize to column-op-literal.
+    if (lhs->kind() == ExprKind::kLiteral &&
+        rhs->kind() == ExprKind::kColumn) {
+      std::swap(lhs, rhs);
+      op = FlipComparison(op);
+    }
+    if (lhs->kind() != ExprKind::kColumn ||
+        rhs->kind() != ExprKind::kLiteral) {
+      continue;  // complex clause: out of scope for this check
+    }
+    const std::string group = groups.Find(lhs->column().ToString());
+    const Value& lit = rhs->literal();
+
+    if (op == BinaryOp::kEq) {
+      auto [it, inserted] = constants.emplace(group, lit);
+      if (!inserted && !(it->second == lit)) {
+        return Status::FailedPrecondition(
+            "inconsistent WHERE clause: " + group + " bound to both " +
+            it->second.ToString() + " and " + lit.ToString());
+      }
+      continue;
+    }
+    // Range bounds for numeric literals.
+    const Result<double> numeric = lit.AsDouble();
+    if (!numeric.ok()) continue;
+    Range& range = ranges[group];
+    const double bound = numeric.value();
+    switch (op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+        if (!range.upper || bound < *range.upper) {
+          range.upper = bound;
+          range.upper_strict = op == BinaryOp::kLt;
+        } else if (bound == *range.upper && op == BinaryOp::kLt) {
+          range.upper_strict = true;
+        }
+        break;
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (!range.lower || bound > *range.lower) {
+          range.lower = bound;
+          range.lower_strict = op == BinaryOp::kGt;
+        } else if (bound == *range.lower && op == BinaryOp::kGt) {
+          range.lower_strict = true;
+        }
+        break;
+      default:
+        break;
+    }
+    if (range.Empty()) {
+      return Status::FailedPrecondition(
+          "inconsistent WHERE clause: empty range for " + group);
+    }
+  }
+
+  // Cross-check constants against ranges.
+  for (const auto& [group, value] : constants) {
+    auto it = ranges.find(group);
+    if (it == ranges.end()) continue;
+    const Result<double> numeric = value.AsDouble();
+    if (!numeric.ok()) continue;
+    const Range& range = it->second;
+    const double v = numeric.value();
+    if (range.lower &&
+        (v < *range.lower || (v == *range.lower && range.lower_strict))) {
+      return Status::FailedPrecondition(
+          "inconsistent WHERE clause: " + group + " = " + value.ToString() +
+          " violates a lower bound");
+    }
+    if (range.upper &&
+        (v > *range.upper || (v == *range.upper && range.upper_strict))) {
+      return Status::FailedPrecondition(
+          "inconsistent WHERE clause: " + group + " = " + value.ToString() +
+          " violates an upper bound");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace eve

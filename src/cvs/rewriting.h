@@ -1,0 +1,46 @@
+// CVS Steps 4–5: splicing a replacement candidate into the affected view —
+// substitute R's attributes with their replacements, swap Min(H_R) for
+// Max(V_{j,R}), re-derive evolution parameters, and check the new WHERE
+// clause for inconsistencies.
+
+#ifndef EVE_CVS_REWRITING_H_
+#define EVE_CVS_REWRITING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cvs/r_mapping.h"
+#include "cvs/r_replacement.h"
+#include "esql/view_definition.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+// Builds the rewritten view V' (paper Eq. 10 with Max(V_R) replaced by
+// Max(V_{j,R})). Evolution parameters of V' (Step 5): surviving components
+// keep theirs; replacement relations inherit R's; join conditions
+// introduced by new tree edges are (indispensable, replaceable).
+// Fails with kFailedPrecondition when the spliced WHERE clause is
+// inconsistent (Step 4's check).
+Result<ViewDefinition> SpliceRewriting(const ViewDefinition& view,
+                                       const RMapping& mapping,
+                                       const ReplacementCandidate& candidate,
+                                       const std::string& new_name);
+
+// Drop-based rewriting for a dispensable relation R: removes R, every
+// SELECT item and WHERE clause referencing it. Legal only when all those
+// components are dispensable (checked).
+Result<ViewDefinition> DropRelationRewriting(const ViewDefinition& view,
+                                             const std::string& relation,
+                                             const std::string& new_name);
+
+// Conservative conjunction satisfiability check used by Step 4:
+// detects (a) constant comparisons that are false, (b) conflicting
+// constant bindings within a column equality group, and (c) empty numeric
+// ranges from </<=/>/>= bounds. Returns OK when no inconsistency is found.
+Status CheckConjunctionConsistency(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_REWRITING_H_

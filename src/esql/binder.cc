@@ -1,0 +1,218 @@
+#include "esql/binder.h"
+
+#include <map>
+#include <set>
+
+#include "algebra/eval.h"
+#include "sql/parser.h"
+
+namespace eve {
+
+namespace {
+
+// Maps alias-or-relation qualifiers to canonical relation names.
+class ScopeResolver {
+ public:
+  static Result<ScopeResolver> Create(const ParsedView& parsed,
+                                      const Catalog& catalog) {
+    ScopeResolver resolver(&catalog);
+    std::set<std::string> seen_relations;
+    for (const ParsedFromItem& item : parsed.from) {
+      if (!catalog.HasRelation(item.relation)) {
+        return Status::NotFound("unknown relation in FROM: " + item.relation);
+      }
+      if (!seen_relations.insert(item.relation).second) {
+        return Status::InvalidArgument(
+            "relation appears more than once in FROM: " + item.relation +
+            " (the paper assumes each relation occurs at most once)");
+      }
+      const std::string alias =
+          item.alias.empty() ? item.relation : item.alias;
+      if (!resolver.alias_to_relation_.emplace(alias, item.relation).second) {
+        return Status::InvalidArgument("duplicate FROM alias: " + alias);
+      }
+      // The canonical name is always usable as a qualifier too.
+      resolver.alias_to_relation_.emplace(item.relation, item.relation);
+      resolver.relations_.push_back(item.relation);
+    }
+    return resolver;
+  }
+
+  // Resolves one column reference (possibly unqualified) to canonical form.
+  Result<AttributeRef> Resolve(const AttributeRef& ref) const {
+    if (!ref.relation.empty()) {
+      auto it = alias_to_relation_.find(ref.relation);
+      if (it == alias_to_relation_.end()) {
+        return Status::NotFound("unknown qualifier: " + ref.relation);
+      }
+      const AttributeRef resolved{it->second, ref.attribute};
+      if (!catalog_->HasAttribute(resolved)) {
+        return Status::NotFound("unknown attribute: " + resolved.ToString());
+      }
+      return resolved;
+    }
+    // Unqualified: must resolve in exactly one FROM relation.
+    std::string found_relation;
+    for (const std::string& rel : relations_) {
+      if (catalog_->HasAttribute(AttributeRef{rel, ref.attribute})) {
+        if (!found_relation.empty()) {
+          return Status::InvalidArgument(
+              "ambiguous attribute '" + ref.attribute + "': found in " +
+              found_relation + " and " + rel);
+        }
+        found_relation = rel;
+      }
+    }
+    if (found_relation.empty()) {
+      return Status::NotFound("attribute '" + ref.attribute +
+                              "' not found in any FROM relation");
+    }
+    return AttributeRef{found_relation, ref.attribute};
+  }
+
+  // Rewrites every column in `expr` to canonical form.
+  Result<ExprPtr> ResolveExpr(const ExprPtr& expr) const {
+    if (expr->kind() == ExprKind::kColumn) {
+      EVE_ASSIGN_OR_RETURN(AttributeRef resolved, Resolve(expr->column()));
+      return Expr::Column(std::move(resolved));
+    }
+    if (expr->kind() == ExprKind::kLiteral) return expr;
+    std::vector<ExprPtr> children;
+    children.reserve(expr->children().size());
+    for (const ExprPtr& child : expr->children()) {
+      EVE_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveExpr(child));
+      children.push_back(std::move(resolved));
+    }
+    switch (expr->kind()) {
+      case ExprKind::kUnary:
+        return Expr::Unary(expr->unary_op(), std::move(children[0]));
+      case ExprKind::kBinary:
+        return Expr::Binary(expr->binary_op(), std::move(children[0]),
+                            std::move(children[1]));
+      case ExprKind::kFunctionCall:
+        return Expr::Func(expr->function_name(), std::move(children));
+      default:
+        return Status::Internal("unexpected expression kind in binder");
+    }
+  }
+
+ private:
+  explicit ScopeResolver(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog* catalog_;
+  std::map<std::string, std::string> alias_to_relation_;
+  std::vector<std::string> relations_;
+};
+
+// Default output name for a SELECT expression with no alias.
+std::string DeriveOutputName(const ExprPtr& expr, size_t index) {
+  if (expr->kind() == ExprKind::kColumn) return expr->column().attribute;
+  return "col" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+Result<ViewDefinition> BindView(const ParsedView& parsed,
+                                const Catalog& catalog) {
+  if (parsed.select.empty()) {
+    return Status::InvalidArgument("view has an empty SELECT list");
+  }
+  if (parsed.from.empty()) {
+    return Status::InvalidArgument("view has an empty FROM list");
+  }
+  if (!parsed.column_names.empty() &&
+      parsed.column_names.size() != parsed.select.size()) {
+    return Status::InvalidArgument(
+        "view column list has " + std::to_string(parsed.column_names.size()) +
+        " names but SELECT has " + std::to_string(parsed.select.size()) +
+        " items");
+  }
+  EVE_ASSIGN_OR_RETURN(const ScopeResolver resolver,
+                       ScopeResolver::Create(parsed, catalog));
+
+  std::vector<ViewSelectItem> select;
+  select.reserve(parsed.select.size());
+  std::set<std::string> output_names;
+  for (size_t i = 0; i < parsed.select.size(); ++i) {
+    const ParsedSelectItem& item = parsed.select[i];
+    EVE_ASSIGN_OR_RETURN(ExprPtr expr, resolver.ResolveExpr(item.expr));
+    EVE_ASSIGN_OR_RETURN(const DataType type, InferType(*expr, catalog));
+    if (type == DataType::kNull) {
+      return Status::TypeError("SELECT item " + std::to_string(i + 1) +
+                               " has NULL type");
+    }
+    std::string output_name = !parsed.column_names.empty()
+                                  ? parsed.column_names[i]
+                                  : (!item.alias.empty()
+                                         ? item.alias
+                                         : DeriveOutputName(expr, i));
+    if (!output_names.insert(output_name).second) {
+      return Status::InvalidArgument("duplicate output column name: " +
+                                     output_name);
+    }
+    select.push_back(
+        ViewSelectItem{std::move(expr), std::move(output_name), item.params});
+  }
+
+  std::vector<ViewRelation> from;
+  from.reserve(parsed.from.size());
+  for (const ParsedFromItem& item : parsed.from) {
+    from.push_back(ViewRelation{item.relation, item.params});
+  }
+
+  std::vector<ViewCondition> where;
+  where.reserve(parsed.where.size());
+  for (const ParsedCondition& cond : parsed.where) {
+    EVE_ASSIGN_OR_RETURN(ExprPtr clause, resolver.ResolveExpr(cond.clause));
+    EVE_ASSIGN_OR_RETURN(const DataType type, InferType(*clause, catalog));
+    if (type != DataType::kBool) {
+      return Status::TypeError("WHERE clause is not boolean: " +
+                               clause->ToString());
+    }
+    where.push_back(ViewCondition{std::move(clause), cond.params});
+  }
+
+  return ViewDefinition(parsed.name, parsed.extent, std::move(select),
+                        std::move(from), std::move(where));
+}
+
+Result<ViewDefinition> ParseAndBindView(std::string_view text,
+                                        const Catalog& catalog) {
+  EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(text));
+  return BindView(parsed, catalog);
+}
+
+Status CheckDistinguishedAttributesPreserved(const ViewDefinition& view) {
+  std::vector<AttributeRef> preserved;
+  for (const ViewSelectItem& item : view.select()) {
+    item.expr->CollectColumns(&preserved);
+  }
+  for (const ViewCondition& cond : view.where()) {
+    if (cond.params.dispensable) continue;  // only indispensable conditions
+    std::vector<AttributeRef> distinguished;
+    cond.clause->CollectColumns(&distinguished);
+    for (const AttributeRef& ref : distinguished) {
+      if (std::find(preserved.begin(), preserved.end(), ref) ==
+          preserved.end()) {
+        return Status::FailedPrecondition(
+            "distinguished attribute " + ref.ToString() +
+            " (used in indispensable condition " + cond.clause->ToString() +
+            ") is not among the preserved attributes");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool IsConjunctiveView(const ViewDefinition& view) {
+  for (const ViewCondition& cond : view.where()) {
+    const Expr& clause = *cond.clause;
+    if (clause.kind() != ExprKind::kBinary ||
+        !IsComparisonOp(clause.binary_op())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eve

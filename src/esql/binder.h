@@ -1,0 +1,41 @@
+// Binder: resolves a ParsedView against the catalog into a ViewDefinition —
+// alias resolution, attribute qualification, type checking, and validation
+// of the paper's well-formedness assumptions (Sec. 4).
+
+#ifndef EVE_ESQL_BINDER_H_
+#define EVE_ESQL_BINDER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "esql/view_definition.h"
+#include "sql/ast.h"
+
+namespace eve {
+
+// Binds `parsed` against `catalog`. Checks:
+//  * every FROM relation exists; no relation appears twice (paper Sec. 4),
+//  * every column reference resolves to exactly one FROM relation,
+//  * SELECT expressions and WHERE clauses type-check,
+//  * the explicit column-name list (if given) matches the SELECT arity.
+Result<ViewDefinition> BindView(const ParsedView& parsed,
+                                const Catalog& catalog);
+
+// Convenience: parse + bind.
+Result<ViewDefinition> ParseAndBindView(std::string_view text,
+                                        const Catalog& catalog);
+
+// Checks the paper's *strict* assumption that every distinguished attribute
+// (one used in an indispensable WHERE clause) appears in the SELECT list.
+// The paper's own running example violates it, so this is advisory and not
+// part of BindView.
+Status CheckDistinguishedAttributesPreserved(const ViewDefinition& view);
+
+// True when the view is in the fragment CVS synchronizes: every WHERE
+// clause is a primitive comparison (no OR / NOT / nested logic).
+bool IsConjunctiveView(const ViewDefinition& view);
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_BINDER_H_

@@ -1,0 +1,24 @@
+#include "esql/evaluator.h"
+
+namespace eve {
+
+Result<Table> EvaluateView(const ViewDefinition& view, const Database& db,
+                           const Catalog& catalog,
+                           const FunctionRegistry* registry,
+                           JoinStrategy strategy) {
+  ConjunctiveQuery query;
+  query.relations = view.FromRelationNames();
+  query.conjuncts.reserve(view.where().size());
+  for (const ViewCondition& cond : view.where()) {
+    query.conjuncts.push_back(cond.clause);
+  }
+  query.projections.reserve(view.select().size());
+  for (const ViewSelectItem& item : view.select()) {
+    query.projections.push_back(item.expr);
+    query.output_names.push_back(item.output_name);
+  }
+  query.distinct = true;
+  return Execute(query, db, catalog, registry, strategy);
+}
+
+}  // namespace eve

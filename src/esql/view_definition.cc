@@ -1,0 +1,83 @@
+#include "esql/view_definition.h"
+
+#include <algorithm>
+
+#include "sql/printer.h"
+
+namespace eve {
+
+std::vector<std::string> ViewDefinition::InterfaceNames() const {
+  std::vector<std::string> names;
+  names.reserve(select_.size());
+  for (const ViewSelectItem& item : select_) {
+    names.push_back(item.output_name);
+  }
+  return names;
+}
+
+std::vector<std::string> ViewDefinition::FromRelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(from_.size());
+  for (const ViewRelation& rel : from_) names.push_back(rel.name);
+  return names;
+}
+
+bool ViewDefinition::HasFromRelation(const std::string& relation) const {
+  return std::any_of(from_.begin(), from_.end(),
+                     [&](const ViewRelation& r) { return r.name == relation; });
+}
+
+bool ViewDefinition::ReferencesRelation(const std::string& relation) const {
+  if (HasFromRelation(relation)) return true;
+  std::vector<AttributeRef> cols;
+  for (const ViewSelectItem& item : select_) item.expr->CollectColumns(&cols);
+  for (const ViewCondition& cond : where_) cond.clause->CollectColumns(&cols);
+  return std::any_of(cols.begin(), cols.end(), [&](const AttributeRef& ref) {
+    return ref.relation == relation;
+  });
+}
+
+bool ViewDefinition::ReferencesAttribute(const AttributeRef& ref) const {
+  std::vector<AttributeRef> cols;
+  for (const ViewSelectItem& item : select_) item.expr->CollectColumns(&cols);
+  for (const ViewCondition& cond : where_) cond.clause->CollectColumns(&cols);
+  return std::find(cols.begin(), cols.end(), ref) != cols.end();
+}
+
+std::vector<AttributeRef> ViewDefinition::AttributesOf(
+    const std::string& relation) const {
+  std::vector<AttributeRef> cols;
+  for (const ViewSelectItem& item : select_) item.expr->CollectColumns(&cols);
+  for (const ViewCondition& cond : where_) cond.clause->CollectColumns(&cols);
+  std::vector<AttributeRef> out;
+  for (const AttributeRef& ref : cols) {
+    if (ref.relation == relation &&
+        std::find(out.begin(), out.end(), ref) == out.end()) {
+      out.push_back(ref);
+    }
+  }
+  return out;
+}
+
+ParsedView ViewDefinition::ToParsedView() const {
+  ParsedView parsed;
+  parsed.name = name_;
+  parsed.extent = extent_;
+  for (const ViewSelectItem& item : select_) {
+    parsed.select.push_back(
+        ParsedSelectItem{item.expr, item.output_name, item.params});
+  }
+  for (const ViewRelation& rel : from_) {
+    parsed.from.push_back(ParsedFromItem{rel.name, "", rel.params});
+  }
+  for (const ViewCondition& cond : where_) {
+    parsed.where.push_back(ParsedCondition{cond.clause, cond.params});
+  }
+  return parsed;
+}
+
+std::string ViewDefinition::ToString() const {
+  return PrintView(ToParsedView());
+}
+
+}  // namespace eve

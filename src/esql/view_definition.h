@@ -1,0 +1,97 @@
+// ViewDefinition: a semantically bound E-SQL view. All column references
+// are canonical (qualified by real relation names), aliases are gone, and
+// the WHERE clause is a flat conjunction of annotated primitive clauses —
+// the form the paper's Definitions 1–3 operate on.
+
+#ifndef EVE_ESQL_VIEW_DEFINITION_H_
+#define EVE_ESQL_VIEW_DEFINITION_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/attribute_ref.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/evolution_params.h"
+
+namespace eve {
+
+// SELECT-list entry. `expr` is a plain column for user-authored views and
+// may be a function-of expression (e.g. years_since(Accident-Ins.Birthday))
+// after synchronization (paper Eq. (13)).
+struct ViewSelectItem {
+  ExprPtr expr;
+  std::string output_name;
+  EvolutionParams params;  // AD / AR
+};
+
+struct ViewRelation {
+  std::string name;        // canonical relation name
+  EvolutionParams params;  // RD / RR
+};
+
+struct ViewCondition {
+  ExprPtr clause;          // one primitive clause (comparison) typically
+  EvolutionParams params;  // CD / CR
+};
+
+class ViewDefinition {
+ public:
+  ViewDefinition() = default;
+  ViewDefinition(std::string name, ViewExtent extent,
+                 std::vector<ViewSelectItem> select,
+                 std::vector<ViewRelation> from,
+                 std::vector<ViewCondition> where)
+      : name_(std::move(name)),
+        extent_(extent),
+        select_(std::move(select)),
+        from_(std::move(from)),
+        where_(std::move(where)) {}
+
+  const std::string& name() const { return name_; }
+  ViewExtent extent() const { return extent_; }
+  const std::vector<ViewSelectItem>& select() const { return select_; }
+  const std::vector<ViewRelation>& from() const { return from_; }
+  const std::vector<ViewCondition>& where() const { return where_; }
+
+  std::vector<ViewSelectItem>* mutable_select() { return &select_; }
+  std::vector<ViewRelation>* mutable_from() { return &from_; }
+  std::vector<ViewCondition>* mutable_where() { return &where_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_extent(ViewExtent extent) { extent_ = extent; }
+
+  // Interface attribute names (B̄_V in the paper).
+  std::vector<std::string> InterfaceNames() const;
+
+  // All relation names in FROM, in order.
+  std::vector<std::string> FromRelationNames() const;
+
+  bool HasFromRelation(const std::string& relation) const;
+
+  // True if the view mentions `relation` anywhere (FROM, SELECT or WHERE).
+  bool ReferencesRelation(const std::string& relation) const;
+
+  // True if the view mentions attribute `ref` in SELECT or WHERE.
+  bool ReferencesAttribute(const AttributeRef& ref) const;
+
+  // All distinct attributes of `relation` used anywhere in the view.
+  std::vector<AttributeRef> AttributesOf(const std::string& relation) const;
+
+  // Converts back to a printable AST (aliases = relation names).
+  ParsedView ToParsedView() const;
+
+  // E-SQL text (round-trips through the parser).
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  ViewExtent extent_ = ViewExtent::kAny;
+  std::vector<ViewSelectItem> select_;
+  std::vector<ViewRelation> from_;
+  std::vector<ViewCondition> where_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_ESQL_VIEW_DEFINITION_H_

@@ -1,0 +1,275 @@
+#include "eve/eve_system.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cvs/explain.h"
+#include "esql/binder.h"
+#include "mkb/evolution.h"
+#include "mkb/serializer.h"
+#include "sql/parser.h"
+
+namespace eve {
+
+size_t ChangeReport::CountOutcome(ViewOutcomeKind kind) const {
+  size_t count = 0;
+  for (const ViewOutcome& outcome : outcomes) {
+    if (outcome.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::string ChangeReport::ToString() const {
+  std::ostringstream os;
+  os << "change: " << change.ToString() << "\n";
+  if (!dropped_constraints.empty()) {
+    os << "  dropped constraints:";
+    for (const std::string& id : dropped_constraints) os << " " << id;
+    os << "\n";
+  }
+  if (!weakened_constraints.empty()) {
+    os << "  weakened constraints:";
+    for (const std::string& id : weakened_constraints) os << " " << id;
+    os << "\n";
+  }
+  for (const ViewOutcome& outcome : outcomes) {
+    os << "  view " << outcome.view_name << ": ";
+    switch (outcome.kind) {
+      case ViewOutcomeKind::kUnaffected:
+        os << "unaffected";
+        break;
+      case ViewOutcomeKind::kRewritten:
+        os << "rewritten";
+        break;
+      case ViewOutcomeKind::kDisabled:
+        os << "DISABLED";
+        break;
+    }
+    if (!outcome.detail.empty()) os << " — " << outcome.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status EveSystem::ExtendMkb(std::string_view misd_text) {
+  Mkb extended = mkb_;
+  EVE_RETURN_IF_ERROR(AppendMisd(&extended, misd_text));
+  mkb_ = std::move(extended);
+  return Status::OK();
+}
+
+Status EveSystem::RegisterView(const ViewDefinition& view) {
+  if (view.name().empty()) {
+    return Status::InvalidArgument("view needs a non-empty name");
+  }
+  if (views_.count(view.name()) > 0) {
+    return Status::AlreadyExists("view already registered: " + view.name());
+  }
+  // Re-validate against the current MKB state.
+  EVE_ASSIGN_OR_RETURN(ViewDefinition bound,
+                       BindView(view.ToParsedView(), mkb_.catalog()));
+  RegisteredView registered;
+  registered.definition = std::move(bound);
+  views_.emplace(view.name(), std::move(registered));
+  return Status::OK();
+}
+
+Status EveSystem::RegisterViewText(std::string_view text) {
+  EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(text));
+  EVE_ASSIGN_OR_RETURN(const ViewDefinition bound,
+                       BindView(parsed, mkb_.catalog()));
+  return RegisterView(bound);
+}
+
+Result<const RegisteredView*> EveSystem::GetView(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view not registered: " + name);
+  }
+  return &it->second;
+}
+
+Status EveSystem::SetViewState(const std::string& name, ViewState state) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view not registered: " + name);
+  }
+  it->second.state = state;
+  return Status::OK();
+}
+
+std::vector<std::string> EveSystem::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+size_t EveSystem::NumActiveViews() const {
+  size_t count = 0;
+  for (const auto& [name, view] : views_) {
+    if (view.state == ViewState::kActive) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> EveSystem::AffectedViews(
+    const CapabilityChange& change) const {
+  std::vector<std::string> affected;
+  for (const auto& [name, view] : views_) {
+    if (view.state != ViewState::kActive) continue;
+    const ViewDefinition& def = view.definition;
+    bool hit = false;
+    switch (change.kind) {
+      case CapabilityChange::Kind::kDeleteRelation:
+      case CapabilityChange::Kind::kRenameRelation:
+        hit = def.ReferencesRelation(change.relation);
+        break;
+      case CapabilityChange::Kind::kDeleteAttribute:
+      case CapabilityChange::Kind::kRenameAttribute:
+        hit = def.ReferencesAttribute(
+            AttributeRef{change.relation, change.attribute});
+        break;
+      case CapabilityChange::Kind::kAddRelation:
+      case CapabilityChange::Kind::kAddAttribute:
+        hit = false;
+        break;
+    }
+    if (hit) affected.push_back(name);
+  }
+  return affected;
+}
+
+Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
+  ChangeReport report;
+  report.change = change;
+
+  // Step 1: evolve the MKB.
+  EVE_ASSIGN_OR_RETURN(MkbEvolutionReport evolution,
+                       EvolveMkb(mkb_, change));
+  report.dropped_constraints = evolution.dropped_constraints;
+  report.weakened_constraints = evolution.weakened_constraints;
+
+  // Step 2: detect affected views.
+  const std::vector<std::string> affected = AffectedViews(change);
+  for (const auto& [name, view] : views_) {
+    if (view.state != ViewState::kActive) continue;
+    const bool is_affected =
+        std::find(affected.begin(), affected.end(), name) != affected.end();
+    if (!is_affected) {
+      report.outcomes.push_back(
+          ViewOutcome{name, ViewOutcomeKind::kUnaffected, ""});
+    }
+  }
+
+  // Step 3: synchronize each affected view.
+  for (const std::string& name : affected) {
+    RegisteredView& registered = views_.at(name);
+    EVE_ASSIGN_OR_RETURN(
+        const CvsResult result,
+        Synchronize(registered.definition, change, mkb_, evolution.mkb,
+                    options_));
+    if (result.ViewPreserved()) {
+      const SynchronizedView& best = result.rewritings.front();
+      const RewritingExplanation explanation =
+          ExplainRewriting(registered.definition, best);
+      ViewDefinition rewritten = best.view;
+      rewritten.set_name(name);  // keep the registered name
+      registered.definition = std::move(rewritten);
+      registered.history.push_back("rewritten under " + change.ToString());
+      std::string detail = best.is_drop ? "drop-based" : "replacement-based";
+      detail += ", extent " + std::string(ExtentRelationToString(
+                                  best.legality.inferred_extent));
+      if (!explanation.replaced_attributes.empty()) {
+        detail += "; replaced " +
+                  std::to_string(explanation.replaced_attributes.size()) +
+                  " attribute(s)";
+      }
+      if (!explanation.dropped_attributes.empty()) {
+        detail += "; dropped " +
+                  std::to_string(explanation.dropped_attributes.size()) +
+                  " attribute(s)";
+      }
+      if (!explanation.added_relations.empty()) {
+        detail += "; joined in";
+        for (const std::string& rel : explanation.added_relations) {
+          detail += " " + rel;
+        }
+      }
+      report.outcomes.push_back(
+          ViewOutcome{name, ViewOutcomeKind::kRewritten, detail});
+    } else {
+      registered.state = ViewState::kDisabled;
+      registered.history.push_back("disabled under " + change.ToString());
+      std::string detail;
+      for (const std::string& diagnostic : result.diagnostics) {
+        if (!detail.empty()) detail += "; ";
+        detail += diagnostic;
+      }
+      report.outcomes.push_back(
+          ViewOutcome{name, ViewOutcomeKind::kDisabled, detail});
+    }
+  }
+
+  mkb_ = std::move(evolution.mkb);
+  change_log_.push_back(report);
+  return report;
+}
+
+Result<ChangeReport> EveSystem::PreviewChange(
+    const CapabilityChange& change) const {
+  // All state is value-typed: run the real pipeline on a scratch copy.
+  EveSystem scratch(*this);
+  return scratch.ApplyChange(change);
+}
+
+Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
+    const std::vector<CapabilityChange>& changes, bool transactional) {
+  // Snapshot for rollback: all state members are value types.
+  Mkb mkb_snapshot;
+  std::map<std::string, RegisteredView> views_snapshot;
+  std::vector<ChangeReport> log_snapshot;
+  if (transactional) {
+    mkb_snapshot = mkb_;
+    views_snapshot = views_;
+    log_snapshot = change_log_;
+  }
+  std::vector<ChangeReport> reports;
+  reports.reserve(changes.size());
+  for (const CapabilityChange& change : changes) {
+    Result<ChangeReport> report = ApplyChange(change);
+    if (!report.ok()) {
+      if (transactional) {
+        mkb_ = std::move(mkb_snapshot);
+        views_ = std::move(views_snapshot);
+        change_log_ = std::move(log_snapshot);
+      }
+      return Status(report.status().code(),
+                    "batch aborted at '" + change.ToString() +
+                        "': " + report.status().message());
+    }
+    reports.push_back(report.MoveValue());
+  }
+  return reports;
+}
+
+Result<std::vector<ChangeReport>> EveSystem::SourceLeaves(
+    const std::string& source) {
+  const std::vector<std::string> relations =
+      mkb_.catalog().RelationsOfSource(source);
+  if (relations.empty()) {
+    return Status::NotFound("no relations exported by source: " + source);
+  }
+  std::vector<ChangeReport> reports;
+  reports.reserve(relations.size());
+  for (const std::string& relation : relations) {
+    EVE_ASSIGN_OR_RETURN(
+        ChangeReport report,
+        ApplyChange(CapabilityChange::DeleteRelation(relation)));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace eve

@@ -1,0 +1,125 @@
+// EveSystem: the end-to-end EVE facade implementing the paper's three-step
+// strategy (Sec. 4): on a capability change it (1) evolves the MKB,
+// (2) detects affected views, (3) synchronizes each affected view with CVS,
+// replacing definitions of curable views and disabling the rest.
+
+#ifndef EVE_EVE_EVE_SYSTEM_H_
+#define EVE_EVE_EVE_SYSTEM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cvs/cvs.h"
+#include "esql/view_definition.h"
+#include "mkb/capability_change.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+enum class ViewState { kActive, kDisabled };
+
+struct RegisteredView {
+  ViewDefinition definition;
+  ViewState state = ViewState::kActive;
+  // One line per synchronization event ("rewritten under delete-relation
+  // Customer", ...).
+  std::vector<std::string> history;
+};
+
+enum class ViewOutcomeKind { kUnaffected, kRewritten, kDisabled };
+
+struct ViewOutcome {
+  std::string view_name;
+  ViewOutcomeKind kind = ViewOutcomeKind::kUnaffected;
+  // For kRewritten: the chosen rewriting's description; for kDisabled: the
+  // failure diagnostics.
+  std::string detail;
+};
+
+struct ChangeReport {
+  CapabilityChange change;
+  std::vector<std::string> dropped_constraints;
+  std::vector<std::string> weakened_constraints;
+  std::vector<ViewOutcome> outcomes;
+
+  size_t CountOutcome(ViewOutcomeKind kind) const;
+  std::string ToString() const;
+};
+
+class EveSystem {
+ public:
+  explicit EveSystem(Mkb mkb, CvsOptions options = {})
+      : mkb_(std::move(mkb)), options_(std::move(options)) {}
+
+  const Mkb& mkb() const { return mkb_; }
+
+  // Additive MKB evolution: a (new or existing) source publishes MISD
+  // statements — relations, join constraints, function-of constraints, PC
+  // constraints. Purely additive, so no view is affected (paper Sec. 5:
+  // add-relation / add-attribute leave views valid). Atomic: on failure
+  // the MKB is unchanged.
+  Status ExtendMkb(std::string_view misd_text);
+
+  // A source withdraws a published constraint. Views stay valid (they
+  // never reference constraints directly), but future synchronizations
+  // lose the retracted semantics.
+  Status RetractConstraint(const std::string& id) {
+    return mkb_.RemoveConstraint(id);
+  }
+
+  // Registers a bound view (re-validated against the current MKB).
+  Status RegisterView(const ViewDefinition& view);
+  // Parses, binds and registers an E-SQL CREATE VIEW statement.
+  Status RegisterViewText(std::string_view text);
+
+  Result<const RegisteredView*> GetView(const std::string& name) const;
+
+  // Flags a registered view (used by view-pool persistence and operators
+  // manually disabling a view).
+  Status SetViewState(const std::string& name, ViewState state);
+  std::vector<std::string> ViewNames() const;
+  size_t NumViews() const { return views_.size(); }
+  size_t NumActiveViews() const;
+
+  // Detects the views step 2 flags as affected by `change` against the
+  // current MKB (directly: they reference the deleted/renamed element).
+  std::vector<std::string> AffectedViews(const CapabilityChange& change) const;
+
+  // The three-step strategy. On success the MKB is evolved and every
+  // affected view is either rewritten in place (keeping its registered
+  // name) or disabled.
+  Result<ChangeReport> ApplyChange(const CapabilityChange& change);
+
+  // What-if analysis: the report ApplyChange(change) WOULD produce, with
+  // no state mutated — lets an administrator see which views a change
+  // would disable before the source actually withdraws the capability.
+  Result<ChangeReport> PreviewChange(const CapabilityChange& change) const;
+
+  // An information source leaves the environment (paper Sec. 1): applies
+  // delete-relation for every relation the source exports, one change at a
+  // time, so views can hop between the departing source's relations while
+  // some still exist. Returns one report per deleted relation.
+  Result<std::vector<ChangeReport>> SourceLeaves(const std::string& source);
+
+  // Applies `changes` in order as one unit. When `transactional` is true
+  // and any change fails (e.g. it references an element that is already
+  // gone), the MKB, view pool and change log are restored to their state
+  // before the batch; views disabled mid-batch stay disabled otherwise.
+  Result<std::vector<ChangeReport>> ApplyChanges(
+      const std::vector<CapabilityChange>& changes,
+      bool transactional = true);
+
+  const std::vector<ChangeReport>& change_log() const { return change_log_; }
+
+ private:
+  Mkb mkb_;
+  CvsOptions options_;
+  std::map<std::string, RegisteredView> views_;
+  std::vector<ChangeReport> change_log_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_EVE_EVE_SYSTEM_H_

@@ -1,0 +1,59 @@
+#include "eve/materialization.h"
+
+#include "esql/evaluator.h"
+
+namespace eve {
+
+Status ApplyChangeToDatabase(const CapabilityChange& change, Database* db) {
+  switch (change.kind) {
+    case CapabilityChange::Kind::kAddRelation: {
+      if (db->HasTable(change.new_relation.name)) {
+        return Status::AlreadyExists("table already exists: " +
+                                     change.new_relation.name);
+      }
+      // Create directly from the new definition (the catalog may not have
+      // been evolved yet when this is called).
+      Catalog scratch;
+      EVE_RETURN_IF_ERROR(scratch.AddRelation(change.new_relation));
+      return db->CreateTable(scratch, change.new_relation.name);
+    }
+    case CapabilityChange::Kind::kDeleteRelation:
+      return db->DropTable(change.relation);
+    case CapabilityChange::Kind::kRenameRelation:
+      return db->RenameTable(change.relation, change.new_name);
+    case CapabilityChange::Kind::kAddAttribute: {
+      EVE_ASSIGN_OR_RETURN(Table * table, db->GetTable(change.relation));
+      return table->AddColumn(change.new_attribute);
+    }
+    case CapabilityChange::Kind::kDeleteAttribute: {
+      EVE_ASSIGN_OR_RETURN(Table * table, db->GetTable(change.relation));
+      return table->DropColumn(change.attribute);
+    }
+    case CapabilityChange::Kind::kRenameAttribute: {
+      EVE_ASSIGN_OR_RETURN(Table * table, db->GetTable(change.relation));
+      return table->RenameColumn(change.attribute, change.new_name);
+    }
+  }
+  return Status::Internal("unexpected capability change kind");
+}
+
+Status MaterializedViewStore::Refresh(const ViewDefinition& view,
+                                      const Database& db,
+                                      const Catalog& catalog) {
+  EVE_ASSIGN_OR_RETURN(Table extent,
+                       EvaluateView(view, db, catalog, registry_,
+                                    JoinStrategy::kHash));
+  extents_.insert_or_assign(view.name(), std::move(extent));
+  return Status::OK();
+}
+
+Result<const Table*> MaterializedViewStore::Extent(
+    const std::string& view_name) const {
+  auto it = extents_.find(view_name);
+  if (it == extents_.end()) {
+    return Status::NotFound("view not materialized: " + view_name);
+  }
+  return &it->second;
+}
+
+}  // namespace eve

@@ -1,0 +1,59 @@
+// Materialization layer: keeps the physical side of the federation in
+// sync with capability changes, and maintains materialized view extents
+// (the data-warehouse setting the paper targets — views are materialized
+// at the user site, Sec. 1).
+
+#ifndef EVE_EVE_MATERIALIZATION_H_
+#define EVE_EVE_MATERIALIZATION_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/eval.h"
+#include "common/result.h"
+#include "esql/view_definition.h"
+#include "mkb/capability_change.h"
+#include "storage/database.h"
+
+namespace eve {
+
+// Applies `change` to the physical tables so they match the evolved
+// catalog: delete-relation drops the table, delete-attribute drops the
+// column, renames follow, add-relation creates an empty table with the
+// new schema, add-attribute appends a NULL-filled column. Idempotence is
+// NOT assumed — apply exactly once per change, in order.
+Status ApplyChangeToDatabase(const CapabilityChange& change, Database* db);
+
+// A pool of materialized view extents, refreshed on demand from base
+// tables. Used together with EveSystem: after a change rewrites a view
+// definition, Refresh() re-materializes it from the surviving sources.
+class MaterializedViewStore {
+ public:
+  MaterializedViewStore() = default;
+  explicit MaterializedViewStore(const FunctionRegistry* registry)
+      : registry_(registry) {}
+
+  // (Re-)materializes `view` over `db`, replacing any stored extent under
+  // the same view name.
+  Status Refresh(const ViewDefinition& view, const Database& db,
+                 const Catalog& catalog);
+
+  // The stored extent; NotFound if the view was never materialized.
+  Result<const Table*> Extent(const std::string& view_name) const;
+
+  // Drops a stored extent (for disabled views). Missing names are fine.
+  void Drop(const std::string& view_name) { extents_.erase(view_name); }
+
+  bool Has(const std::string& view_name) const {
+    return extents_.count(view_name) > 0;
+  }
+  size_t NumViews() const { return extents_.size(); }
+
+ private:
+  const FunctionRegistry* registry_ = nullptr;
+  std::map<std::string, Table> extents_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_EVE_MATERIALIZATION_H_

@@ -1,0 +1,62 @@
+#include "eve/view_pool_io.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace eve {
+
+std::string SaveViews(const EveSystem& system) {
+  std::ostringstream os;
+  for (const std::string& name : system.ViewNames()) {
+    const RegisteredView* view = *system.GetView(name);
+    os << "-- VIEW "
+       << (view->state == ViewState::kActive ? "active" : "disabled")
+       << "\n"
+       << view->definition.ToString() << ";\n\n";
+  }
+  return os.str();
+}
+
+Status LoadViews(std::string_view text, EveSystem* system) {
+  // Segment on "-- VIEW <state>" header lines; the statement body runs to
+  // the terminating ';'.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t header = text.find("-- VIEW ", pos);
+    if (header == std::string_view::npos) break;
+    const size_t header_end = text.find('\n', header);
+    if (header_end == std::string_view::npos) {
+      return Status::ParseError("truncated view header");
+    }
+    const std::string_view state_word =
+        Trim(text.substr(header + 8, header_end - header - 8));
+    ViewState state;
+    if (EqualsIgnoreCase(state_word, "active")) {
+      state = ViewState::kActive;
+    } else if (EqualsIgnoreCase(state_word, "disabled")) {
+      state = ViewState::kDisabled;
+    } else {
+      return Status::ParseError("unknown view state: " +
+                                std::string(state_word));
+    }
+    const size_t body_start = header_end + 1;
+    size_t body_end = text.find(';', body_start);
+    if (body_end == std::string_view::npos) {
+      return Status::ParseError("view statement missing terminating ';'");
+    }
+    const std::string_view statement =
+        Trim(text.substr(body_start, body_end - body_start));
+    EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
+    EVE_RETURN_IF_ERROR(system->RegisterViewText(statement));
+    if (state == ViewState::kDisabled) {
+      EVE_RETURN_IF_ERROR(
+          system->SetViewState(parsed.name, ViewState::kDisabled));
+    }
+    pos = body_end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace eve

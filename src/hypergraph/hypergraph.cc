@@ -1,0 +1,116 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace eve {
+
+Hypergraph Hypergraph::Build(const Mkb& mkb) {
+  Hypergraph graph;
+  std::set<AttributeRef> node_set;
+
+  for (const std::string& rel : mkb.catalog().RelationNames()) {
+    const RelationDef& def = *mkb.catalog().GetRelation(rel).value();
+    Hyperedge edge;
+    edge.kind = HyperedgeKind::kRelation;
+    edge.label = rel;
+    for (const AttributeDef& attr : def.schema.attributes()) {
+      edge.nodes.push_back(AttributeRef{rel, attr.name});
+      node_set.insert(edge.nodes.back());
+    }
+    graph.edges_.push_back(std::move(edge));
+  }
+
+  for (const JoinConstraint& jc : mkb.join_constraints()) {
+    Hyperedge edge;
+    edge.kind = HyperedgeKind::kJoinConstraint;
+    edge.label = jc.id;
+    std::vector<AttributeRef> cols;
+    for (const ExprPtr& clause : jc.clauses) clause->CollectColumns(&cols);
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    edge.nodes = std::move(cols);
+    for (const AttributeRef& ref : edge.nodes) node_set.insert(ref);
+    graph.edges_.push_back(std::move(edge));
+  }
+
+  for (const FunctionOfConstraint& fc : mkb.function_of_constraints()) {
+    Hyperedge edge;
+    edge.kind = HyperedgeKind::kFunctionOf;
+    edge.label = fc.id;
+    edge.nodes = {fc.target, fc.source};
+    node_set.insert(fc.target);
+    node_set.insert(fc.source);
+    graph.edges_.push_back(std::move(edge));
+  }
+
+  graph.nodes_.assign(node_set.begin(), node_set.end());
+  return graph;
+}
+
+size_t Hypergraph::NumEdges(HyperedgeKind kind) const {
+  return static_cast<size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [&](const Hyperedge& e) { return e.kind == kind; }));
+}
+
+std::vector<std::vector<std::string>> Hypergraph::RelationComponents() const {
+  // Union-find over hyperedges, merging edges that share a node.
+  std::vector<size_t> parent(edges_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  std::map<AttributeRef, size_t> first_edge_with_node;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    for (const AttributeRef& node : edges_[i].nodes) {
+      auto [it, inserted] = first_edge_with_node.emplace(node, i);
+      if (!inserted) unite(i, it->second);
+    }
+  }
+
+  std::map<size_t, std::vector<std::string>> components;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].kind != HyperedgeKind::kRelation) continue;
+    components[find(i)].push_back(edges_[i].label);
+  }
+  std::vector<std::vector<std::string>> out;
+  out.reserve(components.size());
+  for (auto& [root, labels] : components) {
+    std::sort(labels.begin(), labels.end());
+    out.push_back(std::move(labels));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Hypergraph::Summary() const {
+  std::ostringstream os;
+  os << "H(MKB): " << NumNodes() << " attribute nodes, "
+     << NumEdges(HyperedgeKind::kRelation) << " relation edges, "
+     << NumEdges(HyperedgeKind::kJoinConstraint) << " join-constraint edges, "
+     << NumEdges(HyperedgeKind::kFunctionOf) << " function-of edges\n";
+  const auto components = RelationComponents();
+  os << "connected components (" << components.size() << "):\n";
+  for (const auto& component : components) {
+    os << "  {";
+    for (size_t i = 0; i < component.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << component[i];
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace eve

@@ -1,0 +1,212 @@
+#include "hypergraph/join_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+// Union-find over relation names.
+class UnionFind {
+ public:
+  void Add(const std::string& x) { parent_.emplace(x, x); }
+  std::string Find(const std::string& x) {
+    std::string root = x;
+    while (parent_.at(root) != root) root = parent_.at(root);
+    // Path compression.
+    std::string cur = x;
+    while (parent_.at(cur) != root) {
+      std::string next = parent_.at(cur);
+      parent_[cur] = root;
+      cur = next;
+    }
+    return root;
+  }
+  // Returns true if a merge happened (they were separate).
+  bool Unite(const std::string& a, const std::string& b) {
+    const std::string ra = Find(a);
+    const std::string rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+}  // namespace
+
+std::string JoinTree::ToString() const {
+  if (relations.empty()) return "(empty)";
+  std::ostringstream os;
+  os << relations[0];
+  // Render edges in order; each edge mentions both endpoints, so a linear
+  // rendering lists relations via the edges.
+  for (const JoinConstraint& edge : edges) {
+    os << " ⋈[" << edge.id << "] (" << edge.lhs << "," << edge.rhs << ")";
+  }
+  return os.str();
+}
+
+JoinGraph JoinGraph::Build(const Mkb& mkb) {
+  JoinGraph graph;
+  graph.relations_ = mkb.catalog().RelationNames();
+  for (const std::string& rel : graph.relations_) {
+    graph.adjacency_[rel];  // ensure every relation has an entry
+  }
+  for (const JoinConstraint& jc : mkb.join_constraints()) {
+    graph.adjacency_[jc.lhs].push_back(jc);
+    graph.adjacency_[jc.rhs].push_back(jc);
+  }
+  return graph;
+}
+
+std::vector<JoinGraph::Neighbor> JoinGraph::Neighbors(
+    const std::string& relation) const {
+  std::vector<Neighbor> out;
+  auto it = adjacency_.find(relation);
+  if (it == adjacency_.end()) return out;
+  for (const JoinConstraint& jc : it->second) {
+    out.push_back(Neighbor{jc.Other(relation), jc});
+  }
+  return out;
+}
+
+bool JoinGraph::SameComponent(const std::string& a,
+                              const std::string& b) const {
+  const std::vector<std::string> component = ComponentOf(a);
+  return std::binary_search(component.begin(), component.end(), b);
+}
+
+std::vector<std::string> JoinGraph::ComponentOf(
+    const std::string& relation) const {
+  std::vector<std::string> component;
+  if (adjacency_.count(relation) == 0) return component;
+  std::set<std::string> visited{relation};
+  std::deque<std::string> frontier{relation};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    component.push_back(current);
+    for (const Neighbor& n : Neighbors(current)) {
+      if (visited.insert(n.relation).second) frontier.push_back(n.relation);
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+std::vector<std::vector<std::string>> JoinGraph::Components() const {
+  std::vector<std::vector<std::string>> out;
+  std::set<std::string> seen;
+  for (const std::string& rel : relations_) {
+    if (seen.count(rel) > 0) continue;
+    std::vector<std::string> component = ComponentOf(rel);
+    seen.insert(component.begin(), component.end());
+    out.push_back(std::move(component));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+JoinGraph JoinGraph::EraseRelation(const std::string& relation) const {
+  JoinGraph out;
+  for (const std::string& rel : relations_) {
+    if (rel != relation) out.relations_.push_back(rel);
+  }
+  for (const auto& [rel, edges] : adjacency_) {
+    if (rel == relation) continue;
+    std::vector<JoinConstraint>& kept = out.adjacency_[rel];
+    for (const JoinConstraint& jc : edges) {
+      if (!jc.Involves(relation)) kept.push_back(jc);
+    }
+  }
+  return out;
+}
+
+std::vector<JoinTree> JoinGraph::FindConnectingTrees(
+    const std::set<std::string>& required,
+    const std::vector<JoinConstraint>& mandatory_edges,
+    const JoinTreeSearchOptions& options) const {
+  std::vector<JoinTree> results;
+  if (required.empty()) return results;
+  for (const std::string& rel : required) {
+    if (adjacency_.count(rel) == 0) return results;  // relation is gone
+  }
+  for (const JoinConstraint& edge : mandatory_edges) {
+    if (required.count(edge.lhs) == 0 || required.count(edge.rhs) == 0) {
+      return results;  // mandatory edge endpoint outside the required set
+    }
+  }
+
+  // Attempts to assemble a spanning tree over `chosen`: mandatory edges
+  // first, then any JC between chosen relations that merges components.
+  auto try_build_tree =
+      [&](const std::set<std::string>& chosen) -> std::optional<JoinTree> {
+    UnionFind uf;
+    for (const std::string& rel : chosen) uf.Add(rel);
+    JoinTree tree;
+    tree.relations.assign(chosen.begin(), chosen.end());
+    for (const JoinConstraint& edge : mandatory_edges) {
+      uf.Unite(edge.lhs, edge.rhs);
+      tree.edges.push_back(edge);
+    }
+    for (const std::string& rel : chosen) {
+      for (const JoinConstraint& jc : adjacency_.at(rel)) {
+        if (chosen.count(jc.Other(rel)) == 0) continue;
+        // Skip a JC already included as mandatory.
+        const bool is_mandatory = std::any_of(
+            mandatory_edges.begin(), mandatory_edges.end(),
+            [&](const JoinConstraint& m) { return m.id == jc.id; });
+        if (is_mandatory) continue;
+        if (uf.Unite(jc.lhs, jc.rhs)) tree.edges.push_back(jc);
+      }
+    }
+    const std::string root = uf.Find(*chosen.begin());
+    for (const std::string& rel : chosen) {
+      if (uf.Find(rel) != root) return std::nullopt;
+    }
+    return tree;
+  };
+
+  // BFS over relation sets, smallest first; expand only disconnected sets.
+  std::set<std::vector<std::string>> visited;
+  std::deque<std::set<std::string>> frontier{required};
+  visited.insert(std::vector<std::string>(required.begin(), required.end()));
+
+  while (!frontier.empty() && results.size() < options.max_results) {
+    const std::set<std::string> chosen = frontier.front();
+    frontier.pop_front();
+
+    if (auto tree = try_build_tree(chosen)) {
+      results.push_back(std::move(*tree));
+      continue;  // minimal connected superset found; don't grow it further
+    }
+    if (chosen.size() >= required.size() + options.max_extra_relations) {
+      continue;
+    }
+    // Grow by any relation adjacent to the current set.
+    std::set<std::string> candidates;
+    for (const std::string& rel : chosen) {
+      for (const Neighbor& n : Neighbors(rel)) {
+        if (chosen.count(n.relation) == 0) candidates.insert(n.relation);
+      }
+    }
+    for (const std::string& candidate : candidates) {
+      std::set<std::string> next = chosen;
+      next.insert(candidate);
+      std::vector<std::string> key(next.begin(), next.end());
+      if (visited.insert(std::move(key)).second) {
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace eve

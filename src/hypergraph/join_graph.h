@@ -1,0 +1,89 @@
+// JoinGraph: the relation-level view of H(MKB) — nodes are relations,
+// (multi-)edges are join constraints. Because relation hyperedges meet only
+// at JC-nodes, connectivity and join-chain enumeration on this graph are
+// equivalent to the hypergraph formulation in the paper, and the sequence
+// S1 ⋈_{JC} R1 ⋈ ... ⋈_{JC} S2 of Sec. 5 is a path here.
+
+#ifndef EVE_HYPERGRAPH_JOIN_GRAPH_H_
+#define EVE_HYPERGRAPH_JOIN_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mkb/constraints.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+// A connected join expression: a set of relations plus the JC edges of a
+// spanning tree over them (|edges| == |relations| - 1).
+struct JoinTree {
+  std::vector<std::string> relations;    // sorted
+  std::vector<JoinConstraint> edges;
+
+  // "R1 ⋈[JC1] R2 ⋈[JC4] R3".
+  std::string ToString() const;
+};
+
+// Options bounding the join-tree search in FindConnectingTrees.
+struct JoinTreeSearchOptions {
+  // Maximum relations added beyond the required set (Steiner nodes).
+  size_t max_extra_relations = 3;
+  // Maximum number of trees to return.
+  size_t max_results = 64;
+};
+
+class JoinGraph {
+ public:
+  // Builds the relation-level graph from every catalog relation and JC.
+  static JoinGraph Build(const Mkb& mkb);
+
+  const std::vector<std::string>& relations() const { return relations_; }
+  bool HasRelation(const std::string& relation) const {
+    return adjacency_.count(relation) > 0;
+  }
+
+  // JC edges incident to `relation` (with the neighbor on the other side).
+  struct Neighbor {
+    std::string relation;
+    JoinConstraint edge;
+  };
+  std::vector<Neighbor> Neighbors(const std::string& relation) const;
+
+  // True if `a` and `b` lie in the same connected component.
+  bool SameComponent(const std::string& a, const std::string& b) const;
+
+  // All relations in the component of `relation` — the S_R(MKB) of the
+  // paper's connected sub-hypergraph H_R(MKB). Sorted.
+  std::vector<std::string> ComponentOf(const std::string& relation) const;
+
+  // All maximal components, each sorted; components sorted among
+  // themselves.
+  std::vector<std::vector<std::string>> Components() const;
+
+  // The graph with `relation` (and its incident edges) erased — the
+  // relation-level H'_R(MKB').
+  JoinGraph EraseRelation(const std::string& relation) const;
+
+  // Enumerates join trees that (a) span every relation in `required`,
+  // (b) include every edge in `mandatory_edges` (the surviving part of
+  // Min(H_R), per Def. 3 (III)), and (c) use at most
+  // options.max_extra_relations relations beyond `required`.
+  // Trees are emitted smallest-first (fewest extra relations). Returns an
+  // empty vector when `required` spans multiple components.
+  std::vector<JoinTree> FindConnectingTrees(
+      const std::set<std::string>& required,
+      const std::vector<JoinConstraint>& mandatory_edges,
+      const JoinTreeSearchOptions& options) const;
+
+ private:
+  std::vector<std::string> relations_;
+  // relation -> incident JC edges.
+  std::map<std::string, std::vector<JoinConstraint>> adjacency_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_HYPERGRAPH_JOIN_GRAPH_H_

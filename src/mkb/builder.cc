@@ -1,0 +1,74 @@
+#include "mkb/builder.h"
+
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace eve {
+
+Status AddJoinConstraintText(Mkb* mkb, std::string id, std::string lhs,
+                             std::string rhs,
+                             std::string_view condition_text) {
+  JoinConstraint jc;
+  jc.id = std::move(id);
+  jc.lhs = std::move(lhs);
+  jc.rhs = std::move(rhs);
+  EVE_ASSIGN_OR_RETURN(jc.clauses, ParseConjunction(condition_text));
+  return mkb->AddJoinConstraint(std::move(jc));
+}
+
+Status AddFunctionOfText(Mkb* mkb, std::string id,
+                         std::string_view target_text,
+                         std::string_view fn_text) {
+  FunctionOfConstraint fc;
+  fc.id = std::move(id);
+  EVE_ASSIGN_OR_RETURN(const ExprPtr target_expr,
+                       ParseExpression(target_text));
+  if (target_expr->kind() != ExprKind::kColumn) {
+    return Status::InvalidArgument(
+        "function-of target must be a qualified attribute, got: " +
+        std::string(target_text));
+  }
+  fc.target = target_expr->column();
+  EVE_ASSIGN_OR_RETURN(fc.fn, ParseExpression(fn_text));
+  std::vector<AttributeRef> sources;
+  fc.fn->CollectColumns(&sources);
+  if (sources.empty()) {
+    return Status::InvalidArgument(
+        "function-of body must reference a source attribute: " +
+        std::string(fn_text));
+  }
+  fc.source = sources[0];
+  return mkb->AddFunctionOf(std::move(fc));
+}
+
+Status AddIdentityFunctionOf(Mkb* mkb, std::string id, AttributeRef target,
+                             AttributeRef source) {
+  FunctionOfConstraint fc;
+  fc.id = std::move(id);
+  fc.target = std::move(target);
+  fc.fn = Expr::Column(source);
+  fc.source = std::move(source);
+  return mkb->AddFunctionOf(std::move(fc));
+}
+
+Status AddProjectionPC(Mkb* mkb, std::string id, const std::string& lhs_rel,
+                       std::string_view lhs_attrs, SetRelation relation,
+                       const std::string& rhs_rel,
+                       std::string_view rhs_attrs) {
+  PCConstraint pc;
+  pc.id = std::move(id);
+  pc.lhs_relation = lhs_rel;
+  pc.rhs_relation = rhs_rel;
+  for (const std::string& name : Split(lhs_attrs, ',')) {
+    pc.lhs_attrs.push_back(
+        AttributeRef{lhs_rel, std::string(Trim(name))});
+  }
+  for (const std::string& name : Split(rhs_attrs, ',')) {
+    pc.rhs_attrs.push_back(
+        AttributeRef{rhs_rel, std::string(Trim(name))});
+  }
+  pc.relation = relation;
+  return mkb->AddPCConstraint(std::move(pc));
+}
+
+}  // namespace eve

@@ -1,0 +1,42 @@
+// Text-based authoring helpers for MKB constraints, so IS administrators
+// (and tests) can write conditions in E-SQL syntax instead of building
+// expression trees by hand.
+
+#ifndef EVE_MKB_BUILDER_H_
+#define EVE_MKB_BUILDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+// Adds JC `id` between `lhs` and `rhs` with clauses parsed from
+// `condition_text`, e.g. "Customer.Name = Person.Name AND Customer.Age > 1".
+Status AddJoinConstraintText(Mkb* mkb, std::string id, std::string lhs,
+                             std::string rhs, std::string_view condition_text);
+
+// Adds F `id`: target = fn, with both sides parsed from text, e.g.
+// target_text = "Customer.Age",
+// fn_text     = "(DATE '2026-07-07' - \"Accident-Ins\".Birthday) / 365".
+Status AddFunctionOfText(Mkb* mkb, std::string id,
+                         std::string_view target_text,
+                         std::string_view fn_text);
+
+// Adds an identity F `id`: target = source.
+Status AddIdentityFunctionOf(Mkb* mkb, std::string id, AttributeRef target,
+                             AttributeRef source);
+
+// Adds a PC constraint between projections without selections:
+// π_{lhs_attrs}(lhs_rel) θ π_{rhs_attrs}(rhs_rel). Attribute lists are
+// comma-separated unqualified names resolved against each relation.
+Status AddProjectionPC(Mkb* mkb, std::string id, const std::string& lhs_rel,
+                       std::string_view lhs_attrs, SetRelation relation,
+                       const std::string& rhs_rel,
+                       std::string_view rhs_attrs);
+
+}  // namespace eve
+
+#endif  // EVE_MKB_BUILDER_H_

@@ -1,0 +1,78 @@
+#include "mkb/capability_change.h"
+
+namespace eve {
+
+CapabilityChange CapabilityChange::AddRelation(RelationDef def) {
+  CapabilityChange ch;
+  ch.kind = Kind::kAddRelation;
+  ch.relation = def.name;
+  ch.new_relation = std::move(def);
+  return ch;
+}
+
+CapabilityChange CapabilityChange::DeleteRelation(std::string relation) {
+  CapabilityChange ch;
+  ch.kind = Kind::kDeleteRelation;
+  ch.relation = std::move(relation);
+  return ch;
+}
+
+CapabilityChange CapabilityChange::RenameRelation(std::string relation,
+                                                  std::string new_name) {
+  CapabilityChange ch;
+  ch.kind = Kind::kRenameRelation;
+  ch.relation = std::move(relation);
+  ch.new_name = std::move(new_name);
+  return ch;
+}
+
+CapabilityChange CapabilityChange::AddAttribute(std::string relation,
+                                                AttributeDef attr) {
+  CapabilityChange ch;
+  ch.kind = Kind::kAddAttribute;
+  ch.relation = std::move(relation);
+  ch.attribute = attr.name;
+  ch.new_attribute = std::move(attr);
+  return ch;
+}
+
+CapabilityChange CapabilityChange::DeleteAttribute(std::string relation,
+                                                   std::string attribute) {
+  CapabilityChange ch;
+  ch.kind = Kind::kDeleteAttribute;
+  ch.relation = std::move(relation);
+  ch.attribute = std::move(attribute);
+  return ch;
+}
+
+CapabilityChange CapabilityChange::RenameAttribute(std::string relation,
+                                                   std::string attribute,
+                                                   std::string new_name) {
+  CapabilityChange ch;
+  ch.kind = Kind::kRenameAttribute;
+  ch.relation = std::move(relation);
+  ch.attribute = std::move(attribute);
+  ch.new_name = std::move(new_name);
+  return ch;
+}
+
+std::string CapabilityChange::ToString() const {
+  switch (kind) {
+    case Kind::kAddRelation:
+      return "add-relation " + relation;
+    case Kind::kDeleteRelation:
+      return "delete-relation " + relation;
+    case Kind::kRenameRelation:
+      return "rename-relation " + relation + " -> " + new_name;
+    case Kind::kAddAttribute:
+      return "add-attribute " + relation + "." + attribute;
+    case Kind::kDeleteAttribute:
+      return "delete-attribute " + relation + "." + attribute;
+    case Kind::kRenameAttribute:
+      return "rename-attribute " + relation + "." + attribute + " -> " +
+             relation + "." + new_name;
+  }
+  return "?";
+}
+
+}  // namespace eve

@@ -1,0 +1,55 @@
+// The six IS capability-change operators (paper Sec. 5): add-relation,
+// delete-relation, rename-relation, add-attribute, delete-attribute,
+// rename-attribute.
+
+#ifndef EVE_MKB_CAPABILITY_CHANGE_H_
+#define EVE_MKB_CAPABILITY_CHANGE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace eve {
+
+struct CapabilityChange {
+  enum class Kind {
+    kAddRelation,
+    kDeleteRelation,
+    kRenameRelation,
+    kAddAttribute,
+    kDeleteAttribute,
+    kRenameAttribute,
+  };
+
+  Kind kind = Kind::kDeleteRelation;
+  // Target relation (all kinds except kAddRelation, which uses
+  // new_relation.name).
+  std::string relation;
+  // Target attribute (attribute kinds).
+  std::string attribute;
+  // New name (rename kinds).
+  std::string new_name;
+  // Definition for kAddRelation.
+  RelationDef new_relation;
+  // Definition for kAddAttribute.
+  AttributeDef new_attribute;
+
+  static CapabilityChange AddRelation(RelationDef def);
+  static CapabilityChange DeleteRelation(std::string relation);
+  static CapabilityChange RenameRelation(std::string relation,
+                                         std::string new_name);
+  static CapabilityChange AddAttribute(std::string relation,
+                                       AttributeDef attr);
+  static CapabilityChange DeleteAttribute(std::string relation,
+                                          std::string attribute);
+  static CapabilityChange RenameAttribute(std::string relation,
+                                          std::string attribute,
+                                          std::string new_name);
+
+  // "delete-relation Customer", ...
+  std::string ToString() const;
+};
+
+}  // namespace eve
+
+#endif  // EVE_MKB_CAPABILITY_CHANGE_H_

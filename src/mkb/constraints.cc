@@ -1,0 +1,74 @@
+#include "mkb/constraints.h"
+
+#include "common/str_util.h"
+
+namespace eve {
+
+std::string JoinConstraint::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(clauses.size());
+  for (const ExprPtr& clause : clauses) parts.push_back(clause->ToString());
+  return id + ": JC(" + lhs + ", " + rhs + ") = " + Join(parts, " AND ");
+}
+
+std::string FunctionOfConstraint::ToString() const {
+  return id + ": " + target.ToString() + " = " + fn->ToString();
+}
+
+std::string_view SetRelationToString(SetRelation relation) {
+  switch (relation) {
+    case SetRelation::kProperSubset:
+      return "⊂";
+    case SetRelation::kSubset:
+      return "⊆";
+    case SetRelation::kEqual:
+      return "≡";
+    case SetRelation::kSuperset:
+      return "⊇";
+    case SetRelation::kProperSuperset:
+      return "⊃";
+  }
+  return "?";
+}
+
+SetRelation FlipSetRelation(SetRelation relation) {
+  switch (relation) {
+    case SetRelation::kProperSubset:
+      return SetRelation::kProperSuperset;
+    case SetRelation::kSubset:
+      return SetRelation::kSuperset;
+    case SetRelation::kEqual:
+      return SetRelation::kEqual;
+    case SetRelation::kSuperset:
+      return SetRelation::kSubset;
+    case SetRelation::kProperSuperset:
+      return SetRelation::kProperSubset;
+  }
+  return relation;
+}
+
+namespace {
+
+std::string ProjectionToString(const std::vector<AttributeRef>& attrs,
+                               const ExprPtr& condition,
+                               const std::string& relation) {
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (const AttributeRef& ref : attrs) names.push_back(ref.attribute);
+  std::string base = relation;
+  if (condition != nullptr) {
+    base = "σ[" + condition->ToString() + "](" + base + ")";
+  }
+  return "π[" + Join(names, ", ") + "](" + base + ")";
+}
+
+}  // namespace
+
+std::string PCConstraint::ToString() const {
+  return id + ": " +
+         ProjectionToString(lhs_attrs, lhs_condition, lhs_relation) + " " +
+         std::string(SetRelationToString(relation)) + " " +
+         ProjectionToString(rhs_attrs, rhs_condition, rhs_relation);
+}
+
+}  // namespace eve

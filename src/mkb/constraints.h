@@ -1,0 +1,90 @@
+// MISD semantic constraints (paper Fig. 1):
+//  * JoinConstraint JC_{R1,R2}: a default, semantically meaningful way to
+//    join two relations — a conjunction of primitive clauses.
+//  * FunctionOfConstraint F_{R1.A, R2.B}: R1.A = f(R2.B) whenever the two
+//    relations are meaningfully combined.
+//  * PCConstraint (partial/complete): containment between projections of
+//    selections of two relations; drives view-extent (P3) inference.
+// Type- and order-integrity constraints live in catalog::RelationDef.
+
+#ifndef EVE_MKB_CONSTRAINTS_H_
+#define EVE_MKB_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/attribute_ref.h"
+
+namespace eve {
+
+struct JoinConstraint {
+  std::string id;   // e.g. "JC1"
+  std::string lhs;  // first relation
+  std::string rhs;  // second relation
+  // Conjunction of primitive clauses over attributes of lhs/rhs (clauses
+  // touching a single relation, like "Customer.Age > 1" in JC2, are
+  // allowed).
+  std::vector<ExprPtr> clauses;
+
+  // The conjunction as one expression.
+  ExprPtr AsExpr() const { return MakeConjunction(clauses); }
+
+  bool Involves(const std::string& relation) const {
+    return lhs == relation || rhs == relation;
+  }
+  // The endpoint that is not `relation` (valid only if Involves()).
+  const std::string& Other(const std::string& relation) const {
+    return lhs == relation ? rhs : lhs;
+  }
+
+  std::string ToString() const;
+};
+
+struct FunctionOfConstraint {
+  std::string id;       // e.g. "F3"
+  AttributeRef target;  // R1.A
+  AttributeRef source;  // R2.B
+  // f as an expression over `source` (and literals). Identity is the
+  // common case: just Column(source).
+  ExprPtr fn;
+
+  bool IsIdentity() const {
+    return fn->kind() == ExprKind::kColumn && fn->column() == source;
+  }
+
+  std::string ToString() const;
+};
+
+// θ of a PC constraint.
+enum class SetRelation {
+  kProperSubset,   // ⊂
+  kSubset,         // ⊆
+  kEqual,          // ≡
+  kSuperset,       // ⊇
+  kProperSuperset  // ⊃
+};
+
+std::string_view SetRelationToString(SetRelation relation);
+// ⊆ becomes ⊇ etc. (swap sides).
+SetRelation FlipSetRelation(SetRelation relation);
+
+// π_{lhs_attrs}(σ_{lhs_condition} lhs_relation) θ
+// π_{rhs_attrs}(σ_{rhs_condition} rhs_relation), with lhs_attrs[i]
+// corresponding to rhs_attrs[i].
+struct PCConstraint {
+  std::string id;
+  std::string lhs_relation;
+  std::string rhs_relation;
+  std::vector<AttributeRef> lhs_attrs;
+  std::vector<AttributeRef> rhs_attrs;
+  ExprPtr lhs_condition;  // null: no selection
+  ExprPtr rhs_condition;  // null: no selection
+  SetRelation relation = SetRelation::kEqual;
+
+  std::string ToString() const;
+};
+
+}  // namespace eve
+
+#endif  // EVE_MKB_CONSTRAINTS_H_

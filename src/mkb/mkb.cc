@@ -1,0 +1,236 @@
+#include "mkb/mkb.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eve {
+
+Status Mkb::ValidateAttribute(const AttributeRef& ref,
+                              const std::string& context) const {
+  if (!catalog_.HasAttribute(ref)) {
+    return Status::NotFound(context + " references unknown attribute " +
+                            ref.ToString());
+  }
+  return Status::OK();
+}
+
+bool Mkb::IdInUse(const std::string& id) const {
+  const auto same_id = [&](const auto& c) { return c.id == id; };
+  return std::any_of(join_constraints_.begin(), join_constraints_.end(),
+                     same_id) ||
+         std::any_of(function_of_constraints_.begin(),
+                     function_of_constraints_.end(), same_id) ||
+         std::any_of(pc_constraints_.begin(), pc_constraints_.end(), same_id);
+}
+
+Status Mkb::AddJoinConstraint(JoinConstraint jc) {
+  if (jc.id.empty()) {
+    return Status::InvalidArgument("join constraint needs a non-empty id");
+  }
+  if (IdInUse(jc.id)) {
+    return Status::AlreadyExists("constraint id already in use: " + jc.id);
+  }
+  if (jc.lhs == jc.rhs) {
+    return Status::InvalidArgument("join constraint " + jc.id +
+                                   " joins a relation with itself");
+  }
+  for (const std::string& rel : {jc.lhs, jc.rhs}) {
+    if (!catalog_.HasRelation(rel)) {
+      return Status::NotFound("join constraint " + jc.id +
+                              " references unknown relation " + rel);
+    }
+  }
+  if (jc.clauses.empty()) {
+    return Status::InvalidArgument("join constraint " + jc.id +
+                                   " has no clauses");
+  }
+  bool crosses = false;
+  for (const ExprPtr& clause : jc.clauses) {
+    std::vector<AttributeRef> cols;
+    clause->CollectColumns(&cols);
+    bool touches_lhs = false;
+    bool touches_rhs = false;
+    for (const AttributeRef& ref : cols) {
+      EVE_RETURN_IF_ERROR(
+          ValidateAttribute(ref, "join constraint " + jc.id));
+      if (ref.relation == jc.lhs) {
+        touches_lhs = true;
+      } else if (ref.relation == jc.rhs) {
+        touches_rhs = true;
+      } else {
+        return Status::InvalidArgument(
+            "join constraint " + jc.id + " clause references relation " +
+            ref.relation + " outside {" + jc.lhs + ", " + jc.rhs + "}");
+      }
+    }
+    crosses = crosses || (touches_lhs && touches_rhs);
+  }
+  if (!crosses) {
+    return Status::InvalidArgument(
+        "join constraint " + jc.id +
+        " has no clause relating the two relations");
+  }
+  join_constraints_.push_back(std::move(jc));
+  return Status::OK();
+}
+
+Status Mkb::AddFunctionOf(FunctionOfConstraint fc) {
+  if (fc.id.empty()) {
+    return Status::InvalidArgument(
+        "function-of constraint needs a non-empty id");
+  }
+  if (IdInUse(fc.id)) {
+    return Status::AlreadyExists("constraint id already in use: " + fc.id);
+  }
+  EVE_RETURN_IF_ERROR(
+      ValidateAttribute(fc.target, "function-of constraint " + fc.id));
+  EVE_RETURN_IF_ERROR(
+      ValidateAttribute(fc.source, "function-of constraint " + fc.id));
+  if (fc.target.relation == fc.source.relation) {
+    return Status::InvalidArgument(
+        "function-of constraint " + fc.id +
+        " relates attributes of the same relation; it must bridge two "
+        "relations");
+  }
+  if (fc.fn == nullptr) {
+    return Status::InvalidArgument("function-of constraint " + fc.id +
+                                   " has no function body");
+  }
+  std::vector<AttributeRef> cols;
+  fc.fn->CollectColumns(&cols);
+  for (const AttributeRef& ref : cols) {
+    if (ref != fc.source) {
+      return Status::InvalidArgument(
+          "function-of constraint " + fc.id +
+          " body may only reference its source attribute " +
+          fc.source.ToString() + ", found " + ref.ToString());
+    }
+  }
+  function_of_constraints_.push_back(std::move(fc));
+  return Status::OK();
+}
+
+Status Mkb::AddPCConstraint(PCConstraint pc) {
+  if (pc.id.empty()) {
+    return Status::InvalidArgument("PC constraint needs a non-empty id");
+  }
+  if (IdInUse(pc.id)) {
+    return Status::AlreadyExists("constraint id already in use: " + pc.id);
+  }
+  for (const std::string& rel : {pc.lhs_relation, pc.rhs_relation}) {
+    if (!catalog_.HasRelation(rel)) {
+      return Status::NotFound("PC constraint " + pc.id +
+                              " references unknown relation " + rel);
+    }
+  }
+  if (pc.lhs_attrs.size() != pc.rhs_attrs.size() || pc.lhs_attrs.empty()) {
+    return Status::InvalidArgument(
+        "PC constraint " + pc.id +
+        " needs matching, non-empty attribute lists");
+  }
+  for (const AttributeRef& ref : pc.lhs_attrs) {
+    EVE_RETURN_IF_ERROR(ValidateAttribute(ref, "PC constraint " + pc.id));
+    if (ref.relation != pc.lhs_relation) {
+      return Status::InvalidArgument("PC constraint " + pc.id +
+                                     " lhs attribute " + ref.ToString() +
+                                     " is not from " + pc.lhs_relation);
+    }
+  }
+  for (const AttributeRef& ref : pc.rhs_attrs) {
+    EVE_RETURN_IF_ERROR(ValidateAttribute(ref, "PC constraint " + pc.id));
+    if (ref.relation != pc.rhs_relation) {
+      return Status::InvalidArgument("PC constraint " + pc.id +
+                                     " rhs attribute " + ref.ToString() +
+                                     " is not from " + pc.rhs_relation);
+    }
+  }
+  pc_constraints_.push_back(std::move(pc));
+  return Status::OK();
+}
+
+Status Mkb::RemoveConstraint(const std::string& id) {
+  const auto same_id = [&](const auto& c) { return c.id == id; };
+  if (std::erase_if(join_constraints_, same_id) > 0) return Status::OK();
+  if (std::erase_if(function_of_constraints_, same_id) > 0) {
+    return Status::OK();
+  }
+  if (std::erase_if(pc_constraints_, same_id) > 0) return Status::OK();
+  return Status::NotFound("constraint not found: " + id);
+}
+
+std::vector<const JoinConstraint*> Mkb::JoinConstraintsOf(
+    const std::string& relation) const {
+  std::vector<const JoinConstraint*> out;
+  for (const JoinConstraint& jc : join_constraints_) {
+    if (jc.Involves(relation)) out.push_back(&jc);
+  }
+  return out;
+}
+
+std::vector<const JoinConstraint*> Mkb::JoinConstraintsBetween(
+    const std::string& a, const std::string& b) const {
+  std::vector<const JoinConstraint*> out;
+  for (const JoinConstraint& jc : join_constraints_) {
+    if ((jc.lhs == a && jc.rhs == b) || (jc.lhs == b && jc.rhs == a)) {
+      out.push_back(&jc);
+    }
+  }
+  return out;
+}
+
+std::vector<const FunctionOfConstraint*> Mkb::CoversOf(
+    const AttributeRef& attr) const {
+  std::vector<const FunctionOfConstraint*> out;
+  for (const FunctionOfConstraint& fc : function_of_constraints_) {
+    if (fc.target == attr) out.push_back(&fc);
+  }
+  return out;
+}
+
+std::vector<const PCConstraint*> Mkb::PCConstraintsBetween(
+    const std::string& a, const std::string& b) const {
+  std::vector<const PCConstraint*> out;
+  for (const PCConstraint& pc : pc_constraints_) {
+    if ((pc.lhs_relation == a && pc.rhs_relation == b) ||
+        (pc.lhs_relation == b && pc.rhs_relation == a)) {
+      out.push_back(&pc);
+    }
+  }
+  return out;
+}
+
+Result<const JoinConstraint*> Mkb::GetJoinConstraint(
+    const std::string& id) const {
+  for (const JoinConstraint& jc : join_constraints_) {
+    if (jc.id == id) return &jc;
+  }
+  return Status::NotFound("join constraint not found: " + id);
+}
+
+Result<const FunctionOfConstraint*> Mkb::GetFunctionOf(
+    const std::string& id) const {
+  for (const FunctionOfConstraint& fc : function_of_constraints_) {
+    if (fc.id == id) return &fc;
+  }
+  return Status::NotFound("function-of constraint not found: " + id);
+}
+
+std::string Mkb::ToString() const {
+  std::ostringstream os;
+  os << "-- Relations --\n" << catalog_.ToString();
+  os << "-- Join constraints --\n";
+  for (const JoinConstraint& jc : join_constraints_) {
+    os << jc.ToString() << "\n";
+  }
+  os << "-- Function-of constraints --\n";
+  for (const FunctionOfConstraint& fc : function_of_constraints_) {
+    os << fc.ToString() << "\n";
+  }
+  os << "-- PC constraints --\n";
+  for (const PCConstraint& pc : pc_constraints_) {
+    os << pc.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eve

@@ -1,0 +1,92 @@
+// Mkb: the meta-knowledge base — the catalog of IS descriptions plus all
+// MISD semantic constraints, with lookup APIs used by the hypergraph and
+// the CVS algorithm.
+
+#ifndef EVE_MKB_MKB_H_
+#define EVE_MKB_MKB_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "mkb/constraints.h"
+
+namespace eve {
+
+class Mkb {
+ public:
+  Mkb() = default;
+
+  // --- Structural descriptions (delegated to the catalog) ---------------
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  Status AddRelation(RelationDef def) {
+    return catalog_.AddRelation(std::move(def));
+  }
+
+  // --- Constraint registration (validated against the catalog) ----------
+  // Rejects: unknown relations/attributes, ids already in use, self-joins,
+  // clause attributes outside {lhs, rhs}.
+  Status AddJoinConstraint(JoinConstraint jc);
+  // Rejects: unknown endpoints, identical target and source relation,
+  // fn referencing anything but `source`.
+  Status AddFunctionOf(FunctionOfConstraint fc);
+  // Rejects: unknown relations/attributes, attribute list arity mismatch.
+  Status AddPCConstraint(PCConstraint pc);
+
+  // Removes the constraint (of any kind) with the given id — a source
+  // withdrawing a previously published semantic relationship. NotFound if
+  // no constraint carries the id.
+  Status RemoveConstraint(const std::string& id);
+
+  // --- Queries -----------------------------------------------------------
+  const std::vector<JoinConstraint>& join_constraints() const {
+    return join_constraints_;
+  }
+  const std::vector<FunctionOfConstraint>& function_of_constraints() const {
+    return function_of_constraints_;
+  }
+  const std::vector<PCConstraint>& pc_constraints() const {
+    return pc_constraints_;
+  }
+
+  // All join constraints with `relation` as an endpoint.
+  std::vector<const JoinConstraint*> JoinConstraintsOf(
+      const std::string& relation) const;
+
+  // All join constraints between `a` and `b` (either orientation).
+  std::vector<const JoinConstraint*> JoinConstraintsBetween(
+      const std::string& a, const std::string& b) const;
+
+  // Function-of constraints whose target is `attr` — the candidate covers
+  // for `attr` (paper Def. 3 (IV)).
+  std::vector<const FunctionOfConstraint*> CoversOf(
+      const AttributeRef& attr) const;
+
+  // PC constraints mentioning both `a` and `b` (either orientation).
+  std::vector<const PCConstraint*> PCConstraintsBetween(
+      const std::string& a, const std::string& b) const;
+
+  Result<const JoinConstraint*> GetJoinConstraint(const std::string& id) const;
+  Result<const FunctionOfConstraint*> GetFunctionOf(
+      const std::string& id) const;
+
+  // Multi-line dump of all descriptions and constraints.
+  std::string ToString() const;
+
+ private:
+  Status ValidateAttribute(const AttributeRef& ref,
+                           const std::string& context) const;
+  bool IdInUse(const std::string& id) const;
+
+  Catalog catalog_;
+  std::vector<JoinConstraint> join_constraints_;
+  std::vector<FunctionOfConstraint> function_of_constraints_;
+  std::vector<PCConstraint> pc_constraints_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_MKB_MKB_H_

@@ -1,0 +1,41 @@
+// MISD text format: a human-readable description language for IS
+// capabilities and semantics (paper Sec. 2 presents MISD as exactly such a
+// language). An MKB can be saved to and reloaded from this format, so
+// source administrators can author descriptions in text:
+//
+//   SOURCE IS1 RELATION Customer (Name string, Addr string, Age int)
+//       ORDER BY (Name)
+//   JOIN CONSTRAINT JC1 BETWEEN Customer AND FlightRes
+//       WHERE Customer.Name = FlightRes.PName
+//   FUNCTION F3 Customer.Age = (DATE '2026-07-07' - "Accident-Ins".Birthday) / 365
+//   PC PC1 Person (Name, PAddr) SUPERSET Customer (Name, Addr)
+//
+// Blank lines and "--" comments are ignored. Statements may span lines;
+// each starts with one of the keywords SOURCE / JOIN / FUNCTION / PC.
+
+#ifndef EVE_MKB_SERIALIZER_H_
+#define EVE_MKB_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "mkb/mkb.h"
+
+namespace eve {
+
+// Renders the full MKB in MISD text form; LoadMkb(SaveMkb(m)) reproduces m.
+std::string SaveMkb(const Mkb& mkb);
+
+// Parses MISD text into a fresh MKB; all validation of Mkb::Add* applies.
+Result<Mkb> LoadMkb(std::string_view text);
+
+// Parses MISD statements into an EXISTING MKB — how new sources joining
+// the environment publish their descriptions and semantics (paper Sec. 1:
+// ISs join and leave frequently). Statements are applied in order; the
+// first failure aborts (already-applied statements stay).
+Status AppendMisd(Mkb* mkb, std::string_view text);
+
+}  // namespace eve
+
+#endif  // EVE_MKB_SERIALIZER_H_

@@ -1,0 +1,55 @@
+// Parsed (unbound) representation of an E-SQL CREATE VIEW statement.
+// Column references inside expressions carry the qualifier exactly as
+// written (often a FROM alias); the esql binder resolves qualifiers to
+// canonical relation names against the catalog.
+
+#ifndef EVE_SQL_AST_H_
+#define EVE_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "sql/evolution_params.h"
+
+namespace eve {
+
+// One SELECT-list entry: an expression (usually a column, possibly a
+// function-of expression in evolved views), an optional output alias, and
+// the attribute evolution parameters (AD, AR).
+struct ParsedSelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty: derive from the expression
+  EvolutionParams params;
+};
+
+// One FROM-clause entry: relation name, optional tuple alias, and relation
+// evolution parameters (RD, RR).
+struct ParsedFromItem {
+  std::string relation;
+  std::string alias;  // empty: relation name itself
+  EvolutionParams params;
+};
+
+// One WHERE-clause conjunct (a primitive clause in the paper's model) with
+// condition evolution parameters (CD, CR).
+struct ParsedCondition {
+  ExprPtr clause;
+  EvolutionParams params;
+};
+
+struct ParsedView {
+  std::string name;
+  // Explicit interface column names from "CREATE VIEW V (C1, ..., Cn)";
+  // empty when omitted.
+  std::vector<std::string> column_names;
+  ViewExtent extent = ViewExtent::kAny;
+  std::vector<ParsedSelectItem> select;
+  std::vector<ParsedFromItem> from;
+  std::vector<ParsedCondition> where;
+};
+
+}  // namespace eve
+
+#endif  // EVE_SQL_AST_H_

@@ -1,0 +1,42 @@
+#include "sql/evolution_params.h"
+
+namespace eve {
+
+std::string_view ViewExtentToString(ViewExtent extent) {
+  switch (extent) {
+    case ViewExtent::kEqual:
+      return "=";
+    case ViewExtent::kSuperset:
+      return ">=";
+    case ViewExtent::kSubset:
+      return "<=";
+    case ViewExtent::kAny:
+      return "~";
+  }
+  return "?";
+}
+
+std::string_view ViewExtentToSymbol(ViewExtent extent) {
+  switch (extent) {
+    case ViewExtent::kEqual:
+      return "≡";
+    case ViewExtent::kSuperset:
+      return "⊇";
+    case ViewExtent::kSubset:
+      return "⊆";
+    case ViewExtent::kAny:
+      return "≈";
+  }
+  return "?";
+}
+
+std::string EvolutionParams::ToString() const {
+  std::string out = "(";
+  out += dispensable ? "true" : "false";
+  out += ", ";
+  out += replaceable ? "true" : "false";
+  out += ")";
+  return out;
+}
+
+}  // namespace eve

@@ -1,0 +1,44 @@
+// E-SQL evolution parameters (paper Fig. 3): per-component dispensable /
+// replaceable flags and the view-extent parameter VE.
+//
+// Defaults follow the EVE framework convention: components are
+// indispensable (must survive) but replaceable (may be substituted), and
+// the view extent is unconstrained (VE = approximate).
+
+#ifndef EVE_SQL_EVOLUTION_PARAMS_H_
+#define EVE_SQL_EVOLUTION_PARAMS_H_
+
+#include <string>
+#include <string_view>
+
+namespace eve {
+
+// The view-extent parameter VE_V: required relationship between the new
+// extent and the old extent, projected on the common interface (Def. 1 P3).
+enum class ViewExtent {
+  kEqual,     // ≡ : new extent equal to old
+  kSuperset,  // ⊇ : new extent a superset of old
+  kSubset,    // ⊆ : new extent a subset of old
+  kAny,       // ≈ : anything goes (default)
+};
+
+std::string_view ViewExtentToString(ViewExtent extent);  // "=", ">=", ...
+std::string_view ViewExtentToSymbol(ViewExtent extent);  // "≡", "⊇", ...
+
+// (dispensable, replaceable) pair attached to an attribute (AD/AR),
+// condition (CD/CR) or relation (RD/RR).
+struct EvolutionParams {
+  // true: the component may be dropped during synchronization.
+  bool dispensable = false;
+  // true: the component may be replaced during synchronization.
+  bool replaceable = true;
+
+  bool operator==(const EvolutionParams&) const = default;
+
+  // "(false, true)" — the paper's positional shorthand of Eq. (5).
+  std::string ToString() const;
+};
+
+}  // namespace eve
+
+#endif  // EVE_SQL_EVOLUTION_PARAMS_H_

@@ -1,0 +1,179 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace eve {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenType type, std::string text, size_t pos) {
+    tokens.push_back(Token{type, std::move(text), pos});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentBody(input[j])) ++j;
+      push(TokenType::kIdentifier, std::string(input.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '"') ++j;
+      if (j == n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kIdentifier,
+           std::string(input.substr(i + 1, j - i - 1)), start);
+      i = j + 1;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string body;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            body += '\'';
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        body += input[j];
+        ++j;
+      }
+      if (j == n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kStringLiteral, std::move(body), start);
+      i = j + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      push(is_double ? TokenType::kDoubleLiteral : TokenType::kIntLiteral,
+           std::string(input.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::kRParen, ")", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenType::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenType::kDot, ".", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenType::kStar, "*", start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenType::kPlus, "+", start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenType::kMinus, "-", start);
+        ++i;
+        continue;
+      case '/':
+        push(TokenType::kSlash, "/", start);
+        ++i;
+        continue;
+      case '~':
+        push(TokenType::kTilde, "~", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::kEq, "=", start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNe, "!=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected character '!' at offset " +
+                                  std::to_string(start));
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", start);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace eve

@@ -1,0 +1,23 @@
+// Hand-written lexer for E-SQL. Keywords are not distinguished from
+// identifiers here; the parser matches keyword spellings case-insensitively.
+
+#ifndef EVE_SQL_LEXER_H_
+#define EVE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace eve {
+
+// Tokenizes `input`; the final token is always kEnd. Comments run from
+// "--" to end of line. Double-quoted identifiers may contain any character
+// except '"' (supporting the paper's hyphenated names like "Accident-Ins").
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace eve
+
+#endif  // EVE_SQL_LEXER_H_

@@ -1,0 +1,35 @@
+// Recursive-descent parser for E-SQL (paper Sec. 3): SELECT-FROM-WHERE SQL
+// extended with evolution-parameter annotations.
+//
+// Supported annotation forms, mirroring the paper's two spellings:
+//   named:      C.Phone (AD = true, AR = false)
+//   positional: C.Name (false, true)            -- (dispensable, replaceable)
+// The view-extent parameter appears after the view name or column list:
+//   CREATE VIEW V (VE = >=) AS ...      -- >= for ⊇, <= for ⊆, = for ≡, ~ for ≈
+// Hyphenated names from the paper are written as quoted identifiers
+// ("Accident-Ins").
+
+#ifndef EVE_SQL_PARSER_H_
+#define EVE_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace eve {
+
+// Parses a full CREATE VIEW statement.
+Result<ParsedView> ParseView(std::string_view text);
+
+// Parses a scalar/boolean expression (used to author MKB constraint
+// conditions in text form).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+// Parses "clause AND clause AND ..." into flattened conjuncts.
+Result<std::vector<ExprPtr>> ParseConjunction(std::string_view text);
+
+}  // namespace eve
+
+#endif  // EVE_SQL_PARSER_H_

@@ -1,0 +1,127 @@
+#include "sql/printer.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+bool IsPlainIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  // Reserved words must be quoted to survive a round trip.
+  static constexpr std::string_view kReserved[] = {
+      "create", "view", "as", "select", "from", "where",
+      "and",    "or",   "not", "true",  "false", "null", "date"};
+  for (std::string_view kw : kReserved) {
+    if (EqualsIgnoreCase(name, kw)) return false;
+  }
+  return true;
+}
+
+// Renders an expression, quoting identifiers in column refs and function
+// names as needed (Expr::ToString is for debugging; this form re-parses).
+std::string PrintExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn: {
+      const AttributeRef& ref = expr.column();
+      if (ref.relation.empty()) return QuoteIdentifier(ref.attribute);
+      return QuoteIdentifier(ref.relation) + "." +
+             QuoteIdentifier(ref.attribute);
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = expr.literal();
+      if (v.type() == DataType::kDate) {
+        return "DATE '" + v.date_value().ToString() + "'";
+      }
+      if (v.type() == DataType::kString) {
+        // Escape embedded quotes so the literal re-parses.
+        std::string out = "'";
+        for (char c : v.string_value()) {
+          if (c == '\'') out += "''";
+          else out += c;
+        }
+        return out + "'";
+      }
+      return v.ToString();
+    }
+    case ExprKind::kUnary:
+      if (expr.unary_op() == UnaryOp::kNot) {
+        return "NOT (" + PrintExpr(*expr.child(0)) + ")";
+      }
+      return "-(" + PrintExpr(*expr.child(0)) + ")";
+    case ExprKind::kBinary:
+      return "(" + PrintExpr(*expr.child(0)) + " " +
+             std::string(BinaryOpToString(expr.binary_op())) + " " +
+             PrintExpr(*expr.child(1)) + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = QuoteIdentifier(expr.function_name()) + "(";
+      for (size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += PrintExpr(*expr.child(i));
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PrintExpression(const Expr& expr) { return PrintExpr(expr); }
+
+std::string QuoteIdentifier(const std::string& name) {
+  if (IsPlainIdentifier(name)) return name;
+  return "\"" + name + "\"";
+}
+
+std::string PrintView(const ParsedView& view) {
+  std::ostringstream os;
+  os << "CREATE VIEW " << QuoteIdentifier(view.name);
+  if (!view.column_names.empty()) {
+    std::vector<std::string> quoted;
+    quoted.reserve(view.column_names.size());
+    for (const std::string& name : view.column_names) {
+      quoted.push_back(QuoteIdentifier(name));
+    }
+    os << " (" << Join(quoted, ", ") << ")";
+  }
+  os << " (VE = " << ViewExtentToString(view.extent) << ") AS\n";
+  os << "SELECT ";
+  for (size_t i = 0; i < view.select.size(); ++i) {
+    if (i > 0) os << ", ";
+    const ParsedSelectItem& item = view.select[i];
+    os << PrintExpr(*item.expr);
+    if (!item.alias.empty()) os << " AS " << QuoteIdentifier(item.alias);
+    os << " " << item.params.ToString();
+  }
+  os << "\nFROM ";
+  for (size_t i = 0; i < view.from.size(); ++i) {
+    if (i > 0) os << ", ";
+    const ParsedFromItem& item = view.from[i];
+    os << QuoteIdentifier(item.relation);
+    if (!item.alias.empty()) os << " " << QuoteIdentifier(item.alias);
+    os << " " << item.params.ToString();
+  }
+  if (!view.where.empty()) {
+    os << "\nWHERE ";
+    for (size_t i = 0; i < view.where.size(); ++i) {
+      if (i > 0) os << " AND ";
+      const ParsedCondition& cond = view.where[i];
+      os << PrintExpr(*cond.clause) << " " << cond.params.ToString();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace eve

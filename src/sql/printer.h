@@ -1,0 +1,28 @@
+// Pretty-printer producing E-SQL text that re-parses to the same AST
+// (round-trip property, tested in tests/sql).
+
+#ifndef EVE_SQL_PRINTER_H_
+#define EVE_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace eve {
+
+// Renders `view` as a CREATE VIEW statement with positional evolution
+// annotations. Identifiers that are not plain [A-Za-z_][A-Za-z0-9_]* are
+// double-quoted.
+std::string PrintView(const ParsedView& view);
+
+// Quotes `name` if it is not a plain identifier.
+std::string QuoteIdentifier(const std::string& name);
+
+// Renders an expression in E-SQL syntax that re-parses to an equal tree
+// (identifiers quoted as needed, string literals escaped, dates as
+// DATE '...').
+std::string PrintExpression(const Expr& expr);
+
+}  // namespace eve
+
+#endif  // EVE_SQL_PRINTER_H_

@@ -1,0 +1,44 @@
+// Token model for the E-SQL lexer.
+
+#ifndef EVE_SQL_TOKEN_H_
+#define EVE_SQL_TOKEN_H_
+
+#include <string>
+
+namespace eve {
+
+enum class TokenType {
+  kEnd,
+  kIdentifier,     // bare or double-quoted ("Accident-Ins")
+  kStringLiteral,  // single-quoted
+  kIntLiteral,
+  kDoubleLiteral,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kTilde,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // identifier/keyword spelling or literal body
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool is(TokenType t) const { return type == t; }
+};
+
+}  // namespace eve
+
+#endif  // EVE_SQL_TOKEN_H_

@@ -1,0 +1,110 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace eve {
+
+namespace {
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+Status Table::Insert(Tuple tuple) {
+  EVE_RETURN_IF_ERROR(ValidateTuple(schema_, tuple));
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Table::DropColumn(const std::string& name) {
+  const auto idx = schema_.IndexOf(name);
+  if (!idx) return Status::NotFound("column not found: " + name);
+  std::vector<AttributeDef> attrs = schema_.attributes();
+  attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*idx));
+  EVE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(attrs)));
+  for (Tuple& row : rows_) {
+    row.erase(row.begin() + static_cast<ptrdiff_t>(*idx));
+  }
+  return Status::OK();
+}
+
+Status Table::RenameColumn(const std::string& name,
+                           const std::string& new_name) {
+  const auto idx = schema_.IndexOf(name);
+  if (!idx) return Status::NotFound("column not found: " + name);
+  if (name == new_name) return Status::OK();
+  if (schema_.Contains(new_name)) {
+    return Status::AlreadyExists("column already exists: " + new_name);
+  }
+  std::vector<AttributeDef> attrs = schema_.attributes();
+  attrs[*idx].name = new_name;
+  EVE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(attrs)));
+  return Status::OK();
+}
+
+Status Table::AddColumn(AttributeDef attr) {
+  if (schema_.Contains(attr.name)) {
+    return Status::AlreadyExists("column already exists: " + attr.name);
+  }
+  std::vector<AttributeDef> attrs = schema_.attributes();
+  attrs.push_back(std::move(attr));
+  EVE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(attrs)));
+  for (Tuple& row : rows_) {
+    row.push_back(Value::Null());
+  }
+  return Status::OK();
+}
+
+void Table::Deduplicate() {
+  std::sort(rows_.begin(), rows_.end(), TupleLess);
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+bool Table::IsSubsetOf(const Table& other) const {
+  std::vector<Tuple> mine = rows_;
+  std::vector<Tuple> theirs = other.rows_;
+  std::sort(mine.begin(), mine.end(), TupleLess);
+  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  std::sort(theirs.begin(), theirs.end(), TupleLess);
+  return std::includes(theirs.begin(), theirs.end(), mine.begin(), mine.end(),
+                       TupleLess);
+}
+
+bool Table::SetEquals(const Table& other) const {
+  return IsSubsetOf(other) && other.IsSubsetOf(*this);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  std::vector<std::string> header;
+  header.reserve(schema_.size());
+  for (const AttributeDef& attr : schema_.attributes()) {
+    header.push_back(attr.name);
+  }
+  os << "| " << Join(header, " | ") << " |\n";
+  size_t shown = 0;
+  for (const Tuple& row : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() - max_rows << " more rows)\n";
+      break;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.ToString());
+    os << "| " << Join(cells, " | ") << " |\n";
+  }
+  os << "(" << rows_.size() << " rows)\n";
+  return os.str();
+}
+
+}  // namespace eve

@@ -1,0 +1,64 @@
+// Table: an in-memory relation extent with a schema. Used to evaluate views
+// so legal rewritings can be checked semantically (extent containment),
+// not just syntactically.
+
+#ifndef EVE_STORAGE_TABLE_H_
+#define EVE_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace eve {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  // Appends `tuple` after validating it against the schema.
+  Status Insert(Tuple tuple);
+
+  // Appends without validation (trusted internal producers only).
+  void InsertUnchecked(Tuple tuple) { rows_.push_back(std::move(tuple)); }
+
+  void Clear() { rows_.clear(); }
+
+  // Schema evolution mirroring IS capability changes: removes the named
+  // column (and its values from every row).
+  Status DropColumn(const std::string& name);
+
+  // Renames a column in place.
+  Status RenameColumn(const std::string& name, const std::string& new_name);
+
+  // Appends a column filled with NULLs.
+  Status AddColumn(AttributeDef attr);
+
+  // Set semantics helpers (relational extents are sets in the paper's
+  // model): sorts and removes duplicate rows in place.
+  void Deduplicate();
+
+  // True if every row of *this appears in `other` (bag-to-set containment:
+  // both sides deduplicated first). Schemas must match positionally by type.
+  bool IsSubsetOf(const Table& other) const;
+
+  // True if both tables hold the same set of rows.
+  bool SetEquals(const Table& other) const;
+
+  // Renders header + rows, for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_STORAGE_TABLE_H_

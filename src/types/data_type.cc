@@ -1,0 +1,65 @@
+#include "types/data_type.h"
+
+#include "common/str_util.h"
+
+namespace eve {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "null") return DataType::kNull;
+  if (lower == "bool" || lower == "boolean") return DataType::kBool;
+  if (lower == "int" || lower == "integer") return DataType::kInt;
+  if (lower == "double" || lower == "float" || lower == "real") {
+    return DataType::kDouble;
+  }
+  if (lower == "string" || lower == "varchar" || lower == "text") {
+    return DataType::kString;
+  }
+  if (lower == "date") return DataType::kDate;
+  return Status::InvalidArgument("unknown data type name: " +
+                                 std::string(name));
+}
+
+bool IsImplicitlyConvertible(DataType from, DataType to) {
+  if (from == to) return true;
+  if (from == DataType::kNull) return true;  // NULL fits any column type
+  return from == DataType::kInt && to == DataType::kDouble;
+}
+
+bool IsOrdered(DataType type) {
+  switch (type) {
+    case DataType::kInt:
+    case DataType::kDouble:
+    case DataType::kString:
+    case DataType::kDate:
+      return true;
+    case DataType::kNull:
+    case DataType::kBool:
+      return false;
+  }
+  return false;
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt || type == DataType::kDouble;
+}
+
+}  // namespace eve

@@ -1,0 +1,41 @@
+// Scalar data types used by MISD type-integrity constraints (Fig. 1 of the
+// paper) and by the relational evaluator.
+
+#ifndef EVE_TYPES_DATA_TYPE_H_
+#define EVE_TYPES_DATA_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace eve {
+
+enum class DataType {
+  kNull = 0,  // type of the SQL NULL literal only; not a column type
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kDate,
+};
+
+// "int", "double", "string", "date", "bool", "null".
+std::string_view DataTypeToString(DataType type);
+
+// Parses the names produced by DataTypeToString (case-insensitive).
+Result<DataType> DataTypeFromString(std::string_view name);
+
+// True if a value of `from` can be used where `to` is expected
+// (exact match, or int widening to double).
+bool IsImplicitlyConvertible(DataType from, DataType to);
+
+// True for types with a total order usable in comparisons.
+bool IsOrdered(DataType type);
+
+// True for types usable in arithmetic (+ - * /).
+bool IsNumeric(DataType type);
+
+}  // namespace eve
+
+#endif  // EVE_TYPES_DATA_TYPE_H_

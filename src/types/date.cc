@@ -1,0 +1,97 @@
+#include "types/date.h"
+
+#include <cstdio>
+
+namespace eve {
+
+namespace {
+
+// Civil-from-days / days-from-civil conversions, after Howard Hinnant's
+// public-domain chrono algorithms.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yr = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yr + (*m <= 2));
+}
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Result<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " +
+                                   std::to_string(day));
+  }
+  return Date(DaysFromCivil(year, month, day));
+}
+
+Result<Date> Date::Parse(std::string_view text) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  char tail = '\0';
+  const std::string buf(text);
+  if (std::sscanf(buf.c_str(), "%d-%d-%d%c", &y, &m, &d, &tail) != 3) {
+    return Status::ParseError("expected YYYY-MM-DD, got '" + buf + "'");
+  }
+  return FromYmd(y, m, d);
+}
+
+int Date::year() const {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days_since_epoch_, &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days_since_epoch_, &y, &m, &d);
+  return static_cast<int>(m);
+}
+
+int Date::day() const {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days_since_epoch_, &y, &m, &d);
+  return static_cast<int>(d);
+}
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year(), month(), day());
+  return buf;
+}
+
+}  // namespace eve

@@ -1,0 +1,55 @@
+// Calendar date stored as days since 1970-01-01 (proleptic Gregorian).
+// Needed because MISD function-of constraints compute with dates, e.g. the
+// paper's F3: Customer.Age = (today - Accident-Ins.Birthday) / 365.
+
+#ifndef EVE_TYPES_DATE_H_
+#define EVE_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace eve {
+
+class Date {
+ public:
+  Date() : days_since_epoch_(0) {}
+  explicit Date(int64_t days_since_epoch)
+      : days_since_epoch_(days_since_epoch) {}
+
+  // Builds a Date from a calendar triple; rejects invalid dates
+  // (e.g. 2001-02-30).
+  static Result<Date> FromYmd(int year, int month, int day);
+
+  // Parses "YYYY-MM-DD".
+  static Result<Date> Parse(std::string_view text);
+
+  int64_t days_since_epoch() const { return days_since_epoch_; }
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  // Formats as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  Date AddDays(int64_t days) const {
+    return Date(days_since_epoch_ + days);
+  }
+
+  bool operator==(const Date& other) const {
+    return days_since_epoch_ == other.days_since_epoch_;
+  }
+  auto operator<=>(const Date& other) const {
+    return days_since_epoch_ <=> other.days_since_epoch_;
+  }
+
+ private:
+  int64_t days_since_epoch_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_TYPES_DATE_H_

@@ -1,0 +1,72 @@
+#include "types/schema.h"
+
+#include "common/str_util.h"
+
+namespace eve {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i].name, i);
+  }
+}
+
+Result<Schema> Schema::Create(std::vector<AttributeDef> attributes) {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (attributes[i].name == attributes[j].name) {
+        return Status::AlreadyExists("duplicate attribute name: " +
+                                     attributes[i].name);
+      }
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const AttributeDef& attr : attributes_) {
+    parts.push_back(attr.name + ": " +
+                    std::string(DataTypeToString(attr.type)));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+Status ValidateTuple(const Schema& schema, const Tuple& tuple) {
+  if (tuple.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) continue;
+    if (!IsImplicitlyConvertible(tuple[i].type(),
+                                 schema.attribute(i).type)) {
+      return Status::TypeError(
+          "value " + tuple[i].ToString() + " does not fit attribute " +
+          schema.attribute(i).name + " of type " +
+          std::string(DataTypeToString(schema.attribute(i).type)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::vector<std::string> parts;
+  parts.reserve(tuple.size());
+  for (const Value& v : tuple) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace eve

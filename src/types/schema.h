@@ -1,0 +1,67 @@
+// Schema and Tuple: the row model for relation extents. Attribute names are
+// unqualified here; qualification (IS.R.A) lives in catalog/.
+
+#ifndef EVE_TYPES_SCHEMA_H_
+#define EVE_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace eve {
+
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kString;
+
+  bool operator==(const AttributeDef&) const = default;
+};
+
+// An ordered list of named, typed attributes with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  static Result<Schema> Create(std::vector<AttributeDef> attributes);
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t size() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  // Index of `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  // "(Name: string, Age: int)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+// A row of values positionally matching some Schema.
+using Tuple = std::vector<Value>;
+
+// Verifies arity and per-column type compatibility of `tuple` against
+// `schema` (NULLs always allowed).
+Status ValidateTuple(const Schema& schema, const Tuple& tuple);
+
+// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace eve
+
+#endif  // EVE_TYPES_SCHEMA_H_

@@ -1,0 +1,103 @@
+#include "types/value.h"
+
+namespace eve {
+
+DataType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+    case 5:
+      return DataType::kDate;
+  }
+  return DataType::kNull;
+}
+
+Result<double> Value::AsDouble() const {
+  if (type() == DataType::kInt) return static_cast<double>(int_value());
+  if (type() == DataType::kDouble) return double_value();
+  return Status::TypeError("value is not numeric: " + ToString());
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt:
+      return std::to_string(int_value());
+    case DataType::kDouble: {
+      std::string s = std::to_string(double_value());
+      return s;
+    }
+    case DataType::kString:
+      return "'" + string_value() + "'";
+    case DataType::kDate:
+      return date_value().ToString();
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  const CompareResult cmp = Compare(*this, other);
+  if (cmp == CompareResult::kLess) return true;
+  if (cmp == CompareResult::kEqual || cmp == CompareResult::kGreater) {
+    return false;
+  }
+  // Fall back to ordering by variant kind, NULL first.
+  return rep_.index() < other.rep_.index();
+}
+
+CompareResult Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return CompareResult::kNull;
+  const DataType ta = a.type();
+  const DataType tb = b.type();
+  if (IsNumeric(ta) && IsNumeric(tb)) {
+    const double da = ta == DataType::kInt
+                          ? static_cast<double>(a.int_value())
+                          : a.double_value();
+    const double db = tb == DataType::kInt
+                          ? static_cast<double>(b.int_value())
+                          : b.double_value();
+    if (da < db) return CompareResult::kLess;
+    if (da > db) return CompareResult::kGreater;
+    return CompareResult::kEqual;
+  }
+  if (ta != tb) return CompareResult::kIncomparable;
+  switch (ta) {
+    case DataType::kBool: {
+      const int ia = a.bool_value() ? 1 : 0;
+      const int ib = b.bool_value() ? 1 : 0;
+      if (ia < ib) return CompareResult::kLess;
+      if (ia > ib) return CompareResult::kGreater;
+      return CompareResult::kEqual;
+    }
+    case DataType::kString: {
+      const int cmp = a.string_value().compare(b.string_value());
+      if (cmp < 0) return CompareResult::kLess;
+      if (cmp > 0) return CompareResult::kGreater;
+      return CompareResult::kEqual;
+    }
+    case DataType::kDate: {
+      if (a.date_value() < b.date_value()) return CompareResult::kLess;
+      if (b.date_value() < a.date_value()) return CompareResult::kGreater;
+      return CompareResult::kEqual;
+    }
+    default:
+      return CompareResult::kIncomparable;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace eve

@@ -1,0 +1,93 @@
+// Synthetic workload generators: parameterized MKB topologies (chain,
+// star, grid), cover placement at controlled join distance, random
+// connected views, and database states — the drivers for property tests
+// and the E6/E7/E9 benchmarks.
+//
+// Naming scheme for generated elements (all integer-typed):
+//   relation  R<i>            (source "IS<i>")
+//   link      L<i>            shared by the two endpoint relations of an
+//                             edge; JC "JL<i>": endpoints agree on L<i>
+//   payload   P<i>            one payload attribute per relation
+//   cover     C<i>            mirror of R<i>.P<i> on another relation,
+//                             with identity F constraint "FC<i>"
+
+#ifndef EVE_WORKLOAD_GENERATOR_H_
+#define EVE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/view_definition.h"
+#include "mkb/mkb.h"
+#include "storage/database.h"
+
+namespace eve {
+
+struct ChainMkbSpec {
+  size_t length = 10;
+  // Adds JCs between R<i> and R<i+2> so deleting an interior relation
+  // leaves the graph connected.
+  bool skip_edges = true;
+  // For every relation R<i>, place the mirror C<i> of its payload on the
+  // relation `cover_distance` positions to the right (clamped); 0 disables
+  // covers.
+  size_t cover_distance = 1;
+  // Extra payload attributes per relation beyond P<i>.
+  size_t extra_attributes = 2;
+  // Attach a PC constraint "π(cover side) ⊇ π(covered side)" for every
+  // cover, justifying superset rewritings.
+  bool pc_constraints = true;
+};
+
+// Chain R0 — R1 — ... — R{n-1}.
+Result<Mkb> MakeChainMkb(const ChainMkbSpec& spec);
+
+// Star: hub R0 joined to spokes R1..R{n}; every spoke payload mirrored on
+// the hub and the hub payload mirrored on spoke R1.
+Result<Mkb> MakeStarMkb(size_t num_spokes);
+
+// Grid of rows x cols relations, adjacent horizontally and vertically;
+// covers mirror each payload on the right neighbor (wrapping within the
+// row).
+Result<Mkb> MakeGridMkb(size_t rows, size_t cols);
+
+struct RandomMkbSpec {
+  size_t num_relations = 12;
+  // Probability of a join constraint between each relation pair, on top of
+  // a random spanning tree that keeps the federation connected.
+  double extra_edge_probability = 0.15;
+  // Probability that a relation's payload gets a cover on one of its
+  // join-neighbors (with a SUPERSET PC constraint).
+  double cover_probability = 0.7;
+  uint64_t seed = 1;
+};
+
+// A connected random-graph federation: spanning tree + extra edges, link
+// attributes per edge, one payload per relation, covers per spec. The
+// same spec (incl. seed) always builds the same MKB.
+Result<Mkb> MakeRandomMkb(const RandomMkbSpec& spec);
+
+// A view over the chain relations R<start>..R<start+span-1>:
+//   SELECT payloads FROM those relations WHERE the chain link equalities.
+// Every component gets (dispensable=false, replaceable=true); VE = `extent`.
+Result<ViewDefinition> MakeChainView(const Mkb& mkb, size_t start, size_t span,
+                                     ViewExtent extent = ViewExtent::kAny);
+
+// A random connected view: starts at a random relation and grows along
+// randomly chosen join-constraint edges; SELECTs each relation's payload.
+Result<ViewDefinition> MakeRandomConnectedView(const Mkb& mkb,
+                                               std::mt19937_64* rng,
+                                               size_t num_relations);
+
+// Fills every relation with `rows_per_table` tuples; link attributes draw
+// from a small domain so joins hit, cover attributes C<i> replicate the
+// covered payload domain so F constraints are statistically consistent.
+Status PopulateSyntheticDatabase(const Mkb& mkb, Database* db,
+                                 size_t rows_per_table, uint64_t seed);
+
+}  // namespace eve
+
+#endif  // EVE_WORKLOAD_GENERATOR_H_

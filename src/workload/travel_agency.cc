@@ -1,0 +1,246 @@
+#include "workload/travel_agency.h"
+
+#include <random>
+
+#include "mkb/builder.h"
+#include "types/date.h"
+
+namespace eve {
+
+namespace {
+
+RelationDef MakeRelation(std::string source, std::string name,
+                         std::vector<AttributeDef> attrs) {
+  RelationDef def;
+  def.source = std::move(source);
+  def.name = std::move(name);
+  def.schema = Schema(std::move(attrs));
+  return def;
+}
+
+}  // namespace
+
+Result<Mkb> MakeTravelAgencyMkb() {
+  Mkb mkb;
+  // Content descriptions (Fig. 2). Attributes sharing a name across
+  // relations share a type, per the MISD convention.
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS1", "Customer",
+      {{"Name", DataType::kString},
+       {"Addr", DataType::kString},
+       {"Phone", DataType::kString},
+       {"Age", DataType::kInt}})));
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS2", "Tour",
+      {{"TourID", DataType::kInt},
+       {"TourName", DataType::kString},
+       {"Type", DataType::kString},
+       {"NoDays", DataType::kInt}})));
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS3", "Participant",
+      {{"Participant", DataType::kString},
+       {"TourID", DataType::kInt},
+       {"StartDate", DataType::kDate},
+       {"Loc", DataType::kString}})));
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS4", "FlightRes",
+      {{"PName", DataType::kString},
+       {"Airline", DataType::kString},
+       {"FlightNo", DataType::kInt},
+       {"Source", DataType::kString},
+       {"Dest", DataType::kString},
+       {"Date", DataType::kDate}})));
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS5", "Accident-Ins",
+      {{"Holder", DataType::kString},
+       {"Type", DataType::kString},
+       {"Amount", DataType::kDouble},
+       {"Birthday", DataType::kDate}})));
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS6", "Hotels",
+      {{"City", DataType::kString},
+       {"Address", DataType::kString},
+       {"PhoneNumber", DataType::kString}})));
+  EVE_RETURN_IF_ERROR(mkb.AddRelation(MakeRelation(
+      "IS7", "RentACar",
+      {{"Company", DataType::kString},
+       {"City", DataType::kString},
+       {"PhoneNumber", DataType::kString},
+       {"Location", DataType::kString}})));
+
+  // Join constraints JC1–JC6.
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      &mkb, "JC1", "Customer", "FlightRes",
+      "Customer.Name = FlightRes.PName"));
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      &mkb, "JC2", "Customer", "Accident-Ins",
+      "Customer.Name = \"Accident-Ins\".Holder AND Customer.Age > 1"));
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      &mkb, "JC3", "Customer", "Participant",
+      "Customer.Name = Participant.Participant"));
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      &mkb, "JC4", "Participant", "Tour",
+      "Participant.TourID = Tour.TourID"));
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      &mkb, "JC5", "Hotels", "RentACar",
+      "Hotels.Address = RentACar.Location"));
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      &mkb, "JC6", "FlightRes", "Accident-Ins",
+      "FlightRes.PName = \"Accident-Ins\".Holder"));
+
+  // Function-of constraints F1–F7. F3 is the paper's
+  // Customer.Age = (today − Accident-Ins.Birthday)/365.
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(&mkb, "F1", "Customer.Name",
+                                        "FlightRes.PName"));
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(&mkb, "F2", "Customer.Name",
+                                        "\"Accident-Ins\".Holder"));
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(
+      &mkb, "F3", "Customer.Age",
+      "(DATE '2026-07-07' - \"Accident-Ins\".Birthday) / 365"));
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(&mkb, "F4", "Customer.Name",
+                                        "Participant.Participant"));
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(&mkb, "F5", "Participant.TourID",
+                                        "Tour.TourID"));
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(&mkb, "F6", "Hotels.Address",
+                                        "RentACar.Location"));
+  EVE_RETURN_IF_ERROR(AddFunctionOfText(&mkb, "F7", "Hotels.City",
+                                        "RentACar.City"));
+  return mkb;
+}
+
+Status AddPersonExtension(Mkb* mkb) {
+  EVE_RETURN_IF_ERROR(mkb->AddRelation(MakeRelation(
+      "IS8", "Person",
+      {{"Name", DataType::kString},
+       {"SSN", DataType::kString},
+       {"PAddr", DataType::kString}})));
+  EVE_RETURN_IF_ERROR(AddJoinConstraintText(
+      mkb, "JC-CP", "Customer", "Person", "Customer.Name = Person.Name"));
+  EVE_RETURN_IF_ERROR(
+      AddFunctionOfText(mkb, "F-ADDR", "Customer.Addr", "Person.PAddr"));
+  EVE_RETURN_IF_ERROR(AddProjectionPC(mkb, "PC-CP", "Person", "Name, PAddr",
+                                      SetRelation::kSuperset, "Customer",
+                                      "Name, Addr"));
+  return Status::OK();
+}
+
+Status AddAccidentInsPc(Mkb* mkb) {
+  return AddProjectionPC(mkb, "PC-AI", "Accident-Ins", "Holder",
+                         SetRelation::kSuperset, "Customer", "Name");
+}
+
+Status AddFlightResPc(Mkb* mkb) {
+  return AddProjectionPC(mkb, "PC-FR", "FlightRes", "PName",
+                         SetRelation::kSuperset, "Customer", "Name");
+}
+
+std::string AsiaCustomerSql() {
+  // Eq. (3): VE = ⊇, C.Addr indispensable but replaceable.
+  return R"sql(
+    CREATE VIEW AsiaCustomer (AName, AAddr, APh) (VE = >=) AS
+    SELECT C.Name (AD = false, AR = true),
+           C.Addr (AD = false, AR = true),
+           C.Phone (AD = true, AR = false)
+    FROM Customer C (RD = false, RR = true), FlightRes F
+    WHERE (C.Name = F.PName) (CD = false, CR = true)
+      AND (F.Dest = 'Asia') (CD = true, CR = true)
+  )sql";
+}
+
+std::string CustomerPassengersAsiaSql() {
+  // Eq. (5) with its positional annotations.
+  return R"sql(
+    CREATE VIEW CustomerPassengersAsia (VE = ~) AS
+    SELECT C.Name (false, true), C.Age (true, true),
+           P.Participant (true, true), P.TourID (true, true)
+    FROM Customer C (true, true), FlightRes F (true, true),
+         Participant P (true, true)
+    WHERE (C.Name = F.PName) (false, true)
+      AND (F.Dest = 'Asia') (false, true)
+      AND (P.StartDate = F.Date) (false, true)
+      AND (P.Loc = 'Asia') (false, true)
+  )sql";
+}
+
+Status PopulateTravelAgencyDatabase(const Mkb& mkb, Database* db,
+                                    size_t num_customers, uint64_t seed) {
+  EVE_RETURN_IF_ERROR(db->CreateAllTables(mkb.catalog()));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> age_dist(2, 80);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> tour_dist(1, 8);
+  std::uniform_int_distribution<int> day_dist(0, 60);
+  std::uniform_int_distribution<int> flight_dist(100, 999);
+
+  const Date today = Date::FromYmd(2026, 7, 7).value();
+  const Date base = Date::FromYmd(2026, 8, 1).value();
+  const char* destinations[] = {"Asia", "Europe"};
+
+  for (size_t i = 0; i < num_customers; ++i) {
+    const std::string name = "cust_" + std::to_string(i);
+    const std::string addr = "addr_" + std::to_string(i);
+    const int age = age_dist(rng);
+
+    EVE_RETURN_IF_ERROR(db->Insert(
+        "Customer", {Value::String(name), Value::String(addr),
+                     Value::String("phone_" + std::to_string(i)),
+                     Value::Int(age)}));
+
+    // Accident-Ins holds EVERY customer (PC-AI ⊇) with a birthday that
+    // reproduces the age under F3.
+    EVE_RETURN_IF_ERROR(db->Insert(
+        "Accident-Ins",
+        {Value::String(name), Value::String("life"),
+         Value::Double(1000.0 + static_cast<double>(i)),
+         Value::MakeDate(today.AddDays(-static_cast<int64_t>(age) * 365))}));
+
+    if (mkb.catalog().HasRelation("Person")) {
+      EVE_RETURN_IF_ERROR(db->Insert(
+          "Person", {Value::String(name),
+                     Value::String("ssn_" + std::to_string(i)),
+                     Value::String(addr)}));
+    }
+
+    // About half the customers fly; destination alternates.
+    if (coin(rng) == 0) {
+      const Date flight_date = base.AddDays(day_dist(rng));
+      EVE_RETURN_IF_ERROR(db->Insert(
+          "FlightRes",
+          {Value::String(name), Value::String("AirEVE"),
+           Value::Int(flight_dist(rng)), Value::String("Detroit"),
+           Value::String(destinations[coin(rng)]),
+           Value::MakeDate(flight_date)}));
+      // Some flying customers also join a tour starting the same day.
+      if (coin(rng) == 0) {
+        EVE_RETURN_IF_ERROR(db->Insert(
+            "Participant",
+            {Value::String(name), Value::Int(tour_dist(rng)),
+             Value::MakeDate(flight_date),
+             Value::String(destinations[coin(rng)])}));
+      }
+    }
+  }
+
+  for (int tour = 1; tour <= 8; ++tour) {
+    EVE_RETURN_IF_ERROR(db->Insert(
+        "Tour", {Value::Int(tour),
+                 Value::String("tour_" + std::to_string(tour)),
+                 Value::String(tour % 2 == 0 ? "cruise" : "hike"),
+                 Value::Int(3 + tour)}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    const std::string city = "city_" + std::to_string(i % 3);
+    const std::string address = "hotel_addr_" + std::to_string(i);
+    EVE_RETURN_IF_ERROR(db->Insert(
+        "Hotels", {Value::String(city), Value::String(address),
+                   Value::String("hphone_" + std::to_string(i))}));
+    EVE_RETURN_IF_ERROR(db->Insert(
+        "RentACar", {Value::String("rental_" + std::to_string(i % 4)),
+                     Value::String(city),
+                     Value::String("rphone_" + std::to_string(i)),
+                     Value::String(address)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace eve

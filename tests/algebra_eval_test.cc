@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+
+namespace eve {
+namespace {
+
+ExprPtr Col(const std::string& rel, const std::string& attr) {
+  return Expr::Column(AttributeRef{rel, attr});
+}
+ExprPtr Lit(Value v) { return Expr::Lit(std::move(v)); }
+ExprPtr Bin(BinaryOp op, ExprPtr a, ExprPtr b) {
+  return Expr::Binary(op, std::move(a), std::move(b));
+}
+
+Value Eval(const ExprPtr& expr, const RowBinding& binding = {},
+           const FunctionRegistry* registry = nullptr) {
+  const Result<Value> result = EvalExpr(*expr, binding, registry);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? result.value() : Value::Null();
+}
+
+// --- Arithmetic -------------------------------------------------------------
+
+TEST(EvalTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval(Bin(BinaryOp::kAdd, Lit(Value::Int(2)), Lit(Value::Int(3)))),
+            Value::Int(5));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kSub, Lit(Value::Int(2)), Lit(Value::Int(3)))),
+            Value::Int(-1));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kMul, Lit(Value::Int(4)), Lit(Value::Int(3)))),
+            Value::Int(12));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kDiv, Lit(Value::Int(7)), Lit(Value::Int(2)))),
+            Value::Int(3));  // integer division
+}
+
+TEST(EvalTest, DoubleArithmeticWidens) {
+  EXPECT_EQ(
+      Eval(Bin(BinaryOp::kAdd, Lit(Value::Int(1)), Lit(Value::Double(0.5)))),
+      Value::Double(1.5));
+  EXPECT_EQ(
+      Eval(Bin(BinaryOp::kDiv, Lit(Value::Double(7)), Lit(Value::Int(2)))),
+      Value::Double(3.5));
+}
+
+TEST(EvalTest, DivisionByZeroFails) {
+  const RowBinding binding;
+  EXPECT_FALSE(EvalExpr(*Bin(BinaryOp::kDiv, Lit(Value::Int(1)),
+                             Lit(Value::Int(0))),
+                        binding, nullptr)
+                   .ok());
+  EXPECT_FALSE(EvalExpr(*Bin(BinaryOp::kDiv, Lit(Value::Double(1)),
+                             Lit(Value::Double(0))),
+                        binding, nullptr)
+                   .ok());
+}
+
+TEST(EvalTest, DateMinusDateGivesDays) {
+  const Date a = Date::FromYmd(2026, 7, 7).value();
+  const Date b = Date::FromYmd(2026, 6, 7).value();
+  EXPECT_EQ(Eval(Bin(BinaryOp::kSub, Lit(Value::MakeDate(a)),
+                     Lit(Value::MakeDate(b)))),
+            Value::Int(30));
+}
+
+TEST(EvalTest, DatePlusIntGivesDate) {
+  const Date a = Date::FromYmd(2026, 1, 1).value();
+  const Value result = Eval(
+      Bin(BinaryOp::kAdd, Lit(Value::MakeDate(a)), Lit(Value::Int(31))));
+  EXPECT_EQ(result.date_value().ToString(), "2026-02-01");
+  const Value back = Eval(
+      Bin(BinaryOp::kSub, Lit(result), Lit(Value::Int(31))));
+  EXPECT_EQ(back.date_value().ToString(), "2026-01-01");
+}
+
+TEST(EvalTest, PaperF3AgeFromBirthday) {
+  // F3: Customer.Age = (today - Birthday) / 365 with today = 2026-07-07.
+  const Date today = Date::FromYmd(2026, 7, 7).value();
+  const Date birthday = today.AddDays(-30 * 365);
+  const ExprPtr f3 =
+      Bin(BinaryOp::kDiv,
+          Bin(BinaryOp::kSub, Lit(Value::MakeDate(today)),
+              Lit(Value::MakeDate(birthday))),
+          Lit(Value::Int(365)));
+  EXPECT_EQ(Eval(f3), Value::Int(30));
+}
+
+TEST(EvalTest, StringConcatenation) {
+  EXPECT_EQ(Eval(Bin(BinaryOp::kAdd, Lit(Value::String("a")),
+                     Lit(Value::String("b")))),
+            Value::String("ab"));
+}
+
+TEST(EvalTest, ArithmeticOnNullIsNull) {
+  EXPECT_TRUE(
+      Eval(Bin(BinaryOp::kAdd, Lit(Value::Null()), Lit(Value::Int(1))))
+          .is_null());
+}
+
+TEST(EvalTest, ArithmeticTypeErrors) {
+  const RowBinding binding;
+  EXPECT_FALSE(EvalExpr(*Bin(BinaryOp::kMul, Lit(Value::String("a")),
+                             Lit(Value::Int(1))),
+                        binding, nullptr)
+                   .ok());
+}
+
+// --- Comparisons -------------------------------------------------------------
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(Eval(Bin(BinaryOp::kEq, Lit(Value::Int(2)), Lit(Value::Int(2)))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kNe, Lit(Value::Int(2)), Lit(Value::Int(2)))),
+            Value::Bool(false));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kLt, Lit(Value::Int(1)), Lit(Value::Int(2)))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kLe, Lit(Value::Int(2)), Lit(Value::Int(2)))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kGt, Lit(Value::Int(1)), Lit(Value::Int(2)))),
+            Value::Bool(false));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kGe, Lit(Value::Int(2)), Lit(Value::Int(3)))),
+            Value::Bool(false));
+}
+
+TEST(EvalTest, ComparisonWithNullIsNull) {
+  EXPECT_TRUE(
+      Eval(Bin(BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Int(1))))
+          .is_null());
+}
+
+TEST(EvalTest, BoolEquality) {
+  EXPECT_EQ(Eval(Bin(BinaryOp::kEq, Lit(Value::Bool(true)),
+                     Lit(Value::Bool(true)))),
+            Value::Bool(true));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kNe, Lit(Value::Bool(true)),
+                     Lit(Value::Bool(false)))),
+            Value::Bool(true));
+}
+
+TEST(EvalTest, IncomparableTypesError) {
+  const RowBinding binding;
+  EXPECT_FALSE(EvalExpr(*Bin(BinaryOp::kLt, Lit(Value::String("a")),
+                             Lit(Value::Int(1))),
+                        binding, nullptr)
+                   .ok());
+}
+
+// --- Logic (Kleene) ----------------------------------------------------------
+
+TEST(EvalTest, KleeneAnd) {
+  const ExprPtr null_cmp =
+      Bin(BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Int(1)));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kAnd, Lit(Value::Bool(false)), null_cmp)),
+            Value::Bool(false));
+  EXPECT_TRUE(
+      Eval(Bin(BinaryOp::kAnd, Lit(Value::Bool(true)), null_cmp)).is_null());
+  EXPECT_EQ(Eval(Bin(BinaryOp::kAnd, Lit(Value::Bool(true)),
+                     Lit(Value::Bool(true)))),
+            Value::Bool(true));
+}
+
+TEST(EvalTest, KleeneOr) {
+  const ExprPtr null_cmp =
+      Bin(BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Int(1)));
+  EXPECT_EQ(Eval(Bin(BinaryOp::kOr, Lit(Value::Bool(true)), null_cmp)),
+            Value::Bool(true));
+  EXPECT_TRUE(
+      Eval(Bin(BinaryOp::kOr, Lit(Value::Bool(false)), null_cmp)).is_null());
+}
+
+TEST(EvalTest, NotAndNegate) {
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNot, Lit(Value::Bool(true)))),
+            Value::Bool(false));
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNegate, Lit(Value::Int(4)))),
+            Value::Int(-4));
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNegate, Lit(Value::Double(1.5)))),
+            Value::Double(-1.5));
+  EXPECT_TRUE(
+      Eval(Expr::Unary(UnaryOp::kNot, Lit(Value::Null()))).is_null());
+}
+
+// --- Bindings -----------------------------------------------------------------
+
+TEST(EvalTest, ColumnLookup) {
+  RowBinding binding;
+  binding.Bind({"R", "a"}, Value::Int(9));
+  EXPECT_EQ(Eval(Col("R", "a"), binding), Value::Int(9));
+}
+
+TEST(EvalTest, UnboundColumnFails) {
+  const RowBinding binding;
+  EXPECT_FALSE(EvalExpr(*Col("R", "a"), binding, nullptr).ok());
+}
+
+TEST(EvalTest, UnbindRemovesBinding) {
+  RowBinding binding;
+  binding.Bind({"R", "a"}, Value::Int(9));
+  binding.Unbind({"R", "a"});
+  EXPECT_FALSE(binding.Lookup({"R", "a"}).ok());
+}
+
+// --- Functions ------------------------------------------------------------------
+
+TEST(EvalTest, FunctionRegistryCalls) {
+  const FunctionRegistry registry = FunctionRegistry::Default();
+  RowBinding binding;
+  EXPECT_EQ(Eval(Expr::Func("identity", {Lit(Value::Int(3))}), binding,
+                 &registry),
+            Value::Int(3));
+}
+
+TEST(EvalTest, YearsSince) {
+  const FunctionRegistry registry = FunctionRegistry::Default();
+  const Date birthday = Date::FromYmd(2026, 7, 7).value().AddDays(-25 * 365);
+  RowBinding binding;
+  EXPECT_EQ(Eval(Expr::Func("years_since",
+                            {Lit(Value::MakeDate(birthday))}),
+                 binding, &registry),
+            Value::Int(25));
+  EXPECT_TRUE(Eval(Expr::Func("years_since", {Lit(Value::Null())}), binding,
+                   &registry)
+                  .is_null());
+}
+
+TEST(EvalTest, UnknownFunctionFails) {
+  const FunctionRegistry registry = FunctionRegistry::Default();
+  const RowBinding binding;
+  EXPECT_FALSE(
+      EvalExpr(*Expr::Func("nope", {}), binding, &registry).ok());
+}
+
+TEST(EvalTest, FunctionWithoutRegistryFails) {
+  const RowBinding binding;
+  EXPECT_FALSE(EvalExpr(*Expr::Func("identity", {Lit(Value::Int(1))}),
+                        binding, nullptr)
+                   .ok());
+}
+
+// --- Type inference -----------------------------------------------------------
+
+class InferTypeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RelationDef def;
+    def.source = "IS1";
+    def.name = "R";
+    def.schema = Schema({{"i", DataType::kInt},
+                         {"d", DataType::kDouble},
+                         {"s", DataType::kString},
+                         {"t", DataType::kDate},
+                         {"b", DataType::kBool}});
+    ASSERT_TRUE(catalog_.AddRelation(def).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(InferTypeTest, ColumnTypesFromCatalog) {
+  EXPECT_EQ(InferType(*Col("R", "i"), catalog_).value(), DataType::kInt);
+  EXPECT_EQ(InferType(*Col("R", "t"), catalog_).value(), DataType::kDate);
+  EXPECT_FALSE(InferType(*Col("R", "zz"), catalog_).ok());
+}
+
+TEST_F(InferTypeTest, ArithmeticWidening) {
+  EXPECT_EQ(
+      InferType(*Bin(BinaryOp::kAdd, Col("R", "i"), Col("R", "i")), catalog_)
+          .value(),
+      DataType::kInt);
+  EXPECT_EQ(
+      InferType(*Bin(BinaryOp::kAdd, Col("R", "i"), Col("R", "d")), catalog_)
+          .value(),
+      DataType::kDouble);
+}
+
+TEST_F(InferTypeTest, DateArithmetic) {
+  EXPECT_EQ(
+      InferType(*Bin(BinaryOp::kSub, Col("R", "t"), Col("R", "t")), catalog_)
+          .value(),
+      DataType::kInt);
+  EXPECT_EQ(
+      InferType(*Bin(BinaryOp::kAdd, Col("R", "t"), Col("R", "i")), catalog_)
+          .value(),
+      DataType::kDate);
+}
+
+TEST_F(InferTypeTest, ComparisonsAndLogicAreBool) {
+  EXPECT_EQ(
+      InferType(*Bin(BinaryOp::kEq, Col("R", "i"), Col("R", "d")), catalog_)
+          .value(),
+      DataType::kBool);
+  EXPECT_EQ(InferType(*Bin(BinaryOp::kAnd, Col("R", "b"), Col("R", "b")),
+                      catalog_)
+                .value(),
+            DataType::kBool);
+}
+
+TEST_F(InferTypeTest, Errors) {
+  EXPECT_FALSE(
+      InferType(*Bin(BinaryOp::kMul, Col("R", "s"), Col("R", "i")), catalog_)
+          .ok());
+  EXPECT_FALSE(
+      InferType(*Expr::Unary(UnaryOp::kNot, Col("R", "i")), catalog_).ok());
+  EXPECT_FALSE(
+      InferType(*Expr::Unary(UnaryOp::kNegate, Col("R", "s")), catalog_)
+          .ok());
+}
+
+TEST_F(InferTypeTest, FunctionHeuristics) {
+  EXPECT_EQ(InferType(*Expr::Func("years_since", {Col("R", "t")}), catalog_)
+                .value(),
+            DataType::kInt);
+  EXPECT_EQ(InferType(*Expr::Func("custom", {Col("R", "s")}), catalog_)
+                .value(),
+            DataType::kString);
+}
+
+// --- EvalPredicate -------------------------------------------------------------
+
+TEST(EvalPredicateTest, NullCountsAsNotTrue) {
+  const RowBinding binding;
+  const ExprPtr null_cmp =
+      Bin(BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Int(1)));
+  EXPECT_FALSE(EvalPredicate(*null_cmp, binding, nullptr).value());
+  EXPECT_TRUE(EvalPredicate(*Lit(Value::Bool(true)), binding, nullptr)
+                  .value());
+}
+
+TEST(EvalPredicateTest, NonBooleanPredicateFails) {
+  const RowBinding binding;
+  EXPECT_FALSE(EvalPredicate(*Lit(Value::Int(1)), binding, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace eve

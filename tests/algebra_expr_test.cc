@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "algebra/expr.h"
+
+namespace eve {
+namespace {
+
+ExprPtr Col(const std::string& rel, const std::string& attr) {
+  return Expr::Column(AttributeRef{rel, attr});
+}
+
+TEST(ExprTest, BuildersSetKinds) {
+  EXPECT_EQ(Col("R", "a")->kind(), ExprKind::kColumn);
+  EXPECT_EQ(Expr::Lit(Value::Int(1))->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(Expr::Unary(UnaryOp::kNot, Expr::Lit(Value::Bool(true)))->kind(),
+            ExprKind::kUnary);
+  EXPECT_EQ(Expr::Binary(BinaryOp::kAdd, Expr::Lit(Value::Int(1)),
+                         Expr::Lit(Value::Int(2)))
+                ->kind(),
+            ExprKind::kBinary);
+  EXPECT_EQ(Expr::Func("f", {Col("R", "a")})->kind(),
+            ExprKind::kFunctionCall);
+}
+
+TEST(ExprTest, ToStringRendersInfix) {
+  const ExprPtr expr = Expr::Binary(
+      BinaryOp::kEq, Col("Customer", "Name"), Col("FlightRes", "PName"));
+  EXPECT_EQ(expr->ToString(), "(Customer.Name = FlightRes.PName)");
+}
+
+TEST(ExprTest, CollectColumnsWalksTree) {
+  const ExprPtr expr = Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "b")),
+      Expr::Binary(BinaryOp::kGt, Col("R", "c"), Expr::Lit(Value::Int(1))));
+  std::vector<AttributeRef> cols;
+  expr->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], (AttributeRef{"R", "a"}));
+  EXPECT_EQ(cols[1], (AttributeRef{"S", "b"}));
+  EXPECT_EQ(cols[2], (AttributeRef{"R", "c"}));
+}
+
+TEST(ExprTest, ReferencedRelationsDeduplicates) {
+  const ExprPtr expr = Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "b")),
+      Expr::Binary(BinaryOp::kEq, Col("R", "c"), Col("S", "d")));
+  EXPECT_EQ(expr->ReferencedRelations(),
+            (std::vector<std::string>{"R", "S"}));
+}
+
+TEST(ExprTest, EqualsIsStructural) {
+  const ExprPtr a =
+      Expr::Binary(BinaryOp::kEq, Col("R", "a"), Expr::Lit(Value::Int(1)));
+  const ExprPtr b =
+      Expr::Binary(BinaryOp::kEq, Col("R", "a"), Expr::Lit(Value::Int(1)));
+  const ExprPtr c =
+      Expr::Binary(BinaryOp::kEq, Col("R", "a"), Expr::Lit(Value::Int(2)));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*Col("R", "a")));
+}
+
+TEST(ExprTest, EqualsDistinguishesOpsAndFunctions) {
+  const ExprPtr add =
+      Expr::Binary(BinaryOp::kAdd, Col("R", "a"), Col("R", "b"));
+  const ExprPtr sub =
+      Expr::Binary(BinaryOp::kSub, Col("R", "a"), Col("R", "b"));
+  EXPECT_FALSE(add->Equals(*sub));
+  EXPECT_FALSE(Expr::Func("f", {Col("R", "a")})
+                   ->Equals(*Expr::Func("g", {Col("R", "a")})));
+}
+
+TEST(ExprTest, SubstituteColumnReplacesAllOccurrences) {
+  const ExprPtr expr = Expr::Binary(
+      BinaryOp::kAdd, Col("R", "a"),
+      Expr::Binary(BinaryOp::kMul, Col("R", "a"), Expr::Lit(Value::Int(2))));
+  const ExprPtr replaced =
+      expr->SubstituteColumn(AttributeRef{"R", "a"}, Col("S", "b"));
+  EXPECT_EQ(replaced->ToString(), "(S.b + (S.b * 2))");
+  // Original untouched (immutability).
+  EXPECT_EQ(expr->ToString(), "(R.a + (R.a * 2))");
+}
+
+TEST(ExprTest, SubstituteColumnCanInsertExpressions) {
+  const ExprPtr expr = Col("Customer", "Age");
+  const ExprPtr f = Expr::Binary(
+      BinaryOp::kDiv,
+      Expr::Binary(BinaryOp::kSub, Expr::Lit(Value::Int(100)),
+                   Col("Ins", "Birthday")),
+      Expr::Lit(Value::Int(365)));
+  const ExprPtr replaced =
+      expr->SubstituteColumn(AttributeRef{"Customer", "Age"}, f);
+  EXPECT_TRUE(replaced->Equals(*f));
+}
+
+TEST(ExprTest, TransformColumnsRenamesRelations) {
+  const ExprPtr expr =
+      Expr::Binary(BinaryOp::kEq, Col("Old", "a"), Col("Other", "b"));
+  const ExprPtr renamed =
+      expr->TransformColumns([](const AttributeRef& ref) -> AttributeRef {
+        if (ref.relation == "Old") return {"New", ref.attribute};
+        return ref;
+      });
+  EXPECT_EQ(renamed->ToString(), "(New.a = Other.b)");
+}
+
+TEST(ExprTest, FlattenConjunctionSplitsAndSpine) {
+  const ExprPtr a = Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "b"));
+  const ExprPtr b = Expr::Binary(BinaryOp::kGt, Col("R", "c"),
+                                 Expr::Lit(Value::Int(1)));
+  const ExprPtr c = Expr::Binary(BinaryOp::kLt, Col("S", "d"),
+                                 Expr::Lit(Value::Int(9)));
+  const ExprPtr conj = Expr::Binary(
+      BinaryOp::kAnd, Expr::Binary(BinaryOp::kAnd, a, b), c);
+  std::vector<ExprPtr> flat;
+  FlattenConjunction(conj, &flat);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_TRUE(flat[0]->Equals(*a));
+  EXPECT_TRUE(flat[1]->Equals(*b));
+  EXPECT_TRUE(flat[2]->Equals(*c));
+}
+
+TEST(ExprTest, FlattenConjunctionStopsAtOr) {
+  const ExprPtr disj = Expr::Binary(
+      BinaryOp::kOr, Expr::Lit(Value::Bool(true)),
+      Expr::Lit(Value::Bool(false)));
+  std::vector<ExprPtr> flat;
+  FlattenConjunction(disj, &flat);
+  EXPECT_EQ(flat.size(), 1u);
+}
+
+TEST(ExprTest, MakeConjunctionRoundTrips) {
+  const ExprPtr a = Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "b"));
+  const ExprPtr b = Expr::Binary(BinaryOp::kGt, Col("R", "c"),
+                                 Expr::Lit(Value::Int(1)));
+  const ExprPtr conj = MakeConjunction({a, b});
+  std::vector<ExprPtr> flat;
+  FlattenConjunction(conj, &flat);
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_TRUE(flat[0]->Equals(*a));
+  EXPECT_TRUE(flat[1]->Equals(*b));
+}
+
+TEST(ExprTest, MakeConjunctionEmptyIsTrue) {
+  const ExprPtr conj = MakeConjunction({});
+  ASSERT_EQ(conj->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(conj->literal(), Value::Bool(true));
+}
+
+TEST(ExprTest, ClausesEquivalentHandlesSymmetry) {
+  const ExprPtr ab = Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "b"));
+  const ExprPtr ba = Expr::Binary(BinaryOp::kEq, Col("S", "b"), Col("R", "a"));
+  EXPECT_TRUE(ClausesEquivalent(*ab, *ba));
+  EXPECT_TRUE(ClausesEquivalent(*ab, *ab));
+}
+
+TEST(ExprTest, ClausesEquivalentFlipsInequalities) {
+  const ExprPtr lt = Expr::Binary(BinaryOp::kLt, Col("R", "a"), Col("S", "b"));
+  const ExprPtr gt = Expr::Binary(BinaryOp::kGt, Col("S", "b"), Col("R", "a"));
+  const ExprPtr ge = Expr::Binary(BinaryOp::kGe, Col("S", "b"), Col("R", "a"));
+  EXPECT_TRUE(ClausesEquivalent(*lt, *gt));
+  EXPECT_FALSE(ClausesEquivalent(*lt, *ge));
+}
+
+TEST(ExprTest, ClausesEquivalentRejectsDifferentOperands) {
+  const ExprPtr a = Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "b"));
+  const ExprPtr b = Expr::Binary(BinaryOp::kEq, Col("R", "a"), Col("S", "c"));
+  EXPECT_FALSE(ClausesEquivalent(*a, *b));
+}
+
+TEST(ExprTest, FlipComparison) {
+  EXPECT_EQ(FlipComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(FlipComparison(BinaryOp::kLe), BinaryOp::kGe);
+  EXPECT_EQ(FlipComparison(BinaryOp::kGt), BinaryOp::kLt);
+  EXPECT_EQ(FlipComparison(BinaryOp::kGe), BinaryOp::kLe);
+  EXPECT_EQ(FlipComparison(BinaryOp::kEq), BinaryOp::kEq);
+  EXPECT_EQ(FlipComparison(BinaryOp::kNe), BinaryOp::kNe);
+}
+
+TEST(ExprTest, IsComparisonOp) {
+  EXPECT_TRUE(IsComparisonOp(BinaryOp::kEq));
+  EXPECT_TRUE(IsComparisonOp(BinaryOp::kGe));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAdd));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAnd));
+}
+
+TEST(ExprTest, ColumnsEqualHelper) {
+  const ExprPtr eq =
+      Expr::ColumnsEqual(AttributeRef{"R", "a"}, AttributeRef{"S", "b"});
+  EXPECT_EQ(eq->ToString(), "(R.a = S.b)");
+}
+
+}  // namespace
+}  // namespace eve

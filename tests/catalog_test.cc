@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace eve {
+namespace {
+
+RelationDef Rel(std::string source, std::string name,
+                std::vector<AttributeDef> attrs) {
+  RelationDef def;
+  def.source = std::move(source);
+  def.name = std::move(name);
+  def.schema = Schema(std::move(attrs));
+  return def;
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddRelation(Rel("IS1", "Customer", {{"Name", DataType::kString},
+                                                  {"Age", DataType::kInt}}))
+          .ok());
+  EXPECT_TRUE(catalog.HasRelation("Customer"));
+  EXPECT_FALSE(catalog.HasRelation("Nope"));
+  EXPECT_TRUE(catalog.HasAttribute({"Customer", "Name"}));
+  EXPECT_FALSE(catalog.HasAttribute({"Customer", "Nope"}));
+  EXPECT_EQ(catalog.TypeOf({"Customer", "Age"}).value(), DataType::kInt);
+  EXPECT_FALSE(catalog.TypeOf({"Customer", "Nope"}).ok());
+  EXPECT_FALSE(catalog.TypeOf({"Nope", "Name"}).ok());
+  EXPECT_EQ(catalog.GetRelation("Customer").value()->QualifiedName(),
+            "IS1.Customer");
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndEmptyNames) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "R", {{"a", DataType::kInt}}))
+                  .ok());
+  EXPECT_EQ(catalog.AddRelation(Rel("IS2", "R", {{"b", DataType::kInt}}))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.AddRelation(Rel("IS1", "", {})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddRelation(Rel("", "S", {})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, SameNameSameTypeConventionEnforced) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddRelation(Rel("IS1", "A", {{"Name", DataType::kString}}))
+          .ok());
+  // Same attribute name with a different type in another relation: rejected.
+  EXPECT_EQ(
+      catalog.AddRelation(Rel("IS2", "B", {{"Name", DataType::kInt}})).code(),
+      StatusCode::kTypeError);
+  // Same type: fine.
+  EXPECT_TRUE(
+      catalog.AddRelation(Rel("IS2", "C", {{"Name", DataType::kString}}))
+          .ok());
+}
+
+TEST(CatalogTest, DropRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "R", {{"a", DataType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(catalog.DropRelation("R").ok());
+  EXPECT_FALSE(catalog.HasRelation("R"));
+  EXPECT_EQ(catalog.DropRelation("R").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RenameRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "R", {{"a", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "S", {{"b", DataType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(catalog.RenameRelation("R", "R2").ok());
+  EXPECT_TRUE(catalog.HasRelation("R2"));
+  EXPECT_FALSE(catalog.HasRelation("R"));
+  // Name clash and missing-source errors.
+  EXPECT_EQ(catalog.RenameRelation("R2", "S").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.RenameRelation("gone", "X").code(),
+            StatusCode::kNotFound);
+  // Renaming to itself is a no-op.
+  EXPECT_TRUE(catalog.RenameRelation("R2", "R2").ok());
+}
+
+TEST(CatalogTest, AddAttribute) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "R", {{"a", DataType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(catalog.AddAttribute("R", {"b", DataType::kString}).ok());
+  EXPECT_TRUE(catalog.HasAttribute({"R", "b"}));
+  EXPECT_EQ(catalog.AddAttribute("R", {"b", DataType::kString}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.AddAttribute("gone", {"c", DataType::kInt}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropAttribute) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(Rel("IS1", "R",
+                                   {{"a", DataType::kInt},
+                                    {"b", DataType::kString}}))
+                  .ok());
+  EXPECT_TRUE(catalog.DropAttribute("R", "a").ok());
+  EXPECT_FALSE(catalog.HasAttribute({"R", "a"}));
+  EXPECT_TRUE(catalog.HasAttribute({"R", "b"}));
+  EXPECT_EQ(catalog.DropAttribute("R", "a").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropAttributeUpdatesOrderConstraint) {
+  Catalog catalog;
+  RelationDef def = Rel("IS1", "R",
+                        {{"a", DataType::kInt}, {"b", DataType::kInt}});
+  def.ordered_by = {"a", "b"};
+  ASSERT_TRUE(catalog.AddRelation(def).ok());
+  ASSERT_TRUE(catalog.DropAttribute("R", "a").ok());
+  EXPECT_EQ(catalog.GetRelation("R").value()->ordered_by,
+            (std::vector<std::string>{"b"}));
+}
+
+TEST(CatalogTest, OrderConstraintMustReferenceKnownAttributes) {
+  Catalog catalog;
+  RelationDef def = Rel("IS1", "R", {{"a", DataType::kInt}});
+  def.ordered_by = {"zz"};
+  EXPECT_EQ(catalog.AddRelation(def).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, RenameAttribute) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(Rel("IS1", "R",
+                                   {{"a", DataType::kInt},
+                                    {"b", DataType::kString}}))
+                  .ok());
+  EXPECT_TRUE(catalog.RenameAttribute("R", "a", "a2").ok());
+  EXPECT_TRUE(catalog.HasAttribute({"R", "a2"}));
+  EXPECT_FALSE(catalog.HasAttribute({"R", "a"}));
+  EXPECT_EQ(catalog.RenameAttribute("R", "a2", "b").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.RenameAttribute("R", "gone", "x").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RenameAttributeChecksCrossRelationTypes) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddRelation(Rel("IS1", "A", {{"Name", DataType::kString}}))
+          .ok());
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS2", "B", {{"x", DataType::kInt}}))
+                  .ok());
+  // Renaming B.x to "Name" would violate same-name-same-type.
+  EXPECT_EQ(catalog.RenameAttribute("B", "x", "Name").code(),
+            StatusCode::kTypeError);
+}
+
+TEST(CatalogTest, RelationNamesSortedAndSourceFilter) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS2", "B", {{"b", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "A", {{"a", DataType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(catalog.AddRelation(Rel("IS1", "C", {{"c", DataType::kInt}}))
+                  .ok());
+  EXPECT_EQ(catalog.RelationNames(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(catalog.RelationsOfSource("IS1"),
+            (std::vector<std::string>{"A", "C"}));
+  EXPECT_EQ(catalog.NumRelations(), 3u);
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "cvs/implication.h"
+#include "cvs/r_mapping.h"
+#include "esql/binder.h"
+#include "mkb/builder.h"
+#include "sql/parser.h"
+
+namespace eve {
+namespace {
+
+std::vector<ExprPtr> P(std::string_view text) {
+  return ParseConjunction(text).value();
+}
+ExprPtr E(std::string_view text) { return ParseExpression(text).value(); }
+
+// --- Equalities -----------------------------------------------------------------
+
+TEST(ImplicationTest, DirectEquality) {
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = B.y"), *E("A.x = B.y")));
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = B.y"), *E("B.y = A.x")));
+  EXPECT_FALSE(ConjunctionImplies(P("A.x = B.y"), *E("A.x = C.z")));
+}
+
+TEST(ImplicationTest, TransitiveEquality) {
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = B.y AND B.y = C.z"),
+                                 *E("A.x = C.z")));
+  EXPECT_TRUE(ConjunctionImplies(
+      P("A.x = B.y AND B.y = C.z AND C.z = D.w"), *E("D.w = A.x")));
+  EXPECT_FALSE(ConjunctionImplies(P("A.x = B.y AND C.z = D.w"),
+                                  *E("A.x = C.z")));
+}
+
+TEST(ImplicationTest, EqualityThroughSharedConstant) {
+  EXPECT_TRUE(
+      ConjunctionImplies(P("A.x = 5 AND B.y = 5"), *E("A.x = B.y")));
+  EXPECT_FALSE(
+      ConjunctionImplies(P("A.x = 5 AND B.y = 6"), *E("A.x = B.y")));
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = 'Asia' AND B.y = 'Asia'"),
+                                 *E("A.x = B.y")));
+}
+
+TEST(ImplicationTest, EqualityToConstant) {
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = B.y AND B.y = 7"), *E("A.x = 7")));
+  EXPECT_FALSE(ConjunctionImplies(P("A.x = B.y"), *E("A.x = 7")));
+}
+
+// --- Comparisons -----------------------------------------------------------------
+
+TEST(ImplicationTest, DirectComparison) {
+  EXPECT_TRUE(ConjunctionImplies(P("A.x < B.y"), *E("A.x < B.y")));
+  EXPECT_TRUE(ConjunctionImplies(P("A.x < B.y"), *E("B.y > A.x")));
+  EXPECT_TRUE(ConjunctionImplies(P("A.x < B.y"), *E("A.x <= B.y")));
+  EXPECT_TRUE(ConjunctionImplies(P("A.x < B.y"), *E("A.x <> B.y")));
+  EXPECT_FALSE(ConjunctionImplies(P("A.x <= B.y"), *E("A.x < B.y")));
+}
+
+TEST(ImplicationTest, ComparisonThroughEqualityClasses) {
+  // A.x = A2.x and A2.x < B.y implies A.x < B.y.
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = A2.x AND A2.x < B.y"),
+                                 *E("A.x < B.y")));
+}
+
+TEST(ImplicationTest, ConstantBoundStrengthening) {
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age > 5"), *E("C.Age > 1")));
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age > 5"), *E("C.Age >= 5")));
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age >= 6"), *E("C.Age > 5")));
+  EXPECT_FALSE(ConjunctionImplies(P("C.Age > 1"), *E("C.Age > 5")));
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age < 3"), *E("C.Age < 10")));
+  EXPECT_FALSE(ConjunctionImplies(P("C.Age < 10"), *E("C.Age < 3")));
+  EXPECT_TRUE(ConjunctionImplies(P("1 < C.Age"), *E("C.Age > 0")));
+}
+
+TEST(ImplicationTest, EqualityImpliesBounds) {
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age = 30"), *E("C.Age > 1")));
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age = 30"), *E("C.Age <= 30")));
+  EXPECT_TRUE(ConjunctionImplies(P("C.Age = 30"), *E("C.Age <> 7")));
+  EXPECT_FALSE(ConjunctionImplies(P("C.Age = 30"), *E("C.Age > 31")));
+}
+
+TEST(ImplicationTest, ConstantConclusionEvaluates) {
+  EXPECT_TRUE(ConjunctionImplies(P("A.x = 1"), *E("2 > 1")));
+  EXPECT_FALSE(ConjunctionImplies(P("A.x = 1"), *E("1 > 2")));
+}
+
+// --- Soundness boundaries ----------------------------------------------------------
+
+TEST(ImplicationTest, StaysConservative) {
+  // Unknown columns: nothing can be concluded.
+  EXPECT_FALSE(ConjunctionImplies(P("A.x = 1"), *E("Z.q = 1")));
+  // Complex expressions fall back to equivalence only.
+  EXPECT_TRUE(ConjunctionImplies(P("A.x + 1 = B.y"), *E("A.x + 1 = B.y")));
+  EXPECT_FALSE(ConjunctionImplies(P("A.x + 1 = B.y"), *E("A.x = B.y - 1")));
+  // Ne is not transitive.
+  EXPECT_FALSE(ConjunctionImplies(P("A.x <> B.y AND B.y <> C.z"),
+                                  *E("A.x <> C.z")));
+}
+
+TEST(ImplicationTest, EmptyPremisesImplyOnlyTautologies) {
+  EXPECT_TRUE(ConjunctionImplies({}, *E("1 = 1")));
+  EXPECT_FALSE(ConjunctionImplies({}, *E("A.x = A.x")));  // conservative
+}
+
+// --- R-mapping integration -----------------------------------------------------
+
+TEST(SemanticRMappingTest, ConstantBridgedJoinConstraintAbsorbs) {
+  // The view pins both join attributes to the same constant instead of
+  // writing the join clause; the JC is semantically implied.
+  Mkb mkb;
+  RelationDef a;
+  a.source = "IS1";
+  a.name = "A";
+  a.schema = Schema({{"x", DataType::kInt}, {"p", DataType::kInt}});
+  ASSERT_TRUE(mkb.AddRelation(a).ok());
+  RelationDef b;
+  b.source = "IS2";
+  b.name = "B";
+  b.schema = Schema({{"y", DataType::kInt}, {"q", DataType::kInt}});
+  ASSERT_TRUE(mkb.AddRelation(b).ok());
+  ASSERT_TRUE(AddJoinConstraintText(&mkb, "J", "A", "B", "A.x = B.y").ok());
+
+  const ViewDefinition view = ParseAndBindView(
+      "CREATE VIEW V AS SELECT A.p, B.q FROM A, B "
+      "WHERE A.x = 5 AND B.y = 5",
+      mkb.catalog())
+                                  .value();
+  const RMapping mapping = ComputeRMapping(view, "A", mkb).value();
+  EXPECT_EQ(mapping.relations, (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ(mapping.min_edges.size(), 1u);
+  EXPECT_EQ(mapping.min_edges[0].id, "J");
+  // Nothing consumed: both constant clauses stay in the view.
+  EXPECT_TRUE(mapping.consumed_conditions.empty());
+  EXPECT_EQ(mapping.local_conditions.size(), 2u);
+}
+
+TEST(SemanticRMappingTest, LocalClauseOfJcImpliedByStrongerBound) {
+  // JC2-style constraint: crossing equality + "Age > 1". The view writes
+  // the equality and a STRONGER bound (Age > 30): the JC is implied.
+  Mkb mkb;
+  RelationDef c;
+  c.source = "IS1";
+  c.name = "C";
+  c.schema = Schema({{"Name", DataType::kString}, {"Age", DataType::kInt}});
+  ASSERT_TRUE(mkb.AddRelation(c).ok());
+  RelationDef i;
+  i.source = "IS2";
+  i.name = "I";
+  i.schema = Schema({{"Holder", DataType::kString}});
+  ASSERT_TRUE(mkb.AddRelation(i).ok());
+  ASSERT_TRUE(AddJoinConstraintText(&mkb, "J", "C", "I",
+                                    "C.Name = I.Holder AND C.Age > 1")
+                  .ok());
+  const ViewDefinition view = ParseAndBindView(
+      "CREATE VIEW V AS SELECT C.Name FROM C, I "
+      "WHERE C.Name = I.Holder AND C.Age > 30",
+      mkb.catalog())
+                                  .value();
+  const RMapping mapping = ComputeRMapping(view, "C", mkb).value();
+  EXPECT_EQ(mapping.relations, (std::vector<std::string>{"C", "I"}));
+  // The equality clause was consumed; "Age > 30" stays local.
+  EXPECT_EQ(mapping.consumed_conditions.size(), 1u);
+  EXPECT_EQ(mapping.local_conditions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eve

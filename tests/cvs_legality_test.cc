@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "cvs/legality.h"
+#include "esql/binder.h"
+#include "sql/parser.h"
+#include "mkb/evolution.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+class LegalityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mkb_ = MakeTravelAgencyMkb().MoveValue();
+    const auto evolution =
+        EvolveMkb(mkb_, CapabilityChange::DeleteRelation("Customer"))
+            .value();
+    mkb_prime_ = evolution.mkb;
+    change_ = CapabilityChange::DeleteRelation("Customer");
+    old_view_ = ParseAndBindView(
+                    "CREATE VIEW V AS SELECT C.Name (false, true), "
+                    "F.Airline (true, true) "
+                    "FROM Customer C (true, true), FlightRes F "
+                    "WHERE (C.Name = F.PName) (false, true) "
+                    "AND (F.Dest = 'Asia') (false, false)",
+                    mkb_.catalog())
+                    .MoveValue();
+  }
+
+  // The natural legal rewriting: Name replaced by FlightRes.PName.
+  ViewDefinition GoodRewriting() {
+    return ParseAndBindView(
+               "CREATE VIEW V2 AS SELECT F.PName AS Name (false, true), "
+               "F.Airline (true, true) FROM FlightRes F "
+               "WHERE (F.Dest = 'Asia') (false, false)",
+               mkb_prime_.catalog())
+        .MoveValue();
+  }
+
+  std::map<AttributeRef, ExprPtr> NameSubstitution() {
+    std::map<AttributeRef, ExprPtr> map;
+    map.emplace(AttributeRef{"Customer", "Name"},
+                Expr::Column(AttributeRef{"FlightRes", "PName"}));
+    return map;
+  }
+
+  Mkb mkb_;
+  Mkb mkb_prime_;
+  CapabilityChange change_;
+  ViewDefinition old_view_;
+};
+
+TEST_F(LegalityTest, GoodRewritingPassesAll) {
+  const LegalityReport report =
+      CheckLegality(old_view_, GoodRewriting(), change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_TRUE(report.p1_unaffected);
+  EXPECT_TRUE(report.p2_evaluable);
+  EXPECT_TRUE(report.p3_extent);
+  EXPECT_TRUE(report.p4_parameters);
+  EXPECT_TRUE(report.legal());
+  EXPECT_TRUE(report.violations.empty()) << report.ToString();
+}
+
+TEST_F(LegalityTest, P1FailsWhenDeletedRelationStillReferenced) {
+  // "Rewriting" that still uses Customer.
+  const LegalityReport report =
+      CheckLegality(old_view_, old_view_, change_, mkb_prime_,
+                    ExtentRelation::kEqual, {});
+  EXPECT_FALSE(report.p1_unaffected);
+  // And P2 fails too: Customer is gone from MKB'.
+  EXPECT_FALSE(report.p2_evaluable);
+  EXPECT_FALSE(report.legal());
+}
+
+TEST_F(LegalityTest, P2FailsOnUnknownAttribute) {
+  // Hand-build a view over a relation that exists but with a bad attr.
+  ViewDefinition broken = GoodRewriting();
+  (*broken.mutable_select())[0].expr =
+      Expr::Column(AttributeRef{"FlightRes", "Ghost"});
+  const LegalityReport report =
+      CheckLegality(old_view_, broken, change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_TRUE(report.p1_unaffected);
+  EXPECT_FALSE(report.p2_evaluable);
+}
+
+TEST_F(LegalityTest, P3FollowsInferredExtent) {
+  ViewDefinition old_with_ve = old_view_;
+  old_with_ve.set_extent(ViewExtent::kSuperset);
+  const LegalityReport ok =
+      CheckLegality(old_with_ve, GoodRewriting(), change_, mkb_prime_,
+                    ExtentRelation::kSuperset, NameSubstitution());
+  EXPECT_TRUE(ok.p3_extent);
+  const LegalityReport bad =
+      CheckLegality(old_with_ve, GoodRewriting(), change_, mkb_prime_,
+                    ExtentRelation::kUnknown, NameSubstitution());
+  EXPECT_FALSE(bad.p3_extent);
+  EXPECT_FALSE(bad.legal());
+}
+
+TEST_F(LegalityTest, P4IndispensableAttributeMustSurvive) {
+  // Remove the Name item from the rewriting.
+  ViewDefinition missing = GoodRewriting();
+  missing.mutable_select()->erase(missing.mutable_select()->begin());
+  const LegalityReport report =
+      CheckLegality(old_view_, missing, change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_FALSE(report.p4_parameters);
+}
+
+TEST_F(LegalityTest, P4DispensableAttributeMayVanish) {
+  // Dropping the dispensable Airline item is fine.
+  ViewDefinition narrowed = GoodRewriting();
+  narrowed.mutable_select()->pop_back();
+  const LegalityReport report =
+      CheckLegality(old_view_, narrowed, change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_TRUE(report.p4_parameters) << report.ToString();
+}
+
+TEST_F(LegalityTest, P4NonReplaceableAttributeMustStayVerbatim) {
+  // Make Airline non-replaceable in the old view, then change it in the
+  // rewriting.
+  ViewDefinition old_rigid = old_view_;
+  (*old_rigid.mutable_select())[1].params = EvolutionParams{false, false};
+  ViewDefinition changed = GoodRewriting();
+  (*changed.mutable_select())[1].expr =
+      Expr::Column(AttributeRef{"FlightRes", "Source"});
+  const LegalityReport report =
+      CheckLegality(old_rigid, changed, change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_FALSE(report.p4_parameters);
+}
+
+TEST_F(LegalityTest, P4IndispensableConditionMustSurvive) {
+  // (F.Dest = 'Asia') is indispensable & non-replaceable; dropping it
+  // violates P4.
+  ViewDefinition missing_cond = GoodRewriting();
+  missing_cond.mutable_where()->clear();
+  const LegalityReport report =
+      CheckLegality(old_view_, missing_cond, change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_FALSE(report.p4_parameters);
+}
+
+TEST_F(LegalityTest, P4NonReplaceableConditionMustStayVerbatim) {
+  ViewDefinition tweaked = GoodRewriting();
+  (*tweaked.mutable_where())[0].clause =
+      ParseConjunction("FlightRes.Dest = 'Europe'").value()[0];
+  // Old condition (Dest='Asia') is (false,false): changing it = violation;
+  // also the original indispensable condition is now missing.
+  const LegalityReport report =
+      CheckLegality(old_view_, tweaked, change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_FALSE(report.p4_parameters);
+}
+
+TEST_F(LegalityTest, P4IndispensableRelationMustSurvive) {
+  // FlightRes is indispensable (default params); drop it from the
+  // rewriting's FROM (hand-built, degenerate).
+  ViewDefinition no_flightres = ParseAndBindView(
+      "CREATE VIEW V2 AS SELECT P.Participant AS Name FROM Participant P",
+      mkb_prime_.catalog())
+                                    .value();
+  const LegalityReport report =
+      CheckLegality(old_view_, no_flightres, change_, mkb_prime_,
+                    ExtentRelation::kEqual, {});
+  EXPECT_FALSE(report.p4_parameters);
+}
+
+TEST_F(LegalityTest, P4NonReplaceableDeletedRelationIsFatal) {
+  ViewDefinition old_rigid = old_view_;
+  (*old_rigid.mutable_from())[0].params = EvolutionParams{false, false};
+  const LegalityReport report =
+      CheckLegality(old_rigid, GoodRewriting(), change_, mkb_prime_,
+                    ExtentRelation::kEqual, NameSubstitution());
+  EXPECT_FALSE(report.p4_parameters);
+}
+
+TEST_F(LegalityTest, DeleteAttributeP1Check) {
+  const CapabilityChange attr_change =
+      CapabilityChange::DeleteAttribute("FlightRes", "Airline");
+  // GoodRewriting still selects Airline -> P1 fails for that change.
+  const auto evolution = EvolveMkb(mkb_, attr_change).value();
+  const LegalityReport report =
+      CheckLegality(old_view_, GoodRewriting(), attr_change, evolution.mkb,
+                    ExtentRelation::kEqual, {});
+  EXPECT_FALSE(report.p1_unaffected);
+}
+
+TEST_F(LegalityTest, ReportToStringListsViolations) {
+  const LegalityReport report =
+      CheckLegality(old_view_, old_view_, change_, mkb_prime_,
+                    ExtentRelation::kUnknown, {});
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("P1=FAIL"), std::string::npos);
+  EXPECT_NE(text.find("P2=FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "cvs/r_mapping.h"
+#include "esql/binder.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+class RMappingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mkb_ = MakeTravelAgencyMkb().MoveValue();
+    view_ = ParseAndBindView(CustomerPassengersAsiaSql(), mkb_.catalog())
+                .MoveValue();
+  }
+  Mkb mkb_;
+  ViewDefinition view_;
+};
+
+// Paper Ex. 8: Min(H_Customer) = FlightRes ⋈_JC1 Customer and
+// Max(V_Customer) adds the selection FlightRes.Dest = 'Asia'.
+TEST_F(RMappingTest, PaperExample8) {
+  const RMapping mapping =
+      ComputeRMapping(view_, "Customer", mkb_).value();
+  EXPECT_EQ(mapping.relation, "Customer");
+  EXPECT_EQ(mapping.relations,
+            (std::vector<std::string>{"Customer", "FlightRes"}));
+  ASSERT_EQ(mapping.min_edges.size(), 1u);
+  EXPECT_EQ(mapping.min_edges[0].id, "JC1");
+  // Condition 0 (C.Name = F.PName) is consumed by JC1.
+  EXPECT_EQ(mapping.consumed_conditions, (std::vector<size_t>{0}));
+  // Condition 1 (F.Dest = 'Asia') is local: the C_{Max/Min} selection.
+  EXPECT_EQ(mapping.local_conditions, (std::vector<size_t>{1}));
+  // Conditions 2 and 3 touch Participant: C_Rest.
+  EXPECT_EQ(mapping.rest_conditions, (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(mapping.rest_relations,
+            (std::vector<std::string>{"Participant"}));
+}
+
+TEST_F(RMappingTest, ParticipantNotAbsorbedWithoutImpliedJc) {
+  // JC3 (Customer.Name = Participant.Participant) is NOT implied by the
+  // view's WHERE clause, so Participant stays outside Max(V_R).
+  const RMapping mapping =
+      ComputeRMapping(view_, "Customer", mkb_).value();
+  EXPECT_EQ(std::find(mapping.relations.begin(), mapping.relations.end(),
+                      "Participant"),
+            mapping.relations.end());
+}
+
+TEST_F(RMappingTest, MappingForFlightResAbsorbsCustomer) {
+  const RMapping mapping =
+      ComputeRMapping(view_, "FlightRes", mkb_).value();
+  EXPECT_EQ(mapping.relations,
+            (std::vector<std::string>{"Customer", "FlightRes"}));
+  EXPECT_EQ(mapping.min_edges[0].id, "JC1");
+}
+
+TEST_F(RMappingTest, MappingForParticipantIsSingleton) {
+  // No MKB JC between Participant and the others is implied by the view.
+  const RMapping mapping =
+      ComputeRMapping(view_, "Participant", mkb_).value();
+  EXPECT_EQ(mapping.relations, (std::vector<std::string>{"Participant"}));
+  EXPECT_TRUE(mapping.min_edges.empty());
+  // All four conditions: 0 crosses to Customer/FlightRes -> rest;
+  // 1 is FlightRes-only -> rest; 2 crosses -> rest; 3 is local.
+  EXPECT_EQ(mapping.local_conditions, (std::vector<size_t>{3}));
+  EXPECT_EQ(mapping.rest_conditions, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST_F(RMappingTest, MultiClauseJcRequiresAllClauses) {
+  // A view joining Customer and Accident-Ins on Holder alone does not
+  // imply JC2 (which also requires Customer.Age > 1).
+  const ViewDefinition partial = ParseAndBindView(
+      "CREATE VIEW V AS SELECT C.Name FROM Customer C, \"Accident-Ins\" A "
+      "WHERE C.Name = A.Holder",
+      mkb_.catalog())
+                                     .value();
+  const RMapping mapping =
+      ComputeRMapping(partial, "Customer", mkb_).value();
+  EXPECT_EQ(mapping.relations, (std::vector<std::string>{"Customer"}));
+
+  const ViewDefinition full = ParseAndBindView(
+      "CREATE VIEW V AS SELECT C.Name FROM Customer C, \"Accident-Ins\" A "
+      "WHERE C.Name = A.Holder AND C.Age > 1",
+      mkb_.catalog())
+                                  .value();
+  const RMapping full_mapping =
+      ComputeRMapping(full, "Customer", mkb_).value();
+  EXPECT_EQ(full_mapping.relations,
+            (std::vector<std::string>{"Accident-Ins", "Customer"}));
+  EXPECT_EQ(full_mapping.min_edges[0].id, "JC2");
+  // Both clauses were consumed.
+  EXPECT_EQ(full_mapping.consumed_conditions.size(), 2u);
+}
+
+TEST_F(RMappingTest, SymmetricClauseStillImpliesJc) {
+  // The view writes the join clause flipped: F.PName = C.Name.
+  const ViewDefinition flipped = ParseAndBindView(
+      "CREATE VIEW V AS SELECT C.Name FROM Customer C, FlightRes F "
+      "WHERE F.PName = C.Name",
+      mkb_.catalog())
+                                     .value();
+  const RMapping mapping =
+      ComputeRMapping(flipped, "Customer", mkb_).value();
+  EXPECT_EQ(mapping.relations,
+            (std::vector<std::string>{"Customer", "FlightRes"}));
+}
+
+TEST_F(RMappingTest, TransitiveClosureThroughChain) {
+  // Customer—Participant—Tour via JC3 and JC4 when both are spelled out.
+  const ViewDefinition chain = ParseAndBindView(
+      "CREATE VIEW V AS SELECT C.Name FROM Customer C, Participant P, "
+      "Tour T WHERE C.Name = P.Participant AND P.TourID = T.TourID",
+      mkb_.catalog())
+                                   .value();
+  const RMapping mapping = ComputeRMapping(chain, "Customer", mkb_).value();
+  EXPECT_EQ(mapping.relations,
+            (std::vector<std::string>{"Customer", "Participant", "Tour"}));
+  EXPECT_EQ(mapping.min_edges.size(), 2u);
+  EXPECT_EQ(mapping.consumed_conditions.size(), 2u);
+  EXPECT_TRUE(mapping.rest_relations.empty());
+}
+
+TEST_F(RMappingTest, ErrorsOnForeignRelation) {
+  EXPECT_FALSE(ComputeRMapping(view_, "Tour", mkb_).ok());
+  EXPECT_FALSE(ComputeRMapping(view_, "Nowhere", mkb_).ok());
+}
+
+TEST_F(RMappingTest, ToStringSmoke) {
+  const RMapping mapping =
+      ComputeRMapping(view_, "Customer", mkb_).value();
+  const std::string text = mapping.ToString();
+  EXPECT_NE(text.find("Customer"), std::string::npos);
+  EXPECT_NE(text.find("JC1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eve

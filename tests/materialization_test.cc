@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "eve/eve_system.h"
+#include "eve/materialization.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+// --- Table column operations ---------------------------------------------------
+
+TEST(TableColumnsTest, DropColumnRemovesSchemaAndValues) {
+  Table table(Schema({{"a", DataType::kInt}, {"b", DataType::kString}}));
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::String("x")}).ok());
+  ASSERT_TRUE(table.DropColumn("a").ok());
+  EXPECT_EQ(table.schema().size(), 1u);
+  EXPECT_EQ(table.rows()[0].size(), 1u);
+  EXPECT_EQ(table.rows()[0][0], Value::String("x"));
+  EXPECT_FALSE(table.DropColumn("a").ok());
+}
+
+TEST(TableColumnsTest, RenameColumn) {
+  Table table(Schema({{"a", DataType::kInt}, {"b", DataType::kString}}));
+  ASSERT_TRUE(table.RenameColumn("a", "a2").ok());
+  EXPECT_TRUE(table.schema().Contains("a2"));
+  EXPECT_EQ(table.RenameColumn("a2", "b").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(table.RenameColumn("gone", "x").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(table.RenameColumn("b", "b").ok());
+}
+
+TEST(TableColumnsTest, AddColumnFillsNulls) {
+  Table table(Schema({{"a", DataType::kInt}}));
+  ASSERT_TRUE(table.Insert({Value::Int(1)}).ok());
+  ASSERT_TRUE(table.AddColumn({"b", DataType::kString}).ok());
+  EXPECT_EQ(table.schema().size(), 2u);
+  EXPECT_TRUE(table.rows()[0][1].is_null());
+  EXPECT_EQ(table.AddColumn({"b", DataType::kString}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// --- ApplyChangeToDatabase ------------------------------------------------------
+
+class PhysicalChangeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mkb_ = MakeTravelAgencyMkb().MoveValue();
+    ASSERT_TRUE(PopulateTravelAgencyDatabase(mkb_, &db_, 20, 3).ok());
+  }
+  Mkb mkb_;
+  Database db_;
+};
+
+TEST_F(PhysicalChangeTest, DeleteRelationDropsTable) {
+  ASSERT_TRUE(ApplyChangeToDatabase(
+                  CapabilityChange::DeleteRelation("Customer"), &db_)
+                  .ok());
+  EXPECT_FALSE(db_.HasTable("Customer"));
+}
+
+TEST_F(PhysicalChangeTest, DeleteAttributeDropsColumn) {
+  ASSERT_TRUE(ApplyChangeToDatabase(
+                  CapabilityChange::DeleteAttribute("Customer", "Addr"),
+                  &db_)
+                  .ok());
+  const Table* customer = db_.GetTable("Customer").value();
+  EXPECT_FALSE(customer->schema().Contains("Addr"));
+  EXPECT_EQ(customer->rows()[0].size(), 3u);
+}
+
+TEST_F(PhysicalChangeTest, Renames) {
+  ASSERT_TRUE(ApplyChangeToDatabase(
+                  CapabilityChange::RenameRelation("Customer", "Client"),
+                  &db_)
+                  .ok());
+  EXPECT_TRUE(db_.HasTable("Client"));
+  ASSERT_TRUE(ApplyChangeToDatabase(
+                  CapabilityChange::RenameAttribute("Client", "Name",
+                                                    "FullName"),
+                  &db_)
+                  .ok());
+  EXPECT_TRUE(
+      db_.GetTable("Client").value()->schema().Contains("FullName"));
+}
+
+TEST_F(PhysicalChangeTest, AddRelationCreatesEmptyTable) {
+  RelationDef def;
+  def.source = "IS9";
+  def.name = "Cruise";
+  def.schema = Schema({{"CruiseID", DataType::kInt}});
+  ASSERT_TRUE(
+      ApplyChangeToDatabase(CapabilityChange::AddRelation(def), &db_).ok());
+  EXPECT_TRUE(db_.HasTable("Cruise"));
+  EXPECT_EQ(db_.GetTable("Cruise").value()->NumRows(), 0u);
+}
+
+TEST_F(PhysicalChangeTest, AddAttributeAppendsNullColumn) {
+  ASSERT_TRUE(ApplyChangeToDatabase(
+                  CapabilityChange::AddAttribute(
+                      "Customer", {"Email", DataType::kString}),
+                  &db_)
+                  .ok());
+  const Table* customer = db_.GetTable("Customer").value();
+  EXPECT_TRUE(customer->schema().Contains("Email"));
+  EXPECT_TRUE(customer->rows()[0].back().is_null());
+}
+
+TEST_F(PhysicalChangeTest, ErrorsPropagate) {
+  EXPECT_FALSE(ApplyChangeToDatabase(
+                   CapabilityChange::DeleteRelation("Nope"), &db_)
+                   .ok());
+  EXPECT_FALSE(ApplyChangeToDatabase(
+                   CapabilityChange::DeleteAttribute("Customer", "Nope"),
+                   &db_)
+                   .ok());
+}
+
+// --- End-to-end warehouse maintenance -------------------------------------------
+
+TEST(WarehouseTest, ViewStaysServableAcrossSourceDeparture) {
+  Mkb mkb = MakeTravelAgencyMkb().value();
+  ASSERT_TRUE(AddAccidentInsPc(&mkb).ok());
+  Database db;
+  ASSERT_TRUE(PopulateTravelAgencyDatabase(mkb, &db, 50, 11).ok());
+
+  EveSystem system(mkb);
+  ASSERT_TRUE(system.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+
+  const FunctionRegistry registry = FunctionRegistry::Default();
+  MaterializedViewStore store(&registry);
+  ASSERT_TRUE(store
+                  .Refresh(system.GetView("CustomerPassengersAsia")
+                               .value()
+                               ->definition,
+                           db, system.mkb().catalog())
+                  .ok());
+  const Table before = *store.Extent("CustomerPassengersAsia").value();
+  EXPECT_GT(before.NumRows(), 0u);
+
+  // The change hits the MKB, the view pool AND the physical data.
+  const CapabilityChange change =
+      CapabilityChange::DeleteRelation("Customer");
+  const ChangeReport report = system.ApplyChange(change).value();
+  ASSERT_EQ(report.CountOutcome(ViewOutcomeKind::kRewritten), 1u);
+  ASSERT_TRUE(ApplyChangeToDatabase(change, &db).ok());
+  EXPECT_FALSE(db.HasTable("Customer"));
+
+  // Refresh the rewritten view from the surviving sources only.
+  ASSERT_TRUE(store
+                  .Refresh(system.GetView("CustomerPassengersAsia")
+                               .value()
+                               ->definition,
+                           db, system.mkb().catalog())
+                  .ok());
+  const Table after = *store.Extent("CustomerPassengersAsia").value();
+  // PC-AI: the rewriting is complete — nothing lost on the common
+  // interface (here: all four columns survive via the covers).
+  EXPECT_TRUE(before.IsSubsetOf(after))
+      << "before:\n"
+      << before.ToString() << "after:\n"
+      << after.ToString();
+}
+
+TEST(WarehouseTest, StoreBookkeeping) {
+  MaterializedViewStore store;
+  EXPECT_FALSE(store.Has("v"));
+  EXPECT_FALSE(store.Extent("v").ok());
+  store.Drop("v");  // missing is fine
+  EXPECT_EQ(store.NumViews(), 0u);
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,272 @@
+// Property-style suites (parameterized over seeds and topologies):
+//  * print/parse/bind round-trips for generated views,
+//  * MKB-evolution invariants (no dangling references in MKB'),
+//  * CVS soundness: every returned rewriting independently satisfies
+//    P1/P2/P4 and evaluates over a populated database,
+//  * extent-inference soundness on constraint-consistent data: an inferred
+//    ⊇ is never contradicted empirically.
+
+#include <gtest/gtest.h>
+
+#include "cvs/cvs.h"
+#include "esql/binder.h"
+#include "esql/evaluator.h"
+#include "mkb/evolution.h"
+#include "mkb/serializer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/generator.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+enum class Topology { kChain, kStar, kGrid, kRandom };
+
+struct PropertyParam {
+  Topology topology;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name;
+  switch (info.param.topology) {
+    case Topology::kChain:
+      name = "Chain";
+      break;
+    case Topology::kStar:
+      name = "Star";
+      break;
+    case Topology::kGrid:
+      name = "Grid";
+      break;
+    case Topology::kRandom:
+      name = "Random";
+      break;
+  }
+  return name + "Seed" + std::to_string(info.param.seed);
+}
+
+Mkb BuildMkb(Topology topology, uint64_t seed) {
+  switch (topology) {
+    case Topology::kChain: {
+      ChainMkbSpec spec;
+      spec.length = 8;
+      spec.skip_edges = true;
+      spec.cover_distance = 2;
+      return MakeChainMkb(spec).MoveValue();
+    }
+    case Topology::kStar:
+      return MakeStarMkb(6).MoveValue();
+    case Topology::kGrid:
+      return MakeGridMkb(3, 3).MoveValue();
+    case Topology::kRandom: {
+      RandomMkbSpec spec;
+      spec.num_relations = 10;
+      spec.seed = seed * 1000 + 7;
+      return MakeRandomMkb(spec).MoveValue();
+    }
+  }
+  return Mkb();
+}
+
+class GeneratedWorkloadTest
+    : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(GeneratedWorkloadTest, PrintParseBindRoundTrip) {
+  const Mkb mkb = BuildMkb(GetParam().topology, GetParam().seed);
+  std::mt19937_64 rng(GetParam().seed);
+  for (int i = 0; i < 10; ++i) {
+    const ViewDefinition view =
+        MakeRandomConnectedView(mkb, &rng, 3).value();
+    const std::string printed = view.ToString();
+    const Result<ParsedView> reparsed = ParseView(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+    const Result<ViewDefinition> rebound =
+        BindView(reparsed.value(), mkb.catalog());
+    ASSERT_TRUE(rebound.ok()) << rebound.status() << "\n" << printed;
+    EXPECT_EQ(rebound.value().ToString(), printed);
+  }
+}
+
+TEST_P(GeneratedWorkloadTest, MkbEvolutionLeavesNoDanglingReferences) {
+  const Mkb mkb = BuildMkb(GetParam().topology, GetParam().seed);
+  std::mt19937_64 rng(GetParam().seed);
+  const std::vector<std::string> relations = mkb.catalog().RelationNames();
+  std::uniform_int_distribution<size_t> pick(0, relations.size() - 1);
+  const std::string victim = relations[pick(rng)];
+
+  const auto report =
+      EvolveMkb(mkb, CapabilityChange::DeleteRelation(victim)).value();
+  const Mkb& prime = report.mkb;
+  EXPECT_FALSE(prime.catalog().HasRelation(victim));
+  for (const JoinConstraint& jc : prime.join_constraints()) {
+    EXPECT_NE(jc.lhs, victim);
+    EXPECT_NE(jc.rhs, victim);
+    for (const ExprPtr& clause : jc.clauses) {
+      std::vector<AttributeRef> cols;
+      clause->CollectColumns(&cols);
+      for (const AttributeRef& ref : cols) {
+        EXPECT_TRUE(prime.catalog().HasAttribute(ref)) << ref.ToString();
+      }
+    }
+  }
+  for (const FunctionOfConstraint& fc : prime.function_of_constraints()) {
+    EXPECT_TRUE(prime.catalog().HasAttribute(fc.target));
+    EXPECT_TRUE(prime.catalog().HasAttribute(fc.source));
+  }
+  for (const PCConstraint& pc : prime.pc_constraints()) {
+    EXPECT_TRUE(prime.catalog().HasRelation(pc.lhs_relation));
+    EXPECT_TRUE(prime.catalog().HasRelation(pc.rhs_relation));
+  }
+}
+
+TEST_P(GeneratedWorkloadTest, MisdSerializationRoundTrips) {
+  const Mkb mkb = BuildMkb(GetParam().topology, GetParam().seed);
+  const Result<Mkb> loaded = LoadMkb(SaveMkb(mkb));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().catalog().RelationNames(),
+            mkb.catalog().RelationNames());
+  EXPECT_EQ(loaded.value().join_constraints().size(),
+            mkb.join_constraints().size());
+  EXPECT_EQ(loaded.value().function_of_constraints().size(),
+            mkb.function_of_constraints().size());
+  EXPECT_EQ(loaded.value().pc_constraints().size(),
+            mkb.pc_constraints().size());
+  // Second round trip is textually stable.
+  EXPECT_EQ(SaveMkb(loaded.value()), SaveMkb(mkb));
+}
+
+TEST_P(GeneratedWorkloadTest, CvsRewritingsAreSound) {
+  const Mkb mkb = BuildMkb(GetParam().topology, GetParam().seed);
+  std::mt19937_64 rng(GetParam().seed);
+  Database db;
+  ASSERT_TRUE(PopulateSyntheticDatabase(mkb, &db, 20, GetParam().seed).ok());
+
+  CvsOptions options;
+  options.require_view_extent = false;  // soundness of P1/P2/P4 is the point
+  // A handful of candidates per deletion is plenty for the soundness
+  // property; full enumeration is exercised by the benches.
+  options.replacement.max_results = 4;
+  options.replacement.max_cover_combinations = 16;
+
+  size_t checked = 0;
+  for (int i = 0; i < 8; ++i) {
+    const ViewDefinition view =
+        MakeRandomConnectedView(mkb, &rng, 3).value();
+    for (const std::string& victim : view.FromRelationNames()) {
+      const auto evolution =
+          EvolveMkb(mkb, CapabilityChange::DeleteRelation(victim)).value();
+      const Result<CvsResult> result = SynchronizeDeleteRelation(
+          view, victim, mkb, evolution.mkb, options);
+      ASSERT_TRUE(result.ok()) << result.status();
+      for (const SynchronizedView& rewriting : result.value().rewritings) {
+        ++checked;
+        // P1: independently verified.
+        EXPECT_FALSE(rewriting.view.ReferencesRelation(victim))
+            << rewriting.view.ToString();
+        // P2: rebinding against MKB'.
+        EXPECT_TRUE(
+            BindView(rewriting.view.ToParsedView(), evolution.mkb.catalog())
+                .ok())
+            << rewriting.view.ToString();
+        // Internal report agrees.
+        EXPECT_TRUE(rewriting.legality.p1_unaffected);
+        EXPECT_TRUE(rewriting.legality.p2_evaluable);
+        EXPECT_TRUE(rewriting.legality.p4_parameters)
+            << rewriting.legality.ToString();
+        // Evaluable over the (pre-change) physical state using the
+        // pre-change catalog.
+        const Result<Table> evaluated =
+            EvaluateView(rewriting.view, db, mkb.catalog());
+        EXPECT_TRUE(evaluated.ok()) << evaluated.status();
+      }
+    }
+  }
+  // The generated topologies have covers everywhere; most deletions must
+  // be curable.
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, GeneratedWorkloadTest,
+    ::testing::Values(PropertyParam{Topology::kChain, 1},
+                      PropertyParam{Topology::kChain, 2},
+                      PropertyParam{Topology::kChain, 3},
+                      PropertyParam{Topology::kStar, 1},
+                      PropertyParam{Topology::kStar, 2},
+                      PropertyParam{Topology::kStar, 3},
+                      PropertyParam{Topology::kGrid, 1},
+                      PropertyParam{Topology::kGrid, 2},
+                      PropertyParam{Topology::kGrid, 3},
+                      PropertyParam{Topology::kRandom, 1},
+                      PropertyParam{Topology::kRandom, 2},
+                      PropertyParam{Topology::kRandom, 3},
+                      PropertyParam{Topology::kRandom, 4},
+                      PropertyParam{Topology::kRandom, 5}),
+    ParamName);
+
+// --- Extent soundness on constraint-consistent data ------------------------
+
+class ExtentSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtentSoundnessTest, InferredSupersetNeverContradictedEmpirically) {
+  Mkb mkb = MakeTravelAgencyMkb().value();
+  ASSERT_TRUE(AddAccidentInsPc(&mkb).ok());
+  ASSERT_TRUE(AddFlightResPc(&mkb).ok());
+  Database db;
+  ASSERT_TRUE(PopulateTravelAgencyDatabase(mkb, &db, 50, GetParam()).ok());
+
+  const ViewDefinition view =
+      ParseAndBindView(CustomerPassengersAsiaSql(), mkb.catalog()).value();
+  const auto evolution =
+      EvolveMkb(mkb, CapabilityChange::DeleteRelation("Customer")).value();
+  const CvsResult result =
+      SynchronizeDeleteRelation(view, "Customer", mkb, evolution.mkb)
+          .value();
+  ASSERT_FALSE(result.rewritings.empty());
+  for (const SynchronizedView& rewriting : result.rewritings) {
+    if (rewriting.legality.inferred_extent != ExtentRelation::kSuperset) {
+      continue;
+    }
+    // Evaluate both over the pre-change state: the inferred ⊇ must hold.
+    const ExtentRelation empirical =
+        CompareExtentsEmpirically(view, rewriting.view, db, mkb.catalog(),
+                                  mkb.catalog())
+            .value();
+    EXPECT_TRUE(empirical == ExtentRelation::kEqual ||
+                empirical == ExtentRelation::kSuperset)
+        << ExtentRelationToString(empirical) << "\n"
+        << rewriting.view.ToString();
+  }
+}
+
+TEST_P(ExtentSoundnessTest, PaperExample4AcrossSeeds) {
+  Mkb mkb = MakeTravelAgencyMkb().value();
+  ASSERT_TRUE(AddPersonExtension(&mkb).ok());
+  Database db;
+  ASSERT_TRUE(PopulateTravelAgencyDatabase(mkb, &db, 40, GetParam()).ok());
+  const ViewDefinition view =
+      ParseAndBindView(AsiaCustomerSql(), mkb.catalog()).value();
+  const auto evolution =
+      EvolveMkb(mkb, CapabilityChange::DeleteAttribute("Customer", "Addr"))
+          .value();
+  const CvsResult result =
+      SynchronizeDeleteAttribute(view, "Customer", "Addr", mkb,
+                                 evolution.mkb, {})
+          .value();
+  ASSERT_FALSE(result.rewritings.empty());
+  const ExtentRelation empirical =
+      CompareExtentsEmpirically(view, result.rewritings[0].view, db,
+                                mkb.catalog(), mkb.catalog())
+          .value();
+  EXPECT_TRUE(empirical == ExtentRelation::kEqual ||
+              empirical == ExtentRelation::kSuperset)
+      << ExtentRelationToString(empirical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentSoundnessTest,
+                         ::testing::Values(1, 7, 13, 29, 57, 101, 211, 499));
+
+}  // namespace
+}  // namespace eve

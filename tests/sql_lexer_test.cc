@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace eve {
+namespace {
+
+std::vector<Token> Lex(std::string_view text) {
+  const Result<std::vector<Token>> result = Tokenize(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? result.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  const auto tokens = Lex("SELECT name _under x2");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+  }
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "name");
+  EXPECT_EQ(tokens[2].text, "_under");
+  EXPECT_EQ(tokens[3].text, "x2");
+}
+
+TEST(LexerTest, QuotedIdentifiersSupportHyphenatedNames) {
+  const auto tokens = Lex("\"Accident-Ins\".Holder");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Accident-Ins");
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].text, "Holder");
+}
+
+TEST(LexerTest, UnterminatedQuotedIdentifierFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, StringLiterals) {
+  const auto tokens = Lex("'Asia'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "Asia");
+}
+
+TEST(LexerTest, StringLiteralEscapedQuote) {
+  const auto tokens = Lex("'O''Brien'");
+  EXPECT_EQ(tokens[0].text, "O'Brien");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Lex("42 3.25 7");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[1].text, "3.25");
+  EXPECT_EQ(tokens[2].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, DotAfterNumberWithoutDigitIsSeparate) {
+  // "1." followed by an identifier must not lex as a double.
+  const auto tokens = Lex("1.x");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  const auto tokens = Lex("= <> != < <= > >= ~");
+  EXPECT_EQ(tokens[0].type, TokenType::kEq);
+  EXPECT_EQ(tokens[1].type, TokenType::kNe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kLt);
+  EXPECT_EQ(tokens[4].type, TokenType::kLe);
+  EXPECT_EQ(tokens[5].type, TokenType::kGt);
+  EXPECT_EQ(tokens[6].type, TokenType::kGe);
+  EXPECT_EQ(tokens[7].type, TokenType::kTilde);
+}
+
+TEST(LexerTest, ArithmeticAndPunctuation) {
+  const auto tokens = Lex("( ) , . * + - /");
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[3].type, TokenType::kDot);
+  EXPECT_EQ(tokens[4].type, TokenType::kStar);
+  EXPECT_EQ(tokens[5].type, TokenType::kPlus);
+  EXPECT_EQ(tokens[6].type, TokenType::kMinus);
+  EXPECT_EQ(tokens[7].type, TokenType::kSlash);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  const auto tokens = Lex("a -- this is a comment\n b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, MinusVsComment) {
+  const auto tokens = Lex("1 - 2");
+  EXPECT_EQ(tokens[1].type, TokenType::kMinus);
+  // But "--" starts a comment.
+  const auto tokens2 = Lex("1 --2");
+  ASSERT_EQ(tokens2.size(), 2u);  // 1 and kEnd
+}
+
+TEST(LexerTest, PositionsAreByteOffsets) {
+  const auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(LexerTest, BangEqualsIsNe) {
+  const auto tokens = Lex("a != b");
+  EXPECT_EQ(tokens[1].type, TokenType::kNe);
+}
+
+TEST(LexerTest, WhitespaceVarieties) {
+  const auto tokens = Lex("a\tb\nc\r\nd");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].text, "d");
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace eve {
+namespace {
+
+// Structural equality of two parsed views (ignores aliases, which the
+// printer intentionally normalizes into AS clauses).
+void ExpectSameView(const ParsedView& a, const ParsedView& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.extent, b.extent);
+  ASSERT_EQ(a.select.size(), b.select.size());
+  for (size_t i = 0; i < a.select.size(); ++i) {
+    EXPECT_TRUE(a.select[i].expr->Equals(*b.select[i].expr))
+        << a.select[i].expr->ToString() << " vs "
+        << b.select[i].expr->ToString();
+    EXPECT_EQ(a.select[i].params, b.select[i].params);
+  }
+  ASSERT_EQ(a.from.size(), b.from.size());
+  for (size_t i = 0; i < a.from.size(); ++i) {
+    EXPECT_EQ(a.from[i].relation, b.from[i].relation);
+    EXPECT_EQ(a.from[i].params, b.from[i].params);
+  }
+  ASSERT_EQ(a.where.size(), b.where.size());
+  for (size_t i = 0; i < a.where.size(); ++i) {
+    EXPECT_TRUE(a.where[i].clause->Equals(*b.where[i].clause))
+        << a.where[i].clause->ToString() << " vs "
+        << b.where[i].clause->ToString();
+    EXPECT_EQ(a.where[i].params, b.where[i].params);
+  }
+}
+
+void ExpectRoundTrip(std::string_view sql) {
+  const Result<ParsedView> first = ParseView(sql);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string printed = PrintView(first.value());
+  const Result<ParsedView> second = ParseView(printed);
+  ASSERT_TRUE(second.ok()) << second.status() << "\nprinted:\n" << printed;
+  ExpectSameView(first.value(), second.value());
+}
+
+TEST(PrinterTest, QuoteIdentifierPlainNamesUntouched) {
+  EXPECT_EQ(QuoteIdentifier("Customer"), "Customer");
+  EXPECT_EQ(QuoteIdentifier("x_1"), "x_1");
+}
+
+TEST(PrinterTest, QuoteIdentifierHyphenated) {
+  EXPECT_EQ(QuoteIdentifier("Accident-Ins"), "\"Accident-Ins\"");
+}
+
+TEST(PrinterTest, QuoteIdentifierReservedWords) {
+  EXPECT_EQ(QuoteIdentifier("select"), "\"select\"");
+  EXPECT_EQ(QuoteIdentifier("Date"), "\"Date\"");
+  EXPECT_EQ(QuoteIdentifier("AND"), "\"AND\"");
+}
+
+TEST(PrinterTest, RoundTripMinimal) {
+  ExpectRoundTrip("CREATE VIEW V AS SELECT R.a FROM R");
+}
+
+TEST(PrinterTest, RoundTripAnnotationsAndExtent) {
+  ExpectRoundTrip(
+      "CREATE VIEW V (VE = >=) AS "
+      "SELECT R.a (true, false), R.b (false, true) "
+      "FROM R (true, true) WHERE (R.a = 1) (true, true) AND R.b < 2");
+}
+
+TEST(PrinterTest, RoundTripHyphenatedNames) {
+  ExpectRoundTrip(
+      "CREATE VIEW V AS SELECT \"Accident-Ins\".Holder "
+      "FROM \"Accident-Ins\" WHERE \"Accident-Ins\".Amount > 10.5");
+}
+
+TEST(PrinterTest, RoundTripDateLiteralsAndFunctions) {
+  ExpectRoundTrip(
+      "CREATE VIEW V AS SELECT f(A.Birthday), "
+      "(DATE '2026-07-07' - A.Birthday) / 365 AS Age FROM A "
+      "WHERE A.Birthday < DATE '2000-01-01'");
+}
+
+TEST(PrinterTest, RoundTripStringEscapes) {
+  ExpectRoundTrip(
+      "CREATE VIEW V AS SELECT R.a FROM R WHERE R.name = 'O''Brien'");
+}
+
+TEST(PrinterTest, RoundTripPaperEq5) {
+  ExpectRoundTrip(R"sql(
+    CREATE VIEW CustomerPassengersAsia (VE = ~) AS
+    SELECT C.Name (false, true), C.Age (true, true),
+           P.Participant (true, true), P.TourID (true, true)
+    FROM Customer C (true, true), FlightRes F (true, true),
+         Participant P (true, true)
+    WHERE (C.Name = F.PName) (false, true)
+      AND (F.Dest = 'Asia')
+      AND (P.StartDate = F.Date)
+      AND (P.Loc = 'Asia')
+  )sql");
+}
+
+TEST(PrinterTest, RoundTripNegativeNumbersAndArithmetic) {
+  ExpectRoundTrip(
+      "CREATE VIEW V AS SELECT R.a + R.b * 2 AS s FROM R "
+      "WHERE -R.a < 3 AND R.b <> 0");
+}
+
+TEST(PrinterTest, PrintedViewMentionsExtent) {
+  const ParsedView view =
+      ParseView("CREATE VIEW V (VE = <=) AS SELECT R.a FROM R").value();
+  EXPECT_NE(PrintView(view).find("VE = <="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eve

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/date.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace eve {
+namespace {
+
+// --- DataType -------------------------------------------------------------
+
+TEST(DataTypeTest, RoundTripNames) {
+  for (DataType t : {DataType::kBool, DataType::kInt, DataType::kDouble,
+                     DataType::kString, DataType::kDate}) {
+    const auto parsed = DataTypeFromString(DataTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+}
+
+TEST(DataTypeTest, ParseAliases) {
+  EXPECT_EQ(DataTypeFromString("INTEGER").value(), DataType::kInt);
+  EXPECT_EQ(DataTypeFromString("varchar").value(), DataType::kString);
+  EXPECT_EQ(DataTypeFromString("REAL").value(), DataType::kDouble);
+  EXPECT_EQ(DataTypeFromString("Boolean").value(), DataType::kBool);
+}
+
+TEST(DataTypeTest, ParseUnknownFails) {
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+TEST(DataTypeTest, ImplicitConversion) {
+  EXPECT_TRUE(IsImplicitlyConvertible(DataType::kInt, DataType::kInt));
+  EXPECT_TRUE(IsImplicitlyConvertible(DataType::kInt, DataType::kDouble));
+  EXPECT_TRUE(IsImplicitlyConvertible(DataType::kNull, DataType::kString));
+  EXPECT_FALSE(IsImplicitlyConvertible(DataType::kDouble, DataType::kInt));
+  EXPECT_FALSE(IsImplicitlyConvertible(DataType::kString, DataType::kDate));
+}
+
+TEST(DataTypeTest, OrderedAndNumericPredicates) {
+  EXPECT_TRUE(IsOrdered(DataType::kDate));
+  EXPECT_TRUE(IsOrdered(DataType::kString));
+  EXPECT_FALSE(IsOrdered(DataType::kBool));
+  EXPECT_TRUE(IsNumeric(DataType::kInt));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kDate));
+}
+
+// --- Date -------------------------------------------------------------------
+
+TEST(DateTest, EpochIsZero) {
+  const Date date = Date::FromYmd(1970, 1, 1).value();
+  EXPECT_EQ(date.days_since_epoch(), 0);
+}
+
+TEST(DateTest, RoundTripYmd) {
+  const Date date = Date::FromYmd(2026, 7, 7).value();
+  EXPECT_EQ(date.year(), 2026);
+  EXPECT_EQ(date.month(), 7);
+  EXPECT_EQ(date.day(), 7);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_TRUE(Date::FromYmd(2024, 2, 29).ok());
+  EXPECT_FALSE(Date::FromYmd(2023, 2, 29).ok());
+  EXPECT_TRUE(Date::FromYmd(2000, 2, 29).ok());   // divisible by 400
+  EXPECT_FALSE(Date::FromYmd(1900, 2, 29).ok());  // divisible by 100 only
+}
+
+TEST(DateTest, RejectsOutOfRange) {
+  EXPECT_FALSE(Date::FromYmd(2020, 13, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2020, 0, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(2020, 4, 31).ok());
+  EXPECT_FALSE(Date::FromYmd(2020, 1, 0).ok());
+}
+
+TEST(DateTest, ParseAndToString) {
+  const Date date = Date::Parse("1998-03-27").value();
+  EXPECT_EQ(date.ToString(), "1998-03-27");
+  EXPECT_FALSE(Date::Parse("not-a-date").ok());
+  EXPECT_FALSE(Date::Parse("2020-02-30").ok());
+}
+
+TEST(DateTest, AddDaysCrossesMonthBoundary) {
+  const Date date = Date::FromYmd(2026, 1, 30).value().AddDays(3);
+  EXPECT_EQ(date.ToString(), "2026-02-02");
+}
+
+TEST(DateTest, Ordering) {
+  const Date early = Date::FromYmd(1998, 3, 27).value();
+  const Date late = Date::FromYmd(2026, 7, 7).value();
+  EXPECT_LT(early, late);
+  EXPECT_EQ(early, Date::Parse("1998-03-27").value());
+}
+
+TEST(DateTest, DifferenceInDays) {
+  const Date a = Date::FromYmd(2026, 7, 7).value();
+  const Date b = Date::FromYmd(2026, 6, 7).value();
+  EXPECT_EQ(a.days_since_epoch() - b.days_since_epoch(), 30);
+}
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, TypesAreReported) {
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(1).type(), DataType::kInt);
+  EXPECT_EQ(Value::Double(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_EQ(Value::MakeDate(Date()).type(), DataType::kDate);
+}
+
+TEST(ValueTest, NullDetection) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int(0).is_null());
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble().value(), 2.5);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::MakeDate(Date::FromYmd(1998, 1, 2).value()).ToString(),
+            "1998-01-02");
+}
+
+TEST(ValueTest, CompareNumericWidening) {
+  EXPECT_EQ(Compare(Value::Int(2), Value::Double(2.0)),
+            CompareResult::kEqual);
+  EXPECT_EQ(Compare(Value::Int(2), Value::Double(2.5)),
+            CompareResult::kLess);
+  EXPECT_EQ(Compare(Value::Double(3.0), Value::Int(2)),
+            CompareResult::kGreater);
+}
+
+TEST(ValueTest, CompareStringsAndDates) {
+  EXPECT_EQ(Compare(Value::String("a"), Value::String("b")),
+            CompareResult::kLess);
+  EXPECT_EQ(Compare(Value::MakeDate(Date(1)), Value::MakeDate(Date(1))),
+            CompareResult::kEqual);
+  EXPECT_EQ(Compare(Value::MakeDate(Date(2)), Value::MakeDate(Date(1))),
+            CompareResult::kGreater);
+}
+
+TEST(ValueTest, CompareNullYieldsNull) {
+  EXPECT_EQ(Compare(Value::Null(), Value::Int(1)), CompareResult::kNull);
+  EXPECT_EQ(Compare(Value::Int(1), Value::Null()), CompareResult::kNull);
+  EXPECT_EQ(Compare(Value::Null(), Value::Null()), CompareResult::kNull);
+}
+
+TEST(ValueTest, CompareMismatchedTypesIncomparable) {
+  EXPECT_EQ(Compare(Value::String("1"), Value::Int(1)),
+            CompareResult::kIncomparable);
+  EXPECT_EQ(Compare(Value::MakeDate(Date(0)), Value::Int(0)),
+            CompareResult::kIncomparable);
+}
+
+TEST(ValueTest, StrictEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));  // different kinds
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, OrderingForSorting) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_FALSE(Value::Int(2) < Value::Int(2));
+  // NULL sorts before values (variant index order).
+  EXPECT_TRUE(Value::Null() < Value::Int(0));
+}
+
+// --- Schema / Tuple ----------------------------------------------------------
+
+TEST(SchemaTest, CreateValidatesDuplicatesAndEmptyNames) {
+  EXPECT_TRUE(Schema::Create({{"a", DataType::kInt}}).ok());
+  EXPECT_FALSE(
+      Schema::Create({{"a", DataType::kInt}, {"a", DataType::kInt}}).ok());
+  EXPECT_FALSE(Schema::Create({{"", DataType::kInt}}).ok());
+}
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema schema({{"a", DataType::kInt}, {"b", DataType::kString}});
+  EXPECT_EQ(schema.IndexOf("b"), 1u);
+  EXPECT_FALSE(schema.IndexOf("c").has_value());
+  EXPECT_TRUE(schema.Contains("a"));
+  EXPECT_EQ(schema.size(), 2u);
+}
+
+TEST(SchemaTest, ToStringListsAttributes) {
+  const Schema schema({{"a", DataType::kInt}});
+  EXPECT_EQ(schema.ToString(), "(a: int)");
+}
+
+TEST(TupleTest, ValidateArity) {
+  const Schema schema({{"a", DataType::kInt}, {"b", DataType::kString}});
+  EXPECT_FALSE(ValidateTuple(schema, {Value::Int(1)}).ok());
+  EXPECT_TRUE(
+      ValidateTuple(schema, {Value::Int(1), Value::String("x")}).ok());
+}
+
+TEST(TupleTest, ValidateTypesWithWideningAndNulls) {
+  const Schema schema({{"a", DataType::kDouble}});
+  EXPECT_TRUE(ValidateTuple(schema, {Value::Int(1)}).ok());  // widening
+  EXPECT_TRUE(ValidateTuple(schema, {Value::Null()}).ok());
+  EXPECT_FALSE(ValidateTuple(schema, {Value::String("x")}).ok());
+}
+
+TEST(TupleTest, ToStringFormats) {
+  EXPECT_EQ(TupleToString({Value::Int(1), Value::String("a")}), "(1, 'a')");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+}  // namespace
+}  // namespace eve

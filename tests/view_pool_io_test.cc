@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "eve/view_pool_io.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+EveSystem FreshSystem() {
+  Mkb mkb = MakeTravelAgencyMkb().value();
+  EXPECT_TRUE(AddAccidentInsPc(&mkb).ok());
+  return EveSystem(std::move(mkb));
+}
+
+TEST(ViewPoolIoTest, SaveLoadRoundTrip) {
+  EveSystem original = FreshSystem();
+  ASSERT_TRUE(original.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  ASSERT_TRUE(original.RegisterViewText(
+                          "CREATE VIEW HotelCars AS SELECT H.City FROM "
+                          "Hotels H, RentACar R "
+                          "WHERE H.Address = R.Location")
+                  .ok());
+  const std::string text = SaveViews(original);
+
+  EveSystem restored = FreshSystem();
+  ASSERT_TRUE(LoadViews(text, &restored).ok());
+  EXPECT_EQ(restored.ViewNames(), original.ViewNames());
+  for (const std::string& name : original.ViewNames()) {
+    EXPECT_EQ((*restored.GetView(name))->definition.ToString(),
+              (*original.GetView(name))->definition.ToString());
+    EXPECT_EQ((*restored.GetView(name))->state,
+              (*original.GetView(name))->state);
+  }
+}
+
+TEST(ViewPoolIoTest, DisabledStateSurvivesRoundTrip) {
+  EveSystem original = FreshSystem();
+  ASSERT_TRUE(original.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  ASSERT_TRUE(original
+                  .SetViewState("CustomerPassengersAsia",
+                                ViewState::kDisabled)
+                  .ok());
+  const std::string text = SaveViews(original);
+  EXPECT_NE(text.find("-- VIEW disabled"), std::string::npos);
+
+  EveSystem restored = FreshSystem();
+  ASSERT_TRUE(LoadViews(text, &restored).ok());
+  EXPECT_EQ((*restored.GetView("CustomerPassengersAsia"))->state,
+            ViewState::kDisabled);
+}
+
+TEST(ViewPoolIoTest, LoadRejectsUnbindableViews) {
+  EveSystem original = FreshSystem();
+  ASSERT_TRUE(original.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  const std::string text = SaveViews(original);
+
+  // Restore into a system whose MKB lost Customer: binding fails.
+  Mkb small = MakeTravelAgencyMkb().value();
+  ASSERT_TRUE(small.catalog().DropRelation("Customer").ok());
+  EveSystem restored{std::move(small)};
+  EXPECT_FALSE(LoadViews(text, &restored).ok());
+}
+
+TEST(ViewPoolIoTest, LoadErrorsOnMalformedHeaders) {
+  EveSystem system = FreshSystem();
+  EXPECT_FALSE(LoadViews("-- VIEW sideways\nCREATE VIEW V AS SELECT "
+                         "C.Name FROM Customer C;",
+                         &system)
+                   .ok());
+  EXPECT_FALSE(
+      LoadViews("-- VIEW active\nCREATE VIEW V AS SELECT C.Name FROM "
+                "Customer C",  // missing ';'
+                &system)
+          .ok());
+  // Text without headers is an empty pool.
+  EveSystem empty = FreshSystem();
+  EXPECT_TRUE(LoadViews("nothing here", &empty).ok());
+  EXPECT_EQ(empty.NumViews(), 0u);
+}
+
+TEST(BatchChangesTest, TransactionalRollbackOnFailure) {
+  EveSystem system = FreshSystem();
+  ASSERT_TRUE(system.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  const std::vector<CapabilityChange> batch = {
+      CapabilityChange::DeleteRelation("Tour"),
+      CapabilityChange::DeleteRelation("DoesNotExist"),  // fails
+  };
+  const auto result = system.ApplyChanges(batch);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("batch aborted"),
+            std::string::npos);
+  // Rolled back: Tour is still there, the log is clean.
+  EXPECT_TRUE(system.mkb().catalog().HasRelation("Tour"));
+  EXPECT_TRUE(system.change_log().empty());
+}
+
+TEST(BatchChangesTest, NonTransactionalKeepsPrefix) {
+  EveSystem system = FreshSystem();
+  const std::vector<CapabilityChange> batch = {
+      CapabilityChange::DeleteRelation("Tour"),
+      CapabilityChange::DeleteRelation("DoesNotExist"),
+  };
+  const auto result = system.ApplyChanges(batch, /*transactional=*/false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(system.mkb().catalog().HasRelation("Tour"));
+  EXPECT_EQ(system.change_log().size(), 1u);
+}
+
+TEST(BatchChangesTest, SuccessfulBatchReportsPerChange) {
+  EveSystem system = FreshSystem();
+  ASSERT_TRUE(system.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  const std::vector<CapabilityChange> batch = {
+      CapabilityChange::RenameAttribute("FlightRes", "Dest", "Destination"),
+      CapabilityChange::DeleteRelation("Customer"),
+  };
+  const auto reports = system.ApplyChanges(batch).value();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[1].CountOutcome(ViewOutcomeKind::kRewritten), 1u);
+  EXPECT_EQ(system.change_log().size(), 2u);
+}
+
+}  // namespace
+}  // namespace eve

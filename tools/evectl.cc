@@ -1,0 +1,363 @@
+// evectl: a script-driven console for the EVE/CVS system.
+//
+// Usage:
+//   evectl <script>       run statements from a file
+//   evectl -              run statements from stdin
+//
+// Statements are ';'-terminated:
+//   LOAD MISD '<path>';                   -- load IS descriptions (MISD text)
+//   SAVE MISD '<path>';                   -- write the current MKB
+//   LOAD VIEWS '<path>';                  -- restore a saved view pool
+//   SAVE VIEWS '<path>';                  -- persist the view pool
+//   SHOW MKB;                             -- dump relations + constraints
+//   SHOW HYPERGRAPH;                      -- H(MKB) summary (Fig. 4 style)
+//   SHOW VIEWS;                           -- registered views and states
+//   SHOW VIEW <name>;                     -- one view's E-SQL text
+//   CREATE VIEW ... ;                     -- register an E-SQL view
+//   DEFINE <MISD statement>;              -- a source publishes a relation
+//                                            or constraint (additive)
+//   RETRACT <constraint id>;              -- a source withdraws a constraint
+//   PREVIEW DELETE RELATION <name>;       -- what-if: report without applying
+//   DELETE RELATION <name>;               -- capability change
+//   DELETE ATTRIBUTE <rel>.<attr>;        -- capability change
+//   RENAME RELATION <old> TO <new>;       -- capability change
+//   RENAME ATTRIBUTE <rel>.<a> TO <b>;    -- capability change
+//   -- comments run to end of line
+//
+// Every capability change prints the EVE change report (rewritten /
+// disabled views, dropped constraints).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "eve/eve_system.h"
+#include "eve/view_pool_io.h"
+#include "hypergraph/hypergraph.h"
+#include "mkb/serializer.h"
+
+namespace eve {
+namespace {
+
+// Splits a script into ';'-terminated statements, honoring single-quoted
+// strings, double-quoted identifiers, and "--" comments.
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::vector<std::string> statements;
+  std::string current;
+  for (size_t i = 0; i < script.size(); ++i) {
+    const char c = script[i];
+    if (c == '-' && i + 1 < script.size() && script[i + 1] == '-') {
+      while (i < script.size() && script[i] != '\n') ++i;
+      current += ' ';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      current += c;
+      ++i;
+      while (i < script.size()) {
+        current += script[i];
+        if (script[i] == quote) {
+          if (quote == '\'' && i + 1 < script.size() &&
+              script[i + 1] == '\'') {
+            current += script[++i];
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == ';') {
+      if (!Trim(current).empty()) {
+        statements.emplace_back(Trim(current));
+      }
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (!Trim(current).empty()) statements.emplace_back(Trim(current));
+  return statements;
+}
+
+// Splits a statement head into whitespace-separated words (enough for the
+// non-SQL commands; CREATE VIEW statements go to the E-SQL parser whole).
+std::vector<std::string> Words(const std::string& statement) {
+  std::vector<std::string> words;
+  std::istringstream is(statement);
+  std::string word;
+  while (is >> word) words.push_back(word);
+  return words;
+}
+
+// Strips surrounding single quotes from a path argument.
+std::string Unquote(const std::string& word) {
+  if (word.size() >= 2 && word.front() == '\'' && word.back() == '\'') {
+    return word.substr(1, word.size() - 2);
+  }
+  return word;
+}
+
+class Console {
+ public:
+  // Returns false when the statement failed.
+  bool Run(const std::string& statement) {
+    const std::vector<std::string> words = Words(statement);
+    if (words.empty()) return true;
+    const std::string head = ToLower(words[0]);
+
+    if (head == "create") {
+      return Report(system_.RegisterViewText(statement), statement);
+    }
+    if (head == "retract" && words.size() >= 2) {
+      return Report(system_.RetractConstraint(words[1]), statement);
+    }
+    if (head == "define") {
+      const std::string body(Trim(
+          std::string_view(statement).substr(std::string("define").size())));
+      return Report(system_.ExtendMkb(body), statement);
+    }
+    if (head == "load" && words.size() >= 3 &&
+        EqualsIgnoreCase(words[1], "MISD")) {
+      return LoadMisd(Unquote(words[2]));
+    }
+    if (head == "save" && words.size() >= 3 &&
+        EqualsIgnoreCase(words[1], "MISD")) {
+      return SaveMisd(Unquote(words[2]));
+    }
+    if (head == "load" && words.size() >= 3 &&
+        EqualsIgnoreCase(words[1], "VIEWS")) {
+      return LoadViewPool(Unquote(words[2]));
+    }
+    if (head == "save" && words.size() >= 3 &&
+        EqualsIgnoreCase(words[1], "VIEWS")) {
+      return SaveViewPool(Unquote(words[2]));
+    }
+    if (head == "show") {
+      return Show(words);
+    }
+    if (head == "delete" && words.size() >= 3) {
+      return Change(MakeDelete(words), /*preview=*/false);
+    }
+    if (head == "rename" && words.size() >= 5 &&
+        EqualsIgnoreCase(words[3], "TO")) {
+      return Change(MakeRename(words), /*preview=*/false);
+    }
+    if (head == "preview" && words.size() >= 4) {
+      const std::vector<std::string> rest(words.begin() + 1, words.end());
+      const std::string sub = ToLower(rest[0]);
+      if (sub == "delete" && rest.size() >= 3) {
+        return Change(MakeDelete(rest), /*preview=*/true);
+      }
+      if (sub == "rename" && rest.size() >= 5 &&
+          EqualsIgnoreCase(rest[3], "TO")) {
+        return Change(MakeRename(rest), /*preview=*/true);
+      }
+      std::cerr << "error: PREVIEW expects DELETE or RENAME\n";
+      return false;
+    }
+    std::cerr << "error: unrecognized statement: " << statement << "\n";
+    return false;
+  }
+
+ private:
+  bool Report(const Status& status, const std::string& context) {
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n  in: " << context << "\n";
+      return false;
+    }
+    return true;
+  }
+
+  bool LoadMisd(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const Result<Mkb> mkb = LoadMkb(buffer.str());
+    if (!mkb.ok()) {
+      std::cerr << "error: " << mkb.status() << "\n";
+      return false;
+    }
+    system_ = EveSystem(mkb.value());
+    std::cout << "loaded " << mkb.value().catalog().NumRelations()
+              << " relations, " << mkb.value().join_constraints().size()
+              << " join constraints, "
+              << mkb.value().function_of_constraints().size()
+              << " function-of constraints, "
+              << mkb.value().pc_constraints().size()
+              << " PC constraints from " << path << "\n";
+    return true;
+  }
+
+  bool SaveMisd(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return false;
+    }
+    out << SaveMkb(system_.mkb());
+    std::cout << "saved MKB to " << path << "\n";
+    return true;
+  }
+
+  bool LoadViewPool(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const Status status = LoadViews(buffer.str(), &system_);
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return false;
+    }
+    std::cout << "loaded " << system_.NumViews() << " views from " << path
+              << "\n";
+    return true;
+  }
+
+  bool SaveViewPool(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return false;
+    }
+    out << SaveViews(system_);
+    std::cout << "saved " << system_.NumViews() << " views to " << path
+              << "\n";
+    return true;
+  }
+
+  bool Show(const std::vector<std::string>& words) {
+    if (words.size() >= 2 && EqualsIgnoreCase(words[1], "MKB")) {
+      std::cout << system_.mkb().ToString();
+      return true;
+    }
+    if (words.size() >= 2 && EqualsIgnoreCase(words[1], "HYPERGRAPH")) {
+      std::cout << Hypergraph::Build(system_.mkb()).Summary();
+      return true;
+    }
+    if (words.size() >= 2 && EqualsIgnoreCase(words[1], "VIEWS")) {
+      for (const std::string& name : system_.ViewNames()) {
+        const RegisteredView* view = *system_.GetView(name);
+        std::cout << "  ["
+                  << (view->state == ViewState::kActive ? "active"
+                                                        : "DISABLED")
+                  << "] " << name << "\n";
+      }
+      return true;
+    }
+    if (words.size() >= 3 && EqualsIgnoreCase(words[1], "VIEW")) {
+      const Result<const RegisteredView*> view = system_.GetView(words[2]);
+      if (!view.ok()) {
+        std::cerr << "error: " << view.status() << "\n";
+        return false;
+      }
+      std::cout << view.value()->definition.ToString() << "\n";
+      for (const std::string& event : view.value()->history) {
+        std::cout << "  history: " << event << "\n";
+      }
+      return true;
+    }
+    std::cerr << "error: SHOW expects MKB, HYPERGRAPH, VIEWS or VIEW "
+                 "<name>\n";
+    return false;
+  }
+
+  Result<CapabilityChange> MakeDelete(
+      const std::vector<std::string>& words) {
+    if (EqualsIgnoreCase(words[1], "RELATION")) {
+      return CapabilityChange::DeleteRelation(words[2]);
+    }
+    if (EqualsIgnoreCase(words[1], "ATTRIBUTE")) {
+      const std::vector<std::string> parts = Split(words[2], '.');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument(
+            "DELETE ATTRIBUTE expects <relation>.<attribute>");
+      }
+      return CapabilityChange::DeleteAttribute(parts[0], parts[1]);
+    }
+    return Status::InvalidArgument(
+        "DELETE expects RELATION or ATTRIBUTE");
+  }
+
+  Result<CapabilityChange> MakeRename(
+      const std::vector<std::string>& words) {
+    if (EqualsIgnoreCase(words[1], "RELATION")) {
+      return CapabilityChange::RenameRelation(words[2], words[4]);
+    }
+    if (EqualsIgnoreCase(words[1], "ATTRIBUTE")) {
+      const std::vector<std::string> parts = Split(words[2], '.');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument(
+            "RENAME ATTRIBUTE expects <relation>.<attribute>");
+      }
+      return CapabilityChange::RenameAttribute(parts[0], parts[1],
+                                               words[4]);
+    }
+    return Status::InvalidArgument(
+        "RENAME expects RELATION or ATTRIBUTE");
+  }
+
+  bool Change(const Result<CapabilityChange>& change, bool preview) {
+    if (!change.ok()) {
+      std::cerr << "error: " << change.status() << "\n";
+      return false;
+    }
+    const Result<ChangeReport> report =
+        preview ? system_.PreviewChange(change.value())
+                : system_.ApplyChange(change.value());
+    if (!report.ok()) {
+      std::cerr << "error: " << report.status() << "\n";
+      return false;
+    }
+    if (preview) std::cout << "(preview — nothing applied)\n";
+    std::cout << report.value().ToString();
+    return true;
+  }
+
+  EveSystem system_{Mkb()};
+};
+
+int Main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: evectl <script>|-\n";
+    return 2;
+  }
+  std::string script;
+  if (std::string(argv[1]) == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    script = buffer.str();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "error: cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    script = buffer.str();
+  }
+  Console console;
+  bool ok = true;
+  for (const std::string& statement : SplitStatements(script)) {
+    std::cout << "evectl> " << statement << "\n";
+    ok = console.Run(statement) && ok;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) { return eve::Main(argc, argv); }
