@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cvs_vs_svs.dir/bench_cvs_vs_svs.cc.o"
+  "CMakeFiles/bench_cvs_vs_svs.dir/bench_cvs_vs_svs.cc.o.d"
+  "bench_cvs_vs_svs"
+  "bench_cvs_vs_svs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cvs_vs_svs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

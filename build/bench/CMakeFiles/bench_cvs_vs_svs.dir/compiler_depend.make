@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cvs_vs_svs.
+# This may be replaced when dependencies are built.

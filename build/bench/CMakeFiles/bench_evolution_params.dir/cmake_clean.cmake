@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evolution_params.dir/bench_evolution_params.cc.o"
+  "CMakeFiles/bench_evolution_params.dir/bench_evolution_params.cc.o.d"
+  "bench_evolution_params"
+  "bench_evolution_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evolution_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

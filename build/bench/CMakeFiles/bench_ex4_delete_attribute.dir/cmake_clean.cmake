@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex4_delete_attribute.dir/bench_ex4_delete_attribute.cc.o"
+  "CMakeFiles/bench_ex4_delete_attribute.dir/bench_ex4_delete_attribute.cc.o.d"
+  "bench_ex4_delete_attribute"
+  "bench_ex4_delete_attribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex4_delete_attribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

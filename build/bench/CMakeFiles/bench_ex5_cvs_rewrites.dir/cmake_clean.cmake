@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex5_cvs_rewrites.dir/bench_ex5_cvs_rewrites.cc.o"
+  "CMakeFiles/bench_ex5_cvs_rewrites.dir/bench_ex5_cvs_rewrites.cc.o.d"
+  "bench_ex5_cvs_rewrites"
+  "bench_ex5_cvs_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex5_cvs_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extent_check.dir/bench_extent_check.cc.o"
+  "CMakeFiles/bench_extent_check.dir/bench_extent_check.cc.o.d"
+  "bench_extent_check"
+  "bench_extent_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extent_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mkb.dir/bench_fig2_mkb.cc.o"
+  "CMakeFiles/bench_fig2_mkb.dir/bench_fig2_mkb.cc.o.d"
+  "bench_fig2_mkb"
+  "bench_fig2_mkb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mkb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

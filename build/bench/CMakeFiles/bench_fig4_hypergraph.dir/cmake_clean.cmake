@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hypergraph.dir/bench_fig4_hypergraph.cc.o"
+  "CMakeFiles/bench_fig4_hypergraph.dir/bench_fig4_hypergraph.cc.o.d"
+  "bench_fig4_hypergraph"
+  "bench_fig4_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

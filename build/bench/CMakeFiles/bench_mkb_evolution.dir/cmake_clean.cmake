@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mkb_evolution.dir/bench_mkb_evolution.cc.o"
+  "CMakeFiles/bench_mkb_evolution.dir/bench_mkb_evolution.cc.o.d"
+  "bench_mkb_evolution"
+  "bench_mkb_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mkb_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

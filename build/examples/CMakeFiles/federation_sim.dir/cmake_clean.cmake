@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_sim.dir/federation_sim.cpp.o"
+  "CMakeFiles/federation_sim.dir/federation_sim.cpp.o.d"
+  "federation_sim"
+  "federation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

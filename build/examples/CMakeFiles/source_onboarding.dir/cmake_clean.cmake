@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_onboarding.dir/source_onboarding.cpp.o"
+  "CMakeFiles/source_onboarding.dir/source_onboarding.cpp.o.d"
+  "source_onboarding"
+  "source_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

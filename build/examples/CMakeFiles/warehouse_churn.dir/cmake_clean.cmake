@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_churn.dir/warehouse_churn.cpp.o"
+  "CMakeFiles/warehouse_churn.dir/warehouse_churn.cpp.o.d"
+  "warehouse_churn"
+  "warehouse_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

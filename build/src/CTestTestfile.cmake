@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("catalog")
+subdirs("storage")
+subdirs("algebra")
+subdirs("sql")
+subdirs("esql")
+subdirs("mkb")
+subdirs("hypergraph")
+subdirs("cvs")
+subdirs("eve")
+subdirs("workload")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/eval.cc" "src/algebra/CMakeFiles/eve_algebra.dir/eval.cc.o" "gcc" "src/algebra/CMakeFiles/eve_algebra.dir/eval.cc.o.d"
+  "/root/repo/src/algebra/executor.cc" "src/algebra/CMakeFiles/eve_algebra.dir/executor.cc.o" "gcc" "src/algebra/CMakeFiles/eve_algebra.dir/executor.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/algebra/CMakeFiles/eve_algebra.dir/expr.cc.o" "gcc" "src/algebra/CMakeFiles/eve_algebra.dir/expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/eve_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eve_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eve_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

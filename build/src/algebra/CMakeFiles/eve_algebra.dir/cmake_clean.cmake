@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_algebra.dir/eval.cc.o"
+  "CMakeFiles/eve_algebra.dir/eval.cc.o.d"
+  "CMakeFiles/eve_algebra.dir/executor.cc.o"
+  "CMakeFiles/eve_algebra.dir/executor.cc.o.d"
+  "CMakeFiles/eve_algebra.dir/expr.cc.o"
+  "CMakeFiles/eve_algebra.dir/expr.cc.o.d"
+  "libeve_algebra.a"
+  "libeve_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_catalog.dir/catalog.cc.o"
+  "CMakeFiles/eve_catalog.dir/catalog.cc.o.d"
+  "libeve_catalog.a"
+  "libeve_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

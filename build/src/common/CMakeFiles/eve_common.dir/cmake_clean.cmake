@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_common.dir/status.cc.o"
+  "CMakeFiles/eve_common.dir/status.cc.o.d"
+  "CMakeFiles/eve_common.dir/str_util.cc.o"
+  "CMakeFiles/eve_common.dir/str_util.cc.o.d"
+  "libeve_common.a"
+  "libeve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cvs/cost_model.cc" "src/cvs/CMakeFiles/eve_cvs.dir/cost_model.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/cost_model.cc.o.d"
+  "/root/repo/src/cvs/cvs.cc" "src/cvs/CMakeFiles/eve_cvs.dir/cvs.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/cvs.cc.o.d"
+  "/root/repo/src/cvs/delete_attribute.cc" "src/cvs/CMakeFiles/eve_cvs.dir/delete_attribute.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/delete_attribute.cc.o.d"
+  "/root/repo/src/cvs/explain.cc" "src/cvs/CMakeFiles/eve_cvs.dir/explain.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/explain.cc.o.d"
+  "/root/repo/src/cvs/extent.cc" "src/cvs/CMakeFiles/eve_cvs.dir/extent.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/extent.cc.o.d"
+  "/root/repo/src/cvs/implication.cc" "src/cvs/CMakeFiles/eve_cvs.dir/implication.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/implication.cc.o.d"
+  "/root/repo/src/cvs/legality.cc" "src/cvs/CMakeFiles/eve_cvs.dir/legality.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/legality.cc.o.d"
+  "/root/repo/src/cvs/r_mapping.cc" "src/cvs/CMakeFiles/eve_cvs.dir/r_mapping.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/r_mapping.cc.o.d"
+  "/root/repo/src/cvs/r_replacement.cc" "src/cvs/CMakeFiles/eve_cvs.dir/r_replacement.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/r_replacement.cc.o.d"
+  "/root/repo/src/cvs/rewriting.cc" "src/cvs/CMakeFiles/eve_cvs.dir/rewriting.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/rewriting.cc.o.d"
+  "/root/repo/src/cvs/svs_baseline.cc" "src/cvs/CMakeFiles/eve_cvs.dir/svs_baseline.cc.o" "gcc" "src/cvs/CMakeFiles/eve_cvs.dir/svs_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergraph/CMakeFiles/eve_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkb/CMakeFiles/eve_mkb.dir/DependInfo.cmake"
+  "/root/repo/build/src/esql/CMakeFiles/eve_esql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/eve_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eve_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eve_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eve_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eve_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_cvs.dir/cost_model.cc.o"
+  "CMakeFiles/eve_cvs.dir/cost_model.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/cvs.cc.o"
+  "CMakeFiles/eve_cvs.dir/cvs.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/delete_attribute.cc.o"
+  "CMakeFiles/eve_cvs.dir/delete_attribute.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/explain.cc.o"
+  "CMakeFiles/eve_cvs.dir/explain.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/extent.cc.o"
+  "CMakeFiles/eve_cvs.dir/extent.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/implication.cc.o"
+  "CMakeFiles/eve_cvs.dir/implication.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/legality.cc.o"
+  "CMakeFiles/eve_cvs.dir/legality.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/r_mapping.cc.o"
+  "CMakeFiles/eve_cvs.dir/r_mapping.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/r_replacement.cc.o"
+  "CMakeFiles/eve_cvs.dir/r_replacement.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/rewriting.cc.o"
+  "CMakeFiles/eve_cvs.dir/rewriting.cc.o.d"
+  "CMakeFiles/eve_cvs.dir/svs_baseline.cc.o"
+  "CMakeFiles/eve_cvs.dir/svs_baseline.cc.o.d"
+  "libeve_cvs.a"
+  "libeve_cvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_cvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esql/binder.cc" "src/esql/CMakeFiles/eve_esql.dir/binder.cc.o" "gcc" "src/esql/CMakeFiles/eve_esql.dir/binder.cc.o.d"
+  "/root/repo/src/esql/evaluator.cc" "src/esql/CMakeFiles/eve_esql.dir/evaluator.cc.o" "gcc" "src/esql/CMakeFiles/eve_esql.dir/evaluator.cc.o.d"
+  "/root/repo/src/esql/view_definition.cc" "src/esql/CMakeFiles/eve_esql.dir/view_definition.cc.o" "gcc" "src/esql/CMakeFiles/eve_esql.dir/view_definition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/eve_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eve_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eve_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eve_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eve_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

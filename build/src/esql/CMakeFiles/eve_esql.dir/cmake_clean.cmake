@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_esql.dir/binder.cc.o"
+  "CMakeFiles/eve_esql.dir/binder.cc.o.d"
+  "CMakeFiles/eve_esql.dir/evaluator.cc.o"
+  "CMakeFiles/eve_esql.dir/evaluator.cc.o.d"
+  "CMakeFiles/eve_esql.dir/view_definition.cc.o"
+  "CMakeFiles/eve_esql.dir/view_definition.cc.o.d"
+  "libeve_esql.a"
+  "libeve_esql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_esql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

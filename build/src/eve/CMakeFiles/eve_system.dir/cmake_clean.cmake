@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_system.dir/eve_system.cc.o"
+  "CMakeFiles/eve_system.dir/eve_system.cc.o.d"
+  "CMakeFiles/eve_system.dir/materialization.cc.o"
+  "CMakeFiles/eve_system.dir/materialization.cc.o.d"
+  "CMakeFiles/eve_system.dir/view_pool_io.cc.o"
+  "CMakeFiles/eve_system.dir/view_pool_io.cc.o.d"
+  "libeve_system.a"
+  "libeve_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_hypergraph.dir/hypergraph.cc.o"
+  "CMakeFiles/eve_hypergraph.dir/hypergraph.cc.o.d"
+  "CMakeFiles/eve_hypergraph.dir/join_graph.cc.o"
+  "CMakeFiles/eve_hypergraph.dir/join_graph.cc.o.d"
+  "libeve_hypergraph.a"
+  "libeve_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

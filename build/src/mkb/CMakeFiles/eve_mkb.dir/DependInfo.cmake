@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mkb/builder.cc" "src/mkb/CMakeFiles/eve_mkb.dir/builder.cc.o" "gcc" "src/mkb/CMakeFiles/eve_mkb.dir/builder.cc.o.d"
+  "/root/repo/src/mkb/capability_change.cc" "src/mkb/CMakeFiles/eve_mkb.dir/capability_change.cc.o" "gcc" "src/mkb/CMakeFiles/eve_mkb.dir/capability_change.cc.o.d"
+  "/root/repo/src/mkb/constraints.cc" "src/mkb/CMakeFiles/eve_mkb.dir/constraints.cc.o" "gcc" "src/mkb/CMakeFiles/eve_mkb.dir/constraints.cc.o.d"
+  "/root/repo/src/mkb/evolution.cc" "src/mkb/CMakeFiles/eve_mkb.dir/evolution.cc.o" "gcc" "src/mkb/CMakeFiles/eve_mkb.dir/evolution.cc.o.d"
+  "/root/repo/src/mkb/mkb.cc" "src/mkb/CMakeFiles/eve_mkb.dir/mkb.cc.o" "gcc" "src/mkb/CMakeFiles/eve_mkb.dir/mkb.cc.o.d"
+  "/root/repo/src/mkb/serializer.cc" "src/mkb/CMakeFiles/eve_mkb.dir/serializer.cc.o" "gcc" "src/mkb/CMakeFiles/eve_mkb.dir/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/eve_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eve_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eve_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eve_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eve_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eve_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

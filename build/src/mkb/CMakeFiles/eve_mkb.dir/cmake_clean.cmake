@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_mkb.dir/builder.cc.o"
+  "CMakeFiles/eve_mkb.dir/builder.cc.o.d"
+  "CMakeFiles/eve_mkb.dir/capability_change.cc.o"
+  "CMakeFiles/eve_mkb.dir/capability_change.cc.o.d"
+  "CMakeFiles/eve_mkb.dir/constraints.cc.o"
+  "CMakeFiles/eve_mkb.dir/constraints.cc.o.d"
+  "CMakeFiles/eve_mkb.dir/evolution.cc.o"
+  "CMakeFiles/eve_mkb.dir/evolution.cc.o.d"
+  "CMakeFiles/eve_mkb.dir/mkb.cc.o"
+  "CMakeFiles/eve_mkb.dir/mkb.cc.o.d"
+  "CMakeFiles/eve_mkb.dir/serializer.cc.o"
+  "CMakeFiles/eve_mkb.dir/serializer.cc.o.d"
+  "libeve_mkb.a"
+  "libeve_mkb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_mkb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

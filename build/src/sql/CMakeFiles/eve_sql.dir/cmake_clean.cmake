@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_sql.dir/evolution_params.cc.o"
+  "CMakeFiles/eve_sql.dir/evolution_params.cc.o.d"
+  "CMakeFiles/eve_sql.dir/lexer.cc.o"
+  "CMakeFiles/eve_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/eve_sql.dir/parser.cc.o"
+  "CMakeFiles/eve_sql.dir/parser.cc.o.d"
+  "CMakeFiles/eve_sql.dir/printer.cc.o"
+  "CMakeFiles/eve_sql.dir/printer.cc.o.d"
+  "libeve_sql.a"
+  "libeve_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

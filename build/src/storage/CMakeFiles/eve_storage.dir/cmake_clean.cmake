@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_storage.dir/database.cc.o"
+  "CMakeFiles/eve_storage.dir/database.cc.o.d"
+  "CMakeFiles/eve_storage.dir/table.cc.o"
+  "CMakeFiles/eve_storage.dir/table.cc.o.d"
+  "libeve_storage.a"
+  "libeve_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

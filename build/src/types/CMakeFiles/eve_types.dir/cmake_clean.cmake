@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_types.dir/data_type.cc.o"
+  "CMakeFiles/eve_types.dir/data_type.cc.o.d"
+  "CMakeFiles/eve_types.dir/date.cc.o"
+  "CMakeFiles/eve_types.dir/date.cc.o.d"
+  "CMakeFiles/eve_types.dir/schema.cc.o"
+  "CMakeFiles/eve_types.dir/schema.cc.o.d"
+  "CMakeFiles/eve_types.dir/value.cc.o"
+  "CMakeFiles/eve_types.dir/value.cc.o.d"
+  "libeve_types.a"
+  "libeve_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_workload.dir/generator.cc.o"
+  "CMakeFiles/eve_workload.dir/generator.cc.o.d"
+  "CMakeFiles/eve_workload.dir/travel_agency.cc.o"
+  "CMakeFiles/eve_workload.dir/travel_agency.cc.o.d"
+  "libeve_workload.a"
+  "libeve_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

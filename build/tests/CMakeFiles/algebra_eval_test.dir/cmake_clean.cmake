@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_eval_test.dir/algebra_eval_test.cc.o"
+  "CMakeFiles/algebra_eval_test.dir/algebra_eval_test.cc.o.d"
+  "algebra_eval_test"
+  "algebra_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

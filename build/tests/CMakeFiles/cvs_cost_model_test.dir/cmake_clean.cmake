@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_cost_model_test.dir/cvs_cost_model_test.cc.o"
+  "CMakeFiles/cvs_cost_model_test.dir/cvs_cost_model_test.cc.o.d"
+  "cvs_cost_model_test"
+  "cvs_cost_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

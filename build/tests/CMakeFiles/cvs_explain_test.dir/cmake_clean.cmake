@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_explain_test.dir/cvs_explain_test.cc.o"
+  "CMakeFiles/cvs_explain_test.dir/cvs_explain_test.cc.o.d"
+  "cvs_explain_test"
+  "cvs_explain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

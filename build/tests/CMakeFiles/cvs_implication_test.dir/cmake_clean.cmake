@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_implication_test.dir/cvs_implication_test.cc.o"
+  "CMakeFiles/cvs_implication_test.dir/cvs_implication_test.cc.o.d"
+  "cvs_implication_test"
+  "cvs_implication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_implication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_legality_test.dir/cvs_legality_test.cc.o"
+  "CMakeFiles/cvs_legality_test.dir/cvs_legality_test.cc.o.d"
+  "cvs_legality_test"
+  "cvs_legality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_legality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

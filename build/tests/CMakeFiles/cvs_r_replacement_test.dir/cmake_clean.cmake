@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_r_replacement_test.dir/cvs_r_replacement_test.cc.o"
+  "CMakeFiles/cvs_r_replacement_test.dir/cvs_r_replacement_test.cc.o.d"
+  "cvs_r_replacement_test"
+  "cvs_r_replacement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_r_replacement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

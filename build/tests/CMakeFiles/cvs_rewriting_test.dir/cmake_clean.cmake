@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_rewriting_test.dir/cvs_rewriting_test.cc.o"
+  "CMakeFiles/cvs_rewriting_test.dir/cvs_rewriting_test.cc.o.d"
+  "cvs_rewriting_test"
+  "cvs_rewriting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_rewriting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

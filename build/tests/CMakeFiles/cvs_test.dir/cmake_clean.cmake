@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvs_test.dir/cvs_test.cc.o"
+  "CMakeFiles/cvs_test.dir/cvs_test.cc.o.d"
+  "cvs_test"
+  "cvs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esql_test.dir/esql_test.cc.o"
+  "CMakeFiles/esql_test.dir/esql_test.cc.o.d"
+  "esql_test"
+  "esql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eve_system_test.dir/eve_system_test.cc.o"
+  "CMakeFiles/eve_system_test.dir/eve_system_test.cc.o.d"
+  "eve_system_test"
+  "eve_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eve_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

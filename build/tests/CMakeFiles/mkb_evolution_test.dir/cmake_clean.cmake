@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkb_evolution_test.dir/mkb_evolution_test.cc.o"
+  "CMakeFiles/mkb_evolution_test.dir/mkb_evolution_test.cc.o.d"
+  "mkb_evolution_test"
+  "mkb_evolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkb_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkb_serializer_test.dir/mkb_serializer_test.cc.o"
+  "CMakeFiles/mkb_serializer_test.dir/mkb_serializer_test.cc.o.d"
+  "mkb_serializer_test"
+  "mkb_serializer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkb_serializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

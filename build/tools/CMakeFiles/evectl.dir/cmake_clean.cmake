@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evectl.dir/evectl.cc.o"
+  "CMakeFiles/evectl.dir/evectl.cc.o.d"
+  "evectl"
+  "evectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

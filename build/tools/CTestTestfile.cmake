@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(evectl_demo "/root/repo/build/tools/evectl" "/root/repo/tools/demo.evectl")
+set_tests_properties(evectl_demo PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
