@@ -1,0 +1,123 @@
+// Journal + checkpoint throughput: the durability tax on the EVE change
+// pipeline. Measures raw fsynced record appends, journaled vs un-journaled
+// ApplyChange, checkpoint write, and full RecoverFromFiles replay.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "eve/eve_system.h"
+#include "eve/journal.h"
+#include "mkb/capability_change.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+std::string TempPath(const char* suffix) {
+  return std::string(P_tmpdir) + "/eve_bench_journal_" + suffix;
+}
+
+EveSystem FreshSystem() {
+  EveSystem system(MakeTravelAgencyMkb().MoveValue());
+  if (!system.RegisterViewText(CustomerPassengersAsiaSql()).ok()) {
+    std::abort();
+  }
+  return system;
+}
+
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string path = TempPath("append.wal");
+  std::remove(path.c_str());
+  Journal journal = Journal::Open(path).MoveValue();
+  const std::string body(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        journal.Append(JournalRecordKind::kExtendMkb, body));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(body.size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppend)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ApplyChangeUnjournaled(benchmark::State& state) {
+  for (auto _ : state) {
+    EveSystem system = FreshSystem();
+    benchmark::DoNotOptimize(
+        system.ApplyChange(CapabilityChange::DeleteRelation("Customer")));
+  }
+}
+BENCHMARK(BM_ApplyChangeUnjournaled);
+
+void BM_ApplyChangeJournaled(benchmark::State& state) {
+  const std::string path = TempPath("apply.wal");
+  for (auto _ : state) {
+    std::remove(path.c_str());
+    Journal journal = Journal::Open(path).MoveValue();
+    EveSystem system = FreshSystem();
+    system.AttachJournal(&journal);
+    benchmark::DoNotOptimize(
+        system.ApplyChange(CapabilityChange::DeleteRelation("Customer")));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ApplyChangeJournaled);
+
+void BM_WriteCheckpoint(benchmark::State& state) {
+  const std::string path = TempPath("write.ckpt");
+  EveSystem system = FreshSystem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteCheckpoint(system, path));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WriteCheckpoint);
+
+void BM_RecoverFromFiles(benchmark::State& state) {
+  const std::string ckpt = TempPath("recover.ckpt");
+  const std::string wal = TempPath("recover.wal");
+  std::remove(ckpt.c_str());
+  std::remove(wal.c_str());
+  {
+    EveSystem system = FreshSystem();
+    if (!WriteCheckpoint(system, ckpt).ok()) std::abort();
+    Journal journal = Journal::Open(wal).MoveValue();
+    system.AttachJournal(&journal);
+    for (int i = 0; i < state.range(0); ++i) {
+      if (!system
+               .ExtendMkb("SOURCE BenchIS RELATION Bench" +
+                          std::to_string(i) + " (Name string, X int)")
+               .ok()) {
+        std::abort();
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecoverFromFiles(ckpt, wal));
+  }
+  state.SetComplexityN(state.range(0));
+  std::remove(ckpt.c_str());
+  std::remove(wal.c_str());
+}
+BENCHMARK(BM_RecoverFromFiles)->RangeMultiplier(4)->Range(4, 64)
+    ->Complexity();
+
+void PrintReproduction() {
+  std::cout << "=== Journal/recovery microbenchmarks ===\n"
+            << "Raw fsynced appends, the journaling tax on ApplyChange,\n"
+            << "atomic checkpoint writes, and checkpoint+replay recovery.\n";
+}
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) {
+  eve::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_journal.cc" "bench/CMakeFiles/bench_journal.dir/bench_journal.cc.o" "gcc" "bench/CMakeFiles/bench_journal.dir/bench_journal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eve/CMakeFiles/eve_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cvs/CMakeFiles/eve_cvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/eve_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkb/CMakeFiles/eve_mkb.dir/DependInfo.cmake"
+  "/root/repo/build/src/esql/CMakeFiles/eve_esql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/eve_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eve_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eve_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eve_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eve_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -8,6 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/eve_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/eve_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/failpoint.cc" "src/common/CMakeFiles/eve_common.dir/failpoint.cc.o" "gcc" "src/common/CMakeFiles/eve_common.dir/failpoint.cc.o.d"
+  "/root/repo/src/common/file_io.cc" "src/common/CMakeFiles/eve_common.dir/file_io.cc.o" "gcc" "src/common/CMakeFiles/eve_common.dir/file_io.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/eve_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/eve_common.dir/status.cc.o.d"
   "/root/repo/src/common/str_util.cc" "src/common/CMakeFiles/eve_common.dir/str_util.cc.o" "gcc" "src/common/CMakeFiles/eve_common.dir/str_util.cc.o.d"
   )

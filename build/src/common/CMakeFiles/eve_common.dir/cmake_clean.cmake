@@ -1,4 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/eve_common.dir/crc32.cc.o"
+  "CMakeFiles/eve_common.dir/crc32.cc.o.d"
+  "CMakeFiles/eve_common.dir/failpoint.cc.o"
+  "CMakeFiles/eve_common.dir/failpoint.cc.o.d"
+  "CMakeFiles/eve_common.dir/file_io.cc.o"
+  "CMakeFiles/eve_common.dir/file_io.cc.o.d"
   "CMakeFiles/eve_common.dir/status.cc.o"
   "CMakeFiles/eve_common.dir/status.cc.o.d"
   "CMakeFiles/eve_common.dir/str_util.cc.o"

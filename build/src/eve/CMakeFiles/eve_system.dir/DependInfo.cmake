@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/eve/eve_system.cc" "src/eve/CMakeFiles/eve_system.dir/eve_system.cc.o" "gcc" "src/eve/CMakeFiles/eve_system.dir/eve_system.cc.o.d"
+  "/root/repo/src/eve/journal.cc" "src/eve/CMakeFiles/eve_system.dir/journal.cc.o" "gcc" "src/eve/CMakeFiles/eve_system.dir/journal.cc.o.d"
   "/root/repo/src/eve/materialization.cc" "src/eve/CMakeFiles/eve_system.dir/materialization.cc.o" "gcc" "src/eve/CMakeFiles/eve_system.dir/materialization.cc.o.d"
   "/root/repo/src/eve/view_pool_io.cc" "src/eve/CMakeFiles/eve_system.dir/view_pool_io.cc.o" "gcc" "src/eve/CMakeFiles/eve_system.dir/view_pool_io.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/eve_system.dir/eve_system.cc.o"
   "CMakeFiles/eve_system.dir/eve_system.cc.o.d"
+  "CMakeFiles/eve_system.dir/journal.cc.o"
+  "CMakeFiles/eve_system.dir/journal.cc.o.d"
   "CMakeFiles/eve_system.dir/materialization.cc.o"
   "CMakeFiles/eve_system.dir/materialization.cc.o.d"
   "CMakeFiles/eve_system.dir/view_pool_io.cc.o"

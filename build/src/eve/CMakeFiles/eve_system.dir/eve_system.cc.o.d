@@ -238,5 +238,9 @@ src/eve/CMakeFiles/eve_system.dir/eve_system.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/cvs/explain.h /root/repo/src/esql/binder.h \
+ /root/repo/src/common/failpoint.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/cvs/explain.h \
+ /root/repo/src/esql/binder.h /root/repo/src/eve/journal.h \
  /root/repo/src/mkb/serializer.h /root/repo/src/sql/parser.h

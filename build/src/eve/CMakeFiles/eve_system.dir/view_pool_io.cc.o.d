@@ -233,5 +233,9 @@ src/eve/CMakeFiles/eve_system.dir/view_pool_io.cc.o: \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
  /root/repo/src/cvs/legality.h /root/repo/src/mkb/capability_change.h \
  /root/repo/src/mkb/evolution.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/str_util.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/failpoint.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/str_util.h /root/repo/src/esql/binder.h \
  /root/repo/src/sql/parser.h

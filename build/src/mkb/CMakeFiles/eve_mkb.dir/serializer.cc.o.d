@@ -222,7 +222,11 @@ src/mkb/CMakeFiles/eve_mkb.dir/serializer.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/str_util.h \
- /root/repo/src/sql/lexer.h /root/repo/src/sql/token.h \
- /root/repo/src/sql/parser.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/evolution_params.h /root/repo/src/sql/printer.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/failpoint.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/str_util.h /root/repo/src/sql/lexer.h \
+ /root/repo/src/sql/token.h /root/repo/src/sql/parser.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/evolution_params.h \
+ /root/repo/src/sql/printer.h

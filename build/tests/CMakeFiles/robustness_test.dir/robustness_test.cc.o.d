@@ -319,8 +319,9 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/cvs/cvs.h \
- /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/common/file_io.h /root/repo/src/common/result.h \
+ /root/repo/src/common/status.h /root/repo/src/cvs/cvs.h \
  /root/repo/src/cvs/cost_model.h /root/repo/src/cvs/extent.h \
  /root/repo/src/algebra/eval.h /root/repo/src/algebra/expr.h \
  /root/repo/src/catalog/attribute_ref.h /root/repo/src/types/value.h \
@@ -333,6 +334,8 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/hypergraph/join_graph.h /root/repo/src/storage/database.h \
  /root/repo/src/storage/table.h /root/repo/src/cvs/legality.h \
  /root/repo/src/mkb/capability_change.h /root/repo/src/mkb/evolution.h \
- /root/repo/src/esql/binder.h /root/repo/src/mkb/serializer.h \
- /root/repo/src/sql/parser.h /root/repo/src/workload/generator.h \
+ /root/repo/src/esql/binder.h /root/repo/src/eve/eve_system.h \
+ /root/repo/src/eve/journal.h /root/repo/src/eve/view_pool_io.h \
+ /root/repo/src/mkb/serializer.h /root/repo/src/sql/parser.h \
+ /root/repo/src/workload/generator.h \
  /root/repo/src/workload/travel_agency.h

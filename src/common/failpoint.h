@@ -1,0 +1,125 @@
+// Failpoints: a process-wide registry of named fault-injection sites.
+//
+// Durable-state code is instrumented with EVE_FAILPOINT("site.name"); in
+// production the hit is a cheap counter bump. Tests (or the EVE_FAILPOINTS
+// environment variable) arm a site to fire on its Nth upcoming hit with one
+// of two actions:
+//   kError — the instrumented function returns an injected Status error,
+//            exercising the error-propagation path;
+//   kCrash — a SimulatedCrash exception unwinds out of the operation,
+//            modelling a process crash at exactly that point. The in-memory
+//            system is torn; recovery must rebuild it from the checkpoint
+//            and journal (see eve/journal.h).
+//
+// Every site name is declared once in the fp:: catalog below so tests can
+// enumerate them (Failpoints::KnownSites) and arm each in turn.
+
+#ifndef EVE_COMMON_FAILPOINT_H_
+#define EVE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eve {
+
+// The catalog of instrumented sites. Keep in sync with KnownSites().
+namespace fp {
+inline constexpr char kApplyChangeBeforeJournal[] =
+    "eve.apply_change.before_journal";
+inline constexpr char kApplyChangeAfterJournal[] =
+    "eve.apply_change.after_journal";
+inline constexpr char kApplyChangeAfterMkbEvolve[] =
+    "eve.apply_change.after_mkb_evolve";
+inline constexpr char kApplyChangeBeforeCommit[] =
+    "eve.apply_change.before_commit";
+inline constexpr char kApplyChangesMidBatch[] = "eve.apply_changes.mid_batch";
+inline constexpr char kExtendMkbAfterJournal[] = "eve.extend_mkb.after_journal";
+inline constexpr char kRegisterViewAfterJournal[] =
+    "eve.register_view.after_journal";
+inline constexpr char kRetractConstraintAfterJournal[] =
+    "eve.retract_constraint.after_journal";
+inline constexpr char kSourceLeavesBetweenChanges[] =
+    "eve.source_leaves.between_changes";
+inline constexpr char kJournalAppendBeforeWrite[] =
+    "journal.append.before_write";
+inline constexpr char kJournalAppendPartialWrite[] =
+    "journal.append.partial_write";
+inline constexpr char kJournalAppendBeforeFsync[] =
+    "journal.append.before_fsync";
+inline constexpr char kAtomicWriteAfterTemp[] = "file.atomic_write.after_temp";
+inline constexpr char kAtomicWriteBeforeRename[] =
+    "file.atomic_write.before_rename";
+inline constexpr char kCheckpointLoadValidate[] = "checkpoint.load.validate";
+inline constexpr char kViewPoolLoadValidate[] = "viewpool.load.validate";
+inline constexpr char kMisdAppendParse[] = "mkb.append_misd.parse";
+}  // namespace fp
+
+// Thrown by an armed kCrash failpoint. The codebase is otherwise
+// exception-free, so the unwind reaches the test's catch block directly —
+// everything between the site and the catch is abandoned, exactly like a
+// process that died there (minus the durable files already written).
+class SimulatedCrash {
+ public:
+  explicit SimulatedCrash(std::string site) : site_(std::move(site)) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+enum class FailpointAction { kError, kCrash };
+
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  // Arms `site` to fire on the `on_hit`-th upcoming hit (1-based, counted
+  // from now), then auto-disarm. Re-arming replaces the previous arming.
+  void Arm(const std::string& site, FailpointAction action, int on_hit = 1);
+  void Disarm(const std::string& site);
+  // Disarms every site and resets all hit counters.
+  void Reset();
+
+  // Called by EVE_FAILPOINT at instrumented sites. Returns an injected
+  // error when an armed kError site fires; throws SimulatedCrash when an
+  // armed kCrash site fires; otherwise returns OK.
+  Status Hit(const char* site);
+
+  // Total times `site` was hit since the last Reset().
+  uint64_t HitCount(const std::string& site) const;
+
+  // Every site named in the fp:: catalog.
+  static const std::vector<std::string>& KnownSites();
+
+  // Parses an arming spec: "site=error,other.site=crash@3" (fire the
+  // other.site crash on its 3rd hit). Used for the EVE_FAILPOINTS env var.
+  Status ArmFromSpec(std::string_view spec);
+
+ private:
+  struct Arming {
+    FailpointAction action = FailpointAction::kError;
+    // Fires when `remaining` reaches zero on a hit.
+    int remaining = 1;
+  };
+
+  Failpoints();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Arming> armed_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace eve
+
+// Instruments a fault-injection site inside a function returning Status or
+// Result<T>. Disarmed cost: one registry lookup.
+#define EVE_FAILPOINT(site) \
+  EVE_RETURN_IF_ERROR(::eve::Failpoints::Instance().Hit(site))
+
+#endif  // EVE_COMMON_FAILPOINT_H_

@@ -1,0 +1,93 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace eve {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, std::string_view content, const std::string& path) {
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("cannot write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Best-effort fsync of the directory containing `path`, making the rename
+// itself durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("cannot open", path);
+  }
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("cannot read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return content;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", temp);
+  Status status = WriteAll(fd, content, temp);
+  if (status.ok() && ::fsync(fd) != 0) status = Errno("cannot fsync", temp);
+  if (::close(fd) != 0 && status.ok()) status = Errno("cannot close", temp);
+  if (!status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+  // A crash here leaves the fully-written temp beside the intact target.
+  EVE_FAILPOINT(fp::kAtomicWriteAfterTemp);
+  EVE_FAILPOINT(fp::kAtomicWriteBeforeRename);
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const Status rename_status = Errno("cannot rename over", path);
+    ::unlink(temp.c_str());
+    return rename_status;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace eve

@@ -1,0 +1,27 @@
+// Crash-safe file helpers. AtomicWriteFile is the only sanctioned way to
+// overwrite durable state files (MISD dumps, view pools, checkpoints): the
+// content is written to a sibling temp file, fsynced, and renamed over the
+// target, so a crash at any point leaves either the old file or the new
+// one — never a torn mixture.
+
+#ifndef EVE_COMMON_FILE_IO_H_
+#define EVE_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace eve {
+
+// Reads the whole file into a string. NotFound if the file is absent.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Durably replaces `path` with `content` (write temp + fsync + rename +
+// fsync directory). Failpoints: file.atomic_write.after_temp,
+// file.atomic_write.before_rename.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_FILE_IO_H_

@@ -182,6 +182,103 @@ Result<ViewDefinition> ParseAndBindView(std::string_view text,
   return BindView(parsed, catalog);
 }
 
+namespace {
+
+// Catalog-free column canonicalization for BindViewUnchecked.
+class LenientResolver {
+ public:
+  static Result<LenientResolver> Create(const ParsedView& parsed) {
+    LenientResolver resolver;
+    for (const ParsedFromItem& item : parsed.from) {
+      const std::string alias =
+          item.alias.empty() ? item.relation : item.alias;
+      resolver.alias_to_relation_.emplace(alias, item.relation);
+      resolver.alias_to_relation_.emplace(item.relation, item.relation);
+    }
+    return resolver;
+  }
+
+  Result<ExprPtr> ResolveExpr(const ExprPtr& expr) const {
+    if (expr->kind() == ExprKind::kColumn) {
+      const AttributeRef& ref = expr->column();
+      if (ref.relation.empty()) {
+        return Status::InvalidArgument(
+            "cannot restore unqualified column '" + ref.attribute +
+            "' without a catalog");
+      }
+      auto it = alias_to_relation_.find(ref.relation);
+      // Unknown qualifiers are kept verbatim: a disabled view may reference
+      // relations that are gone from the FROM list after partial rewriting.
+      const std::string& relation =
+          it == alias_to_relation_.end() ? ref.relation : it->second;
+      return Expr::Column(AttributeRef{relation, ref.attribute});
+    }
+    if (expr->kind() == ExprKind::kLiteral) return expr;
+    std::vector<ExprPtr> children;
+    children.reserve(expr->children().size());
+    for (const ExprPtr& child : expr->children()) {
+      EVE_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveExpr(child));
+      children.push_back(std::move(resolved));
+    }
+    switch (expr->kind()) {
+      case ExprKind::kUnary:
+        return Expr::Unary(expr->unary_op(), std::move(children[0]));
+      case ExprKind::kBinary:
+        return Expr::Binary(expr->binary_op(), std::move(children[0]),
+                            std::move(children[1]));
+      case ExprKind::kFunctionCall:
+        return Expr::Func(expr->function_name(), std::move(children));
+      default:
+        return Status::Internal("unexpected expression kind in binder");
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> alias_to_relation_;
+};
+
+}  // namespace
+
+Result<ViewDefinition> BindViewUnchecked(const ParsedView& parsed) {
+  if (parsed.select.empty()) {
+    return Status::InvalidArgument("view has an empty SELECT list");
+  }
+  if (parsed.from.empty()) {
+    return Status::InvalidArgument("view has an empty FROM list");
+  }
+  if (!parsed.column_names.empty() &&
+      parsed.column_names.size() != parsed.select.size()) {
+    return Status::InvalidArgument("view column list arity mismatch");
+  }
+  EVE_ASSIGN_OR_RETURN(const LenientResolver resolver,
+                       LenientResolver::Create(parsed));
+  std::vector<ViewSelectItem> select;
+  select.reserve(parsed.select.size());
+  for (size_t i = 0; i < parsed.select.size(); ++i) {
+    const ParsedSelectItem& item = parsed.select[i];
+    EVE_ASSIGN_OR_RETURN(ExprPtr expr, resolver.ResolveExpr(item.expr));
+    std::string output_name =
+        !parsed.column_names.empty()
+            ? parsed.column_names[i]
+            : (!item.alias.empty() ? item.alias : DeriveOutputName(expr, i));
+    select.push_back(
+        ViewSelectItem{std::move(expr), std::move(output_name), item.params});
+  }
+  std::vector<ViewRelation> from;
+  from.reserve(parsed.from.size());
+  for (const ParsedFromItem& item : parsed.from) {
+    from.push_back(ViewRelation{item.relation, item.params});
+  }
+  std::vector<ViewCondition> where;
+  where.reserve(parsed.where.size());
+  for (const ParsedCondition& cond : parsed.where) {
+    EVE_ASSIGN_OR_RETURN(ExprPtr clause, resolver.ResolveExpr(cond.clause));
+    where.push_back(ViewCondition{std::move(clause), cond.params});
+  }
+  return ViewDefinition(parsed.name, parsed.extent, std::move(select),
+                        std::move(from), std::move(where));
+}
+
 Status CheckDistinguishedAttributesPreserved(const ViewDefinition& view) {
   std::vector<AttributeRef> preserved;
   for (const ViewSelectItem& item : view.select()) {

@@ -26,6 +26,15 @@ Result<ViewDefinition> BindView(const ParsedView& parsed,
 Result<ViewDefinition> ParseAndBindView(std::string_view text,
                                         const Catalog& catalog);
 
+// Structurally converts `parsed` to a ViewDefinition WITHOUT consulting a
+// catalog: aliases are resolved from the FROM list alone, qualified columns
+// are taken at face value, and no existence or type checks run. Used to
+// restore disabled views from persistence — their definitions may reference
+// capabilities the federation no longer has, yet the pool must reload
+// exactly. Unqualified columns (impossible in SaveViews output, which is
+// fully qualified) are rejected.
+Result<ViewDefinition> BindViewUnchecked(const ParsedView& parsed);
+
 // Checks the paper's *strict* assumption that every distinguished attribute
 // (one used in an indispensable WHERE clause) appears in the SELECT list.
 // The paper's own running example violates it, so this is advisory and not

@@ -3,13 +3,37 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "cvs/explain.h"
 #include "esql/binder.h"
+#include "eve/journal.h"
 #include "mkb/evolution.h"
 #include "mkb/serializer.h"
 #include "sql/parser.h"
 
 namespace eve {
+
+namespace {
+
+// Journal body for view-registration records: "<state>\n<E-SQL text>".
+std::string ViewRecordBody(ViewState state, const std::string& text) {
+  return std::string(state == ViewState::kActive ? "active" : "disabled") +
+         "\n" + text;
+}
+
+// Splits a "<word>\n<rest>" journal body.
+Status SplitRecordBody(const std::string& body, std::string* head,
+                       std::string* rest) {
+  const size_t newline = body.find('\n');
+  if (newline == std::string::npos) {
+    return Status::ParseError("malformed journal record body");
+  }
+  *head = body.substr(0, newline);
+  *rest = body.substr(newline + 1);
+  return Status::OK();
+}
+
+}  // namespace
 
 size_t ChangeReport::CountOutcome(ViewOutcomeKind kind) const {
   size_t count = 0;
@@ -51,10 +75,37 @@ std::string ChangeReport::ToString() const {
   return os.str();
 }
 
+std::string RecoveryReport::ToString() const {
+  std::ostringstream os;
+  os << "recovery: replayed " << replayed << ", skipped " << skipped
+     << ", discarded " << discarded
+     << (torn_tail ? ", journal tail was torn" : "") << "\n";
+  for (const std::string& note : notes) os << "  " << note << "\n";
+  return os.str();
+}
+
+Status EveSystem::JournalAppend(const JournalRecord& record) {
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->Append(record.kind, record.body);
+}
+
 Status EveSystem::ExtendMkb(std::string_view misd_text) {
   Mkb extended = mkb_;
   EVE_RETURN_IF_ERROR(AppendMisd(&extended, misd_text));
+  EVE_RETURN_IF_ERROR(JournalAppend(
+      {JournalRecordKind::kExtendMkb, std::string(misd_text)}));
   mkb_ = std::move(extended);
+  EVE_FAILPOINT(fp::kExtendMkbAfterJournal);
+  return Status::OK();
+}
+
+Status EveSystem::RetractConstraint(const std::string& id) {
+  Mkb next = mkb_;
+  EVE_RETURN_IF_ERROR(next.RemoveConstraint(id));
+  EVE_RETURN_IF_ERROR(
+      JournalAppend({JournalRecordKind::kRetractConstraint, id}));
+  mkb_ = std::move(next);
+  EVE_FAILPOINT(fp::kRetractConstraintAfterJournal);
   return Status::OK();
 }
 
@@ -68,9 +119,32 @@ Status EveSystem::RegisterView(const ViewDefinition& view) {
   // Re-validate against the current MKB state.
   EVE_ASSIGN_OR_RETURN(ViewDefinition bound,
                        BindView(view.ToParsedView(), mkb_.catalog()));
+  EVE_RETURN_IF_ERROR(
+      JournalAppend({JournalRecordKind::kRegisterView,
+                     ViewRecordBody(ViewState::kActive, bound.ToString())}));
   RegisteredView registered;
   registered.definition = std::move(bound);
   views_.emplace(view.name(), std::move(registered));
+  EVE_FAILPOINT(fp::kRegisterViewAfterJournal);
+  return Status::OK();
+}
+
+Status EveSystem::RestoreView(ViewDefinition definition, ViewState state) {
+  if (definition.name().empty()) {
+    return Status::InvalidArgument("view needs a non-empty name");
+  }
+  if (views_.count(definition.name()) > 0) {
+    return Status::AlreadyExists("view already registered: " +
+                                 definition.name());
+  }
+  EVE_RETURN_IF_ERROR(
+      JournalAppend({JournalRecordKind::kRegisterView,
+                     ViewRecordBody(state, definition.ToString())}));
+  const std::string name = definition.name();
+  RegisteredView registered;
+  registered.definition = std::move(definition);
+  registered.state = state;
+  views_.emplace(name, std::move(registered));
   return Status::OK();
 }
 
@@ -95,6 +169,11 @@ Status EveSystem::SetViewState(const std::string& name, ViewState state) {
   if (it == views_.end()) {
     return Status::NotFound("view not registered: " + name);
   }
+  EVE_RETURN_IF_ERROR(
+      JournalAppend({JournalRecordKind::kSetViewState,
+                     std::string(state == ViewState::kActive ? "active"
+                                                             : "disabled") +
+                         "\n" + name}));
   it->second.state = state;
   return Status::OK();
 }
@@ -142,6 +221,7 @@ std::vector<std::string> EveSystem::AffectedViews(
 }
 
 Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
+  EVE_FAILPOINT(fp::kApplyChangeBeforeJournal);
   ChangeReport report;
   report.change = change;
 
@@ -150,6 +230,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
                        EvolveMkb(mkb_, change));
   report.dropped_constraints = evolution.dropped_constraints;
   report.weakened_constraints = evolution.weakened_constraints;
+  EVE_FAILPOINT(fp::kApplyChangeAfterMkbEvolve);
 
   // Step 2: detect affected views.
   const std::vector<std::string> affected = AffectedViews(change);
@@ -163,9 +244,12 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
     }
   }
 
-  // Step 3: synchronize each affected view.
+  // Step 3: synchronize each affected view. All mutations land on a copy of
+  // the pool so a failure anywhere leaves this system untouched; the copy,
+  // the evolved MKB and the log entry commit together at the end.
+  std::map<std::string, RegisteredView> next_views = views_;
   for (const std::string& name : affected) {
-    RegisteredView& registered = views_.at(name);
+    RegisteredView& registered = next_views.at(name);
     EVE_ASSIGN_OR_RETURN(
         const CvsResult result,
         Synchronize(registered.definition, change, mkb_, evolution.mkb,
@@ -212,15 +296,26 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
     }
   }
 
+  // Write-ahead: the change record must be durable before any of the
+  // in-memory state commits.
+  EVE_FAILPOINT(fp::kApplyChangeBeforeCommit);
+  EVE_RETURN_IF_ERROR(JournalAppend(
+      {JournalRecordKind::kApplyChange, SerializeChange(change)}));
   mkb_ = std::move(evolution.mkb);
+  views_ = std::move(next_views);
   change_log_.push_back(report);
+  // Past this point the change is committed both durably and in memory; an
+  // injected error here models a response lost after commit.
+  EVE_FAILPOINT(fp::kApplyChangeAfterJournal);
   return report;
 }
 
 Result<ChangeReport> EveSystem::PreviewChange(
     const CapabilityChange& change) const {
-  // All state is value-typed: run the real pipeline on a scratch copy.
+  // All state is value-typed: run the real pipeline on a scratch copy. The
+  // scratch must not write to the journal — previews are not state changes.
   EveSystem scratch(*this);
+  scratch.journal_ = nullptr;
   return scratch.ApplyChange(change);
 }
 
@@ -234,22 +329,45 @@ Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
     mkb_snapshot = mkb_;
     views_snapshot = views_;
     log_snapshot = change_log_;
+    // Bracket the batch so replay discards it unless the commit marker
+    // lands: a crash mid-batch recovers to the pre-batch state, mirroring
+    // the in-memory rollback below.
+    EVE_RETURN_IF_ERROR(
+        JournalAppend({JournalRecordKind::kBeginBatch, ""}));
   }
   std::vector<ChangeReport> reports;
   reports.reserve(changes.size());
   for (const CapabilityChange& change : changes) {
-    Result<ChangeReport> report = ApplyChange(change);
+    Status injected = Status::OK();
+    if (!reports.empty()) {
+      injected = Failpoints::Instance().Hit(fp::kApplyChangesMidBatch);
+    }
+    Result<ChangeReport> report =
+        injected.ok() ? ApplyChange(change) : Result<ChangeReport>(injected);
     if (!report.ok()) {
       if (transactional) {
         mkb_ = std::move(mkb_snapshot);
         views_ = std::move(views_snapshot);
         change_log_ = std::move(log_snapshot);
+        EVE_RETURN_IF_ERROR(
+            JournalAppend({JournalRecordKind::kAbortBatch, ""}));
       }
       return Status(report.status().code(),
                     "batch aborted at '" + change.ToString() +
                         "': " + report.status().message());
     }
     reports.push_back(report.MoveValue());
+  }
+  if (transactional) {
+    const Status committed = JournalAppend({JournalRecordKind::kCommitBatch, ""});
+    if (!committed.ok()) {
+      // The commit marker never reached disk, so replay will discard the
+      // batch; roll back memory to match that outcome.
+      mkb_ = std::move(mkb_snapshot);
+      views_ = std::move(views_snapshot);
+      change_log_ = std::move(log_snapshot);
+      return committed;
+    }
   }
   return reports;
 }
@@ -264,12 +382,114 @@ Result<std::vector<ChangeReport>> EveSystem::SourceLeaves(
   std::vector<ChangeReport> reports;
   reports.reserve(relations.size());
   for (const std::string& relation : relations) {
+    if (!reports.empty()) {
+      // A departing source's relations are dropped one change at a time;
+      // each is individually durable, so a crash between them recovers to
+      // the prefix already applied.
+      EVE_FAILPOINT(fp::kSourceLeavesBetweenChanges);
+    }
     EVE_ASSIGN_OR_RETURN(
         ChangeReport report,
         ApplyChange(CapabilityChange::DeleteRelation(relation)));
     reports.push_back(std::move(report));
   }
   return reports;
+}
+
+Status EveSystem::ReplayRecord(const JournalRecord& record) {
+  switch (record.kind) {
+    case JournalRecordKind::kExtendMkb:
+      return ExtendMkb(record.body);
+    case JournalRecordKind::kRetractConstraint:
+      return RetractConstraint(record.body);
+    case JournalRecordKind::kRegisterView: {
+      std::string state_word, text;
+      EVE_RETURN_IF_ERROR(SplitRecordBody(record.body, &state_word, &text));
+      if (state_word == "active") return RegisterViewText(text);
+      // Disabled views restore verbatim: their definitions may reference
+      // capabilities that no longer bind.
+      EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(text));
+      EVE_ASSIGN_OR_RETURN(ViewDefinition unbound, BindViewUnchecked(parsed));
+      return RestoreView(std::move(unbound), ViewState::kDisabled);
+    }
+    case JournalRecordKind::kSetViewState: {
+      std::string state_word, name;
+      EVE_RETURN_IF_ERROR(SplitRecordBody(record.body, &state_word, &name));
+      return SetViewState(name, state_word == "active"
+                                    ? ViewState::kActive
+                                    : ViewState::kDisabled);
+    }
+    case JournalRecordKind::kApplyChange: {
+      EVE_ASSIGN_OR_RETURN(const CapabilityChange change,
+                           ParseChange(record.body));
+      const Result<ChangeReport> report = ApplyChange(change);
+      return report.status();
+    }
+    case JournalRecordKind::kBeginBatch:
+    case JournalRecordKind::kCommitBatch:
+    case JournalRecordKind::kAbortBatch:
+      return Status::Internal("batch marker reached record replay");
+  }
+  return Status::Internal("unknown journal record kind");
+}
+
+Result<EveSystem> EveSystem::Recover(
+    std::string_view checkpoint_text,
+    const std::vector<JournalRecord>& records, RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& out = report != nullptr ? *report : local;
+  EVE_ASSIGN_OR_RETURN(EveSystem system, LoadCheckpoint(checkpoint_text));
+
+  // Replays one record, tolerating application failures: a record whose
+  // replay fails also failed (identically and deterministically) in the
+  // original run, so skipping it reproduces the original outcome.
+  const auto replay_tolerant = [&](const JournalRecord& record) {
+    const Status status = system.ReplayRecord(record);
+    if (status.ok()) {
+      ++out.replayed;
+    } else {
+      ++out.skipped;
+      out.notes.push_back("skipped record: " + status.ToString());
+    }
+  };
+
+  bool in_batch = false;
+  std::vector<JournalRecord> batch;
+  for (const JournalRecord& record : records) {
+    switch (record.kind) {
+      case JournalRecordKind::kBeginBatch:
+        if (in_batch) {
+          out.discarded += batch.size();
+          out.notes.push_back("discarded unterminated batch");
+          batch.clear();
+        }
+        in_batch = true;
+        break;
+      case JournalRecordKind::kCommitBatch:
+        for (const JournalRecord& buffered : batch) replay_tolerant(buffered);
+        batch.clear();
+        in_batch = false;
+        break;
+      case JournalRecordKind::kAbortBatch:
+        out.discarded += batch.size();
+        batch.clear();
+        in_batch = false;
+        break;
+      default:
+        if (in_batch) {
+          batch.push_back(record);
+        } else {
+          replay_tolerant(record);
+        }
+        break;
+    }
+  }
+  if (in_batch) {
+    // Crash mid-batch: no commit marker, so the batch never happened.
+    out.discarded += batch.size();
+    out.notes.push_back("discarded uncommitted trailing batch");
+  }
+  return system;
 }
 
 }  // namespace eve

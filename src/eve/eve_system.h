@@ -18,6 +18,9 @@
 
 namespace eve {
 
+class Journal;
+struct JournalRecord;
+
 enum class ViewState { kActive, kDisabled };
 
 struct RegisteredView {
@@ -48,6 +51,18 @@ struct ChangeReport {
   std::string ToString() const;
 };
 
+// What Recover did with the journal, for operator diagnostics.
+struct RecoveryReport {
+  size_t replayed = 0;       // records applied successfully
+  size_t skipped = 0;        // records whose replay failed (e.g. the change
+                             // also failed in the original run)
+  size_t discarded = 0;      // records in uncommitted batches
+  bool torn_tail = false;    // journal ended in a torn record
+  std::vector<std::string> notes;
+
+  std::string ToString() const;
+};
+
 class EveSystem {
  public:
   explicit EveSystem(Mkb mkb, CvsOptions options = {})
@@ -65,9 +80,7 @@ class EveSystem {
   // A source withdraws a published constraint. Views stay valid (they
   // never reference constraints directly), but future synchronizations
   // lose the retracted semantics.
-  Status RetractConstraint(const std::string& id) {
-    return mkb_.RemoveConstraint(id);
-  }
+  Status RetractConstraint(const std::string& id);
 
   // Registers a bound view (re-validated against the current MKB).
   Status RegisterView(const ViewDefinition& view);
@@ -113,11 +126,45 @@ class EveSystem {
 
   const std::vector<ChangeReport>& change_log() const { return change_log_; }
 
+  // --- Durability ----------------------------------------------------------
+
+  // Attaches a write-ahead journal (non-owning; pass nullptr to detach).
+  // While attached, every state mutation is journaled before it commits,
+  // so RecoverFromFiles can rebuild the system after a crash.
+  void AttachJournal(Journal* journal) { journal_ = journal; }
+  Journal* journal() const { return journal_; }
+
+  // Restores a view verbatim — no re-binding, no journaling. Used by
+  // checkpoint/pool loading, where a disabled view's definition may
+  // reference capabilities the current MKB no longer has.
+  Status RestoreView(ViewDefinition definition, ViewState state);
+
+  // Replaces the change log wholesale (checkpoint loading only).
+  void RestoreChangeLog(std::vector<ChangeReport> log) {
+    change_log_ = std::move(log);
+  }
+
+  // Rebuilds a system from a checkpoint document plus scanned journal
+  // records by idempotent replay: records whose application fails (they
+  // failed identically before the crash) are skipped, and batch records
+  // without a commit marker are discarded. The result is deterministically
+  // the pre- or post-operation state of the interrupted run, never a third
+  // state. The recovered system has no journal attached.
+  static Result<EveSystem> Recover(std::string_view checkpoint_text,
+                                   const std::vector<JournalRecord>& records,
+                                   RecoveryReport* report = nullptr);
+
  private:
+  // Appends to the attached journal, if any.
+  Status JournalAppend(const JournalRecord& record);
+  // Replays one journal record onto this system (no journaling).
+  Status ReplayRecord(const JournalRecord& record);
+
   Mkb mkb_;
   CvsOptions options_;
   std::map<std::string, RegisteredView> views_;
   std::vector<ChangeReport> change_log_;
+  Journal* journal_ = nullptr;  // non-owning
 };
 
 }  // namespace eve

@@ -1,0 +1,116 @@
+// Durable change journal + checkpointing for EveSystem (write-ahead
+// discipline): every MKB evolution, constraint retraction, view
+// registration and capability change is appended to an fsynced,
+// CRC32-framed journal BEFORE the in-memory state commits. Recovery loads
+// the last checkpoint (written atomically via write-temp + fsync + rename)
+// and idempotently replays the journal; a torn final record — the signature
+// of a crash mid-append — is detected by its CRC and dropped, recovering to
+// the last complete record.
+//
+// On-disk journal layout:
+//   8-byte magic "EVEJRNL1"
+//   records: u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//   payload: 1 byte record kind | body bytes
+//
+// Batch semantics: transactional ApplyChanges brackets its per-change
+// records with kBeginBatch/kCommitBatch (or kAbortBatch on rollback);
+// replay buffers a batch and discards it unless the commit marker is
+// present, so a crash mid-batch recovers to the pre-batch state.
+
+#ifndef EVE_EVE_JOURNAL_H_
+#define EVE_EVE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "eve/eve_system.h"
+
+namespace eve {
+
+enum class JournalRecordKind : uint8_t {
+  kExtendMkb = 1,
+  kRetractConstraint = 2,
+  kRegisterView = 3,
+  kSetViewState = 4,
+  kApplyChange = 5,
+  kBeginBatch = 6,
+  kCommitBatch = 7,
+  kAbortBatch = 8,
+};
+
+struct JournalRecord {
+  JournalRecordKind kind;
+  std::string body;
+};
+
+// Append-only journal file handle. Owns the file descriptor; movable.
+class Journal {
+ public:
+  // Opens `path`, creating it (with the magic header) if absent. Rejects
+  // files that do not start with the journal magic.
+  static Result<Journal> Open(const std::string& path);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  // Appends one framed record and fsyncs. On return the record is durable.
+  Status Append(JournalRecordKind kind, std::string_view body);
+
+  // Durably truncates the journal back to just the magic header — called
+  // after a successful checkpoint subsumes the journaled history.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Journal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+// Result of scanning journal bytes: the complete CRC-valid record prefix,
+// plus how it ended.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  // True when trailing bytes after the valid prefix were dropped (torn
+  // final record or corruption); recovery proceeds from the prefix.
+  bool torn_tail = false;
+};
+
+// Parses raw journal bytes (magic + frames). Never fails on torn or
+// corrupted record bytes — the valid prefix is returned and torn_tail set —
+// but rejects bytes that are not a journal at all (bad magic).
+Result<JournalScan> ScanJournalBytes(std::string_view bytes);
+
+// Reads and scans the journal file. A missing file yields an empty scan.
+Result<JournalScan> ReadJournal(const std::string& path);
+
+// --- Checkpointing ---------------------------------------------------------
+
+// Renders the complete durable state (MKB in MISD form, view pool, change
+// log) as one sectioned text document.
+std::string RenderCheckpoint(const EveSystem& system);
+
+// Parses a checkpoint document into a fresh system (no journal attached).
+Result<EveSystem> LoadCheckpoint(std::string_view text);
+
+// Atomically writes RenderCheckpoint(system) to `path`.
+Status WriteCheckpoint(const EveSystem& system, const std::string& path);
+
+// Loads the checkpoint at `checkpoint_path` (a missing file means "start
+// empty") and replays the journal at `journal_path` on top. The returned
+// system has no journal attached; callers reattach one to continue.
+Result<EveSystem> RecoverFromFiles(const std::string& checkpoint_path,
+                                   const std::string& journal_path,
+                                   RecoveryReport* report = nullptr);
+
+}  // namespace eve
+
+#endif  // EVE_EVE_JOURNAL_H_

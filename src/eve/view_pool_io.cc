@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
+#include "esql/binder.h"
 #include "sql/parser.h"
 
 namespace eve {
@@ -20,6 +22,7 @@ std::string SaveViews(const EveSystem& system) {
 }
 
 Status LoadViews(std::string_view text, EveSystem* system) {
+  EVE_FAILPOINT(fp::kViewPoolLoadValidate);
   // Segment on "-- VIEW <state>" header lines; the statement body runs to
   // the terminating ';'.
   size_t pos = 0;
@@ -48,11 +51,16 @@ Status LoadViews(std::string_view text, EveSystem* system) {
     }
     const std::string_view statement =
         Trim(text.substr(body_start, body_end - body_start));
-    EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
-    EVE_RETURN_IF_ERROR(system->RegisterViewText(statement));
-    if (state == ViewState::kDisabled) {
+    if (state == ViewState::kActive) {
+      EVE_RETURN_IF_ERROR(system->RegisterViewText(statement));
+    } else {
+      // A disabled view's definition may reference capabilities the current
+      // MKB no longer has (that is usually WHY it is disabled), so it cannot
+      // pass the strict binder. Restore it verbatim instead.
+      EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
+      EVE_ASSIGN_OR_RETURN(ViewDefinition bound, BindViewUnchecked(parsed));
       EVE_RETURN_IF_ERROR(
-          system->SetViewState(parsed.name, ViewState::kDisabled));
+          system->RestoreView(std::move(bound), ViewState::kDisabled));
     }
     pos = body_end + 1;
   }

@@ -1,5 +1,11 @@
 #include "mkb/capability_change.h"
 
+#include "common/str_util.h"
+#include "mkb/serializer.h"
+#include "sql/lexer.h"
+#include "sql/printer.h"
+#include "types/data_type.h"
+
 namespace eve {
 
 CapabilityChange CapabilityChange::AddRelation(RelationDef def) {
@@ -73,6 +79,106 @@ std::string CapabilityChange::ToString() const {
              relation + "." + new_name;
   }
   return "?";
+}
+
+std::string SerializeChange(const CapabilityChange& change) {
+  switch (change.kind) {
+    case CapabilityChange::Kind::kAddRelation:
+      return "add-relation " + RenderRelationMisd(change.new_relation);
+    case CapabilityChange::Kind::kDeleteRelation:
+      return "delete-relation " + QuoteIdentifier(change.relation);
+    case CapabilityChange::Kind::kRenameRelation:
+      return "rename-relation " + QuoteIdentifier(change.relation) + " " +
+             QuoteIdentifier(change.new_name);
+    case CapabilityChange::Kind::kAddAttribute:
+      return "add-attribute " + QuoteIdentifier(change.relation) + " " +
+             QuoteIdentifier(change.new_attribute.name) + " " +
+             std::string(DataTypeToString(change.new_attribute.type));
+    case CapabilityChange::Kind::kDeleteAttribute:
+      return "delete-attribute " + QuoteIdentifier(change.relation) + " " +
+             QuoteIdentifier(change.attribute);
+    case CapabilityChange::Kind::kRenameAttribute:
+      return "rename-attribute " + QuoteIdentifier(change.relation) + " " +
+             QuoteIdentifier(change.attribute) + " " +
+             QuoteIdentifier(change.new_name);
+  }
+  return "?";
+}
+
+namespace {
+
+// Reads exactly `count` identifier tokens followed by end-of-input.
+Result<std::vector<std::string>> ParseIdentifiers(std::string_view text,
+                                                  size_t count) {
+  EVE_ASSIGN_OR_RETURN(const std::vector<Token> tokens, Tokenize(text));
+  std::vector<std::string> out;
+  for (const Token& token : tokens) {
+    if (token.is(TokenType::kEnd)) break;
+    if (!token.is(TokenType::kIdentifier)) {
+      return Status::ParseError("expected identifier in change encoding: " +
+                                std::string(text));
+    }
+    out.push_back(token.text);
+  }
+  if (out.size() != count) {
+    return Status::ParseError("change encoding expects " +
+                              std::to_string(count) + " identifiers: " +
+                              std::string(text));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CapabilityChange> ParseChange(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  const size_t space = trimmed.find_first_of(" \t\n");
+  if (space == std::string_view::npos) {
+    return Status::ParseError("change encoding missing arguments: " +
+                              std::string(trimmed));
+  }
+  const std::string_view kind = trimmed.substr(0, space);
+  const std::string_view rest = Trim(trimmed.substr(space + 1));
+  if (kind == "add-relation") {
+    // The arguments are a complete MISD SOURCE statement.
+    EVE_ASSIGN_OR_RETURN(const Mkb parsed, LoadMkb(rest));
+    const std::vector<std::string> names = parsed.catalog().RelationNames();
+    if (names.size() != 1) {
+      return Status::ParseError(
+          "add-relation encoding must define exactly one relation");
+    }
+    return CapabilityChange::AddRelation(
+        *parsed.catalog().GetRelation(names[0]).value());
+  }
+  if (kind == "delete-relation") {
+    EVE_ASSIGN_OR_RETURN(const std::vector<std::string> ids,
+                         ParseIdentifiers(rest, 1));
+    return CapabilityChange::DeleteRelation(ids[0]);
+  }
+  if (kind == "rename-relation") {
+    EVE_ASSIGN_OR_RETURN(const std::vector<std::string> ids,
+                         ParseIdentifiers(rest, 2));
+    return CapabilityChange::RenameRelation(ids[0], ids[1]);
+  }
+  if (kind == "add-attribute") {
+    EVE_ASSIGN_OR_RETURN(const std::vector<std::string> ids,
+                         ParseIdentifiers(rest, 3));
+    AttributeDef attr;
+    attr.name = ids[1];
+    EVE_ASSIGN_OR_RETURN(attr.type, DataTypeFromString(ids[2]));
+    return CapabilityChange::AddAttribute(ids[0], std::move(attr));
+  }
+  if (kind == "delete-attribute") {
+    EVE_ASSIGN_OR_RETURN(const std::vector<std::string> ids,
+                         ParseIdentifiers(rest, 2));
+    return CapabilityChange::DeleteAttribute(ids[0], ids[1]);
+  }
+  if (kind == "rename-attribute") {
+    EVE_ASSIGN_OR_RETURN(const std::vector<std::string> ids,
+                         ParseIdentifiers(rest, 3));
+    return CapabilityChange::RenameAttribute(ids[0], ids[1], ids[2]);
+  }
+  return Status::ParseError("unknown change kind: " + std::string(kind));
 }
 
 }  // namespace eve

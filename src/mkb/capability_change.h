@@ -6,8 +6,10 @@
 #define EVE_MKB_CAPABILITY_CHANGE_H_
 
 #include <string>
+#include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/result.h"
 
 namespace eve {
 
@@ -49,6 +51,15 @@ struct CapabilityChange {
   // "delete-relation Customer", ...
   std::string ToString() const;
 };
+
+// Single-line, lossless text encoding for the change journal and
+// checkpoint change log. Identifiers are quoted where needed; add-relation
+// carries the relation's full MISD SOURCE statement:
+//   delete-attribute "Customer" "Name"
+//   add-relation SOURCE IS1 RELATION Tour (TourID int, Type string)
+// ParseChange inverts SerializeChange exactly.
+std::string SerializeChange(const CapabilityChange& change);
+Result<CapabilityChange> ParseChange(std::string_view text);
 
 }  // namespace eve
 

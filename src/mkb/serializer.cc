@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -288,28 +289,33 @@ class MisdParser {
 
 }  // namespace
 
+std::string RenderRelationMisd(const RelationDef& def) {
+  std::ostringstream os;
+  os << "SOURCE " << QuoteIdentifier(def.source) << " RELATION "
+     << QuoteIdentifier(def.name) << " (";
+  for (size_t i = 0; i < def.schema.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << QuoteIdentifier(def.schema.attribute(i).name) << " "
+       << DataTypeToString(def.schema.attribute(i).type);
+  }
+  os << ")";
+  if (!def.ordered_by.empty()) {
+    os << " ORDER BY (";
+    for (size_t i = 0; i < def.ordered_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << QuoteIdentifier(def.ordered_by[i]);
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
 std::string SaveMkb(const Mkb& mkb) {
   std::ostringstream os;
   os << "-- MISD description (generated)\n";
   for (const std::string& name : mkb.catalog().RelationNames()) {
     const RelationDef& def = *mkb.catalog().GetRelation(name).value();
-    os << "SOURCE " << QuoteIdentifier(def.source) << " RELATION "
-       << QuoteIdentifier(def.name) << " (";
-    for (size_t i = 0; i < def.schema.size(); ++i) {
-      if (i > 0) os << ", ";
-      os << QuoteIdentifier(def.schema.attribute(i).name) << " "
-         << DataTypeToString(def.schema.attribute(i).type);
-    }
-    os << ")";
-    if (!def.ordered_by.empty()) {
-      os << " ORDER BY (";
-      for (size_t i = 0; i < def.ordered_by.size(); ++i) {
-        if (i > 0) os << ", ";
-        os << QuoteIdentifier(def.ordered_by[i]);
-      }
-      os << ")";
-    }
-    os << "\n";
+    os << RenderRelationMisd(def) << "\n";
   }
   for (const JoinConstraint& jc : mkb.join_constraints()) {
     os << "JOIN CONSTRAINT " << QuoteIdentifier(jc.id) << " BETWEEN "
@@ -353,6 +359,7 @@ Result<Mkb> LoadMkb(std::string_view text) {
 }
 
 Status AppendMisd(Mkb* mkb, std::string_view text) {
+  EVE_FAILPOINT(fp::kMisdAppendParse);
   EVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   MisdParser parser(text, std::move(tokens));
   return parser.ParseInto(mkb);

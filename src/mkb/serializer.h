@@ -27,6 +27,10 @@ namespace eve {
 // Renders the full MKB in MISD text form; LoadMkb(SaveMkb(m)) reproduces m.
 std::string SaveMkb(const Mkb& mkb);
 
+// Renders one relation as its MISD SOURCE statement (no trailing newline).
+// Also used to encode add-relation capability changes in the change journal.
+std::string RenderRelationMisd(const RelationDef& def);
+
 // Parses MISD text into a fresh MKB; all validation of Mkb::Add* applies.
 Result<Mkb> LoadMkb(std::string_view text);
 

@@ -66,6 +66,24 @@ class Parser {
                               Peek().text + "')");
   }
 
+  // --- Recursion budget ---------------------------------------------------
+  // The expression grammar is recursive-descent; without a bound, adversarial
+  // input ("((((..." or "NOT NOT NOT ...") overflows the stack. The budget is
+  // generous — a parenthesis level costs 3 guarded frames, so legitimate
+  // 200-level nesting uses ~600 — while staying far below real stack limits.
+  static constexpr int kMaxDepth = 1200;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+  Status CheckDepth() const {
+    if (depth_ >= kMaxDepth) {
+      return Error("expression nests too deeply");
+    }
+    return Status::OK();
+  }
+
   // --- Annotations -------------------------------------------------------
   static bool IsParamKeyword(const std::string& text) {
     static constexpr std::string_view kParams[] = {"AD", "AR", "CD",
@@ -137,6 +155,8 @@ class Parser {
   // < unary < primary. Parenthesized sub-expressions restart at OR level,
   // so "(C.Name = F.PName)" and "(a + b) * c" both parse.
   Result<ExprPtr> ParseOr() {
+    EVE_RETURN_IF_ERROR(CheckDepth());
+    const DepthGuard guard(&depth_);
     EVE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (AcceptKeyword("OR")) {
       EVE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
@@ -153,6 +173,8 @@ class Parser {
     return lhs;
   }
   Result<ExprPtr> ParseNot() {
+    EVE_RETURN_IF_ERROR(CheckDepth());
+    const DepthGuard guard(&depth_);
     if (AcceptKeyword("NOT")) {
       EVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
       return Expr::Unary(UnaryOp::kNot, std::move(operand));
@@ -210,6 +232,8 @@ class Parser {
     return lhs;
   }
   Result<ExprPtr> ParseUnary() {
+    EVE_RETURN_IF_ERROR(CheckDepth());
+    const DepthGuard guard(&depth_);
     if (Accept(TokenType::kMinus)) {
       EVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       return Expr::Unary(UnaryOp::kNegate, std::move(operand));
@@ -356,6 +380,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseWhereAtom() {
+    EVE_RETURN_IF_ERROR(CheckDepth());
+    const DepthGuard guard(&depth_);
     if (AcceptKeyword("NOT")) {
       EVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseWhereAtom());
       return Expr::Unary(UnaryOp::kNot, std::move(operand));
@@ -416,6 +442,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 
  public:
   // Parses the head annotations after the view name: a column list, a VE

@@ -262,5 +262,53 @@ TEST_F(EveSystemTest, EmptyNameRejected) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(EveSystemTest, NonTransactionalBatchKeepsAppliedPrefix) {
+  // A rigid view that the first change disables (see
+  // ApplyChangeDisablesIncurableViews).
+  ASSERT_TRUE(system_->RegisterViewText(
+                         "CREATE VIEW Rigid (VE = =) AS "
+                         "SELECT C.Name (false, true) FROM Customer C, "
+                         "FlightRes F WHERE C.Name = F.PName")
+                  .ok());
+  const size_t log_before = system_->change_log().size();
+  // Change 1 succeeds and disables Rigid; change 2 succeeds; change 3
+  // fails (Customer is already gone).
+  const Result<std::vector<ChangeReport>> result = system_->ApplyChanges(
+      {CapabilityChange::DeleteRelation("Customer"),
+       CapabilityChange::DeleteRelation("Tour"),
+       CapabilityChange::DeleteRelation("Customer")},
+      /*transactional=*/false);
+  ASSERT_FALSE(result.ok());
+
+  // Without rollback, the applied prefix sticks: both deletions are live...
+  EXPECT_FALSE(system_->mkb().catalog().HasRelation("Customer"));
+  EXPECT_FALSE(system_->mkb().catalog().HasRelation("Tour"));
+  // ...the view disabled mid-batch stays disabled...
+  EXPECT_EQ(system_->GetView("Rigid").value()->state, ViewState::kDisabled);
+  // ...and the change log reflects exactly the applied prefix.
+  ASSERT_EQ(system_->change_log().size(), log_before + 2);
+  EXPECT_EQ(system_->change_log()[log_before].change.ToString(),
+            CapabilityChange::DeleteRelation("Customer").ToString());
+  EXPECT_EQ(system_->change_log()[log_before + 1].change.ToString(),
+            CapabilityChange::DeleteRelation("Tour").ToString());
+}
+
+TEST_F(EveSystemTest, TransactionalBatchRollsBackOnFailure) {
+  ASSERT_TRUE(system_->RegisterViewText(
+                         "CREATE VIEW Rigid (VE = =) AS "
+                         "SELECT C.Name (false, true) FROM Customer C, "
+                         "FlightRes F WHERE C.Name = F.PName")
+                  .ok());
+  const size_t log_before = system_->change_log().size();
+  const Result<std::vector<ChangeReport>> result = system_->ApplyChanges(
+      {CapabilityChange::DeleteRelation("Customer"),
+       CapabilityChange::DeleteRelation("Customer")},
+      /*transactional=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(system_->mkb().catalog().HasRelation("Customer"));
+  EXPECT_EQ(system_->GetView("Rigid").value()->state, ViewState::kActive);
+  EXPECT_EQ(system_->change_log().size(), log_before);
+}
+
 }  // namespace
 }  // namespace eve

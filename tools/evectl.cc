@@ -22,17 +22,32 @@
 //   DELETE ATTRIBUTE <rel>.<attr>;        -- capability change
 //   RENAME RELATION <old> TO <new>;       -- capability change
 //   RENAME ATTRIBUTE <rel>.<a> TO <b>;    -- capability change
+//   JOURNAL '<path>';                     -- attach a write-ahead journal;
+//                                            subsequent mutations are durable
+//   CHECKPOINT '<path>';                  -- atomically write a checkpoint
+//                                            and truncate the journal
+//   RECOVER '<ckpt>' '<journal>';         -- rebuild state from checkpoint +
+//                                            journal replay (crash recovery)
 //   -- comments run to end of line
 //
 // Every capability change prints the EVE change report (rewritten /
 // disabled views, dropped constraints).
+//
+// Setting EVE_FAILPOINTS (e.g. "eve.apply_change.after_journal=crash") arms
+// fault-injection sites; a fired crash site aborts the script with exit
+// code 3, leaving on-disk state for a later RECOVER run.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
+#include "common/failpoint.h"
+#include "common/file_io.h"
 #include "common/str_util.h"
 #include "eve/eve_system.h"
+#include "eve/journal.h"
 #include "eve/view_pool_io.h"
 #include "hypergraph/hypergraph.h"
 #include "mkb/serializer.h"
@@ -136,6 +151,15 @@ class Console {
         EqualsIgnoreCase(words[1], "VIEWS")) {
       return SaveViewPool(Unquote(words[2]));
     }
+    if (head == "journal" && words.size() >= 2) {
+      return OpenJournal(Unquote(words[1]));
+    }
+    if (head == "checkpoint" && words.size() >= 2) {
+      return Checkpoint(Unquote(words[1]));
+    }
+    if (head == "recover" && words.size() >= 3) {
+      return Recover(Unquote(words[1]), Unquote(words[2]));
+    }
     if (head == "show") {
       return Show(words);
     }
@@ -186,6 +210,7 @@ class Console {
       return false;
     }
     system_ = EveSystem(mkb.value());
+    if (journal_.has_value()) system_.AttachJournal(&*journal_);
     std::cout << "loaded " << mkb.value().catalog().NumRelations()
               << " relations, " << mkb.value().join_constraints().size()
               << " join constraints, "
@@ -197,12 +222,11 @@ class Console {
   }
 
   bool SaveMisd(const std::string& path) {
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "error: cannot write " << path << "\n";
+    const Status status = AtomicWriteFile(path, SaveMkb(system_.mkb()));
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
       return false;
     }
-    out << SaveMkb(system_.mkb());
     std::cout << "saved MKB to " << path << "\n";
     return true;
   }
@@ -226,14 +250,60 @@ class Console {
   }
 
   bool SaveViewPool(const std::string& path) {
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "error: cannot write " << path << "\n";
+    const Status status = AtomicWriteFile(path, SaveViews(system_));
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
       return false;
     }
-    out << SaveViews(system_);
     std::cout << "saved " << system_.NumViews() << " views to " << path
               << "\n";
+    return true;
+  }
+
+  bool OpenJournal(const std::string& path) {
+    Result<Journal> journal = Journal::Open(path);
+    if (!journal.ok()) {
+      std::cerr << "error: " << journal.status() << "\n";
+      return false;
+    }
+    journal_ = std::move(journal.value());
+    system_.AttachJournal(&*journal_);
+    std::cout << "journaling to " << path << "\n";
+    return true;
+  }
+
+  bool Checkpoint(const std::string& path) {
+    const Status status = WriteCheckpoint(system_, path);
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return false;
+    }
+    // The checkpoint subsumes the journaled history.
+    if (journal_.has_value()) {
+      const Status reset = journal_->Reset();
+      if (!reset.ok()) {
+        std::cerr << "error: " << reset << "\n";
+        return false;
+      }
+    }
+    std::cout << "checkpointed to " << path << "\n";
+    return true;
+  }
+
+  bool Recover(const std::string& checkpoint_path,
+               const std::string& journal_path) {
+    RecoveryReport report;
+    Result<EveSystem> recovered =
+        RecoverFromFiles(checkpoint_path, journal_path, &report);
+    if (!recovered.ok()) {
+      std::cerr << "error: " << recovered.status() << "\n";
+      return false;
+    }
+    system_ = std::move(recovered.value());
+    if (journal_.has_value()) system_.AttachJournal(&*journal_);
+    std::cout << report.ToString();
+    std::cout << "recovered " << system_.NumViews() << " views, "
+              << system_.mkb().catalog().NumRelations() << " relations\n";
     return true;
   }
 
@@ -326,6 +396,7 @@ class Console {
   }
 
   EveSystem system_{Mkb()};
+  std::optional<Journal> journal_;
 };
 
 int Main(int argc, char** argv) {
@@ -348,11 +419,25 @@ int Main(int argc, char** argv) {
     buffer << in.rdbuf();
     script = buffer.str();
   }
+  if (const char* spec = std::getenv("EVE_FAILPOINTS")) {
+    const Status status = Failpoints::Instance().ArmFromSpec(spec);
+    if (!status.ok()) {
+      std::cerr << "error: bad EVE_FAILPOINTS: " << status << "\n";
+      return 2;
+    }
+  }
   Console console;
   bool ok = true;
   for (const std::string& statement : SplitStatements(script)) {
     std::cout << "evectl> " << statement << "\n";
-    ok = console.Run(statement) && ok;
+    try {
+      ok = console.Run(statement) && ok;
+    } catch (const SimulatedCrash& crash) {
+      // Model a process death at the armed site: abandon the script, keep
+      // whatever durable files were already written.
+      std::cerr << "simulated crash at failpoint " << crash.site() << "\n";
+      return 3;
+    }
   }
   return ok ? 0 : 1;
 }
