@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "cvs/cvs.h"
+#include "eve/eve_system.h"
 #include "mkb/evolution.h"
 #include "workload/generator.h"
 
@@ -149,6 +152,73 @@ void BM_CvsSearchBound(benchmark::State& state) {
                          benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_CvsSearchBound)->DenseRange(0, 6, 1);
+
+// --- Batch synchronization (EveSystem fan-out) -------------------------------
+
+// A system over a 128-relation chain with `num_views` registered views.
+// Even-numbered views sit at the head of the chain and reference the
+// victim relation R1; odd-numbered views live far down the chain and are
+// unaffected — so one delete-relation change fans out over half the pool.
+EveSystem MakeBatchSystem(size_t num_views) {
+  ChainMkbSpec spec;
+  spec.length = 128;
+  spec.skip_edges = true;
+  spec.cover_distance = 2;
+  const Mkb mkb = MakeChainMkb(spec).value();
+  EveSystem system(mkb);
+  for (size_t i = 0; i < num_views; ++i) {
+    const size_t start =
+        (i % 2 == 0) ? (i / 2) % 2 : 60 + (i / 2) % 40;
+    ViewDefinition view = MakeChainView(mkb, start, 3).value();
+    view.set_name("BV" + std::to_string(i));
+    if (!system.RegisterView(view).ok()) std::abort();
+  }
+  return system;
+}
+
+// One change synchronized across a growing view pool: exercises the
+// inverted affected-view index and the shared per-change SyncContext.
+// Each iteration works on a fresh copy of the system (value semantics),
+// so the measured time includes the pool copy the real ApplyChange
+// pipeline also performs.
+void BM_BatchApplyChange(benchmark::State& state) {
+  const EveSystem base = MakeBatchSystem(static_cast<size_t>(state.range(0)));
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R1");
+  for (auto _ : state) {
+    EveSystem system = base;
+    benchmark::DoNotOptimize(system.ApplyChange(change));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BatchApplyChange)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity();
+
+// The same 64-view batch at different sync-parallelism settings. The
+// reports are byte-identical at every setting; only wall-clock moves.
+void BM_BatchSyncParallelism(benchmark::State& state) {
+  EveSystem base = MakeBatchSystem(64);
+  base.SetSyncParallelism(static_cast<size_t>(state.range(0)));
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R1");
+  for (auto _ : state) {
+    EveSystem system = base;
+    benchmark::DoNotOptimize(system.ApplyChange(change));
+  }
+}
+BENCHMARK(BM_BatchSyncParallelism)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Affected-view detection alone on a large pool: index lookup vs the
+// former whole-pool scan.
+void BM_AffectedViewsLookup(benchmark::State& state) {
+  const EveSystem system =
+      MakeBatchSystem(static_cast<size_t>(state.range(0)));
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.AffectedViews(change));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AffectedViewsLookup)->RangeMultiplier(8)->Range(8, 4096)
+    ->Complexity();
 
 }  // namespace
 }  // namespace eve

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Runs the E7 scalability sweep and writes BENCH_cvs.json at the repo root:
+# the current tree's numbers, merged with the recorded pre-PR baseline
+# (bench/baseline_chain.json, captured from the seed tree before the
+# indexed-MKB / SyncContext work landed) and per-size speedup ratios.
+#
+# Usage: bench/run_benchmarks.sh [--build-dir DIR] [--filter REGEX]
+#                                [--min-time SECONDS]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+FILTER='BM_CvsChainMkbSize'
+MIN_TIME='0.2'
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --filter)    FILTER="$2";    shift 2 ;;
+    --min-time)  MIN_TIME="$2";  shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+BENCH="$BUILD_DIR/bench/bench_scalability"
+if [[ ! -x "$BENCH" ]]; then
+  echo "bench binary not found: $BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+CURRENT_JSON="$(mktemp)"
+trap 'rm -f "$CURRENT_JSON"' EXIT
+
+"$BENCH" --benchmark_filter="$FILTER" \
+         --benchmark_min_time="${MIN_TIME}s" \
+         --benchmark_out="$CURRENT_JSON" \
+         --benchmark_out_format=json > /dev/null
+
+python3 - "$CURRENT_JSON" "$REPO_ROOT/bench/baseline_chain.json" \
+          "$REPO_ROOT/BENCH_cvs.json" <<'PY'
+import json
+import sys
+
+current_path, baseline_path, out_path = sys.argv[1:4]
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+def times(doc):
+    out = {}
+    for bench in (doc or {}).get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = (bench["real_time"], bench["time_unit"])
+    return out
+
+current = load(current_path)
+baseline = load(baseline_path)
+current_times = times(current)
+baseline_times = times(baseline)
+
+comparison = []
+for name, (now, unit) in sorted(current_times.items()):
+    entry = {"name": name, "current": now, "time_unit": unit}
+    if name in baseline_times:
+        before, _ = baseline_times[name]
+        entry["baseline"] = before
+        entry["speedup"] = round(before / now, 2) if now > 0 else None
+    comparison.append(entry)
+
+doc = {
+    "description": "E7 chain sweep: pre-PR baseline vs current tree "
+                   "(indexed MKB lookups + shared SyncContext + batch "
+                   "synchronization)",
+    "context": (current or {}).get("context", {}),
+    "comparison": comparison,
+    "current": current,
+    "baseline": baseline,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for entry in comparison:
+    speedup = entry.get("speedup")
+    note = f"  {entry['current']:.0f} {entry['time_unit']}"
+    if speedup is not None:
+        note += f"  (baseline {entry['baseline']:.0f}, {speedup}x)"
+    print(f"{entry['name']:<28}{note}")
+PY

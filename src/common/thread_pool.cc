@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace eve {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, std::function<void(size_t)> fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Per-call state: workers may still be draining (and finding the range
+  // exhausted) after the caller returns, so everything they touch —
+  // including the callable — lives behind a shared_ptr.
+  struct State {
+    State(size_t total, std::function<void(size_t)> fn)
+        : total(total), fn(std::move(fn)) {}
+    const size_t total;
+    const std::function<void(size_t)> fn;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>(n, std::move(fn));
+
+  const auto drain = [](const std::shared_ptr<State>& s) {
+    while (true) {
+      const size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->total) return;
+      s->fn(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->total) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+}
+
+}  // namespace eve

@@ -1,0 +1,56 @@
+// A fixed-size worker pool plus a caller-participating ParallelFor. Built
+// for the EVE synchronization fan-out: one capability change yields N
+// independent per-view synchronizations that share read-only state (the
+// SyncContext) and write disjoint result slots.
+
+#ifndef EVE_COMMON_THREAD_POOL_H_
+#define EVE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eve {
+
+// Fixed set of worker threads draining a FIFO task queue. Tasks must not
+// throw. Destruction drains nothing: queued tasks that have not started
+// are discarded, so callers that need completion must track it themselves
+// (ParallelFor below does).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0), ..., fn(n-1), distributing indices over the pool's workers
+// with the calling thread participating, and returns once every call has
+// finished. Safe for concurrent callers on one pool: each invocation owns
+// its completion state. With a null pool (or n <= 1) it degenerates to a
+// plain sequential loop on the calling thread — callers need no special
+// single-threaded path. `fn` must not throw.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 std::function<void(size_t)> fn);
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_THREAD_POOL_H_

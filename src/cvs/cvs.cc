@@ -38,10 +38,15 @@ std::string SynchronizedView::ToString() const {
   return os.str();
 }
 
+const JoinGraph& SyncContext::graph_prime() const {
+  std::call_once(graph_once_,
+                 [this] { graph_prime_.emplace(JoinGraph::Build(mkb_prime_)); });
+  return *graph_prime_;
+}
+
 Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
                                             const std::string& relation,
-                                            const Mkb& mkb,
-                                            const Mkb& mkb_prime,
+                                            const SyncContext& context,
                                             const CvsOptions& options) {
   CvsResult result;
   if (!view.HasFromRelation(relation)) {
@@ -59,22 +64,25 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
   }
 
   const CapabilityChange change = CapabilityChange::DeleteRelation(relation);
+  const Mkb& mkb = context.mkb();
+  const Mkb& mkb_prime = context.mkb_prime();
 
   // Step 1: H_R(MKB) — we work on the relation-level join graph of MKB'
-  // (H'_R is its restriction to R's former component).
-  const JoinGraph graph_prime = JoinGraph::Build(mkb_prime);
+  // (H'_R is its restriction to R's former component), built once per
+  // change and shared by every affected view.
+  const JoinGraph& graph_prime = context.graph_prime();
 
   // Step 2: R-mapping (Def. 2).
   EVE_ASSIGN_OR_RETURN(const RMapping mapping,
                        ComputeRMapping(view, relation, mkb));
 
   // Step 3: R-replacement (Def. 3).
-  const Result<std::vector<ReplacementCandidate>> candidates_or =
+  Result<std::vector<ReplacementCandidate>> candidates_or =
       ComputeRReplacements(view, mapping, mkb, graph_prime,
                            options.replacement);
   std::vector<ReplacementCandidate> candidates;
   if (candidates_or.ok()) {
-    candidates = candidates_or.value();
+    candidates = candidates_or.MoveValue();
   } else {
     result.diagnostics.push_back(candidates_or.status().ToString());
   }
@@ -102,25 +110,28 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
   // Steps 4-6 per candidate.
   if (r_params.replaceable) {
     for (const ReplacementCandidate& candidate : candidates) {
-      const Result<ViewDefinition> spliced =
+      Result<ViewDefinition> spliced =
           SpliceRewriting(view, mapping, candidate, next_name());
       if (!spliced.ok()) {
         result.diagnostics.push_back("candidate rejected: " +
                                      spliced.status().ToString());
         continue;
       }
+      // One local copy, moved into the result below (the definition used
+      // to be copied three times per candidate).
+      ViewDefinition spliced_view = spliced.MoveValue();
       std::map<AttributeRef, ExprPtr> substitution;
       for (const AttributeReplacement& repl : candidate.replacements) {
         substitution.emplace(repl.original, repl.replacement);
       }
-      const ExtentRelation extent = InferExtentRelation(
-          view, spliced.value(), mapping, candidate, mkb);
+      const ExtentRelation extent =
+          InferExtentRelation(view, spliced_view, mapping, candidate, mkb);
       SynchronizedView synced;
-      synced.view = spliced.value();
       synced.mapping = mapping;
       synced.candidate = candidate;
-      synced.legality = CheckLegality(view, spliced.value(), change,
-                                      mkb_prime, extent, substitution);
+      synced.legality = CheckLegality(view, spliced_view, change, mkb_prime,
+                                      extent, substitution);
+      synced.view = std::move(spliced_view);
       if (!synced.legality.legal()) {
         if (options.require_view_extent || !synced.legality.p1_unaffected ||
             !synced.legality.p2_evaluable ||
@@ -140,19 +151,19 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
 
   // Drop-based rewriting for a dispensable relation.
   if (options.include_drop_rewriting && r_params.dispensable) {
-    const Result<ViewDefinition> dropped =
+    Result<ViewDefinition> dropped =
         DropRelationRewriting(view, relation, next_name());
     if (dropped.ok()) {
+      ViewDefinition dropped_view = dropped.MoveValue();
       SynchronizedView synced;
-      synced.view = dropped.value();
       synced.mapping = mapping;
       synced.is_drop = true;
       // Dropping a relation (and only dispensable components with it)
       // projects away columns and removes join filters: on the common
       // interface the new extent contains the old one.
-      synced.legality = CheckLegality(view, dropped.value(), change,
-                                      mkb_prime, ExtentRelation::kSuperset,
-                                      {});
+      synced.legality = CheckLegality(view, dropped_view, change, mkb_prime,
+                                      ExtentRelation::kSuperset, {});
+      synced.view = std::move(dropped_view);
       if (synced.legality.legal() || !options.require_view_extent) {
         result.rewritings.push_back(std::move(synced));
       } else {
@@ -234,8 +245,8 @@ ViewDefinition ApplyRenameToView(const ViewDefinition& view,
 }
 
 Result<CvsResult> Synchronize(const ViewDefinition& view,
-                              const CapabilityChange& change, const Mkb& mkb,
-                              const Mkb& mkb_prime,
+                              const CapabilityChange& change,
+                              const SyncContext& context,
                               const CvsOptions& options) {
   switch (change.kind) {
     case CapabilityChange::Kind::kAddRelation:
@@ -265,14 +276,41 @@ Result<CvsResult> Synchronize(const ViewDefinition& view,
       return result;
     }
     case CapabilityChange::Kind::kDeleteRelation:
-      return SynchronizeDeleteRelation(view, change.relation, mkb, mkb_prime,
+      return SynchronizeDeleteRelation(view, change.relation, context,
                                        options);
     case CapabilityChange::Kind::kDeleteAttribute:
       return SynchronizeDeleteAttribute(view, change.relation,
-                                        change.attribute, mkb, mkb_prime,
-                                        options);
+                                        change.attribute, context, options);
   }
   return Status::Internal("unexpected capability change kind");
+}
+
+Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
+                                            const std::string& relation,
+                                            const Mkb& mkb,
+                                            const Mkb& mkb_prime,
+                                            const CvsOptions& options) {
+  const SyncContext context(mkb, mkb_prime);
+  return SynchronizeDeleteRelation(view, relation, context, options);
+}
+
+Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
+                                             const std::string& relation,
+                                             const std::string& attribute,
+                                             const Mkb& mkb,
+                                             const Mkb& mkb_prime,
+                                             const CvsOptions& options) {
+  const SyncContext context(mkb, mkb_prime);
+  return SynchronizeDeleteAttribute(view, relation, attribute, context,
+                                    options);
+}
+
+Result<CvsResult> Synchronize(const ViewDefinition& view,
+                              const CapabilityChange& change, const Mkb& mkb,
+                              const Mkb& mkb_prime,
+                              const CvsOptions& options) {
+  const SyncContext context(mkb, mkb_prime);
+  return Synchronize(view, change, context, options);
 }
 
 }  // namespace eve

@@ -6,6 +6,7 @@
 #ifndef EVE_CVS_CVS_H_
 #define EVE_CVS_CVS_H_
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "cvs/r_mapping.h"
 #include "cvs/r_replacement.h"
 #include "esql/view_definition.h"
+#include "hypergraph/join_graph.h"
 #include "mkb/capability_change.h"
 #include "mkb/evolution.h"
 #include "mkb/mkb.h"
@@ -62,25 +64,72 @@ struct CvsResult {
   bool ViewPreserved() const { return !rewritings.empty(); }
 };
 
+// Per-change shared synchronization context. One capability change can
+// affect many views; everything that depends only on the change — not on
+// the individual view — lives here and is computed once, then shared
+// read-only by every affected view's synchronization (possibly from many
+// worker threads; all accessors are const and thread-safe).
+//
+// The MKBs are held by reference: the context must not outlive them. The
+// join graph of MKB' is built lazily on first use, so changes whose
+// synchronization never consults it (renames, adds) pay nothing.
+class SyncContext {
+ public:
+  SyncContext(const Mkb& mkb, const Mkb& mkb_prime)
+      : mkb_(mkb), mkb_prime_(mkb_prime) {}
+
+  SyncContext(const SyncContext&) = delete;
+  SyncContext& operator=(const SyncContext&) = delete;
+
+  const Mkb& mkb() const { return mkb_; }
+  const Mkb& mkb_prime() const { return mkb_prime_; }
+
+  // H'(MKB') at the relation level, built once per change.
+  const JoinGraph& graph_prime() const;
+
+ private:
+  const Mkb& mkb_;
+  const Mkb& mkb_prime_;
+  mutable std::once_flag graph_once_;
+  mutable std::optional<JoinGraph> graph_prime_;
+};
+
 // CVS for ch = delete-relation R (the paper's in-depth case).
 Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
                                             const std::string& relation,
-                                            const Mkb& mkb,
-                                            const Mkb& mkb_prime,
+                                            const SyncContext& context,
                                             const CvsOptions& options = {});
 
 // The simplified CVS variant for ch = delete-attribute R.A.
 Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
                                              const std::string& relation,
                                              const std::string& attribute,
-                                             const Mkb& mkb,
-                                             const Mkb& mkb_prime,
+                                             const SyncContext& context,
                                              const CvsOptions& options = {});
 
 // Dispatch over all six capability changes. add-relation / add-attribute
 // leave the view untouched; renames rewrite references in place (always
 // legal); deletes run the two algorithms above. Views not referencing the
 // changed element are returned unchanged.
+Result<CvsResult> Synchronize(const ViewDefinition& view,
+                              const CapabilityChange& change,
+                              const SyncContext& context,
+                              const CvsOptions& options = {});
+
+// Single-view conveniences: build a one-shot SyncContext internally.
+// Synchronizing many views under one change should construct the context
+// once and use the overloads above.
+Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
+                                            const std::string& relation,
+                                            const Mkb& mkb,
+                                            const Mkb& mkb_prime,
+                                            const CvsOptions& options = {});
+Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
+                                             const std::string& relation,
+                                             const std::string& attribute,
+                                             const Mkb& mkb,
+                                             const Mkb& mkb_prime,
+                                             const CvsOptions& options = {});
 Result<CvsResult> Synchronize(const ViewDefinition& view,
                               const CapabilityChange& change, const Mkb& mkb,
                               const Mkb& mkb_prime,

@@ -174,10 +174,11 @@ ExtentRelation AttrPcJustification(const Mkb& mkb, const AttributeRef& attr,
 Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
                                              const std::string& relation,
                                              const std::string& attribute,
-                                             const Mkb& mkb,
-                                             const Mkb& mkb_prime,
+                                             const SyncContext& context,
                                              const CvsOptions& options) {
   CvsResult result;
+  const Mkb& mkb = context.mkb();
+  const Mkb& mkb_prime = context.mkb_prime();
   const AttributeRef attr{relation, attribute};
   const CapabilityChange change =
       CapabilityChange::DeleteAttribute(relation, attribute);
@@ -229,8 +230,9 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
 
   // Replacement path: cover the attribute via a function-of constraint
   // from the pre-change MKB, joined in through MKB' (anchored at R, which
-  // still exists after a delete-attribute change).
-  const JoinGraph graph_prime = JoinGraph::Build(mkb_prime);
+  // still exists after a delete-attribute change). The join graph is built
+  // once per change and shared by every affected view.
+  const JoinGraph& graph_prime = context.graph_prime();
   for (const FunctionOfConstraint* cover : mkb.CoversOf(attr)) {
     if (cover->source.relation == relation) continue;
     if (!graph_prime.HasRelation(cover->source.relation)) continue;
@@ -245,24 +247,26 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
           ") is not reachable from " + relation + " in H'(MKB')");
     }
     for (const JoinTree& tree : trees) {
-      const Result<ViewDefinition> spliced =
+      Result<ViewDefinition> spliced =
           SpliceAttributeReplacement(view, attr, *cover, tree, next_name());
       if (!spliced.ok()) {
         result.diagnostics.push_back("candidate rejected: " +
                                      spliced.status().ToString());
         continue;
       }
+      // One local copy, moved into the result below.
+      ViewDefinition spliced_view = spliced.MoveValue();
       std::map<AttributeRef, ExprPtr> substitution;
       substitution.emplace(attr, cover->fn);
       const ExtentRelation extent =
           AttrPcJustification(mkb, attr, cover->source);
       SynchronizedView synced;
-      synced.view = spliced.value();
       synced.candidate.tree = tree;
       synced.candidate.replacements.push_back(AttributeReplacement{
           attr, cover->fn, cover->source.relation, cover->id});
-      synced.legality = CheckLegality(view, spliced.value(), change,
-                                      mkb_prime, extent, substitution);
+      synced.legality = CheckLegality(view, spliced_view, change, mkb_prime,
+                                      extent, substitution);
+      synced.view = std::move(spliced_view);
       if (!synced.legality.legal() && options.require_view_extent) {
         result.diagnostics.push_back("candidate rejected: " +
                                      synced.legality.ToString());
@@ -281,11 +285,11 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
 
   // Drop path: only when every usage is dispensable.
   if (options.include_drop_rewriting && !any_indispensable) {
-    const Result<ViewDefinition> dropped =
+    Result<ViewDefinition> dropped =
         DropAttributeRewriting(view, attr, next_name());
     if (dropped.ok()) {
+      ViewDefinition dropped_view = dropped.MoveValue();
       SynchronizedView synced;
-      synced.view = dropped.value();
       synced.is_drop = true;
       // Dropping a dispensable projection column leaves the extent equal
       // on the common interface; dropping a dispensable filter widens it.
@@ -297,7 +301,8 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
                                         ? ExtentRelation::kSuperset
                                         : ExtentRelation::kEqual;
       synced.legality =
-          CheckLegality(view, dropped.value(), change, mkb_prime, extent, {});
+          CheckLegality(view, dropped_view, change, mkb_prime, extent, {});
+      synced.view = std::move(dropped_view);
       if (synced.legality.legal() || !options.require_view_extent) {
         result.rewritings.push_back(std::move(synced));
       } else {

@@ -59,6 +59,27 @@ std::vector<AttributeRef> ViewDefinition::AttributesOf(
   return out;
 }
 
+std::vector<std::string> ViewDefinition::ReferencedRelations() const {
+  std::vector<std::string> out;
+  for (const ViewRelation& rel : from_) out.push_back(rel.name);
+  std::vector<AttributeRef> cols;
+  for (const ViewSelectItem& item : select_) item.expr->CollectColumns(&cols);
+  for (const ViewCondition& cond : where_) cond.clause->CollectColumns(&cols);
+  for (const AttributeRef& ref : cols) out.push_back(ref.relation);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<AttributeRef> ViewDefinition::ReferencedAttributes() const {
+  std::vector<AttributeRef> cols;
+  for (const ViewSelectItem& item : select_) item.expr->CollectColumns(&cols);
+  for (const ViewCondition& cond : where_) cond.clause->CollectColumns(&cols);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
 ParsedView ViewDefinition::ToParsedView() const {
   ParsedView parsed;
   parsed.name = name_;

@@ -78,6 +78,14 @@ class ViewDefinition {
   // All distinct attributes of `relation` used anywhere in the view.
   std::vector<AttributeRef> AttributesOf(const std::string& relation) const;
 
+  // All distinct relations the view mentions (FROM plus column references),
+  // sorted: the set ReferencesRelation answers membership queries against.
+  std::vector<std::string> ReferencedRelations() const;
+
+  // All distinct attributes mentioned in SELECT or WHERE, sorted: the set
+  // ReferencesAttribute answers membership queries against.
+  std::vector<AttributeRef> ReferencedAttributes() const;
+
   // Converts back to a printable AST (aliases = relation names).
   ParsedView ToParsedView() const;
 

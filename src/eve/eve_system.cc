@@ -1,6 +1,7 @@
 #include "eve/eve_system.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "common/failpoint.h"
@@ -31,6 +32,11 @@ Status SplitRecordBody(const std::string& body, std::string* head,
   *head = body.substr(0, newline);
   *rest = body.substr(newline + 1);
   return Status::OK();
+}
+
+// Key for the attribute → views index ('\x1f' cannot occur in identifiers).
+std::string AttrKey(const std::string& relation, const std::string& attribute) {
+  return relation + '\x1f' + attribute;
 }
 
 }  // namespace
@@ -124,7 +130,8 @@ Status EveSystem::RegisterView(const ViewDefinition& view) {
                      ViewRecordBody(ViewState::kActive, bound.ToString())}));
   RegisteredView registered;
   registered.definition = std::move(bound);
-  views_.emplace(view.name(), std::move(registered));
+  const auto [it, inserted] = views_.emplace(view.name(), std::move(registered));
+  IndexView(view.name(), it->second.definition);
   EVE_FAILPOINT(fp::kRegisterViewAfterJournal);
   return Status::OK();
 }
@@ -144,7 +151,8 @@ Status EveSystem::RestoreView(ViewDefinition definition, ViewState state) {
   RegisteredView registered;
   registered.definition = std::move(definition);
   registered.state = state;
-  views_.emplace(name, std::move(registered));
+  const auto [it, inserted] = views_.emplace(name, std::move(registered));
+  IndexView(name, it->second.definition);
   return Status::OK();
 }
 
@@ -193,31 +201,81 @@ size_t EveSystem::NumActiveViews() const {
   return count;
 }
 
+void EveSystem::IndexView(const std::string& name,
+                          const ViewDefinition& definition) {
+  for (const std::string& relation : definition.ReferencedRelations()) {
+    views_by_relation_[relation].insert(name);
+  }
+  for (const AttributeRef& ref : definition.ReferencedAttributes()) {
+    views_by_attribute_[AttrKey(ref.relation, ref.attribute)].insert(name);
+  }
+}
+
+void EveSystem::UnindexView(const std::string& name,
+                            const ViewDefinition& definition) {
+  for (const std::string& relation : definition.ReferencedRelations()) {
+    const auto it = views_by_relation_.find(relation);
+    if (it == views_by_relation_.end()) continue;
+    it->second.erase(name);
+    if (it->second.empty()) views_by_relation_.erase(it);
+  }
+  for (const AttributeRef& ref : definition.ReferencedAttributes()) {
+    const auto it =
+        views_by_attribute_.find(AttrKey(ref.relation, ref.attribute));
+    if (it == views_by_attribute_.end()) continue;
+    it->second.erase(name);
+    if (it->second.empty()) views_by_attribute_.erase(it);
+  }
+}
+
+void EveSystem::RebuildViewIndex() {
+  views_by_relation_.clear();
+  views_by_attribute_.clear();
+  for (const auto& [name, view] : views_) IndexView(name, view.definition);
+}
+
 std::vector<std::string> EveSystem::AffectedViews(
     const CapabilityChange& change) const {
   std::vector<std::string> affected;
-  for (const auto& [name, view] : views_) {
-    if (view.state != ViewState::kActive) continue;
-    const ViewDefinition& def = view.definition;
-    bool hit = false;
-    switch (change.kind) {
-      case CapabilityChange::Kind::kDeleteRelation:
-      case CapabilityChange::Kind::kRenameRelation:
-        hit = def.ReferencesRelation(change.relation);
-        break;
-      case CapabilityChange::Kind::kDeleteAttribute:
-      case CapabilityChange::Kind::kRenameAttribute:
-        hit = def.ReferencesAttribute(
-            AttributeRef{change.relation, change.attribute});
-        break;
-      case CapabilityChange::Kind::kAddRelation:
-      case CapabilityChange::Kind::kAddAttribute:
-        hit = false;
-        break;
+  const std::set<std::string>* candidates = nullptr;
+  switch (change.kind) {
+    case CapabilityChange::Kind::kDeleteRelation:
+    case CapabilityChange::Kind::kRenameRelation: {
+      const auto it = views_by_relation_.find(change.relation);
+      if (it != views_by_relation_.end()) candidates = &it->second;
+      break;
     }
-    if (hit) affected.push_back(name);
+    case CapabilityChange::Kind::kDeleteAttribute:
+    case CapabilityChange::Kind::kRenameAttribute: {
+      const auto it = views_by_attribute_.find(
+          AttrKey(change.relation, change.attribute));
+      if (it != views_by_attribute_.end()) candidates = &it->second;
+      break;
+    }
+    case CapabilityChange::Kind::kAddRelation:
+    case CapabilityChange::Kind::kAddAttribute:
+      break;  // purely additive changes affect no view
+  }
+  if (candidates == nullptr) return affected;
+  affected.reserve(candidates->size());
+  for (const std::string& name : *candidates) {  // std::set: name-sorted
+    const auto it = views_.find(name);
+    if (it != views_.end() && it->second.state == ViewState::kActive) {
+      affected.push_back(name);
+    }
   }
   return affected;
+}
+
+void EveSystem::SetSyncParallelism(size_t threads) {
+  sync_parallelism_ = threads;
+  if (threads <= 1) {
+    sync_pool_.reset();
+  } else {
+    // The calling thread participates in ParallelFor, so the pool carries
+    // one worker fewer than the requested parallelism.
+    sync_pool_ = std::make_shared<ThreadPool>(threads - 1);
+  }
 }
 
 Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
@@ -237,7 +295,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
   for (const auto& [name, view] : views_) {
     if (view.state != ViewState::kActive) continue;
     const bool is_affected =
-        std::find(affected.begin(), affected.end(), name) != affected.end();
+        std::binary_search(affected.begin(), affected.end(), name);
     if (!is_affected) {
       report.outcomes.push_back(
           ViewOutcome{name, ViewOutcomeKind::kUnaffected, ""});
@@ -247,13 +305,25 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
   // Step 3: synchronize each affected view. All mutations land on a copy of
   // the pool so a failure anywhere leaves this system untouched; the copy,
   // the evolved MKB and the log entry commit together at the end.
+  //
+  // The per-view CVS runs are independent of each other: they read the
+  // shared SyncContext (MKB, MKB', and the lazily built join graph of
+  // MKB') and write private result slots, so they fan out across the sync
+  // pool. Everything order-dependent — outcome assembly, journaling, the
+  // commit — happens below on this thread in view-name order, making the
+  // result byte-identical at any parallelism.
   std::map<std::string, RegisteredView> next_views = views_;
-  for (const std::string& name : affected) {
+  const SyncContext context(mkb_, evolution.mkb);
+  std::vector<std::optional<Result<CvsResult>>> slots(affected.size());
+  ParallelFor(sync_pool_.get(), affected.size(), [&](size_t i) {
+    slots[i].emplace(Synchronize(views_.at(affected[i]).definition, change,
+                                 context, options_));
+  });
+  for (size_t slot = 0; slot < affected.size(); ++slot) {
+    const std::string& name = affected[slot];
     RegisteredView& registered = next_views.at(name);
-    EVE_ASSIGN_OR_RETURN(
-        const CvsResult result,
-        Synchronize(registered.definition, change, mkb_, evolution.mkb,
-                    options_));
+    EVE_RETURN_IF_ERROR(slots[slot]->status());
+    const CvsResult result = slots[slot]->MoveValue();
     if (result.ViewPreserved()) {
       const SynchronizedView& best = result.rewritings.front();
       const RewritingExplanation explanation =
@@ -301,8 +371,17 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
   EVE_FAILPOINT(fp::kApplyChangeBeforeCommit);
   EVE_RETURN_IF_ERROR(JournalAppend(
       {JournalRecordKind::kApplyChange, SerializeChange(change)}));
+  // Re-index the synchronized views: out with the pre-change definitions,
+  // in with the rewritten ones (a disabled view keeps its definition and
+  // thus its index entries).
+  for (const std::string& name : affected) {
+    UnindexView(name, views_.at(name).definition);
+  }
   mkb_ = std::move(evolution.mkb);
   views_ = std::move(next_views);
+  for (const std::string& name : affected) {
+    IndexView(name, views_.at(name).definition);
+  }
   change_log_.push_back(report);
   // Past this point the change is committed both durably and in memory; an
   // injected error here models a response lost after commit.
@@ -349,6 +428,7 @@ Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
         mkb_ = std::move(mkb_snapshot);
         views_ = std::move(views_snapshot);
         change_log_ = std::move(log_snapshot);
+        RebuildViewIndex();
         EVE_RETURN_IF_ERROR(
             JournalAppend({JournalRecordKind::kAbortBatch, ""}));
       }
@@ -366,6 +446,7 @@ Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
       mkb_ = std::move(mkb_snapshot);
       views_ = std::move(views_snapshot);
       change_log_ = std::move(log_snapshot);
+      RebuildViewIndex();
       return committed;
     }
   }

@@ -7,10 +7,14 @@
 #define EVE_EVE_EVE_SYSTEM_H_
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "cvs/cvs.h"
 #include "esql/view_definition.h"
 #include "mkb/capability_change.h"
@@ -98,7 +102,19 @@ class EveSystem {
 
   // Detects the views step 2 flags as affected by `change` against the
   // current MKB (directly: they reference the deleted/renamed element).
+  // Served from the inverted relation/attribute → views index, so the cost
+  // scales with the number of dependent views, not the pool size. Returns
+  // names in sorted order.
   std::vector<std::string> AffectedViews(const CapabilityChange& change) const;
+
+  // Sets how many threads (including the calling one) step 3 uses to
+  // synchronize the affected views of one change. 0 and 1 both mean fully
+  // sequential. Reports, journal records and all observable state are
+  // byte-identical at every setting: workers only compute per-view CVS
+  // results into private slots; assembly, journaling and commit stay on
+  // the calling thread in view-name order.
+  void SetSyncParallelism(size_t threads);
+  size_t sync_parallelism() const { return sync_parallelism_; }
 
   // The three-step strategy. On success the MKB is evolved and every
   // affected view is either rewritten in place (keeping its registered
@@ -160,11 +176,27 @@ class EveSystem {
   // Replays one journal record onto this system (no journaling).
   Status ReplayRecord(const JournalRecord& record);
 
+  // Inverted-index maintenance. Every registered view is indexed under
+  // each relation and attribute it references, regardless of state
+  // (AffectedViews filters on kActive, so a re-enabled view needs no
+  // re-indexing).
+  void IndexView(const std::string& name, const ViewDefinition& definition);
+  void UnindexView(const std::string& name, const ViewDefinition& definition);
+  void RebuildViewIndex();
+
   Mkb mkb_;
   CvsOptions options_;
   std::map<std::string, RegisteredView> views_;
+  // relation name / "rel\x1f attr" key → names of views referencing it.
+  // std::set values keep AffectedViews output name-sorted.
+  std::unordered_map<std::string, std::set<std::string>> views_by_relation_;
+  std::unordered_map<std::string, std::set<std::string>> views_by_attribute_;
   std::vector<ChangeReport> change_log_;
   Journal* journal_ = nullptr;  // non-owning
+  // Shared (not per-copy) so PreviewChange scratch copies reuse the pool;
+  // ParallelFor keeps per-call completion state, so concurrent use is safe.
+  std::shared_ptr<ThreadPool> sync_pool_;
+  size_t sync_parallelism_ = 1;
 };
 
 }  // namespace eve

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/str_util.h"
 
@@ -36,7 +39,7 @@ class UnionFind {
   }
 
  private:
-  std::map<std::string, std::string> parent_;
+  std::unordered_map<std::string, std::string> parent_;
 };
 
 }  // namespace
@@ -56,59 +59,132 @@ std::string JoinTree::ToString() const {
 JoinGraph JoinGraph::Build(const Mkb& mkb) {
   JoinGraph graph;
   graph.relations_ = mkb.catalog().RelationNames();
-  for (const std::string& rel : graph.relations_) {
-    graph.adjacency_[rel];  // ensure every relation has an entry
-  }
-  for (const JoinConstraint& jc : mkb.join_constraints()) {
-    graph.adjacency_[jc.lhs].push_back(jc);
-    graph.adjacency_[jc.rhs].push_back(jc);
-  }
+  graph.external_edges_ = &mkb.join_constraints();
+  graph.IndexParts();
   return graph;
+}
+
+size_t JoinGraph::IndexOf(const std::string& relation) const {
+  const auto it =
+      std::lower_bound(relations_.begin(), relations_.end(), relation);
+  if (it == relations_.end() || *it != relation) return kNpos;
+  return static_cast<size_t>(it - relations_.begin());
+}
+
+void JoinGraph::IndexParts() {
+  const std::vector<JoinConstraint>& edges = Edges();
+  // Construction-time interning: hash each relation name once and each
+  // edge endpoint once. The map is scratch — queries afterwards use
+  // IndexOf's binary search over the sorted relations_.
+  std::unordered_map<std::string, size_t> intern;
+  intern.reserve(relations_.size());
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    intern.emplace(relations_[i], i);
+  }
+  // A JC may mention a relation the catalog no longer lists; keep it a
+  // node (the old string-keyed adjacency did implicitly).
+  bool appended = false;
+  for (const JoinConstraint& jc : edges) {
+    for (const std::string* end : {&jc.lhs, &jc.rhs}) {
+      if (intern.emplace(*end, relations_.size()).second) {
+        relations_.push_back(*end);
+        appended = true;
+      }
+    }
+  }
+  if (appended) {
+    std::sort(relations_.begin(), relations_.end());
+    intern.clear();
+    for (size_t i = 0; i < relations_.size(); ++i) {
+      intern.emplace(relations_[i], i);
+    }
+  }
+  const size_t num_relations = relations_.size();
+  endpoints_.resize(edges.size());
+  std::vector<size_t> degree(num_relations, 0);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const size_t lhs = intern.at(edges[i].lhs);
+    const size_t rhs = intern.at(edges[i].rhs);
+    endpoints_[i] = {lhs, rhs};
+    ++degree[lhs];
+    ++degree[rhs];
+  }
+  adj_offsets_.assign(num_relations + 1, 0);
+  for (size_t i = 0; i < num_relations; ++i) {
+    adj_offsets_[i + 1] = adj_offsets_[i] + degree[i];
+  }
+  adj_edges_.resize(2 * edges.size());
+  std::vector<size_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    adj_edges_[cursor[endpoints_[i].first]++] = i;
+    adj_edges_[cursor[endpoints_[i].second]++] = i;
+  }
+  // Connected components: BFS over relation indices.
+  component_id_.assign(num_relations, kNpos);
+  size_t next_id = 0;
+  std::deque<size_t> frontier;
+  for (size_t start = 0; start < num_relations; ++start) {
+    if (component_id_[start] != kNpos) continue;
+    const size_t id = next_id++;
+    component_id_[start] = id;
+    frontier.assign(1, start);
+    while (!frontier.empty()) {
+      const size_t current = frontier.front();
+      frontier.pop_front();
+      for (const size_t edge_index : IncidentEdges(current)) {
+        const auto [lhs, rhs] = endpoints_[edge_index];
+        const size_t other = lhs == current ? rhs : lhs;
+        if (component_id_[other] == kNpos) {
+          component_id_[other] = id;
+          frontier.push_back(other);
+        }
+      }
+    }
+  }
 }
 
 std::vector<JoinGraph::Neighbor> JoinGraph::Neighbors(
     const std::string& relation) const {
   std::vector<Neighbor> out;
-  auto it = adjacency_.find(relation);
-  if (it == adjacency_.end()) return out;
-  for (const JoinConstraint& jc : it->second) {
-    out.push_back(Neighbor{jc.Other(relation), jc});
+  const size_t index = IndexOf(relation);
+  if (index == kNpos) return out;
+  out.reserve(adj_offsets_[index + 1] - adj_offsets_[index]);
+  const std::vector<JoinConstraint>& edges = Edges();
+  for (const size_t edge_index : IncidentEdges(index)) {
+    const auto [lhs, rhs] = endpoints_[edge_index];
+    out.push_back(Neighbor{relations_[lhs == index ? rhs : lhs],
+                           edges[edge_index]});
   }
   return out;
 }
 
 bool JoinGraph::SameComponent(const std::string& a,
                               const std::string& b) const {
-  const std::vector<std::string> component = ComponentOf(a);
-  return std::binary_search(component.begin(), component.end(), b);
+  const size_t ia = IndexOf(a);
+  const size_t ib = IndexOf(b);
+  return ia != kNpos && ib != kNpos && component_id_[ia] == component_id_[ib];
 }
 
 std::vector<std::string> JoinGraph::ComponentOf(
     const std::string& relation) const {
   std::vector<std::string> component;
-  if (adjacency_.count(relation) == 0) return component;
-  std::set<std::string> visited{relation};
-  std::deque<std::string> frontier{relation};
-  while (!frontier.empty()) {
-    const std::string current = frontier.front();
-    frontier.pop_front();
-    component.push_back(current);
-    for (const Neighbor& n : Neighbors(current)) {
-      if (visited.insert(n.relation).second) frontier.push_back(n.relation);
-    }
+  const size_t index = IndexOf(relation);
+  if (index == kNpos) return component;
+  const size_t id = component_id_[index];
+  // relations_ is sorted, so the output is too.
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (component_id_[i] == id) component.push_back(relations_[i]);
   }
-  std::sort(component.begin(), component.end());
   return component;
 }
 
 std::vector<std::vector<std::string>> JoinGraph::Components() const {
   std::vector<std::vector<std::string>> out;
-  std::set<std::string> seen;
-  for (const std::string& rel : relations_) {
-    if (seen.count(rel) > 0) continue;
-    std::vector<std::string> component = ComponentOf(rel);
-    seen.insert(component.begin(), component.end());
-    out.push_back(std::move(component));
+  std::unordered_map<size_t, size_t> slot_of_id;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    const auto [it, inserted] = slot_of_id.emplace(component_id_[i], out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(relations_[i]);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -119,13 +195,10 @@ JoinGraph JoinGraph::EraseRelation(const std::string& relation) const {
   for (const std::string& rel : relations_) {
     if (rel != relation) out.relations_.push_back(rel);
   }
-  for (const auto& [rel, edges] : adjacency_) {
-    if (rel == relation) continue;
-    std::vector<JoinConstraint>& kept = out.adjacency_[rel];
-    for (const JoinConstraint& jc : edges) {
-      if (!jc.Involves(relation)) kept.push_back(jc);
-    }
+  for (const JoinConstraint& jc : Edges()) {
+    if (!jc.Involves(relation)) out.owned_edges_.push_back(jc);
   }
+  out.IndexParts();
   return out;
 }
 
@@ -136,12 +209,22 @@ std::vector<JoinTree> JoinGraph::FindConnectingTrees(
   std::vector<JoinTree> results;
   if (required.empty()) return results;
   for (const std::string& rel : required) {
-    if (adjacency_.count(rel) == 0) return results;  // relation is gone
+    if (IndexOf(rel) == kNpos) return results;  // relation is gone
+  }
+  // Fail fast on unreachable requests: a spanning tree can only exist
+  // inside one connected component, so there is no point growing sets.
+  const std::string& first = *required.begin();
+  for (const std::string& rel : required) {
+    if (!SameComponent(first, rel)) return results;
   }
   for (const JoinConstraint& edge : mandatory_edges) {
     if (required.count(edge.lhs) == 0 || required.count(edge.rhs) == 0) {
       return results;  // mandatory edge endpoint outside the required set
     }
+  }
+  std::unordered_set<std::string> mandatory_ids;
+  for (const JoinConstraint& edge : mandatory_edges) {
+    mandatory_ids.insert(edge.id);
   }
 
   // Attempts to assemble a spanning tree over `chosen`: mandatory edges
@@ -157,13 +240,13 @@ std::vector<JoinTree> JoinGraph::FindConnectingTrees(
       tree.edges.push_back(edge);
     }
     for (const std::string& rel : chosen) {
-      for (const JoinConstraint& jc : adjacency_.at(rel)) {
+      const size_t rel_idx = IndexOf(rel);
+      if (rel_idx == kNpos) continue;  // isolated relation
+      for (const size_t edge_index : IncidentEdges(rel_idx)) {
+        const JoinConstraint& jc = Edges()[edge_index];
         if (chosen.count(jc.Other(rel)) == 0) continue;
         // Skip a JC already included as mandatory.
-        const bool is_mandatory = std::any_of(
-            mandatory_edges.begin(), mandatory_edges.end(),
-            [&](const JoinConstraint& m) { return m.id == jc.id; });
-        if (is_mandatory) continue;
+        if (mandatory_ids.count(jc.id) > 0) continue;
         if (uf.Unite(jc.lhs, jc.rhs)) tree.edges.push_back(jc);
       }
     }
@@ -193,8 +276,12 @@ std::vector<JoinTree> JoinGraph::FindConnectingTrees(
     // Grow by any relation adjacent to the current set.
     std::set<std::string> candidates;
     for (const std::string& rel : chosen) {
-      for (const Neighbor& n : Neighbors(rel)) {
-        if (chosen.count(n.relation) == 0) candidates.insert(n.relation);
+      const size_t rel_idx = IndexOf(rel);
+      if (rel_idx == kNpos) continue;
+      for (const size_t edge_index : IncidentEdges(rel_idx)) {
+        const auto [lhs, rhs] = endpoints_[edge_index];
+        const std::string& other = relations_[lhs == rel_idx ? rhs : lhs];
+        if (chosen.count(other) == 0) candidates.insert(other);
       }
     }
     for (const std::string& candidate : candidates) {

@@ -3,11 +3,16 @@
 // at JC-nodes, connectivity and join-chain enumeration on this graph are
 // equivalent to the hypergraph formulation in the paper, and the sequence
 // S1 ⋈_{JC} R1 ⋈ ... ⋈_{JC} S2 of Sec. 5 is a path here.
+//
+// Each JC edge is stored once. Construction interns every relation name to
+// a dense index; adjacency lists, edge endpoints and connected-component
+// ids are plain index arrays over that interning, so membership and
+// component queries are O(1), traversals never hash a string, and a
+// cross-component FindConnectingTrees request fails fast.
 
 #ifndef EVE_HYPERGRAPH_JOIN_GRAPH_H_
 #define EVE_HYPERGRAPH_JOIN_GRAPH_H_
 
-#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -38,11 +43,15 @@ struct JoinTreeSearchOptions {
 class JoinGraph {
  public:
   // Builds the relation-level graph from every catalog relation and JC.
+  // The graph borrows `mkb`'s join-constraint storage instead of copying
+  // it, so it must not outlive the Mkb (nor survive a mutation of its
+  // constraint set). SyncContext already ties the two lifetimes together;
+  // EraseRelation results own their edges and have no such dependency.
   static JoinGraph Build(const Mkb& mkb);
 
   const std::vector<std::string>& relations() const { return relations_; }
   bool HasRelation(const std::string& relation) const {
-    return adjacency_.count(relation) > 0;
+    return IndexOf(relation) != kNpos;
   }
 
   // JC edges incident to `relation` (with the neighbor on the other side).
@@ -79,9 +88,47 @@ class JoinGraph {
       const JoinTreeSearchOptions& options) const;
 
  private:
-  std::vector<std::string> relations_;
-  // relation -> incident JC edges.
-  std::map<std::string, std::vector<JoinConstraint>> adjacency_;
+  // Resolves edge endpoints to relation indices, builds the CSR adjacency
+  // and assigns connected-component ids. Expects relations_ (sorted) and
+  // the edge storage to be populated.
+  void IndexParts();
+
+  // Index of `relation` in relations_ (binary search), or npos if absent.
+  size_t IndexOf(const std::string& relation) const;
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  // Every JC edge once; adjacency lists hold indices into this vector.
+  // Build() borrows the Mkb's vector (external_edges_); EraseRelation()
+  // fills owned_edges_. The pointer never aims inside the object itself,
+  // so default copy/move keep both forms valid.
+  const std::vector<JoinConstraint>& Edges() const {
+    return external_edges_ != nullptr ? *external_edges_ : owned_edges_;
+  }
+
+  // Edge indices incident to relation index i:
+  // adj_edges_[adj_offsets_[i] .. adj_offsets_[i+1]).
+  struct EdgeSpan {
+    const size_t* begin_;
+    const size_t* end_;
+    const size_t* begin() const { return begin_; }
+    const size_t* end() const { return end_; }
+  };
+  EdgeSpan IncidentEdges(size_t relation_index) const {
+    return {adj_edges_.data() + adj_offsets_[relation_index],
+            adj_edges_.data() + adj_offsets_[relation_index + 1]};
+  }
+
+  std::vector<std::string> relations_;  // sorted
+  std::vector<JoinConstraint> owned_edges_;
+  const std::vector<JoinConstraint>* external_edges_ = nullptr;
+  // Per edge: (index of lhs, index of rhs) in relations_.
+  std::vector<std::pair<size_t, size_t>> endpoints_;
+  // CSR adjacency over relation indices (see IncidentEdges).
+  std::vector<size_t> adj_offsets_;
+  std::vector<size_t> adj_edges_;
+  // Per relation index: connected-component id.
+  std::vector<size_t> component_id_;
 };
 
 }  // namespace eve

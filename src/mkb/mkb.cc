@@ -5,6 +5,20 @@
 
 namespace eve {
 
+namespace {
+
+// Index key for an unordered relation pair. '\x1f' (ASCII unit separator)
+// cannot appear in parsed identifiers, so keys never collide.
+std::string PairKey(const std::string& a, const std::string& b) {
+  return a <= b ? a + '\x1f' + b : b + '\x1f' + a;
+}
+
+std::string AttrKey(const AttributeRef& ref) {
+  return ref.relation + '\x1f' + ref.attribute;
+}
+
+}  // namespace
+
 Status Mkb::ValidateAttribute(const AttributeRef& ref,
                               const std::string& context) const {
   if (!catalog_.HasAttribute(ref)) {
@@ -15,12 +29,45 @@ Status Mkb::ValidateAttribute(const AttributeRef& ref,
 }
 
 bool Mkb::IdInUse(const std::string& id) const {
-  const auto same_id = [&](const auto& c) { return c.id == id; };
-  return std::any_of(join_constraints_.begin(), join_constraints_.end(),
-                     same_id) ||
-         std::any_of(function_of_constraints_.begin(),
-                     function_of_constraints_.end(), same_id) ||
-         std::any_of(pc_constraints_.begin(), pc_constraints_.end(), same_id);
+  return constraint_by_id_.count(id) > 0;
+}
+
+void Mkb::IndexJoinConstraint(size_t index) {
+  const JoinConstraint& jc = join_constraints_[index];
+  constraint_by_id_.emplace(jc.id,
+                            ConstraintSlot{ConstraintKind::kJoin, index});
+  joins_by_relation_[jc.lhs].push_back(index);
+  joins_by_relation_[jc.rhs].push_back(index);
+  joins_by_pair_[PairKey(jc.lhs, jc.rhs)].push_back(index);
+}
+
+void Mkb::IndexFunctionOf(size_t index) {
+  const FunctionOfConstraint& fc = function_of_constraints_[index];
+  constraint_by_id_.emplace(
+      fc.id, ConstraintSlot{ConstraintKind::kFunctionOf, index});
+  covers_by_target_[AttrKey(fc.target)].push_back(index);
+}
+
+void Mkb::IndexPCConstraint(size_t index) {
+  const PCConstraint& pc = pc_constraints_[index];
+  constraint_by_id_.emplace(pc.id,
+                            ConstraintSlot{ConstraintKind::kPc, index});
+  pcs_by_pair_[PairKey(pc.lhs_relation, pc.rhs_relation)].push_back(index);
+}
+
+void Mkb::Reindex() {
+  constraint_by_id_.clear();
+  joins_by_relation_.clear();
+  joins_by_pair_.clear();
+  pcs_by_pair_.clear();
+  covers_by_target_.clear();
+  for (size_t i = 0; i < join_constraints_.size(); ++i) {
+    IndexJoinConstraint(i);
+  }
+  for (size_t i = 0; i < function_of_constraints_.size(); ++i) {
+    IndexFunctionOf(i);
+  }
+  for (size_t i = 0; i < pc_constraints_.size(); ++i) IndexPCConstraint(i);
 }
 
 Status Mkb::AddJoinConstraint(JoinConstraint jc) {
@@ -71,6 +118,7 @@ Status Mkb::AddJoinConstraint(JoinConstraint jc) {
         " has no clause relating the two relations");
   }
   join_constraints_.push_back(std::move(jc));
+  IndexJoinConstraint(join_constraints_.size() - 1);
   return Status::OK();
 }
 
@@ -107,6 +155,7 @@ Status Mkb::AddFunctionOf(FunctionOfConstraint fc) {
     }
   }
   function_of_constraints_.push_back(std::move(fc));
+  IndexFunctionOf(function_of_constraints_.size() - 1);
   return Status::OK();
 }
 
@@ -145,24 +194,42 @@ Status Mkb::AddPCConstraint(PCConstraint pc) {
     }
   }
   pc_constraints_.push_back(std::move(pc));
+  IndexPCConstraint(pc_constraints_.size() - 1);
   return Status::OK();
 }
 
 Status Mkb::RemoveConstraint(const std::string& id) {
-  const auto same_id = [&](const auto& c) { return c.id == id; };
-  if (std::erase_if(join_constraints_, same_id) > 0) return Status::OK();
-  if (std::erase_if(function_of_constraints_, same_id) > 0) {
-    return Status::OK();
+  const auto slot_it = constraint_by_id_.find(id);
+  if (slot_it == constraint_by_id_.end()) {
+    return Status::NotFound("constraint not found: " + id);
   }
-  if (std::erase_if(pc_constraints_, same_id) > 0) return Status::OK();
-  return Status::NotFound("constraint not found: " + id);
+  const ConstraintSlot slot = slot_it->second;
+  switch (slot.kind) {
+    case ConstraintKind::kJoin:
+      join_constraints_.erase(join_constraints_.begin() + slot.index);
+      break;
+    case ConstraintKind::kFunctionOf:
+      function_of_constraints_.erase(function_of_constraints_.begin() +
+                                     slot.index);
+      break;
+    case ConstraintKind::kPc:
+      pc_constraints_.erase(pc_constraints_.begin() + slot.index);
+      break;
+  }
+  // The erase shifted every later index; removal is rare (a source
+  // retracting a published constraint), so a full rebuild is fine.
+  Reindex();
+  return Status::OK();
 }
 
 std::vector<const JoinConstraint*> Mkb::JoinConstraintsOf(
     const std::string& relation) const {
   std::vector<const JoinConstraint*> out;
-  for (const JoinConstraint& jc : join_constraints_) {
-    if (jc.Involves(relation)) out.push_back(&jc);
+  const auto it = joins_by_relation_.find(relation);
+  if (it == joins_by_relation_.end()) return out;
+  out.reserve(it->second.size());
+  for (const size_t index : it->second) {
+    out.push_back(&join_constraints_[index]);
   }
   return out;
 }
@@ -170,10 +237,11 @@ std::vector<const JoinConstraint*> Mkb::JoinConstraintsOf(
 std::vector<const JoinConstraint*> Mkb::JoinConstraintsBetween(
     const std::string& a, const std::string& b) const {
   std::vector<const JoinConstraint*> out;
-  for (const JoinConstraint& jc : join_constraints_) {
-    if ((jc.lhs == a && jc.rhs == b) || (jc.lhs == b && jc.rhs == a)) {
-      out.push_back(&jc);
-    }
+  const auto it = joins_by_pair_.find(PairKey(a, b));
+  if (it == joins_by_pair_.end()) return out;
+  out.reserve(it->second.size());
+  for (const size_t index : it->second) {
+    out.push_back(&join_constraints_[index]);
   }
   return out;
 }
@@ -181,8 +249,11 @@ std::vector<const JoinConstraint*> Mkb::JoinConstraintsBetween(
 std::vector<const FunctionOfConstraint*> Mkb::CoversOf(
     const AttributeRef& attr) const {
   std::vector<const FunctionOfConstraint*> out;
-  for (const FunctionOfConstraint& fc : function_of_constraints_) {
-    if (fc.target == attr) out.push_back(&fc);
+  const auto it = covers_by_target_.find(AttrKey(attr));
+  if (it == covers_by_target_.end()) return out;
+  out.reserve(it->second.size());
+  for (const size_t index : it->second) {
+    out.push_back(&function_of_constraints_[index]);
   }
   return out;
 }
@@ -190,29 +261,33 @@ std::vector<const FunctionOfConstraint*> Mkb::CoversOf(
 std::vector<const PCConstraint*> Mkb::PCConstraintsBetween(
     const std::string& a, const std::string& b) const {
   std::vector<const PCConstraint*> out;
-  for (const PCConstraint& pc : pc_constraints_) {
-    if ((pc.lhs_relation == a && pc.rhs_relation == b) ||
-        (pc.lhs_relation == b && pc.rhs_relation == a)) {
-      out.push_back(&pc);
-    }
+  const auto it = pcs_by_pair_.find(PairKey(a, b));
+  if (it == pcs_by_pair_.end()) return out;
+  out.reserve(it->second.size());
+  for (const size_t index : it->second) {
+    out.push_back(&pc_constraints_[index]);
   }
   return out;
 }
 
 Result<const JoinConstraint*> Mkb::GetJoinConstraint(
     const std::string& id) const {
-  for (const JoinConstraint& jc : join_constraints_) {
-    if (jc.id == id) return &jc;
+  const auto it = constraint_by_id_.find(id);
+  if (it == constraint_by_id_.end() ||
+      it->second.kind != ConstraintKind::kJoin) {
+    return Status::NotFound("join constraint not found: " + id);
   }
-  return Status::NotFound("join constraint not found: " + id);
+  return &join_constraints_[it->second.index];
 }
 
 Result<const FunctionOfConstraint*> Mkb::GetFunctionOf(
     const std::string& id) const {
-  for (const FunctionOfConstraint& fc : function_of_constraints_) {
-    if (fc.id == id) return &fc;
+  const auto it = constraint_by_id_.find(id);
+  if (it == constraint_by_id_.end() ||
+      it->second.kind != ConstraintKind::kFunctionOf) {
+    return Status::NotFound("function-of constraint not found: " + id);
   }
-  return Status::NotFound("function-of constraint not found: " + id);
+  return &function_of_constraints_[it->second.index];
 }
 
 std::string Mkb::ToString() const {

@@ -6,6 +6,7 @@
 #define EVE_MKB_MKB_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -52,6 +53,11 @@ class Mkb {
     return pc_constraints_;
   }
 
+  // All lookups below are served from hash indexes maintained through
+  // every mutation (O(1) amortized, results in registration order — the
+  // same order the former linear scans produced). See docs/PERFORMANCE.md
+  // for the index invariants.
+
   // All join constraints with `relation` as an endpoint.
   std::vector<const JoinConstraint*> JoinConstraintsOf(
       const std::string& relation) const;
@@ -77,14 +83,40 @@ class Mkb {
   std::string ToString() const;
 
  private:
+  enum class ConstraintKind { kJoin, kFunctionOf, kPc };
+  struct ConstraintSlot {
+    ConstraintKind kind;
+    size_t index;  // into the kind's constraint vector
+  };
+
   Status ValidateAttribute(const AttributeRef& ref,
                            const std::string& context) const;
   bool IdInUse(const std::string& id) const;
+
+  // Records a freshly appended constraint in the lookup indexes.
+  void IndexJoinConstraint(size_t index);
+  void IndexFunctionOf(size_t index);
+  void IndexPCConstraint(size_t index);
+  // Rebuilds every index from the constraint vectors (after a removal,
+  // which shifts vector indices).
+  void Reindex();
 
   Catalog catalog_;
   std::vector<JoinConstraint> join_constraints_;
   std::vector<FunctionOfConstraint> function_of_constraints_;
   std::vector<PCConstraint> pc_constraints_;
+
+  // Lookup indexes, derived from the vectors above and kept in sync by
+  // every mutation. All values are indices (not pointers) so the default
+  // copy of an Mkb keeps working indexes.
+  std::unordered_map<std::string, ConstraintSlot> constraint_by_id_;
+  // relation -> join constraints touching it.
+  std::unordered_map<std::string, std::vector<size_t>> joins_by_relation_;
+  // unordered relation pair -> join / PC constraints between them.
+  std::unordered_map<std::string, std::vector<size_t>> joins_by_pair_;
+  std::unordered_map<std::string, std::vector<size_t>> pcs_by_pair_;
+  // target attribute -> function-of constraints covering it.
+  std::unordered_map<std::string, std::vector<size_t>> covers_by_target_;
 };
 
 }  // namespace eve
