@@ -4,6 +4,11 @@
 # (bench/baseline_chain.json, captured from the seed tree before the
 # indexed-MKB / SyncContext work landed) and per-size speedup ratios.
 #
+# Also runs the enumeration sweep (bench_enumeration: lazy best-first
+# stream + top-k driver vs the eager cartesian baseline, which lives in
+# the same binary) and writes BENCH_enumeration.json with per-sweep-point
+# eager-vs-lazy speedup ratios.
+#
 # Usage: bench/run_benchmarks.sh [--build-dir DIR] [--filter REGEX]
 #                                [--min-time SECONDS]
 set -euo pipefail
@@ -92,4 +97,92 @@ for entry in comparison:
     if speedup is not None:
         note += f"  (baseline {entry['baseline']:.0f}, {speedup}x)"
     print(f"{entry['name']:<28}{note}")
+PY
+
+ENUM_BENCH="$BUILD_DIR/bench/bench_enumeration"
+if [[ ! -x "$ENUM_BENCH" ]]; then
+  echo "bench binary not found: $ENUM_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+ENUM_JSON="$(mktemp)"
+trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON"' EXIT
+
+# The binary validates top-k == exhaustive-prefix at every sweep point
+# before timing anything, and exits nonzero on a mismatch.
+"$ENUM_BENCH" --benchmark_min_time="${MIN_TIME}" \
+              --benchmark_out="$ENUM_JSON" \
+              --benchmark_out_format=json
+
+python3 - "$ENUM_JSON" "$REPO_ROOT/BENCH_enumeration.json" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1:3]
+
+with open(current_path) as f:
+    doc = json.load(f)
+
+times = {}
+counters = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = (bench["real_time"], bench["time_unit"])
+    counters[bench["name"]] = {
+        k: v for k, v in bench.items()
+        if k in ("candidates", "rewritings", "pulled")
+    }
+
+# The eager baseline lives in the same binary, so the comparison is
+# within-run: for each sweep point, pair the exhaustive and the top-k
+# driver (end to end) and the eager and the lazy enumeration (stream
+# only).
+comparison = []
+for pair_kind, base_fmt, lazy_fmt in (
+    ("synchronize", "BM_SynchronizeExhaustive/{m}", "BM_SynchronizeTopK/{m}/{k}"),
+    ("enumerate", "BM_EnumerateEager/{m}", "BM_EnumerateLazyTopK/{m}/{k}"),
+):
+    for m in (4, 8, 12, 16):
+        base_name = base_fmt.format(m=m)
+        if base_name not in times:
+            continue
+        base_time, unit = times[base_name]
+        for k in (1, 4, 8):
+            lazy_name = lazy_fmt.format(m=m, k=k)
+            if lazy_name not in times:
+                continue
+            lazy_time, _ = times[lazy_name]
+            comparison.append({
+                "kind": pair_kind,
+                "covers": m,
+                "k": k,
+                "eager_baseline": base_name,
+                "lazy": lazy_name,
+                "baseline": base_time,
+                "current": lazy_time,
+                "time_unit": unit,
+                "speedup": round(base_time / lazy_time, 2)
+                           if lazy_time > 0 else None,
+                "counters": counters.get(lazy_name, {}),
+            })
+
+out = {
+    "description": "Lazy best-first top-k enumeration vs eager cartesian "
+                   "baseline on cover-fan MKBs (covers x k sweep); top-k "
+                   "results validated byte-identical to the exhaustive "
+                   "prefix before timing",
+    "context": doc.get("context", {}),
+    "comparison": comparison,
+    "raw": doc,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for entry in comparison:
+    name = f"{entry['kind']} m={entry['covers']} k={entry['k']}"
+    print(f"{name:<28}  {entry['current']:.0f} {entry['time_unit']}"
+          f"  (eager {entry['baseline']:.0f}, {entry['speedup']}x)")
 PY

@@ -14,6 +14,59 @@ std::string RewritingCost::ToString() const {
   return os.str();
 }
 
+double ExtentPenalty(const RewritingCostModel& model, ExtentRelation extent) {
+  switch (extent) {
+    case ExtentRelation::kEqual:
+      return 0.0;
+    case ExtentRelation::kSuperset:
+      return model.extent_directional_penalty;
+    case ExtentRelation::kSubset:
+      return model.extent_subset_penalty >= 0.0
+                 ? model.extent_subset_penalty
+                 : model.extent_directional_penalty;
+    case ExtentRelation::kUnknown:
+      return model.extent_unknown_penalty;
+  }
+  return model.extent_unknown_penalty;
+}
+
+bool ExtentPenaltiesMonotone(const RewritingCostModel& model) {
+  const double sup = ExtentPenalty(model, ExtentRelation::kSuperset);
+  const double sub = ExtentPenalty(model, ExtentRelation::kSubset);
+  const double unk = ExtentPenalty(model, ExtentRelation::kUnknown);
+  return sup >= 0.0 && sub >= 0.0 && unk >= sup && unk >= sub;
+}
+
+RewritingCostModel DefaultRankingCostModel() {
+  RewritingCostModel model;
+  // Strictly separated bands: extent ≫ dropped attributes ≫ join width.
+  model.dropped_attribute_penalty = 1000.0;
+  model.dropped_condition_penalty = 0.0;
+  model.extra_relation_penalty = 0.0;
+  model.join_width_penalty = 1.0;
+  model.extent_directional_penalty = 1e6;  // ⊇
+  model.extent_subset_penalty = 2e6;       // ⊆ ranks below ⊇
+  model.extent_unknown_penalty = 3e6;
+  return model;
+}
+
+double LowerBound(const PartialCandidate& partial,
+                  const RewritingCostModel& model) {
+  double bound =
+      model.dropped_attribute_penalty *
+          static_cast<double>(partial.dropped_attributes) +
+      model.join_width_penalty * static_cast<double>(partial.join_width);
+  if (partial.join_width > partial.original_from_size) {
+    bound += model.extra_relation_penalty *
+             static_cast<double>(partial.join_width -
+                                 partial.original_from_size);
+  }
+  if (ExtentPenaltiesMonotone(model)) {
+    bound += ExtentPenalty(model, partial.extent_floor);
+  }
+  return bound;
+}
+
 RewritingCost ScoreRewriting(const ViewDefinition& original,
                              const ViewDefinition& rewriting,
                              ExtentRelation extent,
@@ -54,6 +107,7 @@ RewritingCost ScoreRewriting(const ViewDefinition& original,
   if (rewriting.from().size() > original.from().size()) {
     cost.extra_relations = rewriting.from().size() - original.from().size();
   }
+  cost.join_width = rewriting.from().size();
 
   cost.total =
       model.dropped_attribute_penalty *
@@ -61,18 +115,9 @@ RewritingCost ScoreRewriting(const ViewDefinition& original,
       model.dropped_condition_penalty *
           static_cast<double>(cost.dropped_conditions) +
       model.extra_relation_penalty *
-          static_cast<double>(cost.extra_relations);
-  switch (extent) {
-    case ExtentRelation::kEqual:
-      break;
-    case ExtentRelation::kSuperset:
-    case ExtentRelation::kSubset:
-      cost.total += model.extent_directional_penalty;
-      break;
-    case ExtentRelation::kUnknown:
-      cost.total += model.extent_unknown_penalty;
-      break;
-  }
+          static_cast<double>(cost.extra_relations) +
+      model.join_width_penalty * static_cast<double>(cost.join_width) +
+      ExtentPenalty(model, extent);
   return cost;
 }
 

@@ -8,7 +8,7 @@
 #ifndef EVE_CVS_COST_MODEL_H_
 #define EVE_CVS_COST_MODEL_H_
 
-#include "cvs/extent.h"
+#include "cvs/extent_relation.h"
 #include "esql/view_definition.h"
 
 namespace eve {
@@ -22,16 +22,45 @@ struct RewritingCostModel {
   // Each FROM relation in the rewriting beyond the original count
   // (maintenance cost of wider joins).
   double extra_relation_penalty = 1.0;
+  // Each FROM relation of the rewriting, absolute (the join width). The
+  // historical model charged only relations *beyond* the original count,
+  // which cannot distinguish two rewritings that are both narrower than
+  // the original; 0 keeps historical scores unchanged.
+  double join_width_penalty = 0.0;
   // Extent-guarantee penalties relative to ≡.
   double extent_directional_penalty = 2.0;  // ⊇ or ⊆ instead of ≡
   double extent_unknown_penalty = 8.0;      // no guarantee at all
+  // When >= 0, ⊆ is charged this instead of extent_directional_penalty
+  // (the built-in default ranking prefers ⊇ over ⊆, matching EVE's
+  // "preserve as much as possible"). Negative means "same as ⊇".
+  double extent_subset_penalty = -1.0;
 };
+
+// The penalty `model` charges for `extent` (resolving the ⊆ override).
+double ExtentPenalty(const RewritingCostModel& model, ExtentRelation extent);
+
+// True when the extent penalties are monotone on the extent lattice:
+// 0 ≤ penalty(⊇/⊆) ≤ penalty(unknown). During enumeration a candidate's
+// extent only moves up that lattice (adding Steiner relations or dropping
+// conditions never strengthens the guarantee), so monotone penalties make
+// an extent floor admissible inside LowerBound. Non-monotone models still
+// rank correctly — LowerBound just ignores the extent term for them.
+bool ExtentPenaltiesMonotone(const RewritingCostModel& model);
+
+// The built-in ranking used when CvsOptions carries no explicit cost
+// model. It encodes the historical lexicographic order — extent strength
+// (≡ < ⊇ < ⊆ < unknown), then most SELECT items preserved, then smallest
+// join — as strictly separated weight bands, so there is exactly one
+// ranking path through the code. The bands assume fewer than 1000 dropped
+// attributes and a join width under 1000, far beyond any real view.
+RewritingCostModel DefaultRankingCostModel();
 
 // Itemized cost of `rewriting` as a replacement for `original`.
 struct RewritingCost {
   size_t dropped_attributes = 0;
   size_t dropped_conditions = 0;
   size_t extra_relations = 0;
+  size_t join_width = 0;  // FROM relations in the rewriting
   ExtentRelation extent = ExtentRelation::kUnknown;
   double total = 0.0;
 
@@ -43,6 +72,31 @@ RewritingCost ScoreRewriting(const ViewDefinition& original,
                              const ViewDefinition& rewriting,
                              ExtentRelation extent,
                              const RewritingCostModel& model = {});
+
+// What the enumeration knows about a candidate before (or without)
+// splicing the full rewriting: componentwise lower bounds on the final
+// RewritingCost. Every field may be an underestimate, never an
+// overestimate.
+struct PartialCandidate {
+  // FROM relations of the original view (exact; needed to bound
+  // extra_relations from join_width).
+  size_t original_from_size = 0;
+  // Lower bound on the rewriting's FROM size.
+  size_t join_width = 0;
+  // Lower bound on dropped interface attributes.
+  size_t dropped_attributes = 0;
+  // Weakest-case-so-far extent: the final extent can only be this value
+  // or something further up the lattice (see ExtentPenaltiesMonotone).
+  ExtentRelation extent_floor = ExtentRelation::kEqual;
+};
+
+// Admissible lower bound on the total cost of any completion of
+// `partial` under `model`: LowerBound(p, m) <= ScoreRewriting(...).total
+// for every rewriting consistent with `partial`. Dropped conditions are
+// bounded by 0; the extent term uses the floor only when the model's
+// extent penalties are lattice-monotone.
+double LowerBound(const PartialCandidate& partial,
+                  const RewritingCostModel& model);
 
 }  // namespace eve
 

@@ -1,7 +1,9 @@
 #include "cvs/cvs.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "cvs/extent.h"
@@ -9,25 +11,6 @@
 #include "hypergraph/join_graph.h"
 
 namespace eve {
-
-namespace {
-
-// Ranks an extent relation for result ordering (stronger first).
-int ExtentRank(ExtentRelation relation) {
-  switch (relation) {
-    case ExtentRelation::kEqual:
-      return 0;
-    case ExtentRelation::kSuperset:
-      return 1;
-    case ExtentRelation::kSubset:
-      return 2;
-    case ExtentRelation::kUnknown:
-      return 3;
-  }
-  return 4;
-}
-
-}  // namespace
 
 std::string SynchronizedView::ToString() const {
   std::ostringstream os;
@@ -76,21 +59,22 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
   EVE_ASSIGN_OR_RETURN(const RMapping mapping,
                        ComputeRMapping(view, relation, mkb));
 
-  // Step 3: R-replacement (Def. 3).
-  Result<std::vector<ReplacementCandidate>> candidates_or =
-      ComputeRReplacements(view, mapping, mkb, graph_prime,
-                           options.replacement);
-  std::vector<ReplacementCandidate> candidates;
-  if (candidates_or.ok()) {
-    candidates = candidates_or.MoveValue();
-  } else {
-    result.diagnostics.push_back(candidates_or.status().ToString());
-  }
-  if (candidates.empty() && candidates_or.ok()) {
-    result.diagnostics.push_back(
-        "R-replacement(" + view.name() + ", H'_" + relation +
-        "(MKB')) is empty: no join chain in MKB' covers the required "
-        "attributes");
+  // One ranking path: the explicit cost model or the built-in default
+  // encoding the historical lexicographic order.
+  const RewritingCostModel model =
+      options.cost_model.has_value() ? *options.cost_model
+                                     : DefaultRankingCostModel();
+
+  // Step 3: R-replacement (Def. 3), as a lazy best-first stream.
+  std::optional<CandidateStream> stream;
+  {
+    Result<CandidateStream> stream_or = CandidateStream::Create(
+        view, mapping, mkb, graph_prime, options.replacement, model);
+    if (stream_or.ok()) {
+      stream.emplace(stream_or.MoveValue());
+    } else {
+      result.diagnostics.push_back(stream_or.status().ToString());
+    }
   }
 
   // Relation evolution parameters gate the replacement path (P4).
@@ -107,14 +91,97 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
     return name;
   };
 
-  // Steps 4-6 per candidate.
-  if (r_params.replaceable) {
-    for (const ReplacementCandidate& candidate : candidates) {
+  // Accepted rewritings in arrival order with their ranking totals; the
+  // drop-based rewriting (when legal) is appended last, as before.
+  std::vector<SynchronizedView> accepted;
+  std::multiset<double> accepted_totals;
+  const double kInf = std::numeric_limits<double>::infinity();
+  // The total the next candidate must beat once top_k rewritings are in
+  // hand. A candidate tying the k-th best cannot displace it (ties keep
+  // the earlier arrival), so >= is the correct stopping comparison.
+  auto kth_best = [&]() -> double {
+    if (options.top_k == 0 || accepted_totals.size() < options.top_k) {
+      return kInf;
+    }
+    auto it = accepted_totals.begin();
+    std::advance(it, options.top_k - 1);
+    return *it;
+  };
+
+  // Probe the drop-based rewriting up front: its cost participates in the
+  // top-k bound, letting the pull loop stop before exploring candidates
+  // that cannot beat it. The real drop rewriting (with its proper name)
+  // is built after the loop to keep the historical result order.
+  bool drop_seeded = false;
+  if (options.include_drop_rewriting && r_params.dispensable) {
+    Result<ViewDefinition> probe =
+        DropRelationRewriting(view, relation, view.name());
+    if (probe.ok()) {
+      const LegalityReport legality =
+          CheckLegality(view, probe.value(), change, mkb_prime,
+                        ExtentRelation::kSuperset, {});
+      if (legality.legal() || !options.require_view_extent) {
+        accepted_totals.insert(
+            ScoreRewriting(view, probe.value(), legality.inferred_extent,
+                           model)
+                .total);
+        drop_seeded = true;
+      }
+    }
+  }
+
+  // Effective pull cap: the historical max_results plus the per-sync
+  // candidate budget; whichever is tighter.
+  size_t pull_cap = options.replacement.max_results;
+  const char* cap_name = "max_results";
+  if (options.candidate_budget > 0 &&
+      (pull_cap == 0 || options.candidate_budget < pull_cap)) {
+    pull_cap = options.candidate_budget;
+    cap_name = "candidate_budget";
+  }
+
+  // Steps 4-6, pull-driven: splice/legality-check candidates strictly in
+  // lower-bound order, stopping as soon as the stream provably cannot
+  // improve the top-k.
+  size_t pulled = 0;
+  if (stream.has_value()) {
+    const size_t probe_limit = r_params.replaceable ? pull_cap : 1;
+    while (true) {
+      const double bound = kth_best();
+      if (bound < kInf && stream->NextLowerBound() >= bound) {
+        if (!stream->Exhausted()) {
+          result.enumeration.terminated_early = true;
+          std::ostringstream note;
+          note << "top-k early termination: next candidate lower bound "
+               << stream->NextLowerBound() << " >= k-th best cost " << bound
+               << " with " << stream->PendingStates()
+               << " queue states unexplored";
+          result.diagnostics.push_back(note.str());
+        }
+        break;
+      }
+      if (probe_limit > 0 && pulled >= probe_limit) {
+        if (!stream->Exhausted() && r_params.replaceable) {
+          result.diagnostics.push_back(
+              std::string(cap_name) + "=" + std::to_string(pull_cap) +
+              " stopped the enumeration after " + std::to_string(pulled) +
+              " candidates with " + std::to_string(stream->PendingStates()) +
+              " queue states unexplored; the result may be incomplete");
+        }
+        break;
+      }
+      std::optional<ReplacementCandidate> candidate_or = stream->Next();
+      if (!candidate_or.has_value()) break;
+      ++pulled;
+      if (!r_params.replaceable) continue;  // emptiness probe only
+      const ReplacementCandidate candidate = std::move(*candidate_or);
+
       Result<ViewDefinition> spliced =
           SpliceRewriting(view, mapping, candidate, next_name());
       if (!spliced.ok()) {
         result.diagnostics.push_back("candidate rejected: " +
                                      spliced.status().ToString());
+        ++result.enumeration.candidates_rejected;
         continue;
       }
       // One local copy, moved into the result below (the definition used
@@ -131,6 +198,7 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
       synced.candidate = candidate;
       synced.legality = CheckLegality(view, spliced_view, change, mkb_prime,
                                       extent, substitution);
+      synced.cost = ScoreRewriting(view, spliced_view, extent, model);
       synced.view = std::move(spliced_view);
       if (!synced.legality.legal()) {
         if (options.require_view_extent || !synced.legality.p1_unaffected ||
@@ -138,15 +206,25 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
             !synced.legality.p4_parameters) {
           result.diagnostics.push_back("candidate rejected: " +
                                        synced.legality.ToString());
+          ++result.enumeration.candidates_rejected;
           continue;
         }
       }
-      result.rewritings.push_back(std::move(synced));
+      accepted_totals.insert(synced.cost.total);
+      accepted.push_back(std::move(synced));
     }
-  } else {
+  }
+  if (!r_params.replaceable) {
     result.diagnostics.push_back("relation " + relation +
                                  " is non-replaceable (RR=false); "
                                  "replacement path skipped");
+  }
+  if (stream.has_value() && stream->stats().candidates_yielded == 0 &&
+      stream->Exhausted()) {
+    result.diagnostics.push_back(
+        "R-replacement(" + view.name() + ", H'_" + relation +
+        "(MKB')) is empty: no join chain in MKB' covers the required "
+        "attributes");
   }
 
   // Drop-based rewriting for a dispensable relation.
@@ -163,12 +241,20 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
       // interface the new extent contains the old one.
       synced.legality = CheckLegality(view, dropped_view, change, mkb_prime,
                                       ExtentRelation::kSuperset, {});
+      synced.cost = ScoreRewriting(view, dropped_view,
+                                   synced.legality.inferred_extent, model);
       synced.view = std::move(dropped_view);
       if (synced.legality.legal() || !options.require_view_extent) {
-        result.rewritings.push_back(std::move(synced));
+        accepted.push_back(std::move(synced));
       } else {
         result.diagnostics.push_back("drop-based rewriting rejected: " +
                                      synced.legality.ToString());
+        if (drop_seeded) {
+          // The probe admitted a rewriting the full check rejected; its
+          // total is no longer attainable. (CheckLegality is
+          // deterministic, so this cannot happen — kept for safety.)
+          accepted_totals.erase(accepted_totals.begin());
+        }
       }
     } else {
       result.diagnostics.push_back("drop-based rewriting not possible: " +
@@ -176,35 +262,32 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
     }
   }
 
-  if (options.cost_model.has_value()) {
-    // Cost-model ranking (paper Sec. 7 future work): lowest cost first.
-    for (SynchronizedView& rewriting : result.rewritings) {
-      rewriting.cost =
-          ScoreRewriting(view, rewriting.view,
-                         rewriting.legality.inferred_extent,
-                         *options.cost_model);
-    }
-    std::stable_sort(
-        result.rewritings.begin(), result.rewritings.end(),
-        [](const SynchronizedView& a, const SynchronizedView& b) {
-          return a.cost.total < b.cost.total;
-        });
-    return result;
-  }
-  // Default rank: strongest extent first, then maximal preservation (most
-  // SELECT items kept — EVE's "preserve as much as possible"), then
-  // smaller joins.
-  std::stable_sort(result.rewritings.begin(), result.rewritings.end(),
+  // Final ranking: lowest total first; ties keep arrival order
+  // (replacement candidates in stream order, then the drop rewriting).
+  std::stable_sort(accepted.begin(), accepted.end(),
                    [](const SynchronizedView& a, const SynchronizedView& b) {
-                     const int ra = ExtentRank(a.legality.inferred_extent);
-                     const int rb = ExtentRank(b.legality.inferred_extent);
-                     if (ra != rb) return ra < rb;
-                     if (a.view.select().size() != b.view.select().size()) {
-                       return a.view.select().size() >
-                              b.view.select().size();
-                     }
-                     return a.view.from().size() < b.view.from().size();
+                     return a.cost.total < b.cost.total;
                    });
+  if (options.top_k > 0 && accepted.size() > options.top_k) {
+    result.diagnostics.push_back(
+        "ranked " + std::to_string(accepted.size()) +
+        " legal rewritings; returning the top " +
+        std::to_string(options.top_k));
+    accepted.resize(options.top_k);
+  }
+  result.rewritings = std::move(accepted);
+
+  if (stream.has_value()) {
+    EnumerationStats stats = stream->stats();
+    stats.candidates_rejected = result.enumeration.candidates_rejected;
+    stats.terminated_early = result.enumeration.terminated_early;
+    stats.states_pending = stream->PendingStates();
+    stats.exhausted = stream->Exhausted();
+    result.enumeration = stats;
+    for (std::string& note : stream->TruncationNotes()) {
+      result.diagnostics.push_back(std::move(note));
+    }
+  }
   return result;
 }
 

@@ -35,10 +35,21 @@ struct CvsOptions {
   bool require_view_extent = true;
   // Suffix appended to the view name for rewritings ("'" in the paper).
   std::string rename_suffix = "'";
-  // When set, rewritings are ranked by this cost model (lowest cost
-  // first) instead of the default lexicographic order (extent strength,
-  // attributes preserved, join width). See cvs/cost_model.h.
+  // Cost model ranking the rewritings (lowest total first) and driving
+  // the enumeration's lower bounds. Unset means DefaultRankingCostModel()
+  // — the historical lexicographic order (extent strength, attributes
+  // preserved, join width) expressed as weights; there is exactly one
+  // ranking path either way. See cvs/cost_model.h.
   std::optional<RewritingCostModel> cost_model;
+  // Keep only the k best rewritings (0 = keep all). With k > 0 the
+  // candidate pull loop stops as soon as the stream's next lower bound
+  // reaches the k-th best accepted total — the returned prefix is
+  // provably the same top-k the exhaustive run would rank first.
+  size_t top_k = 0;
+  // Hard cap on candidates pulled from the stream per synchronization
+  // (0 = no extra cap beyond replacement.max_results). When it fires, a
+  // diagnostic reports exactly how much of the space was left unexplored.
+  size_t candidate_budget = 0;
 };
 
 // One synchronized view with full provenance.
@@ -48,18 +59,23 @@ struct SynchronizedView {
   ReplacementCandidate candidate;  // empty tree for drop-based rewritings
   bool is_drop = false;
   LegalityReport legality;
-  // Itemized cost against the original view (populated when the options
-  // carry a cost model; total is 0 otherwise).
+  // Itemized cost against the original view under the ranking model in
+  // effect (the explicit CvsOptions::cost_model, else the built-in
+  // default). Always populated for delete-change rewritings.
   RewritingCost cost;
 
   std::string ToString() const;
 };
 
 struct CvsResult {
-  // Legal rewritings, best-first (fewest new relations, strongest extent).
+  // Legal rewritings, best-first under the ranking model in effect.
   std::vector<SynchronizedView> rewritings;
-  // Human-readable notes on rejected candidates and failure causes.
+  // Human-readable notes on rejected candidates and failure causes,
+  // including a line for every enumeration bound that cut the search.
   std::vector<std::string> diagnostics;
+  // How much of the candidate space the enumeration explored, and whether
+  // it stopped early (top-k bound) or was cut (budget / caps).
+  EnumerationStats enumeration;
 
   bool ViewPreserved() const { return !rewritings.empty(); }
 };

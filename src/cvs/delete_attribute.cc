@@ -6,9 +6,13 @@
 // anchored at the attribute's own relation R (which still exists).
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
+#include <queue>
 #include <set>
+#include <sstream>
 
 #include "cvs/cvs.h"
 #include "cvs/extent.h"
@@ -228,80 +232,288 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
     return name;
   };
 
+  const RewritingCostModel model =
+      options.cost_model.has_value() ? *options.cost_model
+                                     : DefaultRankingCostModel();
+
+  const size_t from_size = view.from().size();
+  std::set<std::string> from_set;
+  for (const ViewRelation& rel : view.from()) from_set.insert(rel.name);
+
   // Replacement path: cover the attribute via a function-of constraint
   // from the pre-change MKB, joined in through MKB' (anchored at R, which
   // still exists after a delete-attribute change). The join graph is built
   // once per change and shared by every affected view.
+  //
+  // Like the delete-relation driver, the candidates are explored lazily in
+  // nondecreasing lower-bound order: one resumable join-tree enumerator per
+  // cover, merged through a priority queue. A cover's extent contribution
+  // (AttrPcJustification) is fixed up front and is the exact final extent,
+  // so the only component the search refines is the join width.
   const JoinGraph& graph_prime = context.graph_prime();
+
+  struct CoverState {
+    const FunctionOfConstraint* cover;
+    ExtentRelation extent;
+    JoinTreeEnumerator enumerator;
+    size_t yielded = 0;
+    size_t seen_expanded = 0;
+    size_t seen_cut = 0;
+  };
+  enum class Kind { kSearch, kReady };
+  struct State {
+    double lower_bound = 0.0;
+    uint64_t seq = 0;  // deterministic tie-break: creation order
+    Kind kind = Kind::kSearch;
+    size_t cover_index = 0;
+    std::optional<JoinTree> tree;  // set for kReady
+  };
+  struct StateGreater {
+    bool operator()(const State& a, const State& b) const {
+      if (a.lower_bound != b.lower_bound) {
+        return a.lower_bound > b.lower_bound;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<CoverState> cover_states;
+  std::priority_queue<State, std::vector<State>, StateGreater> heap;
+  uint64_t next_seq = 0;
+
+  // Admissible lower bound given a cover and a tree-relation count f: the
+  // spliced FROM is FROM ∪ tree, so its size is at least
+  // |FROM| + max(|{R, S} \ FROM|, f - |FROM|). Nothing is ever dropped on
+  // this path (components are substituted, not removed), and the extent is
+  // exact, so the bound is tight up to the final tree choice.
+  auto width_bound = [&](const CoverState& cs, size_t tree_size) {
+    const size_t missing =
+        from_set.count(cs.cover->source.relation) ? 0u : 1u;
+    const size_t beyond = tree_size > from_size ? tree_size - from_size : 0u;
+    return from_size + std::max(missing, beyond);
+  };
+  auto cover_lower_bound = [&](const CoverState& cs, size_t join_width) {
+    PartialCandidate partial;
+    partial.original_from_size = from_size;
+    partial.join_width = join_width;
+    partial.extent_floor = cs.extent;
+    return LowerBound(partial, model);
+  };
+  auto search_lower_bound = [&](const CoverState& cs) {
+    return cover_lower_bound(
+        cs, width_bound(cs, cs.enumerator.NextTreeSizeLowerBound()));
+  };
+  auto fold_stats = [&](CoverState& cs) {
+    result.enumeration.trees_expanded +=
+        cs.enumerator.sets_expanded() - cs.seen_expanded;
+    cs.seen_expanded = cs.enumerator.sets_expanded();
+    result.enumeration.search_sets_cut +=
+        cs.enumerator.sets_cut() - cs.seen_cut;
+    cs.seen_cut = cs.enumerator.sets_cut();
+  };
+  auto unreachable_note = [&](const CoverState& cs) {
+    result.diagnostics.push_back(
+        "cover " + cs.cover->id + " (" + cs.cover->source.relation +
+        ") is not reachable from " + relation + " in H'(MKB')");
+  };
+
+  JoinTreeSearchOptions search;
+  search.max_extra_relations = options.replacement.max_extra_relations;
+  search.max_results = options.replacement.max_results;
   for (const FunctionOfConstraint* cover : mkb.CoversOf(attr)) {
     if (cover->source.relation == relation) continue;
     if (!graph_prime.HasRelation(cover->source.relation)) continue;
-    JoinTreeSearchOptions search;
-    search.max_extra_relations = options.replacement.max_extra_relations;
-    search.max_results = options.replacement.max_results;
-    const std::vector<JoinTree> trees = graph_prime.FindConnectingTrees(
-        {relation, cover->source.relation}, {}, search);
-    if (trees.empty()) {
-      result.diagnostics.push_back(
-          "cover " + cover->id + " (" + cover->source.relation +
-          ") is not reachable from " + relation + " in H'(MKB')");
+    CoverState cs{cover, AttrPcJustification(mkb, attr, cover->source),
+                  JoinTreeEnumerator(graph_prime,
+                                     {relation, cover->source.relation}, {},
+                                     search)};
+    ++result.enumeration.combos_generated;
+    if (cs.enumerator.Exhausted()) {
+      // Dead on arrival: different component, so no tree can exist.
+      unreachable_note(cs);
+      continue;
     }
-    for (const JoinTree& tree : trees) {
-      Result<ViewDefinition> spliced =
-          SpliceAttributeReplacement(view, attr, *cover, tree, next_name());
-      if (!spliced.ok()) {
-        result.diagnostics.push_back("candidate rejected: " +
-                                     spliced.status().ToString());
-        continue;
+    const size_t index = cover_states.size();
+    cover_states.push_back(std::move(cs));
+    heap.push(State{search_lower_bound(cover_states[index]), next_seq++,
+                    Kind::kSearch, index, std::nullopt});
+  }
+
+  // Accepted replacement-based rewritings in arrival (lower-bound) order;
+  // the drop-based rewriting is appended after the loop, as before.
+  std::vector<SynchronizedView> accepted;
+  std::multiset<double> accepted_totals;
+  const double kInf = std::numeric_limits<double>::infinity();
+  auto kth_best = [&]() -> double {
+    if (options.top_k == 0 || accepted_totals.size() < options.top_k) {
+      return kInf;
+    }
+    auto it = accepted_totals.begin();
+    std::advance(it, options.top_k - 1);
+    return *it;
+  };
+
+  // Probe the drop-based rewriting up front so its cost participates in
+  // the top-k bound; the real rewriting (with its proper name) is built
+  // after the loop to keep the historical result order.
+  const bool drop_possible =
+      options.include_drop_rewriting && !any_indispensable;
+  bool dropped_condition = false;
+  for (const ViewCondition& cond : view.where()) {
+    if (ExprMentions(*cond.clause, attr)) dropped_condition = true;
+  }
+  // Dropping a dispensable projection column leaves the extent equal on
+  // the common interface; dropping a dispensable filter widens it.
+  const ExtentRelation drop_extent = dropped_condition
+                                         ? ExtentRelation::kSuperset
+                                         : ExtentRelation::kEqual;
+  if (drop_possible) {
+    Result<ViewDefinition> probe =
+        DropAttributeRewriting(view, attr, view.name());
+    if (probe.ok()) {
+      const LegalityReport legality = CheckLegality(
+          view, probe.value(), change, mkb_prime, drop_extent, {});
+      if (legality.legal() || !options.require_view_extent) {
+        accepted_totals.insert(
+            ScoreRewriting(view, probe.value(), legality.inferred_extent,
+                           model)
+                .total);
       }
-      // One local copy, moved into the result below.
-      ViewDefinition spliced_view = spliced.MoveValue();
-      std::map<AttributeRef, ExprPtr> substitution;
-      substitution.emplace(attr, cover->fn);
-      const ExtentRelation extent =
-          AttrPcJustification(mkb, attr, cover->source);
-      SynchronizedView synced;
-      synced.candidate.tree = tree;
-      synced.candidate.replacements.push_back(AttributeReplacement{
-          attr, cover->fn, cover->source.relation, cover->id});
-      synced.legality = CheckLegality(view, spliced_view, change, mkb_prime,
-                                      extent, substitution);
-      synced.view = std::move(spliced_view);
-      if (!synced.legality.legal() && options.require_view_extent) {
-        result.diagnostics.push_back("candidate rejected: " +
-                                     synced.legality.ToString());
-        continue;
-      }
-      if (!synced.legality.p1_unaffected || !synced.legality.p2_evaluable ||
-          !synced.legality.p4_parameters) {
-        result.diagnostics.push_back("candidate rejected: " +
-                                     synced.legality.ToString());
-        continue;
-      }
-      result.rewritings.push_back(std::move(synced));
-      if (result.rewritings.size() >= options.replacement.max_results) break;
     }
   }
 
+  size_t pull_cap = options.replacement.max_results;
+  const char* cap_name = "max_results";
+  if (options.candidate_budget > 0 &&
+      (pull_cap == 0 || options.candidate_budget < pull_cap)) {
+    pull_cap = options.candidate_budget;
+    cap_name = "candidate_budget";
+  }
+
+  size_t pulled = 0;
+  while (!heap.empty()) {
+    const double bound = kth_best();
+    if (bound < kInf && heap.top().lower_bound >= bound) {
+      result.enumeration.terminated_early = true;
+      std::ostringstream note;
+      note << "top-k early termination: next candidate lower bound "
+           << heap.top().lower_bound << " >= k-th best cost " << bound
+           << " with " << heap.size() << " queue states unexplored";
+      result.diagnostics.push_back(note.str());
+      break;
+    }
+    if (pull_cap > 0 && pulled >= pull_cap) {
+      result.diagnostics.push_back(
+          std::string(cap_name) + "=" + std::to_string(pull_cap) +
+          " stopped the enumeration after " + std::to_string(pulled) +
+          " candidates with " + std::to_string(heap.size()) +
+          " queue states unexplored; the result may be incomplete");
+      break;
+    }
+    State state = heap.top();
+    heap.pop();
+    CoverState& cs = cover_states[state.cover_index];
+
+    if (state.kind == Kind::kSearch) {
+      // Lazy key update: the frontier may have shrunk to larger trees
+      // since this state was pushed.
+      const double fresh = search_lower_bound(cs);
+      if (fresh > state.lower_bound) {
+        state.lower_bound = fresh;
+        heap.push(std::move(state));
+        continue;
+      }
+      std::optional<JoinTree> tree = cs.enumerator.Next();
+      fold_stats(cs);
+      if (!cs.enumerator.Exhausted()) {
+        heap.push(State{std::max(search_lower_bound(cs), state.lower_bound),
+                        next_seq++, Kind::kSearch, state.cover_index,
+                        std::nullopt});
+      }
+      if (tree.has_value()) {
+        ++cs.yielded;
+        std::set<std::string> merged = from_set;
+        for (const std::string& rel : tree->relations) merged.insert(rel);
+        const double lb =
+            std::max(cover_lower_bound(cs, merged.size()), state.lower_bound);
+        heap.push(State{lb, next_seq++, Kind::kReady, state.cover_index,
+                        std::move(tree)});
+      } else if (cs.enumerator.Exhausted() && cs.yielded == 0) {
+        // The search drained (possibly cut by max_extra_relations) without
+        // a single connecting tree.
+        unreachable_note(cs);
+      }
+      continue;
+    }
+
+    // kReady: splice and legality-check the candidate.
+    ++pulled;
+    ++result.enumeration.candidates_yielded;
+    const JoinTree tree = std::move(*state.tree);
+    const FunctionOfConstraint& cover = *cs.cover;
+    Result<ViewDefinition> spliced =
+        SpliceAttributeReplacement(view, attr, cover, tree, next_name());
+    if (!spliced.ok()) {
+      result.diagnostics.push_back("candidate rejected: " +
+                                   spliced.status().ToString());
+      ++result.enumeration.candidates_rejected;
+      continue;
+    }
+    // One local copy, moved into the result below.
+    ViewDefinition spliced_view = spliced.MoveValue();
+    std::map<AttributeRef, ExprPtr> substitution;
+    substitution.emplace(attr, cover.fn);
+    SynchronizedView synced;
+    synced.candidate.tree = tree;
+    synced.candidate.cost_lower_bound = state.lower_bound;
+    synced.candidate.replacements.push_back(AttributeReplacement{
+        attr, cover.fn, cover.source.relation, cover.id});
+    synced.legality = CheckLegality(view, spliced_view, change, mkb_prime,
+                                    cs.extent, substitution);
+    synced.cost = ScoreRewriting(view, spliced_view,
+                                 synced.legality.inferred_extent, model);
+    synced.view = std::move(spliced_view);
+    if (!synced.legality.legal() && options.require_view_extent) {
+      result.diagnostics.push_back("candidate rejected: " +
+                                   synced.legality.ToString());
+      ++result.enumeration.candidates_rejected;
+      continue;
+    }
+    if (!synced.legality.p1_unaffected || !synced.legality.p2_evaluable ||
+        !synced.legality.p4_parameters) {
+      result.diagnostics.push_back("candidate rejected: " +
+                                   synced.legality.ToString());
+      ++result.enumeration.candidates_rejected;
+      continue;
+    }
+    accepted_totals.insert(synced.cost.total);
+    accepted.push_back(std::move(synced));
+  }
+  result.enumeration.states_pending = heap.size();
+  result.enumeration.exhausted = heap.empty();
+  if (result.enumeration.search_sets_cut > 0) {
+    result.diagnostics.push_back(
+        "join-tree search cut " +
+        std::to_string(result.enumeration.search_sets_cut) +
+        " frontier sets at max_extra_relations=" +
+        std::to_string(options.replacement.max_extra_relations) +
+        "; the enumeration may be incomplete");
+  }
+
+  result.rewritings = std::move(accepted);
+
   // Drop path: only when every usage is dispensable.
-  if (options.include_drop_rewriting && !any_indispensable) {
+  if (drop_possible) {
     Result<ViewDefinition> dropped =
         DropAttributeRewriting(view, attr, next_name());
     if (dropped.ok()) {
       ViewDefinition dropped_view = dropped.MoveValue();
       SynchronizedView synced;
       synced.is_drop = true;
-      // Dropping a dispensable projection column leaves the extent equal
-      // on the common interface; dropping a dispensable filter widens it.
-      bool dropped_condition = false;
-      for (const ViewCondition& cond : view.where()) {
-        if (ExprMentions(*cond.clause, attr)) dropped_condition = true;
-      }
-      const ExtentRelation extent = dropped_condition
-                                        ? ExtentRelation::kSuperset
-                                        : ExtentRelation::kEqual;
-      synced.legality =
-          CheckLegality(view, dropped_view, change, mkb_prime, extent, {});
+      synced.legality = CheckLegality(view, dropped_view, change, mkb_prime,
+                                      drop_extent, {});
+      synced.cost = ScoreRewriting(view, dropped_view,
+                                   synced.legality.inferred_extent, model);
       synced.view = std::move(dropped_view);
       if (synced.legality.legal() || !options.require_view_extent) {
         result.rewritings.push_back(std::move(synced));
@@ -315,18 +527,18 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
     }
   }
 
-  if (options.cost_model.has_value()) {
-    for (SynchronizedView& rewriting : result.rewritings) {
-      rewriting.cost =
-          ScoreRewriting(view, rewriting.view,
-                         rewriting.legality.inferred_extent,
-                         *options.cost_model);
-    }
-    std::stable_sort(
-        result.rewritings.begin(), result.rewritings.end(),
-        [](const SynchronizedView& a, const SynchronizedView& b) {
-          return a.cost.total < b.cost.total;
-        });
+  // One ranking path: sort by the model in effect. Ties keep arrival
+  // order — stream order for replacements, then the drop-based rewriting.
+  std::stable_sort(result.rewritings.begin(), result.rewritings.end(),
+                   [](const SynchronizedView& a, const SynchronizedView& b) {
+                     return a.cost.total < b.cost.total;
+                   });
+  if (options.top_k > 0 && result.rewritings.size() > options.top_k) {
+    result.diagnostics.push_back(
+        "ranked " + std::to_string(result.rewritings.size()) +
+        " legal rewritings; returning top " +
+        std::to_string(options.top_k));
+    result.rewritings.resize(options.top_k);
   }
 
   if (result.rewritings.empty()) {

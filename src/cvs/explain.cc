@@ -20,6 +20,7 @@ std::string RewritingExplanation::ToString() const {
   section("added relations", added_relations);
   section("added join conditions", added_conditions);
   if (!extent_note.empty()) os << "  extent: " << extent_note << "\n";
+  if (!cost_note.empty()) os << "  cost: " << cost_note << "\n";
   return os.str();
 }
 
@@ -111,7 +112,19 @@ RewritingExplanation ExplainRewriting(const ViewDefinition& original,
     extent << " (no PC justification found)";
   }
   explanation.extent_note = extent.str();
+
+  std::ostringstream cost;
+  cost << "total " << synced.cost.total;
+  if (!synced.is_drop && synced.candidate.cost_lower_bound > 0.0) {
+    cost << " (scheduled at lower bound "
+         << synced.candidate.cost_lower_bound << ")";
+  }
+  explanation.cost_note = cost.str();
   return explanation;
+}
+
+std::string ExplainEnumeration(const CvsResult& result) {
+  return "enumeration: " + result.enumeration.ToString();
 }
 
 }  // namespace eve

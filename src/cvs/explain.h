@@ -27,6 +27,9 @@ struct RewritingExplanation {
   std::vector<std::string> added_conditions;
   // One sentence on the extent guarantee.
   std::string extent_note;
+  // One sentence on the ranking: the itemized cost and, for streamed
+  // candidates, the admissible lower bound they were scheduled at.
+  std::string cost_note;
 
   // Multi-line rendering ("  replaced: ...\n  dropped: ...").
   std::string ToString() const;
@@ -35,6 +38,12 @@ struct RewritingExplanation {
 // Explains `synced` as a rewriting of `original`.
 RewritingExplanation ExplainRewriting(const ViewDefinition& original,
                                       const SynchronizedView& synced);
+
+// One line describing how much of the candidate space the enumeration
+// behind `result` explored — counters plus whether it ran to exhaustion,
+// stopped on the top-k bound, or was cut by a cap ("enumeration: combos 4,
+// trees expanded 37, ... [exhausted]").
+std::string ExplainEnumeration(const CvsResult& result);
 
 }  // namespace eve
 

@@ -115,11 +115,9 @@ ExtentRelation PcJustification(const Mkb& mkb, const std::string& r,
 
 }  // namespace
 
-ExtentRelation InferExtentRelation(const ViewDefinition& old_view,
-                                   const ViewDefinition& new_view,
-                                   const RMapping& mapping,
-                                   const ReplacementCandidate& candidate,
-                                   const Mkb& mkb) {
+ExtentRelation CandidateExtentFloor(const RMapping& mapping,
+                                    const ReplacementCandidate& candidate,
+                                    const Mkb& mkb) {
   ExtentRelation result = ExtentRelation::kEqual;
   const std::string& r = mapping.relation;
 
@@ -145,6 +143,16 @@ ExtentRelation InferExtentRelation(const ViewDefinition& old_view,
     if (kept.count(rel) > 0 || cover_pairs.count(rel) > 0) continue;
     result = CombineExtent(result, PcJustification(mkb, r, rel, {}));
   }
+  return result;
+}
+
+ExtentRelation InferExtentRelation(const ViewDefinition& old_view,
+                                   const ViewDefinition& new_view,
+                                   const RMapping& mapping,
+                                   const ReplacementCandidate& candidate,
+                                   const Mkb& mkb) {
+  ExtentRelation result = CandidateExtentFloor(mapping, candidate, mkb);
+  const std::string& r = mapping.relation;
 
   // Dropped dispensable conditions widen the extent.
   for (const ViewCondition& cond : old_view.where()) {

@@ -12,6 +12,7 @@
 
 #include "algebra/eval.h"
 #include "common/result.h"
+#include "cvs/extent_relation.h"
 #include "cvs/r_mapping.h"
 #include "cvs/r_replacement.h"
 #include "esql/view_definition.h"
@@ -19,22 +20,6 @@
 #include "storage/database.h"
 
 namespace eve {
-
-// Relationship between the new extent V' and the old extent V, projected
-// on the common interface: V' <rel> V.
-enum class ExtentRelation {
-  kEqual,     // V' ≡ V
-  kSuperset,  // V' ⊇ V
-  kSubset,    // V' ⊆ V
-  kUnknown,   // cannot be established
-};
-
-std::string_view ExtentRelationToString(ExtentRelation relation);
-
-// Lattice meet for composing per-component effects: Equal is neutral,
-// Superset/Subset absorb Equal, mixing Superset with Subset (or anything
-// with Unknown) yields Unknown.
-ExtentRelation CombineExtent(ExtentRelation a, ExtentRelation b);
 
 // True when the inferred relation meets the view's VE requirement
 // (≡ needs Equal; ⊇ accepts Equal or Superset; ⊆ accepts Equal or Subset;
@@ -54,6 +39,19 @@ ExtentRelation InferExtentRelation(const ViewDefinition& old_view,
                                    const RMapping& mapping,
                                    const ReplacementCandidate& candidate,
                                    const Mkb& mkb);
+
+// The tree-and-cover part of InferExtentRelation: the combined PC
+// justification of the candidate's covers plus its Steiner relations,
+// ignoring dropped conditions (which can only widen, i.e. move the result
+// further up the lattice). Because a candidate with more tree relations
+// or fewer surviving conditions combines in *more* contributions, this is
+// a lattice floor for the final inferred extent — the admissible
+// extent_floor fed to LowerBound during lazy enumeration. A candidate
+// with an empty tree floors the covers alone (used before any tree is
+// known).
+ExtentRelation CandidateExtentFloor(const RMapping& mapping,
+                                    const ReplacementCandidate& candidate,
+                                    const Mkb& mkb);
 
 // Empirical comparison: evaluates both views over `db` (which must still
 // hold the pre-change tables so the old view is evaluable), projects each

@@ -1,0 +1,34 @@
+// The extent-relationship lattice used by P3 reasoning (split out of
+// cvs/extent.h so cvs/cost_model.h can price extents without pulling in
+// the full extent-inference machinery — and, through it, r_replacement.h,
+// which itself needs the cost model for lower bounds).
+
+#ifndef EVE_CVS_EXTENT_RELATION_H_
+#define EVE_CVS_EXTENT_RELATION_H_
+
+#include <string_view>
+
+namespace eve {
+
+// Relationship between the new extent V' and the old extent V, projected
+// on the common interface: V' <rel> V.
+enum class ExtentRelation {
+  kEqual,     // V' ≡ V
+  kSuperset,  // V' ⊇ V
+  kSubset,    // V' ⊆ V
+  kUnknown,   // cannot be established
+};
+
+std::string_view ExtentRelationToString(ExtentRelation relation);
+
+// Lattice meet for composing per-component effects: Equal is neutral,
+// Superset/Subset absorb Equal, mixing Superset with Subset (or anything
+// with Unknown) yields Unknown. Composing in more contributions never
+// strengthens the result — it moves up the lattice
+// Equal < {Superset, Subset} < Unknown — which is what makes extent
+// floors admissible during lazy enumeration (see cvs/cost_model.h).
+ExtentRelation CombineExtent(ExtentRelation a, ExtentRelation b);
+
+}  // namespace eve
+
+#endif  // EVE_CVS_EXTENT_RELATION_H_

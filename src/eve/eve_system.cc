@@ -319,11 +319,14 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
     slots[i].emplace(Synchronize(views_.at(affected[i]).definition, change,
                                  context, options_));
   });
+  EnumerationStats sync_stats;
+  sync_stats.exhausted = true;  // MergeFrom ANDs; vacuously true for none
   for (size_t slot = 0; slot < affected.size(); ++slot) {
     const std::string& name = affected[slot];
     RegisteredView& registered = next_views.at(name);
     EVE_RETURN_IF_ERROR(slots[slot]->status());
     const CvsResult result = slots[slot]->MoveValue();
+    sync_stats.MergeFrom(result.enumeration);
     if (result.ViewPreserved()) {
       const SynchronizedView& best = result.rewritings.front();
       const RewritingExplanation explanation =
@@ -365,6 +368,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
           ViewOutcome{name, ViewOutcomeKind::kDisabled, detail});
     }
   }
+  last_sync_stats_ = sync_stats;
 
   // Write-ahead: the change record must be durable before any of the
   // in-memory state commits.
@@ -395,7 +399,9 @@ Result<ChangeReport> EveSystem::PreviewChange(
   // scratch must not write to the journal — previews are not state changes.
   EveSystem scratch(*this);
   scratch.journal_ = nullptr;
-  return scratch.ApplyChange(change);
+  Result<ChangeReport> report = scratch.ApplyChange(change);
+  last_sync_stats_ = scratch.last_sync_stats_;
+  return report;
 }
 
 Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(

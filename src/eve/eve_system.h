@@ -116,6 +116,22 @@ class EveSystem {
   void SetSyncParallelism(size_t threads);
   size_t sync_parallelism() const { return sync_parallelism_; }
 
+  // Per-sync enumeration knobs, threaded into every CVS run (including the
+  // parallel batch path — they only narrow each view's private search, so
+  // reports stay byte-identical across thread counts). 0 disables either.
+  void SetSyncTopK(size_t k) { options_.top_k = k; }
+  size_t sync_top_k() const { return options_.top_k; }
+  void SetSyncCandidateBudget(size_t budget) {
+    options_.candidate_budget = budget;
+  }
+  size_t sync_candidate_budget() const { return options_.candidate_budget; }
+
+  // Enumeration counters aggregated (in view-name order, on the calling
+  // thread) across the affected views of the most recent ApplyChange or
+  // PreviewChange. Observability only — not part of ChangeReport, not
+  // journaled, not restored by recovery.
+  const EnumerationStats& last_sync_stats() const { return last_sync_stats_; }
+
   // The three-step strategy. On success the MKB is evolved and every
   // affected view is either rewritten in place (keeping its registered
   // name) or disabled.
@@ -197,6 +213,9 @@ class EveSystem {
   // ParallelFor keeps per-call completion state, so concurrent use is safe.
   std::shared_ptr<ThreadPool> sync_pool_;
   size_t sync_parallelism_ = 1;
+  // mutable: PreviewChange is logically const but still reports how much
+  // of the candidate space its scratch run explored.
+  mutable EnumerationStats last_sync_stats_;
 };
 
 }  // namespace eve

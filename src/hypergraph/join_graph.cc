@@ -207,93 +207,165 @@ std::vector<JoinTree> JoinGraph::FindConnectingTrees(
     const std::vector<JoinConstraint>& mandatory_edges,
     const JoinTreeSearchOptions& options) const {
   std::vector<JoinTree> results;
-  if (required.empty()) return results;
-  for (const std::string& rel : required) {
-    if (IndexOf(rel) == kNpos) return results;  // relation is gone
+  JoinTreeEnumerator enumerator(*this, required, mandatory_edges, options);
+  while (results.size() < options.max_results) {
+    std::optional<JoinTree> tree = enumerator.Next();
+    if (!tree.has_value()) break;
+    results.push_back(std::move(*tree));
+  }
+  return results;
+}
+
+JoinTreeEnumerator::JoinTreeEnumerator(
+    const JoinGraph& graph, std::set<std::string> required,
+    std::vector<JoinConstraint> mandatory_edges,
+    const JoinTreeSearchOptions& options)
+    : graph_(&graph),
+      required_(std::move(required)),
+      mandatory_edges_(std::move(mandatory_edges)) {
+  if (required_.empty()) return;  // frontier stays empty: exhausted
+  for (const std::string& rel : required_) {
+    if (graph_->IndexOf(rel) == JoinGraph::kNpos) return;  // relation gone
   }
   // Fail fast on unreachable requests: a spanning tree can only exist
   // inside one connected component, so there is no point growing sets.
-  const std::string& first = *required.begin();
-  for (const std::string& rel : required) {
-    if (!SameComponent(first, rel)) return results;
+  const std::string& first = *required_.begin();
+  for (const std::string& rel : required_) {
+    if (!graph_->SameComponent(first, rel)) return;
   }
-  for (const JoinConstraint& edge : mandatory_edges) {
-    if (required.count(edge.lhs) == 0 || required.count(edge.rhs) == 0) {
-      return results;  // mandatory edge endpoint outside the required set
+  for (const JoinConstraint& edge : mandatory_edges_) {
+    if (required_.count(edge.lhs) == 0 || required_.count(edge.rhs) == 0) {
+      return;  // mandatory edge endpoint outside the required set
     }
   }
-  std::unordered_set<std::string> mandatory_ids;
-  for (const JoinConstraint& edge : mandatory_edges) {
-    mandatory_ids.insert(edge.id);
+  for (const JoinConstraint& edge : mandatory_edges_) {
+    mandatory_ids_.insert(edge.id);
   }
+  max_relations_ = required_.size() + options.max_extra_relations;
 
-  // Attempts to assemble a spanning tree over `chosen`: mandatory edges
-  // first, then any JC between chosen relations that merges components.
-  auto try_build_tree =
-      [&](const std::set<std::string>& chosen) -> std::optional<JoinTree> {
-    UnionFind uf;
-    for (const std::string& rel : chosen) uf.Add(rel);
-    JoinTree tree;
-    tree.relations.assign(chosen.begin(), chosen.end());
-    for (const JoinConstraint& edge : mandatory_edges) {
-      uf.Unite(edge.lhs, edge.rhs);
-      tree.edges.push_back(edge);
-    }
-    for (const std::string& rel : chosen) {
-      const size_t rel_idx = IndexOf(rel);
-      if (rel_idx == kNpos) continue;  // isolated relation
-      for (const size_t edge_index : IncidentEdges(rel_idx)) {
-        const JoinConstraint& jc = Edges()[edge_index];
-        if (chosen.count(jc.Other(rel)) == 0) continue;
-        // Skip a JC already included as mandatory.
-        if (mandatory_ids.count(jc.id) > 0) continue;
-        if (uf.Unite(jc.lhs, jc.rhs)) tree.edges.push_back(jc);
+  // Static size floor: a connecting tree contains a path between every
+  // pair of required relations, so its relation count is at least the
+  // largest pairwise BFS distance plus one. The uniform-cost frontier
+  // starts at |required_| no matter how far apart the required relations
+  // lie; this floor is visible through NextTreeSizeLowerBound() before
+  // any set is expanded.
+  min_tree_size_ = required_.size();
+  std::vector<size_t> targets;
+  targets.reserve(required_.size());
+  for (const std::string& rel : required_) {
+    targets.push_back(graph_->IndexOf(rel));
+  }
+  for (const size_t source : targets) {
+    std::vector<size_t> dist(graph_->relations_.size(), JoinGraph::kNpos);
+    std::deque<size_t> queue{source};
+    dist[source] = 0;
+    while (!queue.empty()) {
+      const size_t at = queue.front();
+      queue.pop_front();
+      for (const size_t edge_index : graph_->IncidentEdges(at)) {
+        const auto [lhs, rhs] = graph_->endpoints_[edge_index];
+        const size_t other = lhs == at ? rhs : lhs;
+        if (dist[other] != JoinGraph::kNpos) continue;
+        dist[other] = dist[at] + 1;
+        queue.push_back(other);
       }
     }
-    const std::string root = uf.Find(*chosen.begin());
-    for (const std::string& rel : chosen) {
-      if (uf.Find(rel) != root) return std::nullopt;
+    for (const size_t target : targets) {
+      min_tree_size_ = std::max(min_tree_size_, dist[target] + 1);
     }
-    return tree;
-  };
+  }
 
-  // BFS over relation sets, smallest first; expand only disconnected sets.
-  std::set<std::vector<std::string>> visited;
-  std::deque<std::set<std::string>> frontier{required};
-  visited.insert(std::vector<std::string>(required.begin(), required.end()));
+  std::vector<std::string> seed(required_.begin(), required_.end());
+  visited_.insert(seed);
+  frontier_.insert(std::move(seed));
+}
 
-  while (!frontier.empty() && results.size() < options.max_results) {
-    const std::set<std::string> chosen = frontier.front();
-    frontier.pop_front();
-
-    if (auto tree = try_build_tree(chosen)) {
-      results.push_back(std::move(*tree));
-      continue;  // minimal connected superset found; don't grow it further
+// Attempts to assemble a spanning tree over `chosen` (sorted): mandatory
+// edges first, then any JC between chosen relations that merges
+// components.
+std::optional<JoinTree> JoinTreeEnumerator::TryBuildTree(
+    const std::vector<std::string>& chosen) const {
+  UnionFind uf;
+  for (const std::string& rel : chosen) uf.Add(rel);
+  JoinTree tree;
+  tree.relations = chosen;
+  for (const JoinConstraint& edge : mandatory_edges_) {
+    uf.Unite(edge.lhs, edge.rhs);
+    tree.edges.push_back(edge);
+  }
+  for (const std::string& rel : chosen) {
+    const size_t rel_idx = graph_->IndexOf(rel);
+    if (rel_idx == JoinGraph::kNpos) continue;  // isolated relation
+    for (const size_t edge_index : graph_->IncidentEdges(rel_idx)) {
+      const JoinConstraint& jc = graph_->Edges()[edge_index];
+      if (!std::binary_search(chosen.begin(), chosen.end(), jc.Other(rel))) {
+        continue;
+      }
+      // Skip a JC already included as mandatory.
+      if (mandatory_ids_.count(jc.id) > 0) continue;
+      if (uf.Unite(jc.lhs, jc.rhs)) tree.edges.push_back(jc);
     }
-    if (chosen.size() >= required.size() + options.max_extra_relations) {
+  }
+  const std::string root = uf.Find(chosen.front());
+  for (const std::string& rel : chosen) {
+    if (uf.Find(rel) != root) return std::nullopt;
+  }
+  return tree;
+}
+
+std::optional<JoinTree> JoinTreeEnumerator::Next() {
+  while (!frontier_.empty()) {
+    const auto top = frontier_.begin();
+    const std::vector<std::string> chosen = *top;
+    frontier_.erase(top);
+    ++sets_expanded_;
+
+    std::optional<JoinTree> tree = TryBuildTree(chosen);
+    if (tree.has_value()) {
+      // Minimal connected superset found; don't grow it further.
+      ++trees_yielded_;
+      return tree;
+    }
+    if (chosen.size() >= max_relations_) {
+      ++sets_cut_;  // disconnected set hit the bound: lost search subtree
       continue;
     }
     // Grow by any relation adjacent to the current set.
-    std::set<std::string> candidates;
+    std::set<std::string> neighbors;
     for (const std::string& rel : chosen) {
-      const size_t rel_idx = IndexOf(rel);
-      if (rel_idx == kNpos) continue;
-      for (const size_t edge_index : IncidentEdges(rel_idx)) {
-        const auto [lhs, rhs] = endpoints_[edge_index];
-        const std::string& other = relations_[lhs == rel_idx ? rhs : lhs];
-        if (chosen.count(other) == 0) candidates.insert(other);
+      const size_t rel_idx = graph_->IndexOf(rel);
+      if (rel_idx == JoinGraph::kNpos) continue;
+      for (const size_t edge_index : graph_->IncidentEdges(rel_idx)) {
+        const auto [lhs, rhs] = graph_->endpoints_[edge_index];
+        const std::string& other =
+            graph_->relations_[lhs == rel_idx ? rhs : lhs];
+        if (!std::binary_search(chosen.begin(), chosen.end(), other)) {
+          neighbors.insert(other);
+        }
       }
     }
-    for (const std::string& candidate : candidates) {
-      std::set<std::string> next = chosen;
-      next.insert(candidate);
-      std::vector<std::string> key(next.begin(), next.end());
-      if (visited.insert(std::move(key)).second) {
-        frontier.push_back(std::move(next));
+    for (const std::string& neighbor : neighbors) {
+      std::vector<std::string> next;
+      next.reserve(chosen.size() + 1);
+      const auto pos =
+          std::lower_bound(chosen.begin(), chosen.end(), neighbor);
+      next.insert(next.end(), chosen.begin(), pos);
+      next.push_back(neighbor);
+      next.insert(next.end(), pos, chosen.end());
+      if (visited_.insert(next).second) {
+        frontier_.insert(std::move(next));
       }
     }
   }
-  return results;
+  return std::nullopt;
+}
+
+size_t JoinTreeEnumerator::NextTreeSizeLowerBound() const {
+  if (frontier_.empty()) return static_cast<size_t>(-1);
+  // Both are admissible (the distance floor bounds every tree this
+  // enumerator can ever yield, the frontier minimum bounds the remaining
+  // ones), so their maximum is too.
+  return std::max(frontier_.begin()->size(), min_tree_size_);
 }
 
 }  // namespace eve

@@ -13,6 +13,7 @@
 #ifndef EVE_HYPERGRAPH_JOIN_GRAPH_H_
 #define EVE_HYPERGRAPH_JOIN_GRAPH_H_
 
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -82,12 +83,17 @@ class JoinGraph {
   // options.max_extra_relations relations beyond `required`.
   // Trees are emitted smallest-first (fewest extra relations). Returns an
   // empty vector when `required` spans multiple components.
+  //
+  // Compatibility wrapper: drains a JoinTreeEnumerator for up to
+  // options.max_results trees.
   std::vector<JoinTree> FindConnectingTrees(
       const std::set<std::string>& required,
       const std::vector<JoinConstraint>& mandatory_edges,
       const JoinTreeSearchOptions& options) const;
 
  private:
+  friend class JoinTreeEnumerator;
+
   // Resolves edge endpoints to relation indices, builds the CSR adjacency
   // and assigns connected-component ids. Expects relations_ (sorted) and
   // the edge storage to be populated.
@@ -129,6 +135,81 @@ class JoinGraph {
   std::vector<size_t> adj_edges_;
   // Per relation index: connected-component id.
   std::vector<size_t> component_id_;
+};
+
+// Resumable uniform-cost enumeration of the connecting join trees of a
+// required relation set: a generator over the same search space as
+// FindConnectingTrees, but pull-driven. Trees are yielded in nondecreasing
+// relation-count order (every JC edge has unit weight, and a tree over n
+// relations has exactly n-1 edges, so relation count IS the tree's edge
+// weight plus one); within one size, in lexicographic order of the sorted
+// relation vector, which makes the emission sequence fully deterministic.
+//
+// The enumerator borrows `graph` (and, via it, the Mkb's edge storage):
+// it must not outlive either. Callers interleave Next() with
+// NextTreeSizeLowerBound() to drive best-first merges across many
+// enumerators without materializing any tree list.
+class JoinTreeEnumerator {
+ public:
+  // `options.max_extra_relations` bounds growth exactly as in
+  // FindConnectingTrees; `options.max_results` is ignored (the caller
+  // decides how many trees to pull).
+  JoinTreeEnumerator(const JoinGraph& graph, std::set<std::string> required,
+                     std::vector<JoinConstraint> mandatory_edges,
+                     const JoinTreeSearchOptions& options);
+
+  // The next tree in nondecreasing size order, or nullopt when the search
+  // space is exhausted.
+  std::optional<JoinTree> Next();
+
+  // Admissible lower bound on the relation count of every tree not yet
+  // yielded: the larger of the smallest frontier set's size and the
+  // static distance floor (any connecting tree contains a path between
+  // each pair of required relations, so it has at least max pairwise BFS
+  // distance + 1 relations). SIZE_MAX once exhausted. The distance floor
+  // is what lets a best-first merge across many enumerators rank a
+  // far-flung required set as expensive before expanding a single set.
+  size_t NextTreeSizeLowerBound() const;
+
+  bool Exhausted() const { return frontier_.empty(); }
+
+  // Frontier sets popped and examined so far.
+  size_t sets_expanded() const { return sets_expanded_; }
+  // Frontier sets discarded at the max_extra_relations bound before
+  // becoming connected — each is a lost subtree of the search space, so a
+  // nonzero count means the enumeration may be incomplete.
+  size_t sets_cut() const { return sets_cut_; }
+  size_t trees_yielded() const { return trees_yielded_; }
+
+ private:
+  std::optional<JoinTree> TryBuildTree(
+      const std::vector<std::string>& chosen) const;
+
+  const JoinGraph* graph_;
+  std::set<std::string> required_;
+  std::vector<JoinConstraint> mandatory_edges_;
+  std::set<std::string> mandatory_ids_;
+  size_t max_relations_ = 0;
+  // Static size floor: max pairwise BFS distance among required + 1.
+  size_t min_tree_size_ = 0;
+
+  // Uniform-cost frontier: sorted relation vectors ordered by
+  // (size, lexicographic). std::set gives both the priority queue and the
+  // dedup-by-key behavior for pending sets; visited_ remembers every set
+  // ever enqueued so regrowing along a different edge order is skipped.
+  struct SizeLexLess {
+    bool operator()(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const {
+      if (a.size() != b.size()) return a.size() < b.size();
+      return a < b;
+    }
+  };
+  std::set<std::vector<std::string>, SizeLexLess> frontier_;
+  std::set<std::vector<std::string>> visited_;
+
+  size_t sets_expanded_ = 0;
+  size_t sets_cut_ = 0;
+  size_t trees_yielded_ = 0;
 };
 
 }  // namespace eve

@@ -107,6 +107,113 @@ Result<Mkb> MakeChainMkb(const ChainMkbSpec& spec) {
   return mkb;
 }
 
+Result<Mkb> MakeCoverFanMkb(const CoverFanMkbSpec& spec) {
+  if (spec.num_covers < 1) {
+    return Status::InvalidArgument("cover fan needs at least one cover");
+  }
+  const size_t m = spec.num_covers;
+  Mkb mkb;
+  auto backbone = [](size_t i) { return "B" + std::to_string(i); };
+  auto detour = [](size_t j) { return "D" + std::to_string(j); };
+
+  // Victim R0.
+  {
+    RelationDef def;
+    def.source = "IS_victim";
+    def.name = "R0";
+    def.schema = Schema({{"P0", DataType::kInt}, {"L0", DataType::kInt}});
+    EVE_RETURN_IF_ERROR(mkb.AddRelation(std::move(def)));
+  }
+  // Anchor A0: joins the victim, heads the backbone, hosts the L0 cover
+  // and the detour links.
+  {
+    std::vector<AttributeDef> attrs{{"PA", DataType::kInt},
+                                    {"L0", DataType::kInt},
+                                    {"CL", DataType::kInt},
+                                    {"B0", DataType::kInt}};
+    for (size_t j = 1; j <= spec.detours; ++j) {
+      attrs.push_back({"E" + std::to_string(j), DataType::kInt});
+    }
+    RelationDef def;
+    def.source = "IS_anchor";
+    def.name = "A0";
+    def.schema = Schema(std::move(attrs));
+    EVE_RETURN_IF_ERROR(mkb.AddRelation(std::move(def)));
+  }
+  // Backbone B1..Bm, each carrying one cover attribute of R0.P0.
+  for (size_t i = 1; i <= m; ++i) {
+    std::vector<AttributeDef> attrs{
+        {"C" + std::to_string(i), DataType::kInt},
+        {"B" + std::to_string(i - 1), DataType::kInt}};
+    if (i < m) attrs.push_back({"B" + std::to_string(i), DataType::kInt});
+    RelationDef def;
+    def.source = "IS_backbone";
+    def.name = backbone(i);
+    def.schema = Schema(std::move(attrs));
+    EVE_RETURN_IF_ERROR(mkb.AddRelation(std::move(def)));
+  }
+  for (size_t j = 1; j <= spec.detours; ++j) {
+    RelationDef def;
+    def.source = "IS_detour";
+    def.name = detour(j);
+    def.schema = Schema({{"PD" + std::to_string(j), DataType::kInt},
+                         {"E" + std::to_string(j), DataType::kInt}});
+    EVE_RETURN_IF_ERROR(mkb.AddRelation(std::move(def)));
+  }
+
+  EVE_RETURN_IF_ERROR(AddLinkJc(&mkb, "JA0", "R0", "A0", "L0"));
+  EVE_RETURN_IF_ERROR(AddLinkJc(&mkb, "JB0", "A0", backbone(1), "B0"));
+  for (size_t i = 1; i < m; ++i) {
+    EVE_RETURN_IF_ERROR(AddLinkJc(&mkb, "JB" + std::to_string(i),
+                                  backbone(i), backbone(i + 1),
+                                  "B" + std::to_string(i)));
+  }
+  for (size_t j = 1; j <= spec.detours; ++j) {
+    EVE_RETURN_IF_ERROR(AddLinkJc(&mkb, "JD" + std::to_string(j), "A0",
+                                  detour(j), "E" + std::to_string(j)));
+  }
+
+  // Covers: R0.P0 on every backbone node, R0.L0 on the anchor. The cover
+  // PCs double as the Steiner-node justification for path candidates.
+  const SetRelation pc_rel =
+      spec.equal_pcs ? SetRelation::kEqual : SetRelation::kSuperset;
+  for (size_t i = 1; i <= m; ++i) {
+    EVE_RETURN_IF_ERROR(AddIdentityFunctionOf(
+        &mkb, "FC" + std::to_string(i), AttributeRef{"R0", "P0"},
+        AttributeRef{backbone(i), "C" + std::to_string(i)}));
+    EVE_RETURN_IF_ERROR(AddProjectionPC(
+        &mkb, "PCF" + std::to_string(i), backbone(i),
+        "C" + std::to_string(i), pc_rel, "R0", "P0"));
+  }
+  EVE_RETURN_IF_ERROR(AddIdentityFunctionOf(&mkb, "FCL",
+                                            AttributeRef{"R0", "L0"},
+                                            AttributeRef{"A0", "CL"}));
+  EVE_RETURN_IF_ERROR(
+      AddProjectionPC(&mkb, "PCL", "A0", "CL", pc_rel, "R0", "L0"));
+  return mkb;
+}
+
+Result<ViewDefinition> MakeCoverFanView(const Mkb& mkb) {
+  if (!mkb.catalog().HasRelation("R0") || !mkb.catalog().HasRelation("A0")) {
+    return Status::InvalidArgument("not a cover-fan MKB");
+  }
+  std::vector<ViewSelectItem> select;
+  select.push_back(ViewSelectItem{Expr::Column(AttributeRef{"R0", "P0"}),
+                                  "P0", EvolutionParams{false, true}});
+  select.push_back(ViewSelectItem{Expr::Column(AttributeRef{"A0", "PA"}),
+                                  "PA", EvolutionParams{false, true}});
+  std::vector<ViewRelation> from{
+      ViewRelation{"R0", EvolutionParams{false, true}},
+      ViewRelation{"A0", EvolutionParams{false, true}}};
+  std::vector<ViewCondition> where{
+      ViewCondition{Expr::ColumnsEqual(AttributeRef{"R0", "L0"},
+                                       AttributeRef{"A0", "L0"}),
+                    EvolutionParams{false, true}}};
+  return ViewDefinition("cover_fan_view", ViewExtent::kAny,
+                        std::move(select), std::move(from),
+                        std::move(where));
+}
+
 Result<Mkb> MakeStarMkb(size_t num_spokes) {
   if (num_spokes < 1) {
     return Status::InvalidArgument("star needs at least one spoke");

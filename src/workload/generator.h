@@ -54,6 +54,29 @@ Result<Mkb> MakeStarMkb(size_t num_spokes);
 // row).
 Result<Mkb> MakeGridMkb(size_t rows, size_t cols);
 
+// Cover fan: the enumeration-benchmark topology. A victim relation R0
+// (payload P0, link L0) joins an anchor A0, which heads a backbone chain
+// B1..B<m>. Cover i of R0.P0 sits on B<i> — at join distance i from the
+// anchor — so after DELETE RELATION R0 the candidate rewritings have
+// strictly increasing join widths (cover i costs an i-relation chain).
+// R0.L0 is covered on A0 itself (width-neutral), and every cover carries a
+// PC constraint justifying the rewriting extent; path Steiner nodes are
+// justified by the same constraints. `detours` extra relations hang off
+// the anchor with no PC constraints: they multiply the tree space with
+// weakly-ranked (extent-unknown) candidates without adding good ones.
+struct CoverFanMkbSpec {
+  size_t num_covers = 8;  // backbone length m; one cover per node
+  size_t detours = 0;     // PC-less relations joined to the anchor
+  bool equal_pcs = true;  // EQUAL (vs SUPERSET) cover PC constraints
+};
+
+Result<Mkb> MakeCoverFanMkb(const CoverFanMkbSpec& spec);
+
+// The victim view over a cover-fan MKB:
+//   SELECT R0.P0, A0.PA FROM R0, A0 WHERE R0.L0 = A0.L0
+// with every component (dispensable=false, replaceable=true).
+Result<ViewDefinition> MakeCoverFanView(const Mkb& mkb);
+
 struct RandomMkbSpec {
   size_t num_relations = 12;
   // Probability of a join constraint between each relation pair, on top of

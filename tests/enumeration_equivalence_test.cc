@@ -1,0 +1,239 @@
+// Property tests for the lazy best-first candidate enumeration: the
+// streaming pipeline must agree with the pre-refactor eager reference
+// (same candidate set), yield in nondecreasing lower-bound order with
+// admissible bounds, and a top-k run must return exactly the prefix the
+// exhaustive run ranks first.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cvs/cvs.h"
+#include "cvs/r_mapping.h"
+#include "cvs/r_replacement.h"
+#include "hypergraph/join_graph.h"
+#include "mkb/evolution.h"
+#include "workload/generator.h"
+
+namespace eve {
+namespace {
+
+// Canonical identity of a candidate: the join skeleton plus the exact
+// substitutions used (the same key the stream dedups on).
+std::string CandidateKey(const ReplacementCandidate& candidate) {
+  std::string key;
+  for (const std::string& rel : candidate.tree.relations) key += rel + "|";
+  key += "#";
+  for (const AttributeReplacement& repl : candidate.replacements) {
+    key += repl.original.ToString() + ">" + repl.constraint_id + "|";
+  }
+  return key;
+}
+
+std::vector<std::string> SortedKeys(
+    const std::vector<ReplacementCandidate>& candidates) {
+  std::vector<std::string> keys;
+  keys.reserve(candidates.size());
+  for (const ReplacementCandidate& candidate : candidates) {
+    keys.push_back(CandidateKey(candidate));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Options wide enough that nothing is truncated: both enumerations run
+// the space to exhaustion.
+RReplacementOptions ExhaustiveOptions() {
+  RReplacementOptions options;
+  options.max_results = 100000;
+  options.max_cover_combinations = 100000;
+  options.max_extra_relations = 4;
+  return options;
+}
+
+TEST(EnumerationEquivalence, StreamMatchesEagerOnRandomMkbs) {
+  size_t comparable = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomMkbSpec spec;
+    spec.num_relations = 10;
+    spec.seed = seed;
+    const Mkb mkb = MakeRandomMkb(spec).value();
+    std::mt19937_64 rng(seed);
+    const Result<ViewDefinition> view_or =
+        MakeRandomConnectedView(mkb, &rng, 3);
+    if (!view_or.ok()) continue;
+    const ViewDefinition& view = view_or.value();
+    const std::string victim = view.from().front().name;
+
+    const Result<RMapping> mapping_or = ComputeRMapping(view, victim, mkb);
+    if (!mapping_or.ok()) continue;
+    const Result<MkbEvolutionReport> evolution =
+        EvolveMkb(mkb, CapabilityChange::DeleteRelation(victim));
+    if (!evolution.ok()) continue;
+    const JoinGraph graph_prime = JoinGraph::Build(evolution.value().mkb);
+
+    const RReplacementOptions options = ExhaustiveOptions();
+    const Result<std::vector<ReplacementCandidate>> eager =
+        ComputeRReplacementsEager(view, mapping_or.value(), mkb, graph_prime,
+                                  options);
+    const Result<std::vector<ReplacementCandidate>> lazy =
+        ComputeRReplacements(view, mapping_or.value(), mkb, graph_prime,
+                             options);
+    ASSERT_EQ(eager.ok(), lazy.ok()) << "seed " << seed;
+    if (!eager.ok()) continue;
+    EXPECT_EQ(SortedKeys(eager.value()), SortedKeys(lazy.value()))
+        << "seed " << seed;
+    if (!eager.value().empty()) ++comparable;
+  }
+  // The sweep must actually exercise non-trivial candidate spaces.
+  EXPECT_GE(comparable, 4u);
+}
+
+TEST(EnumerationEquivalence, StreamYieldsInNondecreasingBoundOrder) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomMkbSpec spec;
+    spec.num_relations = 10;
+    spec.seed = seed;
+    const Mkb mkb = MakeRandomMkb(spec).value();
+    std::mt19937_64 rng(seed);
+    const Result<ViewDefinition> view_or =
+        MakeRandomConnectedView(mkb, &rng, 3);
+    if (!view_or.ok()) continue;
+    const ViewDefinition& view = view_or.value();
+    const std::string victim = view.from().front().name;
+    const Result<RMapping> mapping_or = ComputeRMapping(view, victim, mkb);
+    if (!mapping_or.ok()) continue;
+    const Result<MkbEvolutionReport> evolution =
+        EvolveMkb(mkb, CapabilityChange::DeleteRelation(victim));
+    if (!evolution.ok()) continue;
+    const JoinGraph graph_prime = JoinGraph::Build(evolution.value().mkb);
+
+    Result<CandidateStream> stream_or = CandidateStream::Create(
+        view, mapping_or.value(), mkb, graph_prime, ExhaustiveOptions(),
+        DefaultRankingCostModel());
+    if (!stream_or.ok()) continue;
+    CandidateStream stream = stream_or.MoveValue();
+    double last = -1.0;
+    while (std::optional<ReplacementCandidate> candidate = stream.Next()) {
+      EXPECT_GE(candidate->cost_lower_bound, last) << "seed " << seed;
+      last = candidate->cost_lower_bound;
+    }
+    EXPECT_TRUE(stream.Exhausted());
+    EXPECT_TRUE(stream.stats().exhausted);
+  }
+}
+
+class CoverFanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CoverFanMkbSpec spec;
+    spec.num_covers = 8;
+    mkb_ = MakeCoverFanMkb(spec).MoveValue();
+    view_ = MakeCoverFanView(mkb_).MoveValue();
+    mkb_prime_ = EvolveMkb(mkb_, CapabilityChange::DeleteRelation("R0"))
+                     .MoveValue()
+                     .mkb;
+  }
+
+  CvsOptions WideOptions() const {
+    CvsOptions options;
+    options.replacement.max_results = 100000;
+    options.replacement.max_cover_combinations = 100000;
+    options.replacement.max_extra_relations = 8;
+    return options;
+  }
+
+  Mkb mkb_;
+  Mkb mkb_prime_;
+  ViewDefinition view_;
+};
+
+TEST_F(CoverFanTest, CandidateCostsIncreaseWithCoverDistance) {
+  const CvsResult result =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, WideOptions())
+          .value();
+  // One rewriting per cover distance, each strictly wider than the last.
+  ASSERT_GE(result.rewritings.size(), 8u);
+  for (size_t i = 1; i < result.rewritings.size(); ++i) {
+    EXPECT_LE(result.rewritings[i - 1].cost.total,
+              result.rewritings[i].cost.total);
+  }
+  // The PC constraints justify every pure-path rewriting as equal-extent.
+  EXPECT_EQ(result.rewritings.front().legality.inferred_extent,
+            ExtentRelation::kEqual);
+}
+
+TEST_F(CoverFanTest, TopKPrefixMatchesExhaustiveRun) {
+  const CvsResult full =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, WideOptions())
+          .value();
+  ASSERT_GE(full.rewritings.size(), 4u);
+
+  CvsOptions top_k = WideOptions();
+  top_k.top_k = 4;
+  const CvsResult pruned =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, top_k)
+          .value();
+  ASSERT_EQ(pruned.rewritings.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pruned.rewritings[i].view.ToString(),
+              full.rewritings[i].view.ToString())
+        << "rank " << i;
+    EXPECT_EQ(pruned.rewritings[i].cost.total, full.rewritings[i].cost.total);
+  }
+  // The bound must actually fire: the full space has strictly worse
+  // candidates behind the k-th best.
+  EXPECT_TRUE(pruned.enumeration.terminated_early);
+  EXPECT_LT(pruned.enumeration.candidates_yielded,
+            full.enumeration.candidates_yielded);
+}
+
+TEST_F(CoverFanTest, LowerBoundsAreAdmissible) {
+  const CvsResult result =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, WideOptions())
+          .value();
+  for (const SynchronizedView& rewriting : result.rewritings) {
+    if (rewriting.is_drop) continue;
+    EXPECT_LE(rewriting.candidate.cost_lower_bound,
+              rewriting.cost.total + 1e-9)
+        << rewriting.view.name();
+  }
+}
+
+TEST_F(CoverFanTest, CandidateBudgetReportsTruncation) {
+  CvsOptions options = WideOptions();
+  options.candidate_budget = 2;
+  const CvsResult result =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, options)
+          .value();
+  EXPECT_LE(result.enumeration.candidates_yielded, 2u);
+  EXPECT_FALSE(result.enumeration.exhausted);
+  EXPECT_GT(result.enumeration.states_pending, 0u);
+  const bool noted = std::any_of(
+      result.diagnostics.begin(), result.diagnostics.end(),
+      [](const std::string& d) {
+        return d.find("candidate_budget") != std::string::npos;
+      });
+  EXPECT_TRUE(noted);
+}
+
+TEST_F(CoverFanTest, ComboTruncationIsDiagnosed) {
+  CvsOptions options = WideOptions();
+  options.replacement.max_cover_combinations = 1;
+  const CvsResult result =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, options)
+          .value();
+  EXPECT_GT(result.enumeration.combos_truncated, 0u);
+  const bool noted = std::any_of(
+      result.diagnostics.begin(), result.diagnostics.end(),
+      [](const std::string& d) {
+        return d.find("max_cover_combinations") != std::string::npos;
+      });
+  EXPECT_TRUE(noted);
+}
+
+}  // namespace
+}  // namespace eve

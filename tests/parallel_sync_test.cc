@@ -118,6 +118,33 @@ TEST(ParallelSyncTest, ApplyChangesBatchIsDeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSyncTest, TopKAndBudgetAreDeterministicAcrossThreadCounts) {
+  // The top-k / candidate-budget knobs narrow each view's private
+  // enumeration; they must not perturb determinism — reports, pools and
+  // the aggregated enumeration stats stay byte-identical at any
+  // parallelism.
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R1");
+  std::string reference_fingerprint;
+  std::string reference_stats;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    EveSystem system = MakeBatchSystem(24);
+    system.SetSyncTopK(2);
+    system.SetSyncCandidateBudget(16);
+    system.SetSyncParallelism(threads);
+    const Result<ChangeReport> report = system.ApplyChange(change);
+    ASSERT_TRUE(report.ok()) << "threads=" << threads;
+    const std::string fingerprint = Fingerprint(report.value(), system);
+    const std::string stats = system.last_sync_stats().ToString();
+    if (threads == 1) {
+      reference_fingerprint = fingerprint;
+      reference_stats = stats;
+    } else {
+      EXPECT_EQ(fingerprint, reference_fingerprint) << "threads=" << threads;
+      EXPECT_EQ(stats, reference_stats) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelSyncTest, PreviewChangeSharesThePoolSafely) {
   EveSystem system = MakeBatchSystem(12);
   system.SetSyncParallelism(4);

@@ -17,6 +17,15 @@
 //   DEFINE <MISD statement>;              -- a source publishes a relation
 //                                            or constraint (additive)
 //   RETRACT <constraint id>;              -- a source withdraws a constraint
+//   SET SYNC TOPK <k>;                    -- keep only the k best rewritings
+//                                            per view (0 = all); enables
+//                                            early termination in CVS
+//   SET SYNC BUDGET <n>;                  -- cap candidates pulled per view
+//                                            synchronization (0 = no cap)
+//   SET SYNC PARALLELISM <n>;             -- threads for batch sync (0/1 =
+//                                            sequential; reports identical)
+//   SHOW SYNC STATS;                      -- enumeration counters aggregated
+//                                            over the last change/preview
 //   PREVIEW DELETE RELATION <name>;       -- what-if: report without applying
 //   DELETE RELATION <name>;               -- capability change
 //   DELETE ATTRIBUTE <rel>.<attr>;        -- capability change
@@ -159,6 +168,10 @@ class Console {
     }
     if (head == "recover" && words.size() >= 3) {
       return Recover(Unquote(words[1]), Unquote(words[2]));
+    }
+    if (head == "set" && words.size() >= 4 &&
+        EqualsIgnoreCase(words[1], "SYNC")) {
+      return SetSync(words[2], words[3]);
     }
     if (head == "show") {
       return Show(words);
@@ -307,7 +320,41 @@ class Console {
     return true;
   }
 
+  bool SetSync(const std::string& knob, const std::string& value) {
+    size_t parsed = 0;
+    try {
+      parsed = std::stoul(value);
+    } catch (...) {
+      std::cerr << "error: SET SYNC " << knob
+                << " expects a non-negative integer, got " << value << "\n";
+      return false;
+    }
+    if (EqualsIgnoreCase(knob, "TOPK")) {
+      system_.SetSyncTopK(parsed);
+      std::cout << "sync top-k = " << parsed << "\n";
+      return true;
+    }
+    if (EqualsIgnoreCase(knob, "BUDGET")) {
+      system_.SetSyncCandidateBudget(parsed);
+      std::cout << "sync candidate budget = " << parsed << "\n";
+      return true;
+    }
+    if (EqualsIgnoreCase(knob, "PARALLELISM")) {
+      system_.SetSyncParallelism(parsed);
+      std::cout << "sync parallelism = " << parsed << "\n";
+      return true;
+    }
+    std::cerr << "error: SET SYNC expects TOPK, BUDGET or PARALLELISM\n";
+    return false;
+  }
+
   bool Show(const std::vector<std::string>& words) {
+    if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SYNC") &&
+        EqualsIgnoreCase(words[2], "STATS")) {
+      std::cout << "enumeration: " << system_.last_sync_stats().ToString()
+                << "\n";
+      return true;
+    }
     if (words.size() >= 2 && EqualsIgnoreCase(words[1], "MKB")) {
       std::cout << system_.mkb().ToString();
       return true;
@@ -338,8 +385,8 @@ class Console {
       }
       return true;
     }
-    std::cerr << "error: SHOW expects MKB, HYPERGRAPH, VIEWS or VIEW "
-                 "<name>\n";
+    std::cerr << "error: SHOW expects MKB, HYPERGRAPH, VIEWS, VIEW <name> "
+                 "or SYNC STATS\n";
     return false;
   }
 
@@ -392,6 +439,12 @@ class Console {
     }
     if (preview) std::cout << "(preview — nothing applied)\n";
     std::cout << report.value().ToString();
+    // Enumeration counters ride along after the report (never inside it:
+    // ChangeReport bytes are journaled/checkpointed and must not change).
+    const EnumerationStats& stats = system_.last_sync_stats();
+    if (stats.combos_generated > 0 || stats.candidates_yielded > 0) {
+      std::cout << "enumeration: " << stats.ToString() << "\n";
+    }
     return true;
   }
 
