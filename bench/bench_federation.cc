@@ -1,0 +1,134 @@
+// Federation overhead under fault load: how much a degraded transport
+// costs the monitor-driven synchronization loop. Sweeps a fixed 400-tick
+// schedule over fault regimes — fault-free, 5% loss, 20% loss, and a
+// permanent flap — plus a raw monitor-tick throughput sweep over synthetic
+// source counts. Every run is seeded and logical-time based, so numbers
+// vary only with machine speed, never with schedule luck.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "eve/eve_system.h"
+#include "federation/monitor.h"
+#include "federation/simulator.h"
+#include "federation/transport.h"
+#include "mkb/capability_change.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+EveSystem FreshSystem() {
+  Mkb mkb = MakeTravelAgencyMkb().MoveValue();
+  if (!AddAccidentInsPc(&mkb).ok()) std::abort();
+  EveSystem system(std::move(mkb));
+  if (!system.RegisterViewText(CustomerPassengersAsiaSql()).ok()) {
+    std::abort();
+  }
+  return system;
+}
+
+// One full 400-tick schedule with two capability changes riding on top of
+// the given per-tick fault rate (0 = fault-free). heal_within_lease keeps
+// the comparison apples-to-apples: every regime ends all-healthy, so the
+// measured delta is pure retry/backoff/breaker overhead.
+void RunSchedule(benchmark::State& state, double fault_rate) {
+  uint64_t probes = 0, failures = 0;
+  for (auto _ : state) {
+    EveSystem system = FreshSystem();
+    federation::SimOptions options;
+    options.ticks = 400;
+    options.seed = 7;
+    options.fault_rate = fault_rate;
+    options.heal_within_lease = true;
+    federation::FederationSimulator sim(&system, options);
+    sim.RandomizeFaults();
+    sim.ScheduleChange(60, CapabilityChange::DeleteRelation("RentACar"));
+    sim.ScheduleChange(120, CapabilityChange::DeleteRelation("Customer"));
+    const Result<federation::SimResult> result = sim.Run();
+    if (!result.ok() || !result->violations.empty()) {
+      state.SkipWithError("fault schedule did not converge");
+      return;
+    }
+    probes = result->stats.probes;
+    failures = result->stats.failures;
+    benchmark::DoNotOptimize(result->final_views.data());
+  }
+  state.counters["probes"] = static_cast<double>(probes);
+  state.counters["failed_probes"] = static_cast<double>(failures);
+}
+
+void BM_ScheduleFaultFree(benchmark::State& state) {
+  RunSchedule(state, 0.0);
+}
+BENCHMARK(BM_ScheduleFaultFree)->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleLoss5Percent(benchmark::State& state) {
+  RunSchedule(state, 0.05);
+}
+BENCHMARK(BM_ScheduleLoss5Percent)->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleLoss20Percent(benchmark::State& state) {
+  RunSchedule(state, 0.20);
+}
+BENCHMARK(BM_ScheduleLoss20Percent)->Unit(benchmark::kMillisecond);
+
+// Every source flaps for the whole run: the alternating success half keeps
+// leases alive, so this measures sustained retry churn, not departures.
+void BM_ScheduleFlapAllSources(benchmark::State& state) {
+  uint64_t failures = 0;
+  for (auto _ : state) {
+    EveSystem system = FreshSystem();
+    federation::SimOptions options;
+    options.ticks = 400;
+    federation::FederationSimulator sim(&system, options);
+    for (const std::string& source :
+         system.mkb().catalog().SourceNames()) {
+      sim.ScheduleFault(
+          source, {1, 400, federation::SimulatedTransport::FaultKind::kFlap});
+    }
+    const Result<federation::SimResult> result = sim.Run();
+    if (!result.ok() || !result->violations.empty() ||
+        result->stats.departures > 0) {
+      state.SkipWithError("flap schedule did not converge");
+      return;
+    }
+    failures = result->stats.failures;
+    benchmark::DoNotOptimize(result->final_membership.data());
+  }
+  state.counters["failed_probes"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_ScheduleFlapAllSources)->Unit(benchmark::kMillisecond);
+
+// Raw monitor throughput: 100 healthy ticks over N synthetic sources (one
+// relation each), no views and no faults — the fixed per-tick tax of just
+// tracking a large federation.
+void BM_MonitorTick(benchmark::State& state) {
+  const int num_sources = static_cast<int>(state.range(0));
+  std::string misd;
+  for (int i = 0; i < num_sources; ++i) {
+    misd += "SOURCE S" + std::to_string(i) + " RELATION R" +
+            std::to_string(i) + " (Name string, X int)\n";
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    EveSystem system{Mkb()};
+    if (!system.ExtendMkb(misd).ok()) std::abort();
+    federation::SimulatedTransport transport;
+    federation::FederationMonitor monitor(&system, &transport);
+    if (!monitor.TrackSources().ok()) std::abort();
+    state.ResumeTiming();
+    if (!monitor.AdvanceTo(100).ok()) std::abort();
+    benchmark::DoNotOptimize(monitor.stats().probes);
+  }
+  state.counters["sources"] = static_cast<double>(num_sources);
+}
+BENCHMARK(BM_MonitorTick)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eve
+
+BENCHMARK_MAIN();

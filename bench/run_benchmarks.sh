@@ -186,3 +186,81 @@ for entry in comparison:
     print(f"{name:<28}  {entry['current']:.0f} {entry['time_unit']}"
           f"  (eager {entry['baseline']:.0f}, {entry['speedup']}x)")
 PY
+
+FED_BENCH="$BUILD_DIR/bench/bench_federation"
+if [[ ! -x "$FED_BENCH" ]]; then
+  echo "bench binary not found: $FED_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+FED_JSON="$(mktemp)"
+trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON" "$FED_JSON"' EXIT
+
+# Fault-regime sweep: every schedule must converge (the binary marks a
+# non-converging run as an error) before its time means anything.
+"$FED_BENCH" --benchmark_min_time="${MIN_TIME}s" \
+             --benchmark_out="$FED_JSON" \
+             --benchmark_out_format=json > /dev/null
+
+python3 - "$FED_JSON" "$REPO_ROOT/BENCH_federation.json" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1:3]
+
+with open(current_path) as f:
+    doc = json.load(f)
+
+times = {}
+counters = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = (bench["real_time"], bench["time_unit"])
+    counters[bench["name"]] = {
+        k: v for k, v in bench.items()
+        if k in ("probes", "failed_probes", "sources")
+    }
+
+# The fault-free schedule is the in-run baseline: each fault regime's
+# overhead ratio is its time over the clean run's.
+comparison = []
+base = times.get("BM_ScheduleFaultFree")
+for name in ("BM_ScheduleFaultFree", "BM_ScheduleLoss5Percent",
+             "BM_ScheduleLoss20Percent", "BM_ScheduleFlapAllSources"):
+    if name not in times:
+        continue
+    now, unit = times[name]
+    entry = {"name": name, "current": now, "time_unit": unit,
+             "counters": counters.get(name, {})}
+    if base is not None and now > 0:
+        entry["baseline"] = base[0]
+        entry["overhead"] = round(now / base[0], 2)
+    comparison.append(entry)
+for name in sorted(times):
+    if name.startswith("BM_MonitorTick"):
+        now, unit = times[name]
+        comparison.append({"name": name, "current": now, "time_unit": unit,
+                           "counters": counters.get(name, {})})
+
+out = {
+    "description": "Federation monitor under fault load: 400-tick "
+                   "healed-within-lease schedules at 0%/5%/20% loss and "
+                   "all-source flap (overhead vs the fault-free run), "
+                   "plus raw monitor-tick throughput over synthetic "
+                   "source counts",
+    "context": doc.get("context", {}),
+    "comparison": comparison,
+    "raw": doc,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for entry in comparison:
+    note = f"  {entry['current']:.1f} {entry['time_unit']}"
+    if "overhead" in entry:
+        note += f"  ({entry['overhead']}x fault-free)"
+    print(f"{entry['name']:<28}{note}")
+PY

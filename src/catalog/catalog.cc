@@ -1,5 +1,6 @@
 #include "catalog/catalog.h"
 
+#include <set>
 #include <sstream>
 
 namespace eve {
@@ -187,6 +188,12 @@ std::vector<std::string> Catalog::RelationsOfSource(
     if (def.source == source) names.push_back(name);
   }
   return names;
+}
+
+std::vector<std::string> Catalog::SourceNames() const {
+  std::set<std::string> sources;
+  for (const auto& [name, def] : relations_) sources.insert(def.source);
+  return std::vector<std::string>(sources.begin(), sources.end());
 }
 
 std::string Catalog::ToString() const {

@@ -73,6 +73,9 @@ class Catalog {
   // All relations exported by `source`, sorted by name.
   std::vector<std::string> RelationsOfSource(const std::string& source) const;
 
+  // All distinct owning sources, sorted.
+  std::vector<std::string> SourceNames() const;
+
   size_t NumRelations() const { return relations_.size(); }
 
   // Multi-line dump for debugging and docs.

@@ -70,6 +70,13 @@ const std::vector<std::string>& Failpoints::KnownSites() {
       fp::kRegisterViewAfterJournal,
       fp::kRetractConstraintAfterJournal,
       fp::kSourceLeavesBetweenChanges,
+      fp::kSourceLeavesBeforeCommit,
+      fp::kSetMembershipAfterJournal,
+      fp::kFederationProbeSend,
+      fp::kFederationProbeTimeout,
+      fp::kFederationProbeSlow,
+      fp::kFederationProbeCorrupt,
+      fp::kFederationProbeFlap,
       fp::kJournalAppendBeforeWrite,
       fp::kJournalAppendPartialWrite,
       fp::kJournalAppendBeforeFsync,

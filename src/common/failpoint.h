@@ -46,6 +46,21 @@ inline constexpr char kRetractConstraintAfterJournal[] =
     "eve.retract_constraint.after_journal";
 inline constexpr char kSourceLeavesBetweenChanges[] =
     "eve.source_leaves.between_changes";
+inline constexpr char kSourceLeavesBeforeCommit[] =
+    "eve.source_leaves.before_commit";
+inline constexpr char kSetMembershipAfterJournal[] =
+    "eve.set_membership.after_journal";
+// Federation probe transport (federation/transport.h). The `probe` site is
+// the generic send path (error = lost probe, crash = monitor death); the
+// fault-kind sites convert the Nth probe into that fault when armed with
+// the error action.
+inline constexpr char kFederationProbeSend[] = "federation.transport.probe";
+inline constexpr char kFederationProbeTimeout[] =
+    "federation.transport.timeout";
+inline constexpr char kFederationProbeSlow[] = "federation.transport.slow";
+inline constexpr char kFederationProbeCorrupt[] =
+    "federation.transport.corrupt";
+inline constexpr char kFederationProbeFlap[] = "federation.transport.flap";
 inline constexpr char kJournalAppendBeforeWrite[] =
     "journal.append.before_write";
 inline constexpr char kJournalAppendPartialWrite[] =

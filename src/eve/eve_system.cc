@@ -76,6 +76,13 @@ std::string ChangeReport::ToString() const {
         break;
     }
     if (!outcome.detail.empty()) os << " — " << outcome.detail;
+    if (!outcome.provisional_sources.empty()) {
+      os << " [provisional:";
+      for (const std::string& source : outcome.provisional_sources) {
+        os << " " << source;
+      }
+      os << "]";
+    }
     os << "\n";
   }
   return os.str();
@@ -298,7 +305,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
         std::binary_search(affected.begin(), affected.end(), name);
     if (!is_affected) {
       report.outcomes.push_back(
-          ViewOutcome{name, ViewOutcomeKind::kUnaffected, ""});
+          ViewOutcome{name, ViewOutcomeKind::kUnaffected, "", {}});
     }
   }
 
@@ -354,10 +361,20 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
           detail += " " + rel;
         }
       }
-      report.outcomes.push_back(
-          ViewOutcome{name, ViewOutcomeKind::kRewritten, detail});
+      // Degraded-mode bookkeeping: when the chosen rewriting leans on a
+      // SUSPECT/QUARANTINED source, its constraints came from that source's
+      // last-known snapshot, so the rewriting is provisional until the
+      // source heals (SetSourceMembership clears the marks) or departs.
+      const std::vector<std::string> degraded =
+          DegradedSourcesOf(registered.definition, evolution.mkb.catalog());
+      registered.provisional_sources =
+          std::set<std::string>(degraded.begin(), degraded.end());
+      ViewOutcome outcome{name, ViewOutcomeKind::kRewritten, detail, {}};
+      outcome.provisional_sources = degraded;
+      report.outcomes.push_back(std::move(outcome));
     } else {
       registered.state = ViewState::kDisabled;
+      registered.provisional_sources.clear();
       registered.history.push_back("disabled under " + change.ToString());
       std::string detail;
       for (const std::string& diagnostic : result.diagnostics) {
@@ -365,7 +382,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
         detail += diagnostic;
       }
       report.outcomes.push_back(
-          ViewOutcome{name, ViewOutcomeKind::kDisabled, detail});
+          ViewOutcome{name, ViewOutcomeKind::kDisabled, detail, {}});
     }
   }
   last_sync_stats_ = sync_stats;
@@ -461,26 +478,134 @@ Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
 
 Result<std::vector<ChangeReport>> EveSystem::SourceLeaves(
     const std::string& source) {
+  return LeaveCascade(source, /*require_relations=*/true);
+}
+
+Result<std::vector<ChangeReport>> EveSystem::DepartSource(
+    const std::string& source) {
+  return LeaveCascade(source, /*require_relations=*/false);
+}
+
+Result<std::vector<ChangeReport>> EveSystem::LeaveCascade(
+    const std::string& source, bool require_relations) {
   const std::vector<std::string> relations =
       mkb_.catalog().RelationsOfSource(source);
-  if (relations.empty()) {
+  if (relations.empty() && require_relations) {
     return Status::NotFound("no relations exported by source: " + source);
   }
+  // The cascade is one transaction: the per-relation changes (and the
+  // DEPARTED membership row of a tracked source) commit together or not at
+  // all. Snapshot for rollback — all state members are value types — and
+  // bracket the journal records as a batch so a crash mid-cascade replays
+  // to the pre-leave state, mirroring the in-memory rollback.
+  Mkb mkb_snapshot = mkb_;
+  std::map<std::string, RegisteredView> views_snapshot = views_;
+  std::vector<ChangeReport> log_snapshot = change_log_;
+  std::map<std::string, federation::SourceMembership> membership_snapshot =
+      membership_;
+  const auto rollback = [&] {
+    mkb_ = std::move(mkb_snapshot);
+    views_ = std::move(views_snapshot);
+    change_log_ = std::move(log_snapshot);
+    membership_ = std::move(membership_snapshot);
+    RebuildViewIndex();
+  };
+  EVE_RETURN_IF_ERROR(JournalAppend({JournalRecordKind::kBeginBatch, ""}));
+  const auto abort = [&](const Status& cause) -> Status {
+    rollback();
+    EVE_RETURN_IF_ERROR(JournalAppend({JournalRecordKind::kAbortBatch, ""}));
+    return cause;
+  };
   std::vector<ChangeReport> reports;
   reports.reserve(relations.size());
   for (const std::string& relation : relations) {
+    Status injected = Status::OK();
     if (!reports.empty()) {
-      // A departing source's relations are dropped one change at a time;
-      // each is individually durable, so a crash between them recovers to
-      // the prefix already applied.
-      EVE_FAILPOINT(fp::kSourceLeavesBetweenChanges);
+      injected = Failpoints::Instance().Hit(fp::kSourceLeavesBetweenChanges);
     }
-    EVE_ASSIGN_OR_RETURN(
-        ChangeReport report,
-        ApplyChange(CapabilityChange::DeleteRelation(relation)));
-    reports.push_back(std::move(report));
+    Result<ChangeReport> report =
+        injected.ok() ? ApplyChange(CapabilityChange::DeleteRelation(relation))
+                      : Result<ChangeReport>(injected);
+    if (!report.ok()) {
+      return abort(Status(report.status().code(),
+                          "source-leave cascade aborted at '" + relation +
+                              "': " + report.status().message()));
+    }
+    reports.push_back(report.MoveValue());
+  }
+  if (membership_.count(source) > 0) {
+    // The monitor must not keep probing a departed source; the row rides
+    // in the batch so it vanishes with a rolled-back cascade.
+    federation::SourceMembership departed = membership_.at(source);
+    departed.state = federation::SourceState::kDeparted;
+    const Status recorded = SetSourceMembership(source, departed);
+    if (!recorded.ok()) return abort(recorded);
+  }
+  const Status late = Failpoints::Instance().Hit(fp::kSourceLeavesBeforeCommit);
+  if (!late.ok()) return abort(late);
+  const Status committed =
+      JournalAppend({JournalRecordKind::kCommitBatch, ""});
+  if (!committed.ok()) {
+    // The commit marker never reached disk, so replay will discard the
+    // batch; roll back memory to match that outcome.
+    rollback();
+    return committed;
   }
   return reports;
+}
+
+Status EveSystem::SetSourceMembership(
+    const std::string& source,
+    const federation::SourceMembership& membership) {
+  if (source.empty()) {
+    return Status::InvalidArgument("source needs a non-empty name");
+  }
+  EVE_RETURN_IF_ERROR(
+      JournalAppend({JournalRecordKind::kSourceMembership,
+                     federation::SerializeMembership(source, membership)}));
+  membership_[source] = membership;
+  if (membership.state == federation::SourceState::kHealthy) {
+    // The source healed: every rewriting that provisionally leaned on its
+    // last-known constraints is now confirmed. Clearing the marks from the
+    // live views AND the logged outcomes makes the state converge to what
+    // a fault-free run would have produced; replaying the same journal
+    // repeats the same un-marking at the same position, so recovery agrees.
+    for (auto& [name, view] : views_) view.provisional_sources.erase(source);
+    for (ChangeReport& report : change_log_) {
+      for (ViewOutcome& outcome : report.outcomes) {
+        auto& provisional = outcome.provisional_sources;
+        provisional.erase(
+            std::remove(provisional.begin(), provisional.end(), source),
+            provisional.end());
+      }
+    }
+  }
+  EVE_FAILPOINT(fp::kSetMembershipAfterJournal);
+  return Status::OK();
+}
+
+Status EveSystem::SetViewProvisionalSources(const std::string& name,
+                                            std::set<std::string> sources) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view not registered: " + name);
+  }
+  it->second.provisional_sources = std::move(sources);
+  return Status::OK();
+}
+
+std::vector<std::string> EveSystem::DegradedSourcesOf(
+    const ViewDefinition& definition, const Catalog& catalog) const {
+  std::set<std::string> degraded;
+  for (const std::string& relation : definition.ReferencedRelations()) {
+    const Result<const RelationDef*> def = catalog.GetRelation(relation);
+    if (!def.ok()) continue;
+    const auto it = membership_.find((*def)->source);
+    if (it != membership_.end() && it->second.Degraded()) {
+      degraded.insert((*def)->source);
+    }
+  }
+  return std::vector<std::string>(degraded.begin(), degraded.end());
 }
 
 Status EveSystem::ReplayRecord(const JournalRecord& record) {
@@ -511,6 +636,11 @@ Status EveSystem::ReplayRecord(const JournalRecord& record) {
                            ParseChange(record.body));
       const Result<ChangeReport> report = ApplyChange(change);
       return report.status();
+    }
+    case JournalRecordKind::kSourceMembership: {
+      EVE_ASSIGN_OR_RETURN(const federation::NamedMembership named,
+                           federation::ParseMembership(record.body));
+      return SetSourceMembership(named.source, named.membership);
     }
     case JournalRecordKind::kBeginBatch:
     case JournalRecordKind::kCommitBatch:

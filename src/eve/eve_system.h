@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "cvs/cvs.h"
 #include "esql/view_definition.h"
+#include "federation/membership.h"
 #include "mkb/capability_change.h"
 #include "mkb/mkb.h"
 
@@ -33,6 +34,11 @@ struct RegisteredView {
   // One line per synchronization event ("rewritten under delete-relation
   // Customer", ...).
   std::vector<std::string> history;
+  // Degraded-mode marker: sources this view's current rewriting depends on
+  // that were SUSPECT/QUARANTINED when the rewriting was chosen. The
+  // rewriting used last-known (possibly stale) constraints from those
+  // sources; the marks clear when every listed source heals to HEALTHY.
+  std::set<std::string> provisional_sources;
 };
 
 enum class ViewOutcomeKind { kUnaffected, kRewritten, kDisabled };
@@ -43,6 +49,11 @@ struct ViewOutcome {
   // For kRewritten: the chosen rewriting's description; for kDisabled: the
   // failure diagnostics.
   std::string detail;
+  // Degraded sources the rewriting leaned on (see
+  // RegisteredView::provisional_sources). Un-marked in place when the
+  // sources heal, so a healed-within-lease run's report log converges to
+  // the fault-free log byte for byte.
+  std::vector<std::string> provisional_sources;
 };
 
 struct ChangeReport {
@@ -145,8 +156,46 @@ class EveSystem {
   // An information source leaves the environment (paper Sec. 1): applies
   // delete-relation for every relation the source exports, one change at a
   // time, so views can hop between the departing source's relations while
-  // some still exist. Returns one report per deleted relation.
+  // some still exist. Returns one report per deleted relation. The whole
+  // cascade is one transaction (journaled as a batch): a failure mid-way
+  // rolls every relation back, so the source is either fully present or
+  // fully departed — never half-left.
   Result<std::vector<ChangeReport>> SourceLeaves(const std::string& source);
+
+  // --- Federation membership ----------------------------------------------
+  //
+  // EveSystem is the durable home of the per-source membership table (see
+  // federation/membership.h); the probe scheduler that drives transitions
+  // lives above it in federation/monitor.h.
+
+  const std::map<std::string, federation::SourceMembership>&
+  source_membership() const {
+    return membership_;
+  }
+
+  // Journals (kSourceMembership) and commits one source's membership row.
+  // When the row heals to HEALTHY, the source's provisional marks are
+  // removed from every live view and every logged outcome — the degraded
+  // rewritings are thereby confirmed, and the state converges to what a
+  // fault-free run would have produced.
+  Status SetSourceMembership(const std::string& source,
+                             const federation::SourceMembership& membership);
+
+  // Lease expiry: marks the source DEPARTED and runs the SourceLeaves
+  // cascade in the same transaction (tolerating a source that exports no
+  // relations). This is the only path from probe faults to rewriting churn.
+  Result<std::vector<ChangeReport>> DepartSource(const std::string& source);
+
+  // Checkpoint loading only: replaces the membership table verbatim, no
+  // journaling, no heal side effects.
+  void RestoreSourceMembership(
+      std::map<std::string, federation::SourceMembership> table) {
+    membership_ = std::move(table);
+  }
+
+  // Checkpoint loading only: restores a view's provisional marks verbatim.
+  Status SetViewProvisionalSources(const std::string& name,
+                                   std::set<std::string> sources);
 
   // Applies `changes` in order as one unit. When `transactional` is true
   // and any change fails (e.g. it references an element that is already
@@ -192,6 +241,19 @@ class EveSystem {
   // Replays one journal record onto this system (no journaling).
   Status ReplayRecord(const JournalRecord& record);
 
+  // The transactional delete-relation cascade shared by SourceLeaves and
+  // DepartSource. A tracked source's DEPARTED membership row is written
+  // inside the same batch. `require_relations` makes an empty source an
+  // error (an operator-invoked SourceLeaves on an unknown source is a
+  // typo; a lease expiry on a relation-less source is a plain departure).
+  Result<std::vector<ChangeReport>> LeaveCascade(const std::string& source,
+                                                 bool require_relations);
+
+  // Sources whose membership row is Degraded() among those owning a
+  // relation `definition` references in `catalog` (sorted, deduped).
+  std::vector<std::string> DegradedSourcesOf(const ViewDefinition& definition,
+                                             const Catalog& catalog) const;
+
   // Inverted-index maintenance. Every registered view is indexed under
   // each relation and attribute it references, regardless of state
   // (AffectedViews filters on kActive, so a re-enabled view needs no
@@ -208,6 +270,7 @@ class EveSystem {
   std::unordered_map<std::string, std::set<std::string>> views_by_relation_;
   std::unordered_map<std::string, std::set<std::string>> views_by_attribute_;
   std::vector<ChangeReport> change_log_;
+  std::map<std::string, federation::SourceMembership> membership_;
   Journal* journal_ = nullptr;  // non-owning
   // Shared (not per-copy) so PreviewChange scratch copies reuse the pool;
   // ParallelFor keeps per-call completion state, so concurrent use is safe.

@@ -12,6 +12,7 @@
 #include "common/file_io.h"
 #include "common/str_util.h"
 #include "eve/view_pool_io.h"
+#include "federation/membership.h"
 #include "mkb/serializer.h"
 
 namespace eve {
@@ -29,6 +30,8 @@ constexpr char kCheckpointHeader[] = "-- EVE CHECKPOINT v1";
 constexpr char kSectionMkb[] = "-- SECTION MKB";
 constexpr char kSectionViews[] = "-- SECTION VIEWS";
 constexpr char kSectionChangeLog[] = "-- SECTION CHANGELOG";
+// Optional (absent in pre-federation checkpoints): membership rows.
+constexpr char kSectionFederation[] = "-- SECTION FEDERATION";
 constexpr char kSectionEnd[] = "-- SECTION END";
 
 Status Errno(const std::string& what, const std::string& path) {
@@ -54,7 +57,7 @@ uint32_t GetU32(std::string_view bytes, size_t offset) {
 
 bool IsKnownRecordKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(JournalRecordKind::kExtendMkb) &&
-         kind <= static_cast<uint8_t>(JournalRecordKind::kAbortBatch);
+         kind <= static_cast<uint8_t>(JournalRecordKind::kSourceMembership);
 }
 
 Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
@@ -208,6 +211,15 @@ Result<JournalScan> ReadJournal(const std::string& path) {
   return ScanJournalBytes(bytes.value());
 }
 
+std::string SaveFederation(const EveSystem& system) {
+  std::ostringstream os;
+  // std::map: name-sorted, so the section is deterministic.
+  for (const auto& [source, membership] : system.source_membership()) {
+    os << federation::SerializeMembership(source, membership) << "\n";
+  }
+  return os.str();
+}
+
 std::string RenderCheckpoint(const EveSystem& system) {
   std::ostringstream os;
   os << kCheckpointHeader << "\n";
@@ -217,6 +229,7 @@ std::string RenderCheckpoint(const EveSystem& system) {
   for (const ChangeReport& report : system.change_log()) {
     os << SerializeChange(report.change) << "\n";
   }
+  os << kSectionFederation << "\n" << SaveFederation(system);
   os << kSectionEnd << "\n";
   return os.str();
 }
@@ -271,11 +284,20 @@ Result<EveSystem> LoadCheckpoint(std::string_view text) {
   if (log_at == std::string_view::npos) {
     return Status::ParseError("checkpoint missing CHANGELOG section");
   }
-  const size_t end_at = FindSection(text, kSectionEnd, log_start, &end_start);
+  // FEDERATION is optional: pre-federation checkpoints go straight from
+  // CHANGELOG to END.
+  size_t federation_start = 0;
+  const size_t federation_at =
+      FindSection(text, kSectionFederation, log_start, &federation_start);
+  const size_t end_from =
+      federation_at == std::string_view::npos ? log_start : federation_start;
+  const size_t end_at = FindSection(text, kSectionEnd, end_from, &end_start);
   if (end_at == std::string_view::npos) {
     return Status::ParseError(
         "checkpoint missing END section (torn checkpoint?)");
   }
+  const size_t log_end =
+      federation_at == std::string_view::npos ? end_at : federation_at;
 
   EVE_ASSIGN_OR_RETURN(Mkb mkb,
                        LoadMkb(text.substr(mkb_start, views_at - mkb_start)));
@@ -284,13 +306,24 @@ Result<EveSystem> LoadCheckpoint(std::string_view text) {
       LoadViews(text.substr(views_start, log_at - views_start), &system));
   std::vector<ChangeReport> log;
   for (const std::string& line :
-       Split(text.substr(log_start, end_at - log_start), '\n')) {
+       Split(text.substr(log_start, log_end - log_start), '\n')) {
     if (Trim(line).empty()) continue;
     ChangeReport report;
     EVE_ASSIGN_OR_RETURN(report.change, ParseChange(line));
     log.push_back(std::move(report));
   }
   system.RestoreChangeLog(std::move(log));
+  if (federation_at != std::string_view::npos) {
+    std::map<std::string, federation::SourceMembership> table;
+    for (const std::string& line : Split(
+             text.substr(federation_start, end_at - federation_start), '\n')) {
+      if (Trim(line).empty()) continue;
+      EVE_ASSIGN_OR_RETURN(const federation::NamedMembership named,
+                           federation::ParseMembership(line));
+      table[named.source] = named.membership;
+    }
+    system.RestoreSourceMembership(std::move(table));
+  }
   return system;
 }
 

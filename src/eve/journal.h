@@ -39,6 +39,9 @@ enum class JournalRecordKind : uint8_t {
   kBeginBatch = 6,
   kCommitBatch = 7,
   kAbortBatch = 8,
+  // One federation membership row (SerializeMembership line); replays via
+  // SetSourceMembership, including its heal-time un-marking side effects.
+  kSourceMembership = 9,
 };
 
 struct JournalRecord {
@@ -95,8 +98,13 @@ Result<JournalScan> ReadJournal(const std::string& path);
 // --- Checkpointing ---------------------------------------------------------
 
 // Renders the complete durable state (MKB in MISD form, view pool, change
-// log) as one sectioned text document.
+// log, federation membership) as one sectioned text document.
 std::string RenderCheckpoint(const EveSystem& system);
+
+// The FEDERATION checkpoint section body: one SerializeMembership line per
+// tracked source, name-sorted. Exposed for tests comparing durable
+// membership state.
+std::string SaveFederation(const EveSystem& system);
 
 // Parses a checkpoint document into a fresh system (no journal attached).
 Result<EveSystem> LoadCheckpoint(std::string_view text);

@@ -1,5 +1,6 @@
 #include "eve/view_pool_io.h"
 
+#include <set>
 #include <sstream>
 
 #include "common/failpoint.h"
@@ -14,9 +15,19 @@ std::string SaveViews(const EveSystem& system) {
   for (const std::string& name : system.ViewNames()) {
     const RegisteredView* view = *system.GetView(name);
     os << "-- VIEW "
-       << (view->state == ViewState::kActive ? "active" : "disabled")
-       << "\n"
-       << view->definition.ToString() << ";\n\n";
+       << (view->state == ViewState::kActive ? "active" : "disabled");
+    if (!view->provisional_sources.empty()) {
+      // Degraded-mode marker (see eve_system.h); omitted when empty so
+      // fault-free pools keep the pre-federation format.
+      os << " provisional=";
+      bool first = true;
+      for (const std::string& source : view->provisional_sources) {
+        if (!first) os << ",";
+        os << source;
+        first = false;
+      }
+    }
+    os << "\n" << view->definition.ToString() << ";\n\n";
   }
   return os.str();
 }
@@ -33,8 +44,23 @@ Status LoadViews(std::string_view text, EveSystem* system) {
     if (header_end == std::string_view::npos) {
       return Status::ParseError("truncated view header");
     }
-    const std::string_view state_word =
+    std::string_view header_rest =
         Trim(text.substr(header + 8, header_end - header - 8));
+    std::string_view state_word = header_rest;
+    std::set<std::string> provisional;
+    const size_t space = header_rest.find(' ');
+    if (space != std::string_view::npos) {
+      state_word = Trim(header_rest.substr(0, space));
+      const std::string_view extra = Trim(header_rest.substr(space + 1));
+      if (!StartsWith(extra, "provisional=")) {
+        return Status::ParseError("unknown view header token: " +
+                                  std::string(extra));
+      }
+      for (const std::string& source :
+           Split(extra.substr(std::string_view("provisional=").size()), ',')) {
+        if (!Trim(source).empty()) provisional.insert(std::string(Trim(source)));
+      }
+    }
     ViewState state;
     if (EqualsIgnoreCase(state_word, "active")) {
       state = ViewState::kActive;
@@ -51,16 +77,24 @@ Status LoadViews(std::string_view text, EveSystem* system) {
     }
     const std::string_view statement =
         Trim(text.substr(body_start, body_end - body_start));
+    std::string view_name;
     if (state == ViewState::kActive) {
+      EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
+      view_name = parsed.name;
       EVE_RETURN_IF_ERROR(system->RegisterViewText(statement));
     } else {
       // A disabled view's definition may reference capabilities the current
       // MKB no longer has (that is usually WHY it is disabled), so it cannot
       // pass the strict binder. Restore it verbatim instead.
       EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
+      view_name = parsed.name;
       EVE_ASSIGN_OR_RETURN(ViewDefinition bound, BindViewUnchecked(parsed));
       EVE_RETURN_IF_ERROR(
           system->RestoreView(std::move(bound), ViewState::kDisabled));
+    }
+    if (!provisional.empty()) {
+      EVE_RETURN_IF_ERROR(system->SetViewProvisionalSources(
+          view_name, std::move(provisional)));
     }
     pos = body_end + 1;
   }

@@ -1,0 +1,121 @@
+#include "federation/monitor.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace eve {
+namespace federation {
+
+FederationMonitor::FederationMonitor(EveSystem* system,
+                                     SourceTransport* transport,
+                                     SourceConfig default_config)
+    : system_(system),
+      transport_(transport),
+      default_config_(default_config) {}
+
+Status FederationMonitor::TrackSources() {
+  for (const std::string& source : system_->mkb().catalog().SourceNames()) {
+    EVE_RETURN_IF_ERROR(TrackSource(source));
+  }
+  return Status::OK();
+}
+
+Status FederationMonitor::TrackSource(const std::string& source) {
+  if (system_->source_membership().count(source) > 0) return Status::OK();
+  return system_->SetSourceMembership(source,
+                                      MakeHealthy(default_config_, now_));
+}
+
+Status FederationMonitor::AdvanceTo(uint64_t now) {
+  while (now_ < now) {
+    EVE_RETURN_IF_ERROR(Step(now_ + 1));
+    ++now_;
+  }
+  return Status::OK();
+}
+
+void FederationMonitor::SetProbeParallelism(size_t threads) {
+  if (threads <= 1) {
+    probe_pool_.reset();
+  } else {
+    // The calling thread participates in ParallelFor, so the pool carries
+    // one worker fewer than the requested parallelism.
+    probe_pool_ = std::make_unique<ThreadPool>(threads - 1);
+  }
+}
+
+Status FederationMonitor::Step(uint64_t tick) {
+  // Stage 1: lease expiries. Departure wins over any probe at the same
+  // tick — a reply arriving at the expiry instant is already too late.
+  // Collect names first: DepartSource mutates the membership table.
+  std::vector<std::string> expired;
+  for (const auto& [source, membership] : system_->source_membership()) {
+    if (LeaseExpired(membership, tick)) expired.push_back(source);
+  }
+  for (const std::string& source : expired) {
+    EVE_RETURN_IF_ERROR(system_->DepartSource(source).status());
+    ++stats_.departures;
+  }
+
+  // Stage 2: half-open tripped breakers whose cooldown elapsed, journaled
+  // BEFORE the trial probe so a crash during the probe recovers to a row
+  // that says the trial was already underway.
+  std::vector<std::string> due;
+  for (const auto& [source, membership] : system_->source_membership()) {
+    if (membership.state == SourceState::kDeparted) continue;
+    if (tick < membership.next_probe) continue;
+    if (membership.breaker == BreakerState::kOpen) {
+      SourceMembership half_open = membership;
+      half_open.breaker = BreakerState::kHalfOpen;
+      EVE_RETURN_IF_ERROR(system_->SetSourceMembership(source, half_open));
+    }
+    due.push_back(source);  // map iteration: name-sorted
+  }
+
+  // Stage 3: fan the due probes out. ParallelFor tasks must not throw, so
+  // a SimulatedCrash in the transport is parked in its slot and rethrown
+  // on this thread (lowest index first) once every worker has finished.
+  std::vector<std::optional<Result<ProbeReply>>> replies(due.size());
+  std::vector<std::optional<SimulatedCrash>> crashes(due.size());
+  ParallelFor(probe_pool_.get(), due.size(), [&](size_t i) {
+    try {
+      replies[i].emplace(transport_->Probe(due[i], tick));
+    } catch (const SimulatedCrash& crash) {
+      crashes[i].emplace(crash);
+    }
+  });
+  for (const std::optional<SimulatedCrash>& crash : crashes) {
+    if (crash.has_value()) throw *crash;
+  }
+
+  // Stage 4: fold replies through the transition functions, sequentially
+  // in source-name order.
+  for (size_t i = 0; i < due.size(); ++i) {
+    const std::string& source = due[i];
+    const SourceMembership current = system_->source_membership().at(source);
+    const Result<ProbeReply>& reply = *replies[i];
+    ++stats_.probes;
+    bool healthy_reply = reply.ok();
+    if (healthy_reply) {
+      healthy_reply =
+          reply->digest == ExpectedDigest(source) &&
+          reply->latency_ticks <= current.config.slow_threshold_ticks;
+    }
+    const SourceMembership next =
+        healthy_reply ? OnProbeSuccess(current, source, tick)
+                      : OnProbeFailure(current, source, tick);
+    if (healthy_reply) {
+      ++stats_.successes;
+    } else {
+      ++stats_.failures;
+    }
+    if (next.state != current.state) ++stats_.state_transitions;
+    EVE_RETURN_IF_ERROR(system_->SetSourceMembership(source, next));
+  }
+  return Status::OK();
+}
+
+}  // namespace federation
+}  // namespace eve

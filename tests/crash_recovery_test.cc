@@ -20,6 +20,7 @@
 #include "eve/eve_system.h"
 #include "eve/journal.h"
 #include "eve/view_pool_io.h"
+#include "federation/membership.h"
 #include "mkb/serializer.h"
 #include "workload/travel_agency.h"
 
@@ -30,13 +31,14 @@ namespace {
 struct Snapshot {
   std::string mkb;
   std::string views;
+  std::string federation;
   size_t log_size = 0;
   bool operator==(const Snapshot&) const = default;
 };
 
 Snapshot Snap(const EveSystem& system) {
   return Snapshot{SaveMkb(system.mkb()), SaveViews(system),
-                  system.change_log().size()};
+                  SaveFederation(system), system.change_log().size()};
 }
 
 // Two relations under one source so SourceLeaves applies two changes (and
@@ -47,12 +49,27 @@ const char kExtraMisd[] =
 
 using Op = std::function<Status(EveSystem*)>;
 
+// Deterministic federation membership rows for the script: IS4 tracked,
+// then suspected after one probe failure, then healed. Absolute tick
+// values, so journal replay lands on identical bytes.
+federation::SourceMembership Is4Degraded() {
+  return federation::OnProbeFailure(federation::MakeHealthy({}, 0), "IS4", 5);
+}
+
 // The scenario script: one entry per client-visible operation, covering
 // every journaled mutation kind. Kept in lockstep with BuildCleanStates.
+// IS4 is degraded while the delete-relation ops run, so their rewritings
+// pick up provisional marks that the later heal clears — both sides of the
+// degraded-mode bookkeeping ride through journal replay.
 std::vector<Op> ScriptOps() {
   return {
       [](EveSystem* s) { return s->ExtendMkb(kExtraMisd); },
       [](EveSystem* s) { return s->RegisterViewText(AsiaCustomerSql()); },
+      [](EveSystem* s) {
+        return s->SetSourceMembership("ExtraIS",
+                                      federation::MakeHealthy({}, 0));
+      },
+      [](EveSystem* s) { return s->SetSourceMembership("IS4", Is4Degraded()); },
       [](EveSystem* s) {
         return s->ApplyChange(CapabilityChange::DeleteRelation("RentACar"))
             .status();
@@ -66,6 +83,10 @@ std::vector<Op> ScriptOps() {
             .status();
       },
       [](EveSystem* s) { return s->SourceLeaves("ExtraIS").status(); },
+      [](EveSystem* s) {
+        return s->SetSourceMembership(
+            "IS4", federation::OnProbeSuccess(Is4Degraded(), "IS4", 9));
+      },
       [](EveSystem* s) {
         return s->SetViewState("CustomerPassengersAsia",
                                ViewState::kDisabled);
@@ -81,30 +102,18 @@ EveSystem MakeBaseSystem() {
 
 // Runs the script cleanly (no journal, no failpoints), recording the state
 // after every ATOMIC durable step. `ranges[i]` is the inclusive range of
-// state indices a crash inside op i may legally recover to: the pre-op
-// state plus every state the op commits on its way through. All ops are
-// single-step except SourceLeaves, whose per-relation deletions are each
-// individually durable.
+// state indices a crash inside op i may legally recover to: exactly the
+// pre-op and post-op states. Every op is atomic — including SourceLeaves,
+// whose multi-relation cascade commits as one batch.
 void BuildCleanStates(EveSystem* system, std::vector<Snapshot>* states,
                       std::vector<std::pair<size_t, size_t>>* ranges) {
   states->push_back(Snap(*system));
   const std::vector<Op> ops = ScriptOps();
   for (size_t i = 0; i < ops.size(); ++i) {
     const size_t before = states->size() - 1;
-    if (i == 5) {
-      // Mirror SourceLeaves' atomic sub-steps.
-      for (const std::string& relation :
-           system->mkb().catalog().RelationsOfSource("ExtraIS")) {
-        ASSERT_TRUE(
-            system->ApplyChange(CapabilityChange::DeleteRelation(relation))
-                .ok());
-        states->push_back(Snap(*system));
-      }
-    } else {
-      const Status status = ops[i](system);
-      ASSERT_TRUE(status.ok()) << "clean op " << i << ": " << status;
-      states->push_back(Snap(*system));
-    }
+    const Status status = ops[i](system);
+    ASSERT_TRUE(status.ok()) << "clean op " << i << ": " << status;
+    states->push_back(Snap(*system));
     ranges->push_back({before, states->size() - 1});
   }
 }
@@ -389,6 +398,13 @@ TEST_F(CrashRecoveryTest, EveryKnownSiteIsExercised) {
       fp::kAtomicWriteBeforeRename,
       fp::kCheckpointLoadValidate,  // RecoveryItselfSurvives...
       fp::kViewPoolLoadValidate,
+      // Transport sites need a probe in flight; federation_test drives them
+      // (TransportFailpoints*) through FederationMonitor.
+      fp::kFederationProbeSend,
+      fp::kFederationProbeTimeout,
+      fp::kFederationProbeSlow,
+      fp::kFederationProbeCorrupt,
+      fp::kFederationProbeFlap,
   };
   for (const std::string& site : Failpoints::KnownSites()) {
     if (dedicated.count(site) > 0) continue;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "eve/eve_system.h"
+#include "eve/view_pool_io.h"
+#include "mkb/serializer.h"
 #include "workload/travel_agency.h"
 
 namespace eve {
@@ -178,6 +181,40 @@ TEST_F(EveSystemTest, SourceLeavesDropsEveryExportedRelation) {
   EXPECT_EQ(reports[0].CountOutcome(ViewOutcomeKind::kRewritten), 1u);
   EXPECT_FALSE(system_->mkb().catalog().HasRelation("Customer"));
   EXPECT_EQ(system_->NumActiveViews(), 1u);
+}
+
+TEST_F(EveSystemTest, SourceLeavesMidCascadeFailureRollsBack) {
+  ASSERT_TRUE(system_->RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  // Two relations under one source: the cascade applies two delete-relation
+  // changes and passes its between-changes failpoint once in between.
+  ASSERT_TRUE(system_
+                  ->ExtendMkb("SOURCE ExtraIS RELATION Extra1 "
+                              "(Name string, X int)\n"
+                              "SOURCE ExtraIS RELATION Extra2 "
+                              "(Name string, Y int)")
+                  .ok());
+  const std::string mkb_before = SaveMkb(system_->mkb());
+  const std::string views_before = SaveViews(*system_);
+  const size_t log_before = system_->change_log().size();
+
+  Failpoints::Instance().Reset();
+  Failpoints::Instance().Arm(fp::kSourceLeavesBetweenChanges,
+                             FailpointAction::kError);
+  EXPECT_FALSE(system_->SourceLeaves("ExtraIS").ok());
+  Failpoints::Instance().Reset();
+
+  // The first relation was already deleted when the failpoint fired; the
+  // transactional cascade must have rolled that back.
+  EXPECT_TRUE(system_->mkb().catalog().HasRelation("Extra1"));
+  EXPECT_TRUE(system_->mkb().catalog().HasRelation("Extra2"));
+  EXPECT_EQ(SaveMkb(system_->mkb()), mkb_before);
+  EXPECT_EQ(SaveViews(*system_), views_before);
+  EXPECT_EQ(system_->change_log().size(), log_before);
+
+  // A clean retry goes through: the failure left no poison behind.
+  ASSERT_TRUE(system_->SourceLeaves("ExtraIS").ok());
+  EXPECT_FALSE(system_->mkb().catalog().HasRelation("Extra1"));
+  EXPECT_FALSE(system_->mkb().catalog().HasRelation("Extra2"));
 }
 
 TEST_F(EveSystemTest, ExtendMkbIsAdditiveAndAtomic) {

@@ -31,6 +31,21 @@
 //   DELETE ATTRIBUTE <rel>.<attr>;        -- capability change
 //   RENAME RELATION <old> TO <new>;       -- capability change
 //   RENAME ATTRIBUTE <rel>.<a> TO <b>;    -- capability change
+//   TRACK SOURCES;                        -- admit every catalog source to
+//                                            federation monitoring (healthy)
+//   SHOW SOURCES;                         -- membership table: state,
+//                                            breaker, failures, lease left
+//   SET SOURCE <name> LEASE <n>;          -- lease length (also renews the
+//                                            lease to now + n); auto-tracks
+//   SET SOURCE <name> PROBE <n>;          -- probe cadence (next probe at
+//                                            now + n); auto-tracks
+//   SET SOURCE <name> BREAKER <n>;        -- breaker cooldown; auto-tracks
+//   FAULT SOURCE <name> TIMEOUT|SLOW|CORRUPT|FLAP FROM <a> TO <b>;
+//                                         -- transport fault for federation
+//                                            ticks [a, b)
+//   TICK <n>;                             -- advance the federation monitor
+//                                            n logical ticks; lease expiry
+//                                            departs the source (cascade)
 //   JOURNAL '<path>';                     -- attach a write-ahead journal;
 //                                            subsequent mutations are durable
 //   CHECKPOINT '<path>';                  -- atomically write a checkpoint
@@ -46,6 +61,7 @@
 // fault-injection sites; a fired crash site aborts the script with exit
 // code 3, leaving on-disk state for a later RECOVER run.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -58,6 +74,9 @@
 #include "eve/eve_system.h"
 #include "eve/journal.h"
 #include "eve/view_pool_io.h"
+#include "federation/membership.h"
+#include "federation/monitor.h"
+#include "federation/transport.h"
 #include "hypergraph/hypergraph.h"
 #include "mkb/serializer.h"
 
@@ -172,6 +191,23 @@ class Console {
     if (head == "set" && words.size() >= 4 &&
         EqualsIgnoreCase(words[1], "SYNC")) {
       return SetSync(words[2], words[3]);
+    }
+    if (head == "set" && words.size() >= 5 &&
+        EqualsIgnoreCase(words[1], "SOURCE")) {
+      return SetSource(words[2], words[3], words[4]);
+    }
+    if (head == "track" && words.size() >= 2 &&
+        EqualsIgnoreCase(words[1], "SOURCES")) {
+      return TrackSources();
+    }
+    if (head == "fault" && words.size() >= 8 &&
+        EqualsIgnoreCase(words[1], "SOURCE") &&
+        EqualsIgnoreCase(words[4], "FROM") &&
+        EqualsIgnoreCase(words[6], "TO")) {
+      return FaultSource(words[2], words[3], words[5], words[7]);
+    }
+    if (head == "tick" && words.size() >= 2) {
+      return Tick(words[1]);
     }
     if (head == "show") {
       return Show(words);
@@ -373,6 +409,9 @@ class Console {
       }
       return true;
     }
+    if (words.size() >= 2 && EqualsIgnoreCase(words[1], "SOURCES")) {
+      return ShowSources();
+    }
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "VIEW")) {
       const Result<const RegisteredView*> view = system_.GetView(words[2]);
       if (!view.ok()) {
@@ -425,6 +464,149 @@ class Console {
         "RENAME expects RELATION or ATTRIBUTE");
   }
 
+  // Parses a non-negative integer command argument.
+  bool ParseTicks(const std::string& word, uint64_t* out) {
+    try {
+      *out = std::stoull(word);
+      return true;
+    } catch (...) {
+      std::cerr << "error: expected a non-negative integer, got " << word
+                << "\n";
+      return false;
+    }
+  }
+
+  // A fresh monitor aligned to the console's federation clock. Stats are
+  // accumulated per command into fed_stats_.
+  federation::FederationMonitor MakeMonitor() {
+    federation::FederationMonitor monitor(&system_, &transport_);
+    monitor.SetNow(federation_now_);
+    return monitor;
+  }
+
+  bool TrackSources() {
+    federation::FederationMonitor monitor = MakeMonitor();
+    const Status status = monitor.TrackSources();
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return false;
+    }
+    std::cout << "tracking " << system_.source_membership().size()
+              << " sources at tick " << federation_now_ << "\n";
+    return true;
+  }
+
+  bool ShowSources() {
+    if (system_.source_membership().empty()) {
+      std::cout << "no tracked sources (use TRACK SOURCES)\n";
+      return true;
+    }
+    for (const auto& [source, m] : system_.source_membership()) {
+      std::cout << "  " << source << "  "
+                << federation::SourceStateToString(m.state)
+                << "  breaker=" << federation::BreakerStateToString(m.breaker)
+                << " failures=" << m.consecutive_failures;
+      if (m.state == federation::SourceState::kDeparted) {
+        std::cout << " lease=departed";
+      } else if (m.lease_expires > federation_now_) {
+        std::cout << " lease=+" << (m.lease_expires - federation_now_)
+                  << " next_probe=+"
+                  << (m.next_probe > federation_now_
+                          ? m.next_probe - federation_now_
+                          : 0);
+      } else {
+        std::cout << " lease=EXPIRED";
+      }
+      std::cout << "\n";
+    }
+    return true;
+  }
+
+  bool SetSource(const std::string& source, const std::string& knob,
+                 const std::string& value) {
+    uint64_t ticks = 0;
+    if (!ParseTicks(value, &ticks)) return false;
+    const std::vector<std::string> sources =
+        system_.mkb().catalog().SourceNames();
+    if (std::find(sources.begin(), sources.end(), source) == sources.end()) {
+      std::cerr << "error: unknown source " << source << "\n";
+      return false;
+    }
+    const auto& table = system_.source_membership();
+    const auto it = table.find(source);
+    federation::SourceMembership m =
+        it != table.end()
+            ? it->second
+            : federation::MakeHealthy({}, federation_now_);
+    if (EqualsIgnoreCase(knob, "LEASE")) {
+      m.config.lease_ticks = ticks;
+      m.lease_expires = federation_now_ + ticks;
+    } else if (EqualsIgnoreCase(knob, "PROBE")) {
+      m.config.probe_interval_ticks = ticks;
+      m.next_probe = federation_now_ + ticks;
+    } else if (EqualsIgnoreCase(knob, "BREAKER")) {
+      m.config.breaker_open_ticks = ticks;
+    } else {
+      std::cerr << "error: SET SOURCE expects LEASE, PROBE or BREAKER\n";
+      return false;
+    }
+    const Status status = system_.SetSourceMembership(source, m);
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return false;
+    }
+    std::cout << "source " << source << " " << ToLower(knob) << " = " << ticks
+              << " ticks\n";
+    return true;
+  }
+
+  bool FaultSource(const std::string& source, const std::string& kind_word,
+                   const std::string& from_word, const std::string& to_word) {
+    const Result<federation::SimulatedTransport::FaultKind> kind =
+        federation::ParseFaultKind(kind_word);
+    if (!kind.ok()) {
+      std::cerr << "error: " << kind.status() << "\n";
+      return false;
+    }
+    federation::SimulatedTransport::FaultWindow window;
+    if (!ParseTicks(from_word, &window.from) ||
+        !ParseTicks(to_word, &window.to)) {
+      return false;
+    }
+    window.kind = kind.value();
+    transport_.AddFault(source, window);
+    std::cout << "fault " << federation::FaultKindToString(window.kind)
+              << " on " << source << " for ticks [" << window.from << ", "
+              << window.to << ")\n";
+    return true;
+  }
+
+  bool Tick(const std::string& count_word) {
+    uint64_t count = 0;
+    if (!ParseTicks(count_word, &count)) return false;
+    federation::FederationMonitor monitor = MakeMonitor();
+    const Status status = monitor.AdvanceTo(federation_now_ + count);
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return false;
+    }
+    federation_now_ += count;
+    const federation::MonitorStats& stats = monitor.stats();
+    std::cout << "tick " << federation_now_ << ": probes=" << stats.probes
+              << " ok=" << stats.successes << " failed=" << stats.failures
+              << " transitions=" << stats.state_transitions
+              << " departures=" << stats.departures << "\n";
+    // A departure ran the SourceLeaves cascade: show its reports.
+    if (stats.departures > 0) {
+      const auto& log = system_.change_log();
+      const size_t shown = std::min<size_t>(log.size(), stats.departures);
+      for (size_t i = log.size() - shown; i < log.size(); ++i) {
+        std::cout << log[i].ToString();
+      }
+    }
+    return true;
+  }
+
   bool Change(const Result<CapabilityChange>& change, bool preview) {
     if (!change.ok()) {
       std::cerr << "error: " << change.status() << "\n";
@@ -450,6 +632,10 @@ class Console {
 
   EveSystem system_{Mkb()};
   std::optional<Journal> journal_;
+  // Federation console state: one simulated transport and a logical clock
+  // that persists across TICK commands (monitors are per-command).
+  federation::SimulatedTransport transport_;
+  uint64_t federation_now_ = 0;
 };
 
 int Main(int argc, char** argv) {
