@@ -7,7 +7,9 @@
 # Also runs the enumeration sweep (bench_enumeration: lazy best-first
 # stream + top-k driver vs the eager cartesian baseline, which lives in
 # the same binary) and writes BENCH_enumeration.json with per-sweep-point
-# eager-vs-lazy speedup ratios.
+# eager-vs-lazy speedup ratios, and the admission sweep (bench_admission:
+# deadline-token overhead vs the token-free search, plus p50/p99 bounded-
+# queue batch latency under shedding) into BENCH_admission.json.
 #
 # Usage: bench/run_benchmarks.sh [--build-dir DIR] [--filter REGEX]
 #                                [--min-time SECONDS]
@@ -263,4 +265,93 @@ for entry in comparison:
     if "overhead" in entry:
         note += f"  ({entry['overhead']}x fault-free)"
     print(f"{entry['name']:<28}{note}")
+PY
+
+ADM_BENCH="$BUILD_DIR/bench/bench_admission"
+if [[ ! -x "$ADM_BENCH" ]]; then
+  echo "bench binary not found: $ADM_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+ADM_JSON="$(mktemp)"
+trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON" "$FED_JSON" "$ADM_JSON"' EXIT
+
+# The binary validates that a non-firing token leaves the synchronization
+# result byte-identical before timing anything.
+"$ADM_BENCH" --benchmark_min_time="${MIN_TIME}s" \
+             --benchmark_out="$ADM_JSON" \
+             --benchmark_out_format=json
+
+python3 - "$ADM_JSON" "$REPO_ROOT/BENCH_admission.json" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1:3]
+
+with open(current_path) as f:
+    doc = json.load(f)
+
+times = {}
+counters = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = (bench["real_time"], bench["time_unit"])
+    counters[bench["name"]] = {
+        k: v for k, v in bench.items()
+        if k in ("p50_us", "p99_us", "shed_per_batch", "completed_per_batch")
+    }
+
+# Deadline-check overhead: the free-token search over the token-free one,
+# per cover count. The budget is 2%; anything above is flagged (a warning,
+# not a failure — CI machines are noisy).
+overhead = []
+for covers in (8, 16):
+    bare = times.get(f"BM_SynchronizeNoToken/{covers}")
+    tokened = times.get(f"BM_SynchronizeFreeToken/{covers}")
+    if bare is None or tokened is None or bare[0] <= 0:
+        continue
+    ratio = tokened[0] / bare[0]
+    overhead.append({
+        "covers": covers,
+        "no_token": bare[0],
+        "free_token": tokened[0],
+        "time_unit": bare[1],
+        "overhead_percent": round((ratio - 1.0) * 100, 2),
+        "within_2_percent_budget": ratio <= 1.02,
+    })
+
+latency = []
+for name in sorted(times):
+    if not name.startswith("BM_AdmissionBatch"):
+        continue
+    now, unit = times[name]
+    entry = {"name": name, "current": now, "time_unit": unit}
+    entry.update(counters.get(name, {}))
+    latency.append(entry)
+
+out = {
+    "description": "Deadline-token overhead on the cover-fan search "
+                   "(free token vs no token; 2% budget) and bounded-queue "
+                   "admission cycles: p50/p99 enqueue+drain latency with "
+                   "explicit shedding at queue limits 2/4/6 against 6 "
+                   "submissions",
+    "context": doc.get("context", {}),
+    "overhead": overhead,
+    "latency": latency,
+    "raw": doc,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for entry in overhead:
+    flag = "ok" if entry["within_2_percent_budget"] else "OVER BUDGET"
+    print(f"token overhead covers={entry['covers']:<3}"
+          f"  {entry['overhead_percent']:+.2f}%  ({flag})")
+for entry in latency:
+    print(f"{entry['name']:<24}  p50 {entry.get('p50_us', 0):.0f} us"
+          f"  p99 {entry.get('p99_us', 0):.0f} us"
+          f"  shed {entry.get('shed_per_batch', 0):.0f}")
 PY

@@ -72,6 +72,10 @@ const std::vector<std::string>& Failpoints::KnownSites() {
       fp::kSourceLeavesBetweenChanges,
       fp::kSourceLeavesBeforeCommit,
       fp::kSetMembershipAfterJournal,
+      fp::kSyncViewStart,
+      fp::kSyncDeadlineExpired,
+      fp::kAdmissionEnqueue,
+      fp::kAdmissionDrain,
       fp::kFederationProbeSend,
       fp::kFederationProbeTimeout,
       fp::kFederationProbeSlow,

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "failed_precondition";
     case StatusCode::kViewDisabled:
       return "view_disabled";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
     case StatusCode::kInternal:
       return "internal";
   }

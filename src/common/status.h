@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnsupported,
   kFailedPrecondition,
   kViewDisabled,  // view synchronization failed; the view must be disabled
+  kResourceExhausted,  // admission control shed the request; retry later
   kInternal,
 };
 
@@ -69,6 +70,9 @@ class Status {
   }
   static Status ViewDisabled(std::string msg) {
     return Status(StatusCode::kViewDisabled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

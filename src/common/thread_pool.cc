@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iostream>
 #include <memory>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace eve {
 
@@ -14,34 +17,86 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(/*drain=*/false); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, std::string label) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    if (shutdown_) {
+      // Late submission against a stopping pool: never run, count it as
+      // discarded rather than dropping it silently.
+      ++discarded_;
+      return;
+    }
+    tasks_.push(Task{std::move(task), std::move(label)});
   }
   cv_.notify_one();
 }
 
+size_t ThreadPool::Shutdown(bool drain) {
+  size_t discarded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      drain_on_shutdown_ = drain;
+    }
+    if (!drain_on_shutdown_) {
+      discarded = tasks_.size();
+      discarded_ += discarded;
+      while (!tasks_.empty()) tasks_.pop();
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  return discarded;
+}
+
+size_t ThreadPool::discarded_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return discarded_;
+}
+
+void ThreadPool::RunTask(Task task) {
+  try {
+    task.fn();
+  } catch (const SimulatedCrash& crash) {
+    std::cerr << "ThreadPool task "
+              << (task.label.empty() ? "<unlabeled>" : task.label)
+              << " escaped a SimulatedCrash at failpoint " << crash.site()
+              << "; tasks must park injected crashes, not rethrow them"
+              << std::endl;
+    throw;  // escapes the worker thread: std::terminate
+  } catch (const std::exception& e) {
+    std::cerr << "ThreadPool task "
+              << (task.label.empty() ? "<unlabeled>" : task.label)
+              << " terminated with uncaught exception: " << e.what()
+              << std::endl;
+    throw;
+  } catch (...) {
+    std::cerr << "ThreadPool task "
+              << (task.label.empty() ? "<unlabeled>" : task.label)
+              << " terminated with an uncaught non-std exception"
+              << std::endl;
+    throw;
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (shutdown_) return;
+      // On drain shutdown the queue empties by execution; on discard
+      // shutdown it was cleared under the lock, so both modes exit here.
+      if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    RunTask(std::move(task));
   }
 }
 
@@ -81,7 +136,7 @@ void ParallelFor(ThreadPool* pool, size_t n, std::function<void(size_t)> fn) {
 
   const size_t helpers = std::min(pool->num_threads(), n - 1);
   for (size_t i = 0; i < helpers; ++i) {
-    pool->Submit([state, drain] { drain(state); });
+    pool->Submit([state, drain] { drain(state); }, "parallel_for");
   }
   drain(state);
 

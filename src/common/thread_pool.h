@@ -11,14 +11,21 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace eve {
 
 // Fixed set of worker threads draining a FIFO task queue. Tasks must not
-// throw. Destruction drains nothing: queued tasks that have not started
-// are discarded, so callers that need completion must track it themselves
+// throw: an exception escaping a task is a bug, and the pool reports the
+// task's provenance label on stderr before the process terminates, so the
+// crash is attributable instead of an anonymous std::terminate.
+//
+// Shutdown semantics are explicit: Shutdown(/*drain=*/true) finishes every
+// queued task first; Shutdown(false) discards tasks that have not started
+// (the running ones always complete) and counts them. Destruction is
+// Shutdown(false) — callers that need completion must track it themselves
 // (ParallelFor below does).
 class ThreadPool {
  public:
@@ -30,15 +37,36 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  void Submit(std::function<void()> task);
+  // `label` names the task in the escaped-exception report; keep it short
+  // and stable (e.g. the submitting subsystem).
+  void Submit(std::function<void()> task, std::string label = std::string());
+
+  // Stops the pool and joins every worker. With drain=true the queue is
+  // emptied by execution; with drain=false unstarted tasks are discarded.
+  // Returns the number of tasks discarded by THIS call; idempotent (a
+  // second call returns 0 and the first call's mode wins).
+  size_t Shutdown(bool drain);
+
+  // Total tasks discarded without running, over the pool's lifetime.
+  size_t discarded_tasks() const;
 
  private:
-  void WorkerLoop();
+  struct Task {
+    std::function<void()> fn;
+    std::string label;
+  };
 
-  std::mutex mu_;
+  void WorkerLoop();
+  // Runs `task`, reporting its label before rethrowing any escaping
+  // exception (which then terminates the process).
+  static void RunTask(Task task);
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   bool shutdown_ = false;
+  bool drain_on_shutdown_ = false;
+  size_t discarded_ = 0;
   std::vector<std::thread> workers_;
 };
 

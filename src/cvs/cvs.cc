@@ -288,6 +288,23 @@ Result<CvsResult> SynchronizeDeleteRelation(const ViewDefinition& view,
       result.diagnostics.push_back(std::move(note));
     }
   }
+  // Fold the token's accounting in after the stream stats (which carry
+  // partial/frontier_bound from the stop itself). The rewritings list is
+  // a valid best-first prefix either way; `partial` tells the caller it
+  // is a prefix, not the full space.
+  const DeadlineToken& token = options.replacement.token;
+  if (token.valid()) {
+    result.enumeration.deadline.work_spent = token.work_spent();
+    result.enumeration.deadline.work_budget = token.work_budget();
+    result.enumeration.deadline.stop_cause = token.cause();
+    if (result.enumeration.deadline.partial) {
+      result.diagnostics.push_back(
+          "deadline stopped the enumeration (" +
+          std::string(StopCauseToString(token.cause())) + " after " +
+          std::to_string(token.work_spent()) +
+          " work units); returning the best-under-budget prefix");
+    }
+  }
   return result;
 }
 

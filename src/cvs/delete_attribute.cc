@@ -320,6 +320,7 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
   JoinTreeSearchOptions search;
   search.max_extra_relations = options.replacement.max_extra_relations;
   search.max_results = options.replacement.max_results;
+  search.token = options.replacement.token;
   for (const FunctionOfConstraint* cover : mkb.CoversOf(attr)) {
     if (cover->source.relation == relation) continue;
     if (!graph_prime.HasRelation(cover->source.relation)) continue;
@@ -391,7 +392,16 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
   }
 
   size_t pulled = 0;
+  bool deadline_partial = false;
+  size_t deadline_frontier = 0;
   while (!heap.empty()) {
+    // Safe point: stop before more work once the token expired (its own
+    // limits, an ancestor's cancellation, or an enumerator's refusal
+    // observed below). The accepted prefix stays valid.
+    if (options.replacement.token.Expired()) {
+      deadline_partial = true;
+      break;
+    }
     const double bound = kth_best();
     if (bound < kInf && heap.top().lower_bound >= bound) {
       result.enumeration.terminated_early = true;
@@ -425,6 +435,13 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
       }
       std::optional<JoinTree> tree = cs.enumerator.Next();
       fold_stats(cs);
+      if (!tree.has_value() && cs.enumerator.interrupted() &&
+          deadline_frontier == 0) {
+        // First-cut frontier bound: the smallest tree the interrupted
+        // search had not yet explored. The Expired() check above ends
+        // the loop on the next iteration.
+        deadline_frontier = cs.enumerator.NextTreeSizeLowerBound();
+      }
       if (!cs.enumerator.Exhausted()) {
         heap.push(State{std::max(search_lower_bound(cs), state.lower_bound),
                         next_seq++, Kind::kSearch, state.cover_index,
@@ -491,6 +508,23 @@ Result<CvsResult> SynchronizeDeleteAttribute(const ViewDefinition& view,
   }
   result.enumeration.states_pending = heap.size();
   result.enumeration.exhausted = heap.empty();
+  {
+    const DeadlineToken& token = options.replacement.token;
+    if (token.valid()) {
+      result.enumeration.deadline.work_spent = token.work_spent();
+      result.enumeration.deadline.work_budget = token.work_budget();
+      result.enumeration.deadline.stop_cause = token.cause();
+      if (deadline_partial) {
+        result.enumeration.deadline.partial = true;
+        result.enumeration.deadline.frontier_bound = deadline_frontier;
+        result.diagnostics.push_back(
+            "deadline stopped the enumeration (" +
+            std::string(StopCauseToString(token.cause())) + " after " +
+            std::to_string(token.work_spent()) +
+            " work units); returning the best-under-budget prefix");
+      }
+    }
+  }
   if (result.enumeration.search_sets_cut > 0) {
     result.diagnostics.push_back(
         "join-tree search cut " +

@@ -244,6 +244,30 @@ Result<std::vector<ReplacementCandidate>> ComputeRReplacementsEager(
   return results;
 }
 
+std::string DeadlineStats::ToString() const {
+  if (work_budget == 0 && stop_cause == StopCause::kNone && !partial) {
+    return "";
+  }
+  std::ostringstream os;
+  os << "deadline: spent " << work_spent;
+  if (work_budget > 0) os << "/" << work_budget;
+  os << " units";
+  if (stop_cause != StopCause::kNone) {
+    os << ", stopped: " << StopCauseToString(stop_cause);
+  }
+  if (frontier_bound > 0) os << ", frontier bound " << frontier_bound;
+  if (partial) os << ", partial";
+  return os.str();
+}
+
+void DeadlineStats::MergeFrom(const DeadlineStats& other) {
+  work_spent += other.work_spent;
+  if (work_budget == 0) work_budget = other.work_budget;
+  if (stop_cause == StopCause::kNone) stop_cause = other.stop_cause;
+  if (frontier_bound == 0) frontier_bound = other.frontier_bound;
+  partial = partial || other.partial;
+}
+
 std::string EnumerationStats::ToString() const {
   std::ostringstream os;
   os << "combos " << combos_generated;
@@ -256,6 +280,8 @@ std::string EnumerationStats::ToString() const {
   if (states_pending > 0) os << ", pending " << states_pending;
   os << (terminated_early ? ", terminated early"
                           : (exhausted ? ", exhausted" : ""));
+  const std::string deadline_text = deadline.ToString();
+  if (!deadline_text.empty()) os << "; " << deadline_text;
   return os.str();
 }
 
@@ -270,6 +296,7 @@ void EnumerationStats::MergeFrom(const EnumerationStats& other) {
   states_pending += other.states_pending;
   exhausted = exhausted && other.exhausted;
   terminated_early = terminated_early || other.terminated_early;
+  deadline.MergeFrom(other.deadline);
 }
 
 Result<CandidateStream> CandidateStream::Create(
@@ -494,10 +521,24 @@ double CandidateStream::SearchLowerBound(const Combo& combo) const {
 
 std::optional<ReplacementCandidate> CandidateStream::Next() {
   const std::string& r = mapping_->relation;
+  if (deadline_stopped_) return std::nullopt;
   while (!heap_.empty()) {
+    // Safe point: a token expired elsewhere (wall clock, a sibling's
+    // spending, an explicit Cancel) stops the stream before more work.
+    if (options_.token.Expired()) {
+      MarkDeadlineStop(0);
+      return std::nullopt;
+    }
     State top = heap_.top();
     heap_.pop();
     if (top.kind == StateKind::kReady) {
+      // Emitting a candidate is one unit of logical work. A refused emit
+      // pushes the state back so the stream stays coherent.
+      if (!options_.token.Spend(1)) {
+        PushState(std::move(top));
+        MarkDeadlineStop(0);
+        return std::nullopt;
+      }
       ++stats_.candidates_yielded;
       return std::move(top.ready);
     }
@@ -505,6 +546,7 @@ std::optional<ReplacementCandidate> CandidateStream::Next() {
     if (!combo.enumerator.has_value()) {
       JoinTreeSearchOptions search;
       search.max_extra_relations = options_.max_extra_relations;
+      search.token = options_.token;
       combo.enumerator.emplace(*graph_, combo.required, mandatory_edges_,
                                search);
       if (combo.enumerator->Exhausted()) continue;  // unreachable combo
@@ -519,7 +561,21 @@ std::optional<ReplacementCandidate> CandidateStream::Next() {
     }
     std::optional<JoinTree> tree = combo.enumerator->Next();
     FoldEnumeratorStats(&combo);
-    if (!tree.has_value()) continue;  // combo exhausted
+    if (!tree.has_value()) {
+      // A token stop inside the enumerator must not read as combo
+      // exhaustion: record the frontier bound where the search was cut
+      // and stop the whole stream (the token is shared).
+      if (combo.enumerator->interrupted()) {
+        State search_state;
+        search_state.lower_bound = top.lower_bound;
+        search_state.kind = StateKind::kSearch;
+        search_state.combo_index = top.combo_index;
+        PushState(std::move(search_state));
+        MarkDeadlineStop(combo.enumerator->NextTreeSizeLowerBound());
+        return std::nullopt;
+      }
+      continue;  // combo exhausted
+    }
     if (!combo.enumerator->Exhausted()) {
       State search_state;
       search_state.lower_bound = SearchLowerBound(combo);
@@ -600,6 +656,14 @@ std::optional<ReplacementCandidate> CandidateStream::Next() {
   }
   stats_.exhausted = true;
   return std::nullopt;
+}
+
+void CandidateStream::MarkDeadlineStop(size_t frontier_bound) {
+  deadline_stopped_ = true;
+  stats_.deadline.partial = true;
+  if (stats_.deadline.frontier_bound == 0) {
+    stats_.deadline.frontier_bound = frontier_bound;
+  }
 }
 
 double CandidateStream::NextLowerBound() const {

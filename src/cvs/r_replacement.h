@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "cvs/cost_model.h"
 #include "cvs/r_mapping.h"
@@ -64,6 +65,12 @@ struct RReplacementOptions {
   // candidates anchored by indispensable attributes only; turn on for
   // maximal preservation (see cvs/cost_model.h and bench_cost_model).
   bool chase_optional_covers = false;
+  // Optional deadline/cancellation scope for the whole enumeration: the
+  // join-tree enumerators spend one unit per frontier set expanded, the
+  // stream one per candidate emitted. When the token refuses, Next()
+  // returns nullopt with deadline_stopped() set — the candidates already
+  // yielded form a valid (partial) prefix. The null token costs nothing.
+  DeadlineToken token;
 };
 
 // How each attribute of R is used by the view, derived from evolution
@@ -79,6 +86,31 @@ struct AttributeNeeds {
 // met by any rewriting).
 Result<AttributeNeeds> ClassifyAttributeNeeds(const ViewDefinition& view,
                                               const RMapping& mapping);
+
+// Deadline/budget accounting for one enumeration run (or, merged, for
+// every view of one change). Distinct from the count bounds above: those
+// cap HOW MANY results come back, this block records whether a
+// DeadlineToken stopped the search and how much work it admitted first.
+struct DeadlineStats {
+  uint64_t work_spent = 0;   // token units consumed (expansions+emissions)
+  uint64_t work_budget = 0;  // configured logical budget; 0 = unlimited
+  // First limit that fired (work-budget / deadline / cancelled); kNone
+  // when the run finished inside its limits.
+  StopCause stop_cause = StopCause::kNone;
+  // Smallest join-tree relation count the interrupted search had not yet
+  // explored — the first-cut frontier bound, i.e. how deep the search was
+  // when it was stopped. 0 when no tree search was interrupted.
+  size_t frontier_bound = 0;
+  bool partial = false;  // the result is a best-under-budget prefix
+
+  // "; deadline: spent 12/10 units, stopped: work-budget, frontier bound
+  // 4, partial" — empty when no budget was set and nothing fired.
+  std::string ToString() const;
+  // Deterministic aggregation in view-name order: work adds, budgets and
+  // bounds take the first nonzero, the first recorded cause wins, partial
+  // ORs.
+  void MergeFrom(const DeadlineStats& other);
+};
 
 // Counters describing one enumeration run — how much of the candidate
 // space was explored, and whether any bound cut it short. Surfaced in
@@ -99,11 +131,15 @@ struct EnumerationStats {
                                  // stopped pulling
   bool exhausted = false;        // the stream was drained to the end
   bool terminated_early = false; // the top-k bound stopped the pull loop
+  // Deadline/budget accounting; deadline.partial distinguishes a
+  // best-under-budget prefix from a complete (or merely count-capped)
+  // result.
+  DeadlineStats deadline;
 
   // "combos 4 (+2 truncated), trees expanded 37, ..." one-liner.
   std::string ToString() const;
   // Aggregation across views of one change: counters add; exhausted ANDs;
-  // terminated_early ORs.
+  // terminated_early ORs; deadline merges per DeadlineStats::MergeFrom.
   void MergeFrom(const EnumerationStats& other);
 };
 
@@ -147,6 +183,11 @@ class CandidateStream {
 
   bool Exhausted() const { return heap_.empty(); }
   size_t PendingStates() const { return heap_.size(); }
+
+  // True once options.token stopped the stream: Next() returned nullopt
+  // with pending states (or an interrupted enumerator) left, so the
+  // candidates yielded so far are a partial prefix, not the full space.
+  bool deadline_stopped() const { return deadline_stopped_; }
 
   const EnumerationStats& stats() const { return stats_; }
 
@@ -216,9 +257,14 @@ class CandidateStream {
 
   std::vector<Combo> combos_;
   std::priority_queue<State, std::vector<State>, StateGreater> heap_;
+  // Records a token stop: sets deadline_stopped_ and folds the
+  // interrupted search's frontier bound (0 = none) into stats_.
+  void MarkDeadlineStop(size_t frontier_bound);
+
   std::set<std::string> dedup_keys_;
   uint64_t next_seq_ = 0;
   EnumerationStats stats_;
+  bool deadline_stopped_ = false;
 };
 
 // Enumerates replacement candidates. `mkb` is the PRE-change MKB: the

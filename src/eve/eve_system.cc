@@ -1,8 +1,12 @@
 #include "eve/eve_system.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/failpoint.h"
 #include "cvs/explain.h"
@@ -39,7 +43,51 @@ std::string AttrKey(const std::string& relation, const std::string& attribute) {
   return relation + '\x1f' + attribute;
 }
 
+// A count bound (max_cover_combinations, max_extra_relations, candidate
+// budget / max results) cut this view's enumeration short: the result may
+// be incomplete for a reason other than the top-k bound or the deadline
+// token (those stop conditions are reported separately).
+bool CountBoundTruncated(const EnumerationStats& stats) {
+  if (stats.combos_truncated > 0 || stats.search_sets_cut > 0) return true;
+  return !stats.exhausted && !stats.terminated_early && !stats.deadline.partial;
+}
+
+// Joins `names` with ", ".
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string SyncDiagnostics::ToString() const {
+  std::string out;
+  if (!truncated_views.empty()) {
+    out += "truncated views: " + JoinNames(truncated_views);
+  }
+  if (!deadline_views.empty()) {
+    if (!out.empty()) out += "; ";
+    out += "deadline views: " + JoinNames(deadline_views);
+  }
+  if (watchdog_cancels > 0) {
+    if (!out.empty()) out += "; ";
+    out += "watchdog cancels: " + std::to_string(watchdog_cancels);
+  }
+  return out;
+}
+
+std::string AdmissionStats::ToString() const {
+  std::string out = "submitted " + std::to_string(submitted) + ", completed " +
+                    std::to_string(completed);
+  if (failed > 0) out += " (" + std::to_string(failed) + " failed)";
+  out += ", shed " + std::to_string(shed) + ", queued " +
+         std::to_string(queued_now);
+  return out;
+}
 
 size_t ChangeReport::CountOutcome(ViewOutcomeKind kind) const {
   size_t count = 0;
@@ -321,19 +369,111 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
   // result byte-identical at any parallelism.
   std::map<std::string, RegisteredView> next_views = views_;
   const SyncContext context(mkb_, evolution.mkb);
+
+  // Deadline tokens: one cancellable root per change, one child per
+  // affected view. The logical work budget lives on the CHILDREN — each
+  // view's token is spent entirely by the thread running that view, so
+  // budget stops land on the same enumeration step at any parallelism.
+  // Tokens are created here, on the calling thread, in slot (name) order.
+  const Clock* clock = sync_clock_ != nullptr ? sync_clock_ : SteadyClock();
+  const bool deadline_active = sync_work_budget_ != 0 ||
+                               sync_deadline_micros_ != 0 ||
+                               sync_watchdog_micros_ != 0;
+  DeadlineToken root;
+  std::vector<DeadlineToken> tokens(affected.size());
+  if (deadline_active) {
+    const uint64_t absolute_deadline =
+        sync_deadline_micros_ != 0 ? clock->NowMicros() + sync_deadline_micros_
+                                   : 0;
+    root = DeadlineToken::Root({0, absolute_deadline}, clock);
+    for (size_t i = 0; i < affected.size(); ++i) {
+      tokens[i] = root.Child({sync_work_budget_, absolute_deadline});
+    }
+    std::lock_guard<std::mutex> lock(*sync_token_mu_);
+    active_sync_token_ = root;
+  }
+
+  // Watchdog backstop: always real time, independent of the injected
+  // clock — its whole job is to catch a sync wedged while the virtual
+  // clock (or a stuck cooperative loop) never advances.
+  struct WatchdogState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool fired = false;
+  };
+  std::shared_ptr<WatchdogState> watchdog_state;
+  std::thread watchdog;
+  if (deadline_active && sync_watchdog_micros_ != 0) {
+    watchdog_state = std::make_shared<WatchdogState>();
+    watchdog = std::thread(
+        [ws = watchdog_state, watched = root, micros = sync_watchdog_micros_] {
+          std::unique_lock<std::mutex> lock(ws->mu);
+          if (!ws->cv.wait_for(lock, std::chrono::microseconds(micros),
+                               [&] { return ws->done; })) {
+            watched.Cancel();
+            ws->fired = true;
+          }
+        });
+  }
+
   std::vector<std::optional<Result<CvsResult>>> slots(affected.size());
+  std::vector<std::exception_ptr> crashes(affected.size());
   ParallelFor(sync_pool_.get(), affected.size(), [&](size_t i) {
-    slots[i].emplace(Synchronize(views_.at(affected[i]).definition, change,
-                                 context, options_));
+    try {
+      // Cancellation safe point and failpoint at the top of every per-view
+      // task: an injected error fails just this view's synchronization; an
+      // injected crash is parked here and rethrown on the calling thread
+      // (lowest slot first) once the fan-out has drained — tasks must
+      // never let exceptions escape into the pool.
+      const Status injected = Failpoints::Instance().Hit(fp::kSyncViewStart);
+      if (!injected.ok()) {
+        slots[i].emplace(injected);
+        return;
+      }
+      CvsOptions view_options = options_;
+      view_options.replacement.token = tokens[i];
+      slots[i].emplace(Synchronize(views_.at(affected[i]).definition, change,
+                                   context, view_options));
+    } catch (...) {
+      crashes[i] = std::current_exception();
+    }
   });
+  if (watchdog_state != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_state->mu);
+      watchdog_state->done = true;
+    }
+    watchdog_state->cv.notify_all();
+    watchdog.join();
+  }
+  if (deadline_active) {
+    std::lock_guard<std::mutex> lock(*sync_token_mu_);
+    active_sync_token_ = DeadlineToken();
+  }
+  for (std::exception_ptr& crash : crashes) {
+    if (crash != nullptr) std::rethrow_exception(crash);
+  }
+
   EnumerationStats sync_stats;
   sync_stats.exhausted = true;  // MergeFrom ANDs; vacuously true for none
+  SyncDiagnostics diagnostics;
+  if (watchdog_state != nullptr && watchdog_state->fired) {
+    diagnostics.watchdog_cancels = 1;
+  }
   for (size_t slot = 0; slot < affected.size(); ++slot) {
     const std::string& name = affected[slot];
     RegisteredView& registered = next_views.at(name);
     EVE_RETURN_IF_ERROR(slots[slot]->status());
     const CvsResult result = slots[slot]->MoveValue();
     sync_stats.MergeFrom(result.enumeration);
+    // `affected` is name-sorted, so both lists come out deterministic.
+    if (result.enumeration.deadline.partial) {
+      diagnostics.deadline_views.push_back(name);
+      EVE_FAILPOINT(fp::kSyncDeadlineExpired);
+    } else if (CountBoundTruncated(result.enumeration)) {
+      diagnostics.truncated_views.push_back(name);
+    }
     if (result.ViewPreserved()) {
       const SynchronizedView& best = result.rewritings.front();
       const RewritingExplanation explanation =
@@ -386,6 +526,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
     }
   }
   last_sync_stats_ = sync_stats;
+  last_sync_diagnostics_ = std::move(diagnostics);
 
   // Write-ahead: the change record must be durable before any of the
   // in-memory state commits.
@@ -418,7 +559,63 @@ Result<ChangeReport> EveSystem::PreviewChange(
   scratch.journal_ = nullptr;
   Result<ChangeReport> report = scratch.ApplyChange(change);
   last_sync_stats_ = scratch.last_sync_stats_;
+  last_sync_diagnostics_ = scratch.last_sync_diagnostics_;
   return report;
+}
+
+void EveSystem::CancelActiveSync() const {
+  std::lock_guard<std::mutex> lock(*sync_token_mu_);
+  active_sync_token_.Cancel();  // no-op on a null token
+}
+
+Status EveSystem::EnqueueChange(const CapabilityChange& change) {
+  ++admission_stats_.submitted;
+  // Failpoint before the capacity check: an injected error models an
+  // admission layer rejecting under external pressure — the change is shed
+  // (counted, explicit error), never half-admitted.
+  const Status injected = Failpoints::Instance().Hit(fp::kAdmissionEnqueue);
+  if (!injected.ok()) {
+    ++admission_stats_.shed;
+    return injected;
+  }
+  if (sync_queue_limit_ != 0 && sync_queue_.size() >= sync_queue_limit_) {
+    ++admission_stats_.shed;
+    return Status::ResourceExhausted(
+        "sync queue full (limit " + std::to_string(sync_queue_limit_) +
+        "): change shed — drain the queue or raise the limit");
+  }
+  sync_queue_.push_back(change);
+  admission_stats_.queued_now = sync_queue_.size();
+  return Status::OK();
+}
+
+Result<std::vector<ChangeReport>> EveSystem::DrainSyncQueue() {
+  std::vector<ChangeReport> reports;
+  reports.reserve(sync_queue_.size());
+  while (!sync_queue_.empty()) {
+    // Failpoint before each pop: an injected error stops the drain with
+    // the change (and the rest of the queue) still admitted for a retry.
+    const Status injected = Failpoints::Instance().Hit(fp::kAdmissionDrain);
+    if (!injected.ok()) {
+      admission_stats_.queued_now = sync_queue_.size();
+      return injected;
+    }
+    const CapabilityChange change = sync_queue_.front();
+    sync_queue_.pop_front();
+    // Each drained change runs under its own fresh deadline (ApplyChange
+    // builds the token tree from the current knobs).
+    Result<ChangeReport> report = ApplyChange(change);
+    ++admission_stats_.completed;
+    admission_stats_.queued_now = sync_queue_.size();
+    if (!report.ok()) {
+      // The change was consumed (completed, failed); the remainder stays
+      // queued for a later drain.
+      ++admission_stats_.failed;
+      return report.status();
+    }
+    reports.push_back(report.MoveValue());
+  }
+  return reports;
 }
 
 Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(

@@ -6,13 +6,17 @@
 #ifndef EVE_EVE_EVE_SYSTEM_H_
 #define EVE_EVE_EVE_SYSTEM_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "cvs/cvs.h"
@@ -63,6 +67,46 @@ struct ChangeReport {
   std::vector<ViewOutcome> outcomes;
 
   size_t CountOutcome(ViewOutcomeKind kind) const;
+  std::string ToString() const;
+};
+
+// Per-view incompleteness lists for the most recent change, plus watchdog
+// accounting. Deterministic: assembled on the calling thread in view-name
+// order, so the lists are byte-identical at any sync parallelism.
+// Observability only — not part of ChangeReport, not journaled.
+struct SyncDiagnostics {
+  // Views whose candidate enumeration was cut by a count bound
+  // (max_cover_combinations, candidate_budget/max_results before
+  // exhaustion, or search_sets_cut) — their result may be incomplete.
+  // Sorted by name.
+  std::vector<std::string> truncated_views;
+  // Views whose search was stopped by the deadline token (work budget,
+  // wall deadline, or cancellation): their rewriting list is a valid
+  // best-under-budget prefix. Sorted by name.
+  std::vector<std::string> deadline_views;
+  // Times the wall-clock watchdog cancelled a sync that overran its
+  // deadline without reaching a cooperative check first.
+  uint64_t watchdog_cancels = 0;
+
+  // "truncated views: A, B; deadline views: C" — empty when clean.
+  std::string ToString() const;
+};
+
+// Admission accounting for the bounded sync queue. The shedding invariant
+// (checked by tests and the CI stress job): submitted == completed + shed
+// + queued_now — every submitted change is either applied (completed,
+// successfully or with an explicit per-change error), rejected with an
+// explicit ResourceExhausted (shed), or still waiting. Nothing disappears
+// silently.
+struct AdmissionStats {
+  uint64_t submitted = 0;  // EnqueueChange calls
+  uint64_t shed = 0;       // rejected: queue at limit (or injected fault)
+  uint64_t completed = 0;  // drained and applied (includes explicit
+                           // per-change failures; see failed)
+  uint64_t failed = 0;     // of completed: ApplyChange returned an error
+  size_t queued_now = 0;   // currently waiting
+
+  // "submitted 5, completed 3 (1 failed), shed 2, queued 0".
   std::string ToString() const;
 };
 
@@ -136,6 +180,78 @@ class EveSystem {
     options_.candidate_budget = budget;
   }
   size_t sync_candidate_budget() const { return options_.candidate_budget; }
+
+  // --- Deadlines and cancellation ------------------------------------------
+  //
+  // Two independent stopping mechanisms, both cooperative (checked at
+  // enumeration-step safe points, so a search never overruns by more than
+  // one step):
+  //
+  //  * The logical work budget is DETERMINISTIC: it counts enumerator
+  //    expansions and candidate emissions per view, each view's token is
+  //    spent entirely on the thread running that view, and every stopped
+  //    layer returns its best-so-far prefix. Reports, stats and journal
+  //    bytes are therefore byte-identical at any sync parallelism.
+  //  * The wall-clock deadline (and the watchdog backstop) are BEST
+  //    EFFORT: where a run stops depends on machine speed, so results
+  //    under a wall deadline are valid partial results but not
+  //    reproducible bytes. Tests pin the clock with SetClockForTesting.
+
+  // Per-view logical work budget (0 = unlimited). One unit is one join-tree
+  // frontier expansion or one candidate emission.
+  void SetSyncWorkBudget(uint64_t units) { sync_work_budget_ = units; }
+  uint64_t sync_work_budget() const { return sync_work_budget_; }
+
+  // Wall-clock deadline per change (0 = none), measured from the start of
+  // ApplyChange on the configured clock.
+  void SetSyncDeadlineMicros(uint64_t micros) { sync_deadline_micros_ = micros; }
+  uint64_t sync_deadline_micros() const { return sync_deadline_micros_; }
+
+  // Watchdog backstop (0 = off): a real-time guard thread that cancels the
+  // change's whole cancellation tree if synchronization is still running
+  // after this long — catches a task stuck between cooperative checks.
+  // Always real time, independent of SetClockForTesting.
+  void SetSyncWatchdogMicros(uint64_t micros) { sync_watchdog_micros_ = micros; }
+  uint64_t sync_watchdog_micros() const { return sync_watchdog_micros_; }
+
+  // Clock the deadline token reads (tests install a ManualClock; nullptr
+  // restores the steady clock). Non-owning; must outlive the system.
+  void SetClockForTesting(const Clock* clock) { sync_clock_ = clock; }
+
+  // Cancels the change currently being synchronized (if any): the root
+  // token is cancelled, and every per-view search stops at its next safe
+  // point, returning its best-so-far prefix. Safe to call from any thread;
+  // a no-op when no sync is active.
+  void CancelActiveSync() const;
+
+  // --- Admission control ---------------------------------------------------
+  //
+  // A bounded FIFO of pending changes with explicit load-shedding. Each
+  // drained change runs under a fresh deadline token built from the knobs
+  // above. Invariant: submitted == completed + shed + queued_now.
+
+  // Queue bound for EnqueueChange (0 = unbounded).
+  void SetSyncQueueLimit(size_t limit) { sync_queue_limit_ = limit; }
+  size_t sync_queue_limit() const { return sync_queue_limit_; }
+
+  // Admits `change` into the pending queue. When the queue is at its
+  // limit, the NEWEST submission (this one) is rejected with an explicit
+  // kResourceExhausted — never silently dropped.
+  Status EnqueueChange(const CapabilityChange& change);
+
+  // Applies every queued change in FIFO order, each under its own deadline
+  // built from the current knobs. Stops at the first failing change with
+  // its error; the remainder stays queued for a later drain.
+  Result<std::vector<ChangeReport>> DrainSyncQueue();
+
+  size_t queued_changes() const { return sync_queue_.size(); }
+  const AdmissionStats& admission_stats() const { return admission_stats_; }
+
+  // Per-view truncation/deadline lists for the most recent ApplyChange or
+  // PreviewChange (same lifecycle as last_sync_stats()).
+  const SyncDiagnostics& last_sync_diagnostics() const {
+    return last_sync_diagnostics_;
+  }
 
   // Enumeration counters aggregated (in view-name order, on the calling
   // thread) across the affected views of the most recent ApplyChange or
@@ -279,6 +395,19 @@ class EveSystem {
   // mutable: PreviewChange is logically const but still reports how much
   // of the candidate space its scratch run explored.
   mutable EnumerationStats last_sync_stats_;
+  mutable SyncDiagnostics last_sync_diagnostics_;
+  uint64_t sync_work_budget_ = 0;
+  uint64_t sync_deadline_micros_ = 0;
+  uint64_t sync_watchdog_micros_ = 0;
+  const Clock* sync_clock_ = nullptr;  // non-owning; nullptr = steady clock
+  size_t sync_queue_limit_ = 0;
+  std::deque<CapabilityChange> sync_queue_;
+  AdmissionStats admission_stats_;
+  // Root token of the in-flight change. Guarded by a shared (not per-copy)
+  // mutex so CancelActiveSync and the watchdog may fire from other threads
+  // while EveSystem itself stays copyable.
+  std::shared_ptr<std::mutex> sync_token_mu_ = std::make_shared<std::mutex>();
+  mutable DeadlineToken active_sync_token_;
 };
 
 }  // namespace eve

@@ -74,6 +74,23 @@ Status FederationMonitor::Step(uint64_t tick) {
     due.push_back(source);  // map iteration: name-sorted
   }
 
+  // Deadline gate: spend one unit per due probe here, on the calling
+  // thread, in name order — the skip set is fixed BEFORE the fan-out, so
+  // it cannot depend on probe parallelism or worker timing. A skipped
+  // probe's row is untouched; it stays due and retries next tick.
+  if (token_.valid()) {
+    std::vector<std::string> admitted;
+    admitted.reserve(due.size());
+    for (std::string& source : due) {
+      if (token_.Spend(1)) {
+        admitted.push_back(std::move(source));
+      } else {
+        ++stats_.probes_skipped;
+      }
+    }
+    due = std::move(admitted);
+  }
+
   // Stage 3: fan the due probes out. ParallelFor tasks must not throw, so
   // a SimulatedCrash in the transport is parked in its slot and rethrown
   // on this thread (lowest index first) once every worker has finished.

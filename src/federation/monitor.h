@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "eve/eve_system.h"
@@ -32,6 +33,9 @@ struct MonitorStats {
   uint64_t state_transitions = 0;
   // Lease expiries that ran the departure cascade.
   uint64_t departures = 0;
+  // Due probes skipped because the deadline token refused them. Skipped
+  // probes stay due and are retried on a later tick.
+  uint64_t probes_skipped = 0;
 
   bool operator==(const MonitorStats&) const = default;
 };
@@ -62,6 +66,14 @@ class FederationMonitor {
   // 0 and 1 both mean sequential. Results are identical at any setting.
   void SetProbeParallelism(size_t threads);
 
+  // Budgets the probe fan-out: each due probe costs one unit, spent on the
+  // CALLING thread in source-name order before the fan-out starts, so the
+  // skip set is deterministic at any probe parallelism (a wall-clock
+  // deadline on the token is best effort, like everywhere else). A default
+  // token removes the limit.
+  void SetDeadlineToken(DeadlineToken token) { token_ = std::move(token); }
+  const DeadlineToken& deadline_token() const { return token_; }
+
   const MonitorStats& stats() const { return stats_; }
   const SourceConfig& default_config() const { return default_config_; }
 
@@ -71,6 +83,7 @@ class FederationMonitor {
   SourceConfig default_config_;
   uint64_t now_ = 0;
   std::unique_ptr<ThreadPool> probe_pool_;
+  DeadlineToken token_;
   MonitorStats stats_;
 };
 

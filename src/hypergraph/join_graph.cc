@@ -222,7 +222,8 @@ JoinTreeEnumerator::JoinTreeEnumerator(
     const JoinTreeSearchOptions& options)
     : graph_(&graph),
       required_(std::move(required)),
-      mandatory_edges_(std::move(mandatory_edges)) {
+      mandatory_edges_(std::move(mandatory_edges)),
+      token_(options.token) {
   if (required_.empty()) return;  // frontier stays empty: exhausted
   for (const std::string& rel : required_) {
     if (graph_->IndexOf(rel) == JoinGraph::kNpos) return;  // relation gone
@@ -314,7 +315,15 @@ std::optional<JoinTree> JoinTreeEnumerator::TryBuildTree(
 }
 
 std::optional<JoinTree> JoinTreeEnumerator::Next() {
+  if (interrupted_) return std::nullopt;
   while (!frontier_.empty()) {
+    // One frontier pop is the unit of logical work: spend it before
+    // expanding, so a refused step leaves the frontier (and with it the
+    // first-cut lower bound) untouched.
+    if (!token_.Spend(1)) {
+      interrupted_ = true;
+      return std::nullopt;
+    }
     const auto top = frontier_.begin();
     const std::vector<std::string> chosen = *top;
     frontier_.erase(top);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "mkb/constraints.h"
 #include "mkb/mkb.h"
 
@@ -39,6 +40,10 @@ struct JoinTreeSearchOptions {
   size_t max_extra_relations = 3;
   // Maximum number of trees to return.
   size_t max_results = 64;
+  // Optional deadline/cancellation scope. The enumerator spends one unit
+  // per frontier set popped; when the token refuses, Next() stops at that
+  // safe point (interrupted(), not Exhausted()). The null token is free.
+  DeadlineToken token;
 };
 
 class JoinGraph {
@@ -173,6 +178,12 @@ class JoinTreeEnumerator {
 
   bool Exhausted() const { return frontier_.empty(); }
 
+  // True once the search was stopped by options.token rather than by
+  // draining the space: the frontier is intact, NextTreeSizeLowerBound()
+  // still bounds the unexplored remainder (the "first-cut frontier
+  // bound"), and every further Next() returns nullopt immediately.
+  bool interrupted() const { return interrupted_; }
+
   // Frontier sets popped and examined so far.
   size_t sets_expanded() const { return sets_expanded_; }
   // Frontier sets discarded at the max_extra_relations bound before
@@ -192,6 +203,8 @@ class JoinTreeEnumerator {
   size_t max_relations_ = 0;
   // Static size floor: max pairwise BFS distance among required + 1.
   size_t min_tree_size_ = 0;
+  DeadlineToken token_;
+  bool interrupted_ = false;
 
   // Uniform-cost frontier: sorted relation vectors ordered by
   // (size, lexicographic). std::set gives both the priority queue and the

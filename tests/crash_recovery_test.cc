@@ -405,6 +405,13 @@ TEST_F(CrashRecoveryTest, EveryKnownSiteIsExercised) {
       fp::kFederationProbeSlow,
       fp::kFederationProbeCorrupt,
       fp::kFederationProbeFlap,
+      // The script's deletions affect no registered view, so the per-view
+      // fan-out and the admission queue never run here; admission_test
+      // (AdmissionFailpointTest*) arms each of these in both modes.
+      fp::kSyncViewStart,
+      fp::kSyncDeadlineExpired,
+      fp::kAdmissionEnqueue,
+      fp::kAdmissionDrain,
   };
   for (const std::string& site : Failpoints::KnownSites()) {
     if (dedicated.count(site) > 0) continue;

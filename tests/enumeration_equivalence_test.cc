@@ -203,6 +203,42 @@ TEST_F(CoverFanTest, LowerBoundsAreAdmissible) {
   }
 }
 
+TEST_F(CoverFanTest, BudgetedRunReturnsPrefixOfUnbudgetedTopK) {
+  // A run stopped by the logical work budget must return a PREFIX of what
+  // the unbudgeted run ranks first — a valid best-under-budget partial
+  // answer, not an arbitrary subset — and must overshoot the budget by at
+  // most the one refused step.
+  const CvsResult full =
+      SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, WideOptions())
+          .value();
+  ASSERT_GE(full.rewritings.size(), 8u);
+  for (const uint64_t budget :
+       {uint64_t{3}, uint64_t{8}, uint64_t{20}, uint64_t{60}}) {
+    CvsOptions options = WideOptions();
+    options.replacement.token = DeadlineToken::Root({budget, 0});
+    const CvsResult partial =
+        SynchronizeDeleteRelation(view_, "R0", mkb_, mkb_prime_, options)
+            .value();
+    ASSERT_LE(partial.rewritings.size(), full.rewritings.size())
+        << "budget " << budget;
+    for (size_t i = 0; i < partial.rewritings.size(); ++i) {
+      EXPECT_EQ(partial.rewritings[i].view.ToString(),
+                full.rewritings[i].view.ToString())
+          << "budget " << budget << " rank " << i;
+      EXPECT_EQ(partial.rewritings[i].cost.total, full.rewritings[i].cost.total)
+          << "budget " << budget << " rank " << i;
+    }
+    EXPECT_EQ(partial.enumeration.deadline.work_budget, budget);
+    // Spend-before-step: the refused unit is counted but never executed.
+    EXPECT_LE(partial.enumeration.deadline.work_spent, budget + 1);
+    if (partial.rewritings.size() < full.rewritings.size()) {
+      EXPECT_TRUE(partial.enumeration.deadline.partial) << "budget " << budget;
+      EXPECT_EQ(partial.enumeration.deadline.stop_cause,
+                StopCause::kWorkBudget);
+    }
+  }
+}
+
 TEST_F(CoverFanTest, CandidateBudgetReportsTruncation) {
   CvsOptions options = WideOptions();
   options.candidate_budget = 2;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/file_io.h"
 #include "common/thread_pool.h"
 #include "eve/eve_system.h"
@@ -142,6 +143,60 @@ TEST(ParallelSyncTest, TopKAndBudgetAreDeterministicAcrossThreadCounts) {
       EXPECT_EQ(fingerprint, reference_fingerprint) << "threads=" << threads;
       EXPECT_EQ(stats, reference_stats) << "threads=" << threads;
     }
+  }
+}
+
+TEST(ParallelSyncTest, WorkBudgetPartialsAreDeterministicAcrossThreadCounts) {
+  // A tight per-view logical work budget stops every view's search on the
+  // same enumeration step regardless of which thread runs it, so the
+  // partial results — reports, pools, aggregated stats, diagnostics AND
+  // journal bytes — must be byte-identical across parallelism.
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R1");
+  std::string reference_fingerprint;
+  std::string reference_stats;
+  std::string reference_diagnostics;
+  std::string reference_journal;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    // The chain views' searches are tiny (one frontier expansion + one
+    // emission each), so budget 1 is the tight setting that actually
+    // deadline-stops them.
+    EveSystem system = MakeBatchSystem(24);
+    system.SetSyncWorkBudget(1);
+    system.SetSyncParallelism(threads);
+    const std::string journal_path = ::testing::TempDir() +
+                                     "parallel_sync_budget_" +
+                                     std::to_string(threads) + ".wal";
+    std::remove(journal_path.c_str());
+    Result<Journal> journal = Journal::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    system.AttachJournal(&journal.value());
+    const Result<ChangeReport> report = system.ApplyChange(change);
+    ASSERT_TRUE(report.ok()) << "threads=" << threads;
+    system.AttachJournal(nullptr);
+
+    // The budget is tight enough to stop at least one view's search.
+    EXPECT_FALSE(system.last_sync_diagnostics().deadline_views.empty());
+    EXPECT_TRUE(system.last_sync_stats().deadline.partial);
+    EXPECT_EQ(system.last_sync_stats().deadline.stop_cause,
+              StopCause::kWorkBudget);
+
+    const std::string fingerprint = Fingerprint(report.value(), system);
+    const std::string stats = system.last_sync_stats().ToString();
+    const std::string diagnostics = system.last_sync_diagnostics().ToString();
+    const std::string journal_bytes =
+        ReadFileToString(journal_path).MoveValue();
+    if (threads == 1) {
+      reference_fingerprint = fingerprint;
+      reference_stats = stats;
+      reference_diagnostics = diagnostics;
+      reference_journal = journal_bytes;
+    } else {
+      EXPECT_EQ(fingerprint, reference_fingerprint) << "threads=" << threads;
+      EXPECT_EQ(stats, reference_stats) << "threads=" << threads;
+      EXPECT_EQ(diagnostics, reference_diagnostics) << "threads=" << threads;
+      EXPECT_EQ(journal_bytes, reference_journal) << "threads=" << threads;
+    }
+    std::remove(journal_path.c_str());
   }
 }
 

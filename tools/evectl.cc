@@ -24,8 +24,25 @@
 //                                            synchronization (0 = no cap)
 //   SET SYNC PARALLELISM <n>;             -- threads for batch sync (0/1 =
 //                                            sequential; reports identical)
-//   SHOW SYNC STATS;                      -- enumeration counters aggregated
-//                                            over the last change/preview
+//   SET SYNC WORKBUDGET <n>;              -- per-view logical work budget
+//                                            (0 = unlimited): deterministic
+//                                            best-under-budget partials
+//   SET SYNC DEADLINE <micros>;           -- wall-clock deadline per change
+//                                            (0 = none; best effort)
+//   SET SYNC WATCHDOG <micros>;           -- real-time backstop that cancels
+//                                            a stuck sync (0 = off)
+//   SET SYNC QUEUE <n>;                   -- admission queue bound (0 = no
+//                                            bound); a full queue sheds the
+//                                            newest ENQUEUE with an explicit
+//                                            resource-exhausted error
+//   ENQUEUE DELETE ...;                   -- admit a capability change into
+//   ENQUEUE RENAME ...;                      the bounded sync queue
+//   DRAIN;                                -- apply queued changes FIFO, each
+//                                            under a fresh deadline
+//   SHOW SYNC STATS;                      -- enumeration counters, deadline
+//                                            block, per-view truncation list
+//                                            and admission counters for the
+//                                            last change/preview
 //   PREVIEW DELETE RELATION <name>;       -- what-if: report without applying
 //   DELETE RELATION <name>;               -- capability change
 //   DELETE ATTRIBUTE <rel>.<attr>;        -- capability change
@@ -212,6 +229,22 @@ class Console {
     if (head == "show") {
       return Show(words);
     }
+    if (head == "enqueue" && words.size() >= 4) {
+      const std::vector<std::string> rest(words.begin() + 1, words.end());
+      const std::string sub = ToLower(rest[0]);
+      if (sub == "delete" && rest.size() >= 3) {
+        return Enqueue(MakeDelete(rest));
+      }
+      if (sub == "rename" && rest.size() >= 5 &&
+          EqualsIgnoreCase(rest[3], "TO")) {
+        return Enqueue(MakeRename(rest));
+      }
+      std::cerr << "error: ENQUEUE expects DELETE or RENAME\n";
+      return false;
+    }
+    if (head == "drain") {
+      return Drain();
+    }
     if (head == "delete" && words.size() >= 3) {
       return Change(MakeDelete(words), /*preview=*/false);
     }
@@ -357,37 +390,98 @@ class Console {
   }
 
   bool SetSync(const std::string& knob, const std::string& value) {
-    size_t parsed = 0;
+    uint64_t parsed = 0;
     try {
-      parsed = std::stoul(value);
+      parsed = std::stoull(value);
     } catch (...) {
       std::cerr << "error: SET SYNC " << knob
                 << " expects a non-negative integer, got " << value << "\n";
       return false;
     }
     if (EqualsIgnoreCase(knob, "TOPK")) {
-      system_.SetSyncTopK(parsed);
+      system_.SetSyncTopK(static_cast<size_t>(parsed));
       std::cout << "sync top-k = " << parsed << "\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "BUDGET")) {
-      system_.SetSyncCandidateBudget(parsed);
+      system_.SetSyncCandidateBudget(static_cast<size_t>(parsed));
       std::cout << "sync candidate budget = " << parsed << "\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "PARALLELISM")) {
-      system_.SetSyncParallelism(parsed);
+      system_.SetSyncParallelism(static_cast<size_t>(parsed));
       std::cout << "sync parallelism = " << parsed << "\n";
       return true;
     }
-    std::cerr << "error: SET SYNC expects TOPK, BUDGET or PARALLELISM\n";
+    if (EqualsIgnoreCase(knob, "WORKBUDGET")) {
+      system_.SetSyncWorkBudget(parsed);
+      std::cout << "sync work budget = " << parsed << " units/view\n";
+      return true;
+    }
+    if (EqualsIgnoreCase(knob, "DEADLINE")) {
+      system_.SetSyncDeadlineMicros(parsed);
+      std::cout << "sync deadline = " << parsed << " us\n";
+      return true;
+    }
+    if (EqualsIgnoreCase(knob, "WATCHDOG")) {
+      system_.SetSyncWatchdogMicros(parsed);
+      std::cout << "sync watchdog = " << parsed << " us\n";
+      return true;
+    }
+    if (EqualsIgnoreCase(knob, "QUEUE")) {
+      system_.SetSyncQueueLimit(static_cast<size_t>(parsed));
+      std::cout << "sync queue limit = " << parsed << "\n";
+      return true;
+    }
+    std::cerr << "error: SET SYNC expects TOPK, BUDGET, PARALLELISM, "
+                 "WORKBUDGET, DEADLINE, WATCHDOG or QUEUE\n";
     return false;
+  }
+
+  // A shed change is an EXPECTED admission outcome (the error is explicit,
+  // the counters account for it), so it does not fail the script; any
+  // other enqueue error does.
+  bool Enqueue(const Result<CapabilityChange>& change) {
+    if (!change.ok()) {
+      std::cerr << "error: " << change.status() << "\n";
+      return false;
+    }
+    const Status status = system_.EnqueueChange(change.value());
+    if (status.ok()) {
+      std::cout << "enqueued (" << system_.queued_changes() << " queued)\n";
+      return true;
+    }
+    // Any admission rejection (capacity or an injected fault) is counted
+    // as shed by EnqueueChange, so it is an accounted-for outcome.
+    std::cout << "SHED: " << status << "\n";
+    std::cout << "admission: " << system_.admission_stats().ToString() << "\n";
+    return true;
+  }
+
+  bool Drain() {
+    const Result<std::vector<ChangeReport>> reports = system_.DrainSyncQueue();
+    if (!reports.ok()) {
+      std::cerr << "error: " << reports.status() << "\n";
+      return false;
+    }
+    for (const ChangeReport& report : reports.value()) {
+      std::cout << report.ToString();
+    }
+    std::cout << "admission: " << system_.admission_stats().ToString() << "\n";
+    return true;
   }
 
   bool Show(const std::vector<std::string>& words) {
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SYNC") &&
         EqualsIgnoreCase(words[2], "STATS")) {
       std::cout << "enumeration: " << system_.last_sync_stats().ToString()
+                << "\n";
+      // Per-view truncation/deadline lists and watchdog count for the last
+      // change or preview (name-ordered, deterministic).
+      const std::string diagnostics =
+          system_.last_sync_diagnostics().ToString();
+      if (!diagnostics.empty()) std::cout << "sync: " << diagnostics << "\n";
+      std::cout << "admission: " << system_.admission_stats().ToString()
                 << "\n";
       return true;
     }
@@ -627,6 +721,8 @@ class Console {
     if (stats.combos_generated > 0 || stats.candidates_yielded > 0) {
       std::cout << "enumeration: " << stats.ToString() << "\n";
     }
+    const std::string diagnostics = system_.last_sync_diagnostics().ToString();
+    if (!diagnostics.empty()) std::cout << "sync: " << diagnostics << "\n";
     return true;
   }
 
