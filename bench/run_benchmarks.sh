@@ -7,9 +7,12 @@
 # Also runs the enumeration sweep (bench_enumeration: lazy best-first
 # stream + top-k driver vs the eager cartesian baseline, which lives in
 # the same binary) and writes BENCH_enumeration.json with per-sweep-point
-# eager-vs-lazy speedup ratios, and the admission sweep (bench_admission:
+# eager-vs-lazy speedup ratios, the admission sweep (bench_admission:
 # deadline-token overhead vs the token-free search, plus p50/p99 bounded-
-# queue batch latency under shedding) into BENCH_admission.json.
+# queue batch latency under shedding) into BENCH_admission.json, and the
+# versioning sweep (bench_versioning: O(1) tip-pin snapshot cost, dry-run
+# overhead vs direct apply, COW byte amplification over 1k versions) into
+# BENCH_versioning.json.
 #
 # Usage: bench/run_benchmarks.sh [--build-dir DIR] [--filter REGEX]
 #                                [--min-time SECONDS]
@@ -39,7 +42,7 @@ CURRENT_JSON="$(mktemp)"
 trap 'rm -f "$CURRENT_JSON"' EXIT
 
 "$BENCH" --benchmark_filter="$FILTER" \
-         --benchmark_min_time="${MIN_TIME}s" \
+         --benchmark_min_time="${MIN_TIME}" \
          --benchmark_out="$CURRENT_JSON" \
          --benchmark_out_format=json > /dev/null
 
@@ -200,7 +203,7 @@ trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON" "$FED_JSON"' EXIT
 
 # Fault-regime sweep: every schedule must converge (the binary marks a
 # non-converging run as an error) before its time means anything.
-"$FED_BENCH" --benchmark_min_time="${MIN_TIME}s" \
+"$FED_BENCH" --benchmark_min_time="${MIN_TIME}" \
              --benchmark_out="$FED_JSON" \
              --benchmark_out_format=json > /dev/null
 
@@ -278,7 +281,7 @@ trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON" "$FED_JSON" "$ADM_JSON"' EXIT
 
 # The binary validates that a non-firing token leaves the synchronization
 # result byte-identical before timing anything.
-"$ADM_BENCH" --benchmark_min_time="${MIN_TIME}s" \
+"$ADM_BENCH" --benchmark_min_time="${MIN_TIME}" \
              --benchmark_out="$ADM_JSON" \
              --benchmark_out_format=json
 
@@ -354,4 +357,101 @@ for entry in latency:
     print(f"{entry['name']:<24}  p50 {entry.get('p50_us', 0):.0f} us"
           f"  p99 {entry.get('p99_us', 0):.0f} us"
           f"  shed {entry.get('shed_per_batch', 0):.0f}")
+PY
+
+VER_BENCH="$BUILD_DIR/bench/bench_versioning"
+if [[ ! -x "$VER_BENCH" ]]; then
+  echo "bench binary not found: $VER_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+VER_JSON="$(mktemp)"
+trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON" "$FED_JSON" "$ADM_JSON" "$VER_JSON"' EXIT
+
+# The binary validates dry-run == commit (byte-identical reports, zero
+# version churn) before timing anything, and aborts on a mismatch.
+"$VER_BENCH" --benchmark_min_time="${MIN_TIME}" \
+             --benchmark_out="$VER_JSON" \
+             --benchmark_out_format=json > /dev/null
+
+python3 - "$VER_JSON" "$REPO_ROOT/BENCH_versioning.json" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1:3]
+
+with open(current_path) as f:
+    doc = json.load(f)
+
+times = {}
+counters = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = (bench["real_time"], bench["time_unit"])
+    counters[bench["name"]] = {
+        k: v for k, v in bench.items()
+        if k in ("versions", "retained_bytes", "logical_bytes",
+                 "amplification")
+    }
+
+comparison = []
+# Snapshot acquisition: the O(1) tip pin vs the reparse of an old version.
+tip = times.get("BM_PinTipSnapshot")
+old = times.get("BM_PinOldVersion")
+if tip is not None:
+    entry = {"name": "snapshot_acquisition", "tip_pin": tip[0],
+             "time_unit": tip[1]}
+    if old is not None and tip[0] > 0:
+        entry["old_version_pin"] = old[0]
+        entry["reparse_factor"] = round(old[0] / tip[0], 1)
+    comparison.append(entry)
+# Dry-run overhead vs the direct commit (in-run baseline).
+direct = times.get("BM_ApplyChangeDirect")
+for name in ("BM_DryRunChange", "BM_DryRunThenCommit"):
+    if name not in times:
+        continue
+    now, unit = times[name]
+    entry = {"name": name, "current": now, "time_unit": unit}
+    if direct is not None and direct[0] > 0:
+        entry["direct_apply"] = direct[0]
+        entry["ratio_vs_direct"] = round(now / direct[0], 2)
+    comparison.append(entry)
+# COW amplification across the chain sweep.
+for name in sorted(times):
+    if not name.startswith("BM_CowMemoryAmplification"):
+        continue
+    now, unit = times[name]
+    entry = {"name": name, "current": now, "time_unit": unit}
+    entry.update(counters.get(name, {}))
+    comparison.append(entry)
+
+out = {
+    "description": "Versioned MKB costs: O(1) tip-pin snapshot vs old-"
+                   "version reparse, what-if dry-run vs direct apply "
+                   "(dry-run reports validated byte-identical to the "
+                   "commit before timing), and copy-on-write retained-vs-"
+                   "logical byte amplification across 100/1000-version "
+                   "chains",
+    "context": doc.get("context", {}),
+    "comparison": comparison,
+    "raw": doc,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for entry in comparison:
+    name = entry["name"]
+    if name == "snapshot_acquisition":
+        print(f"{name:<32}  tip {entry['tip_pin']:.1f} {entry['time_unit']}"
+              f"  (old-version x{entry.get('reparse_factor', '?')})")
+    elif "ratio_vs_direct" in entry:
+        print(f"{name:<32}  {entry['current']:.0f} {entry['time_unit']}"
+              f"  ({entry['ratio_vs_direct']}x direct apply)")
+    elif "amplification" in entry:
+        print(f"{name:<32}  retained {entry['retained_bytes']:.0f} B"
+              f"  logical {entry['logical_bytes']:.0f} B"
+              f"  ({entry['amplification']:.2f}x saved)")
 PY

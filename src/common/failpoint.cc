@@ -89,6 +89,13 @@ const std::vector<std::string>& Failpoints::KnownSites() {
       fp::kCheckpointLoadValidate,
       fp::kViewPoolLoadValidate,
       fp::kMisdAppendParse,
+      fp::kPrepareChangeComplete,
+      fp::kVersionBeforeSwap,
+      fp::kVersionAfterSwap,
+      fp::kRollbackBeforeJournal,
+      fp::kRollbackAfterJournal,
+      fp::kRollbackAfterRestore,
+      fp::kVersionScrub,
   };
   return *sites;
 }

@@ -84,6 +84,22 @@ inline constexpr char kAtomicWriteBeforeRename[] =
 inline constexpr char kCheckpointLoadValidate[] = "checkpoint.load.validate";
 inline constexpr char kViewPoolLoadValidate[] = "viewpool.load.validate";
 inline constexpr char kMisdAppendParse[] = "mkb.append_misd.parse";
+// Versioned-MKB sites (eve/eve_system.h PrepareChange / CommitPrepared /
+// RollbackToVersion; mkb/version_store.h Scrub). prepare_change.complete
+// fires at the end of the prepare phase, before anything is journaled —
+// an abort there proves dry-runs have zero side effects. before_swap and
+// rollback.after_journal sit between the journal append and the in-memory
+// commit: an armed error there COMPLETES the commit and then surfaces the
+// injected error (the response-lost model), so live memory and journal
+// replay stay in agreement; an armed crash models death mid-commit and
+// recovery replays to the post state.
+inline constexpr char kPrepareChangeComplete[] = "eve.prepare_change.complete";
+inline constexpr char kVersionBeforeSwap[] = "eve.version.before_swap";
+inline constexpr char kVersionAfterSwap[] = "eve.version.after_swap";
+inline constexpr char kRollbackBeforeJournal[] = "eve.rollback.before_journal";
+inline constexpr char kRollbackAfterJournal[] = "eve.rollback.after_journal";
+inline constexpr char kRollbackAfterRestore[] = "eve.rollback.after_restore";
+inline constexpr char kVersionScrub[] = "mkb.version_store.scrub";
 }  // namespace fp
 
 // Thrown by an armed kCrash failpoint. The codebase is otherwise

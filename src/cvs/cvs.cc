@@ -22,8 +22,9 @@ std::string SynchronizedView::ToString() const {
 }
 
 const JoinGraph& SyncContext::graph_prime() const {
-  std::call_once(graph_once_,
-                 [this] { graph_prime_.emplace(JoinGraph::Build(mkb_prime_)); });
+  std::call_once(graph_once_, [this] {
+    graph_prime_.emplace(JoinGraph::Build(*mkb_prime_));
+  });
   return *graph_prime_;
 }
 

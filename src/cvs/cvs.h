@@ -6,6 +6,8 @@
 #ifndef EVE_CVS_CVS_H_
 #define EVE_CVS_CVS_H_
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -91,21 +93,40 @@ struct CvsResult {
 // synchronization never consults it (renames, adds) pay nothing.
 class SyncContext {
  public:
+  // Borrowing construction: both MKBs must outlive the context (the
+  // single-change convenience path).
   SyncContext(const Mkb& mkb, const Mkb& mkb_prime)
-      : mkb_(mkb), mkb_prime_(mkb_prime) {}
+      : mkb_(&mkb), mkb_prime_(&mkb_prime) {}
+
+  // Pinned-version construction: the context co-owns both snapshots, so a
+  // synchronization keeps its source version alive (and byte-stable) even
+  // if the version store's tip advances concurrently. `base_version` is
+  // the id of the pinned source version (mkb/version_store.h); the commit
+  // phase re-checks it against the live tip before swapping.
+  SyncContext(std::shared_ptr<const Mkb> mkb,
+              std::shared_ptr<const Mkb> mkb_prime, uint64_t base_version = 0)
+      : pinned_(std::move(mkb)),
+        pinned_prime_(std::move(mkb_prime)),
+        mkb_(pinned_.get()),
+        mkb_prime_(pinned_prime_.get()),
+        base_version_(base_version) {}
 
   SyncContext(const SyncContext&) = delete;
   SyncContext& operator=(const SyncContext&) = delete;
 
-  const Mkb& mkb() const { return mkb_; }
-  const Mkb& mkb_prime() const { return mkb_prime_; }
+  const Mkb& mkb() const { return *mkb_; }
+  const Mkb& mkb_prime() const { return *mkb_prime_; }
+  uint64_t base_version() const { return base_version_; }
 
   // H'(MKB') at the relation level, built once per change.
   const JoinGraph& graph_prime() const;
 
  private:
-  const Mkb& mkb_;
-  const Mkb& mkb_prime_;
+  std::shared_ptr<const Mkb> pinned_;        // null in borrowing mode
+  std::shared_ptr<const Mkb> pinned_prime_;  // null in borrowing mode
+  const Mkb* mkb_;
+  const Mkb* mkb_prime_;
+  uint64_t base_version_ = 0;
   mutable std::once_flag graph_once_;
   mutable std::optional<JoinGraph> graph_prime_;
 };

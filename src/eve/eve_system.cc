@@ -12,6 +12,7 @@
 #include "cvs/explain.h"
 #include "esql/binder.h"
 #include "eve/journal.h"
+#include "eve/view_pool_io.h"
 #include "mkb/evolution.h"
 #include "mkb/serializer.h"
 #include "sql/parser.h"
@@ -60,6 +61,18 @@ std::string JoinNames(const std::vector<std::string>& names) {
     out += name;
   }
   return out;
+}
+
+// Strict decimal parse for journal record bodies carrying version ids.
+bool ParseDecimalU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -139,10 +152,32 @@ std::string ChangeReport::ToString() const {
 std::string RecoveryReport::ToString() const {
   std::ostringstream os;
   os << "recovery: replayed " << replayed << ", skipped " << skipped
-     << ", discarded " << discarded
-     << (torn_tail ? ", journal tail was torn" : "") << "\n";
+     << ", discarded " << discarded;
+  if (torn_tail) {
+    os << ", journal tail was torn (" << torn_bytes << " byte(s) dropped)";
+  }
+  os << "\n";
   for (const std::string& note : notes) os << "  " << note << "\n";
   return os.str();
+}
+
+std::string DryRunReport::ToString() const {
+  std::ostringstream os;
+  os << "dry-run against version " << base_version << " (nothing applied)\n"
+     << report.ToString();
+  const std::string sync = diagnostics.ToString();
+  if (!sync.empty()) os << "sync: " << sync << "\n";
+  return os.str();
+}
+
+EveSystem::EveSystem(Mkb mkb, CvsOptions options)
+    : options_(std::move(options)) {
+  mkb_tip_ = std::make_shared<const Mkb>(std::move(mkb));
+  versions_.Reset(mkb_tip_, SaveViews(*this), "initial");
+}
+
+uint64_t EveSystem::CommitVersion(const std::string& change_desc) {
+  return versions_.Commit(mkb_tip_, SaveViews(*this), change_desc);
 }
 
 Status EveSystem::JournalAppend(const JournalRecord& record) {
@@ -151,21 +186,23 @@ Status EveSystem::JournalAppend(const JournalRecord& record) {
 }
 
 Status EveSystem::ExtendMkb(std::string_view misd_text) {
-  Mkb extended = mkb_;
+  Mkb extended = *mkb_tip_;
   EVE_RETURN_IF_ERROR(AppendMisd(&extended, misd_text));
   EVE_RETURN_IF_ERROR(JournalAppend(
       {JournalRecordKind::kExtendMkb, std::string(misd_text)}));
-  mkb_ = std::move(extended);
+  mkb_tip_ = std::make_shared<const Mkb>(std::move(extended));
+  CommitVersion("extend-mkb");
   EVE_FAILPOINT(fp::kExtendMkbAfterJournal);
   return Status::OK();
 }
 
 Status EveSystem::RetractConstraint(const std::string& id) {
-  Mkb next = mkb_;
+  Mkb next = *mkb_tip_;
   EVE_RETURN_IF_ERROR(next.RemoveConstraint(id));
   EVE_RETURN_IF_ERROR(
       JournalAppend({JournalRecordKind::kRetractConstraint, id}));
-  mkb_ = std::move(next);
+  mkb_tip_ = std::make_shared<const Mkb>(std::move(next));
+  CommitVersion("retract " + id);
   EVE_FAILPOINT(fp::kRetractConstraintAfterJournal);
   return Status::OK();
 }
@@ -179,19 +216,25 @@ Status EveSystem::RegisterView(const ViewDefinition& view) {
   }
   // Re-validate against the current MKB state.
   EVE_ASSIGN_OR_RETURN(ViewDefinition bound,
-                       BindView(view.ToParsedView(), mkb_.catalog()));
+                       BindView(view.ToParsedView(), mkb().catalog()));
   EVE_RETURN_IF_ERROR(
       JournalAppend({JournalRecordKind::kRegisterView,
                      ViewRecordBody(ViewState::kActive, bound.ToString())}));
   RegisteredView registered;
   registered.definition = std::move(bound);
+  // The registration itself commits the version the view is validated
+  // against; replay re-stamps the same id because version commits replay
+  // deterministically.
+  registered.synced_at_version = versions_.NextId();
   const auto [it, inserted] = views_.emplace(view.name(), std::move(registered));
   IndexView(view.name(), it->second.definition);
+  CommitVersion("register view " + view.name());
   EVE_FAILPOINT(fp::kRegisterViewAfterJournal);
   return Status::OK();
 }
 
-Status EveSystem::RestoreView(ViewDefinition definition, ViewState state) {
+Status EveSystem::RestoreView(ViewDefinition definition, ViewState state,
+                              uint64_t synced_at_version) {
   if (definition.name().empty()) {
     return Status::InvalidArgument("view needs a non-empty name");
   }
@@ -199,22 +242,28 @@ Status EveSystem::RestoreView(ViewDefinition definition, ViewState state) {
     return Status::AlreadyExists("view already registered: " +
                                  definition.name());
   }
+  std::string head(state == ViewState::kActive ? "active" : "disabled");
+  if (synced_at_version != 0) {
+    head += "@" + std::to_string(synced_at_version);
+  }
   EVE_RETURN_IF_ERROR(
       JournalAppend({JournalRecordKind::kRegisterView,
-                     ViewRecordBody(state, definition.ToString())}));
+                     head + "\n" + definition.ToString()}));
   const std::string name = definition.name();
   RegisteredView registered;
   registered.definition = std::move(definition);
   registered.state = state;
+  registered.synced_at_version = synced_at_version;
   const auto [it, inserted] = views_.emplace(name, std::move(registered));
   IndexView(name, it->second.definition);
+  CommitVersion("restore view " + name);
   return Status::OK();
 }
 
 Status EveSystem::RegisterViewText(std::string_view text) {
   EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(text));
   EVE_ASSIGN_OR_RETURN(const ViewDefinition bound,
-                       BindView(parsed, mkb_.catalog()));
+                       BindView(parsed, mkb().catalog()));
   return RegisterView(bound);
 }
 
@@ -238,6 +287,7 @@ Status EveSystem::SetViewState(const std::string& name, ViewState state) {
                                                              : "disabled") +
                          "\n" + name}));
   it->second.state = state;
+  CommitVersion("set view state " + name);
   return Status::OK();
 }
 
@@ -333,20 +383,29 @@ void EveSystem::SetSyncParallelism(size_t threads) {
   }
 }
 
-Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
+Result<EveSystem::PreparedChange> EveSystem::PrepareChange(
+    const CapabilityChange& change) const {
   EVE_FAILPOINT(fp::kApplyChangeBeforeJournal);
-  ChangeReport report;
+  PreparedChange prepared;
+  prepared.change = change;
+  ChangeReport& report = prepared.report;
   report.change = change;
+
+  // Pin the tip: the whole prepare reads this one immutable version, so a
+  // concurrent reader (or the dry-run caller) can never observe a torn MKB.
+  const PinnedMkb base = versions_.Tip();
+  prepared.base_version = base.id();
 
   // Step 1: evolve the MKB.
   EVE_ASSIGN_OR_RETURN(MkbEvolutionReport evolution,
-                       EvolveMkb(mkb_, change));
+                       EvolveMkb(*base.mkb, change));
   report.dropped_constraints = evolution.dropped_constraints;
   report.weakened_constraints = evolution.weakened_constraints;
   EVE_FAILPOINT(fp::kApplyChangeAfterMkbEvolve);
 
   // Step 2: detect affected views.
   const std::vector<std::string> affected = AffectedViews(change);
+  prepared.affected = affected;
   for (const auto& [name, view] : views_) {
     if (view.state != ViewState::kActive) continue;
     const bool is_affected =
@@ -358,17 +417,20 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
   }
 
   // Step 3: synchronize each affected view. All mutations land on a copy of
-  // the pool so a failure anywhere leaves this system untouched; the copy,
-  // the evolved MKB and the log entry commit together at the end.
+  // the pool so discarding the PreparedChange (the dry-run/abort path)
+  // leaves this system untouched; the copy, the evolved MKB and the log
+  // entry commit together in CommitPrepared.
   //
   // The per-view CVS runs are independent of each other: they read the
   // shared SyncContext (MKB, MKB', and the lazily built join graph of
   // MKB') and write private result slots, so they fan out across the sync
   // pool. Everything order-dependent — outcome assembly, journaling, the
-  // commit — happens below on this thread in view-name order, making the
+  // commit — happens on this thread in view-name order, making the
   // result byte-identical at any parallelism.
   std::map<std::string, RegisteredView> next_views = views_;
-  const SyncContext context(mkb_, evolution.mkb);
+  prepared.next_mkb = std::make_shared<const Mkb>(std::move(evolution.mkb));
+  const SyncContext context(base.mkb, prepared.next_mkb,
+                            prepared.base_version);
 
   // Deadline tokens: one cancellable root per change, one child per
   // affected view. The logical work budget lives on the CHILDREN — each
@@ -506,7 +568,7 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
       // last-known snapshot, so the rewriting is provisional until the
       // source heals (SetSourceMembership clears the marks) or departs.
       const std::vector<std::string> degraded =
-          DegradedSourcesOf(registered.definition, evolution.mkb.catalog());
+          DegradedSourcesOf(registered.definition, prepared.next_mkb->catalog());
       registered.provisional_sources =
           std::set<std::string>(degraded.begin(), degraded.end());
       ViewOutcome outcome{name, ViewOutcomeKind::kRewritten, detail, {}};
@@ -524,43 +586,205 @@ Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
       report.outcomes.push_back(
           ViewOutcome{name, ViewOutcomeKind::kDisabled, detail, {}});
     }
+    // Rewritten or disabled, the view was synchronized against `base` and
+    // will carry the version this change commits (base + 1).
+    registered.synced_at_version = prepared.base_version + 1;
   }
   last_sync_stats_ = sync_stats;
   last_sync_diagnostics_ = std::move(diagnostics);
+  prepared.next_views = std::move(next_views);
+  EVE_FAILPOINT(fp::kPrepareChangeComplete);
+  return prepared;
+}
 
+Result<ChangeReport> EveSystem::CommitPrepared(PreparedChange prepared) {
+  if (prepared.base_version != versions_.tip_id()) {
+    return Status::FailedPrecondition(
+        "MKB advanced since prepare: prepared against version " +
+        std::to_string(prepared.base_version) + ", tip is " +
+        std::to_string(versions_.tip_id()));
+  }
   // Write-ahead: the change record must be durable before any of the
   // in-memory state commits.
   EVE_FAILPOINT(fp::kApplyChangeBeforeCommit);
-  EVE_RETURN_IF_ERROR(JournalAppend(
-      {JournalRecordKind::kApplyChange, SerializeChange(change)}));
+  EVE_RETURN_IF_ERROR(JournalAppend({JournalRecordKind::kApplyChange,
+                                     SerializeChange(prepared.change)}));
+  // Once the change record is durable, replay WILL commit — so a failure
+  // writing the (validation-only) version marker, or an injected ERROR at
+  // the swap site, must not stop the in-memory commit: the error is
+  // deferred past the swap and models a response lost after commit. A
+  // simulated CRASH may throw here: recovery replays to the post state.
+  Status deferred =
+      JournalAppend({JournalRecordKind::kVersionCommit,
+                     std::to_string(prepared.base_version + 1)});
+  const Status swap_hit = Failpoints::Instance().Hit(fp::kVersionBeforeSwap);
+  if (deferred.ok()) deferred = swap_hit;
   // Re-index the synchronized views: out with the pre-change definitions,
   // in with the rewritten ones (a disabled view keeps its definition and
   // thus its index entries).
-  for (const std::string& name : affected) {
+  for (const std::string& name : prepared.affected) {
     UnindexView(name, views_.at(name).definition);
   }
-  mkb_ = std::move(evolution.mkb);
-  views_ = std::move(next_views);
-  for (const std::string& name : affected) {
+  mkb_tip_ = prepared.next_mkb;
+  views_ = std::move(prepared.next_views);
+  for (const std::string& name : prepared.affected) {
     IndexView(name, views_.at(name).definition);
   }
-  change_log_.push_back(report);
+  change_log_.push_back(prepared.report);
+  CommitVersion(prepared.change.ToString());
+  const Status after = Failpoints::Instance().Hit(fp::kVersionAfterSwap);
+  if (deferred.ok()) deferred = after;
   // Past this point the change is committed both durably and in memory; an
   // injected error here models a response lost after commit.
   EVE_FAILPOINT(fp::kApplyChangeAfterJournal);
-  return report;
+  if (!deferred.ok()) return deferred;
+  return std::move(prepared.report);
+}
+
+Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {
+  EVE_ASSIGN_OR_RETURN(PreparedChange prepared, PrepareChange(change));
+  return CommitPrepared(std::move(prepared));
 }
 
 Result<ChangeReport> EveSystem::PreviewChange(
     const CapabilityChange& change) const {
-  // All state is value-typed: run the real pipeline on a scratch copy. The
-  // scratch must not write to the journal — previews are not state changes.
+  // The prepare phase IS the preview: full CVS into private state, then
+  // the result is discarded instead of committed. No scratch copy, no
+  // journal writes, no version churn.
+  EVE_ASSIGN_OR_RETURN(PreparedChange prepared, PrepareChange(change));
+  return std::move(prepared.report);
+}
+
+Result<DryRunReport> EveSystem::DryRunChange(
+    const CapabilityChange& change) const {
+  EVE_ASSIGN_OR_RETURN(PreparedChange prepared, PrepareChange(change));
+  DryRunReport dry;
+  dry.base_version = prepared.base_version;
+  dry.report = std::move(prepared.report);
+  dry.diagnostics = last_sync_diagnostics_;
+  return dry;
+}
+
+Result<DryRunReport> EveSystem::DryRunChangeAt(const CapabilityChange& change,
+                                               uint64_t version) const {
+  if (version == versions_.tip_id()) return DryRunChange(change);
+  // A what-if against an older version: rehearse the real flow (rollback,
+  // then apply) on a scratch copy. The scratch shares the immutable version
+  // segments, detaches the journal, and is discarded wholesale.
   EveSystem scratch(*this);
   scratch.journal_ = nullptr;
-  Result<ChangeReport> report = scratch.ApplyChange(change);
+  EVE_RETURN_IF_ERROR(scratch.RollbackToVersion(version).status());
+  EVE_ASSIGN_OR_RETURN(PreparedChange prepared, scratch.PrepareChange(change));
   last_sync_stats_ = scratch.last_sync_stats_;
   last_sync_diagnostics_ = scratch.last_sync_diagnostics_;
-  return report;
+  DryRunReport dry;
+  // The scratch rollback minted a fresh version id; report the version the
+  // caller asked about, since that is whose content the run was based on.
+  dry.base_version = version;
+  dry.report = std::move(prepared.report);
+  dry.diagnostics = last_sync_diagnostics_;
+  return dry;
+}
+
+Result<uint64_t> EveSystem::RollbackToVersion(uint64_t version) {
+  if (!versions_.HasVersion(version)) {
+    return Status::NotFound("no retained version " + std::to_string(version) +
+                            " (tip is " + std::to_string(versions_.tip_id()) +
+                            ")");
+  }
+  EVE_FAILPOINT(fp::kRollbackBeforeJournal);
+  // Stage everything fallible BEFORE the journal append: rebuild the pool
+  // in a scratch system bound against the pinned MKB, so a reparse/load
+  // failure (or an injected fault inside the loader) aborts with zero side
+  // effects and nothing durable. Past the append, the commit is pure
+  // pointer/map swaps that cannot fail — memory can never fall behind a
+  // durable kRollback record.
+  EVE_ASSIGN_OR_RETURN(const PinnedMkb pinned, versions_.Pin(version));
+  EVE_ASSIGN_OR_RETURN(const std::string views_text,
+                       versions_.ViewsAt(version));
+  EveSystem loader(Mkb(*pinned.mkb));
+  EVE_RETURN_IF_ERROR(LoadViews(views_text, &loader));
+  EVE_RETURN_IF_ERROR(JournalAppend(
+      {JournalRecordKind::kRollback, std::to_string(version)}));
+  // Journaled but not yet applied: an injected ERROR must still apply
+  // (replay would), so it is deferred past the restore; a CRASH throws and
+  // recovery replays the rollback.
+  Status deferred = Failpoints::Instance().Hit(fp::kRollbackAfterJournal);
+  // Surviving views keep their history: SaveViews does not persist it, so
+  // the restored pool alone would come back blank. The live map is the
+  // deterministic source — replay rebuilds the same histories.
+  std::map<std::string, std::vector<std::string>> histories;
+  for (const auto& [name, view] : views_) histories[name] = view.history;
+  mkb_tip_ = pinned.mkb;
+  views_ = std::move(loader.views_);
+  RebuildViewIndex();
+  for (auto& [name, view] : views_) {
+    const auto it = histories.find(name);
+    if (it != histories.end()) view.history = it->second;
+    view.history.push_back("rolled back to version " +
+                           std::to_string(version));
+  }
+  const uint64_t new_version =
+      CommitVersion("rollback to version " + std::to_string(version));
+  const Status after = Failpoints::Instance().Hit(fp::kRollbackAfterRestore);
+  if (deferred.ok()) deferred = after;
+  if (!deferred.ok()) return deferred;
+  return new_version;
+}
+
+VersionScrubStats EveSystem::ScrubVersions() const {
+  VersionScrubStats stats = versions_.Scrub();
+  // Every view's synced-at stamp must name a retained version.
+  for (const auto& [name, view] : views_) {
+    if (view.synced_at_version >= versions_.NextId()) {
+      ++stats.corruptions;
+      stats.findings.push_back(
+          "view " + name + ": synced_at_version " +
+          std::to_string(view.synced_at_version) +
+          " names a version that was never committed (next id " +
+          std::to_string(versions_.NextId()) + ")");
+    }
+  }
+  // The live MKB must re-render byte-identically to the tip version's MISD
+  // segments — catches a tip pointer / version chain split-brain.
+  const std::array<std::string, 4> live = RenderMkbSegments(*mkb_tip_);
+  const PinnedMkb tip = versions_.Tip();
+  if (tip.version != nullptr && tip.version->segments.size() >= live.size()) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      const auto& segment = tip.version->segments[i];
+      if (segment != nullptr && segment->body != live[i]) {
+        ++stats.corruptions;
+        stats.findings.push_back("live MKB diverges from tip version " +
+                                 std::to_string(tip.id()) + " segment " +
+                                 segment->name);
+      }
+    }
+  }
+  return stats;
+}
+
+Status EveSystem::SetViewSyncedVersion(const std::string& name,
+                                       uint64_t version) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view not registered: " + name);
+  }
+  it->second.synced_at_version = version;
+  return Status::OK();
+}
+
+Status EveSystem::RestoreVersionStore(MkbVersionStore store) {
+  // The checkpoint's MKB section and its VERSIONS tip must agree; view
+  // text may legitimately diverge (heal-time provisional un-marking does
+  // not commit versions), so only the MKB is cross-checked.
+  const PinnedMkb tip = store.Tip();
+  if (tip.mkb == nullptr || SaveMkb(*tip.mkb) != SaveMkb(*mkb_tip_)) {
+    return Status::ParseError(
+        "checkpoint VERSIONS tip does not re-render to the MKB section");
+  }
+  versions_ = store;
+  mkb_tip_ = versions_.Tip().mkb;
+  return Status::OK();
 }
 
 void EveSystem::CancelActiveSync() const {
@@ -620,12 +844,15 @@ Result<std::vector<ChangeReport>> EveSystem::DrainSyncQueue() {
 
 Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
     const std::vector<CapabilityChange>& changes, bool transactional) {
-  // Snapshot for rollback: all state members are value types.
-  Mkb mkb_snapshot;
+  // Snapshot for rollback: all state members are value types (the version
+  // store copy shares its immutable segments, so it is cheap).
+  MkbVersionStore versions_snapshot;
+  std::shared_ptr<const Mkb> tip_snapshot;
   std::map<std::string, RegisteredView> views_snapshot;
   std::vector<ChangeReport> log_snapshot;
   if (transactional) {
-    mkb_snapshot = mkb_;
+    versions_snapshot = versions_;
+    tip_snapshot = mkb_tip_;
     views_snapshot = views_;
     log_snapshot = change_log_;
     // Bracket the batch so replay discards it unless the commit marker
@@ -645,7 +872,8 @@ Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
         injected.ok() ? ApplyChange(change) : Result<ChangeReport>(injected);
     if (!report.ok()) {
       if (transactional) {
-        mkb_ = std::move(mkb_snapshot);
+        versions_ = std::move(versions_snapshot);
+        mkb_tip_ = std::move(tip_snapshot);
         views_ = std::move(views_snapshot);
         change_log_ = std::move(log_snapshot);
         RebuildViewIndex();
@@ -663,7 +891,8 @@ Result<std::vector<ChangeReport>> EveSystem::ApplyChanges(
     if (!committed.ok()) {
       // The commit marker never reached disk, so replay will discard the
       // batch; roll back memory to match that outcome.
-      mkb_ = std::move(mkb_snapshot);
+      versions_ = std::move(versions_snapshot);
+      mkb_tip_ = std::move(tip_snapshot);
       views_ = std::move(views_snapshot);
       change_log_ = std::move(log_snapshot);
       RebuildViewIndex();
@@ -686,7 +915,7 @@ Result<std::vector<ChangeReport>> EveSystem::DepartSource(
 Result<std::vector<ChangeReport>> EveSystem::LeaveCascade(
     const std::string& source, bool require_relations) {
   const std::vector<std::string> relations =
-      mkb_.catalog().RelationsOfSource(source);
+      mkb().catalog().RelationsOfSource(source);
   if (relations.empty() && require_relations) {
     return Status::NotFound("no relations exported by source: " + source);
   }
@@ -695,13 +924,15 @@ Result<std::vector<ChangeReport>> EveSystem::LeaveCascade(
   // all. Snapshot for rollback — all state members are value types — and
   // bracket the journal records as a batch so a crash mid-cascade replays
   // to the pre-leave state, mirroring the in-memory rollback.
-  Mkb mkb_snapshot = mkb_;
+  MkbVersionStore versions_snapshot = versions_;
+  std::shared_ptr<const Mkb> tip_snapshot = mkb_tip_;
   std::map<std::string, RegisteredView> views_snapshot = views_;
   std::vector<ChangeReport> log_snapshot = change_log_;
   std::map<std::string, federation::SourceMembership> membership_snapshot =
       membership_;
   const auto rollback = [&] {
-    mkb_ = std::move(mkb_snapshot);
+    versions_ = std::move(versions_snapshot);
+    mkb_tip_ = std::move(tip_snapshot);
     views_ = std::move(views_snapshot);
     change_log_ = std::move(log_snapshot);
     membership_ = std::move(membership_snapshot);
@@ -812,14 +1043,32 @@ Status EveSystem::ReplayRecord(const JournalRecord& record) {
     case JournalRecordKind::kRetractConstraint:
       return RetractConstraint(record.body);
     case JournalRecordKind::kRegisterView: {
-      std::string state_word, text;
-      EVE_RETURN_IF_ERROR(SplitRecordBody(record.body, &state_word, &text));
-      if (state_word == "active") return RegisterViewText(text);
+      std::string head, text;
+      EVE_RETURN_IF_ERROR(SplitRecordBody(record.body, &head, &text));
+      // The state word may carry a "@<synced_at_version>" suffix (restored
+      // views whose stamp predates this system's version chain).
+      std::string state_word = head;
+      uint64_t synced_at = 0;
+      const size_t at = head.find('@');
+      if (at != std::string::npos) {
+        state_word = head.substr(0, at);
+        if (!ParseDecimalU64(head.substr(at + 1), &synced_at)) {
+          return Status::ParseError("malformed synced-at suffix: " + head);
+        }
+      }
+      if (state_word == "active") {
+        EVE_RETURN_IF_ERROR(RegisterViewText(text));
+        if (synced_at != 0) {
+          EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(text));
+          return SetViewSyncedVersion(parsed.name, synced_at);
+        }
+        return Status::OK();
+      }
       // Disabled views restore verbatim: their definitions may reference
       // capabilities that no longer bind.
       EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(text));
       EVE_ASSIGN_OR_RETURN(ViewDefinition unbound, BindViewUnchecked(parsed));
-      return RestoreView(std::move(unbound), ViewState::kDisabled);
+      return RestoreView(std::move(unbound), ViewState::kDisabled, synced_at);
     }
     case JournalRecordKind::kSetViewState: {
       std::string state_word, name;
@@ -838,6 +1087,30 @@ Status EveSystem::ReplayRecord(const JournalRecord& record) {
       EVE_ASSIGN_OR_RETURN(const federation::NamedMembership named,
                            federation::ParseMembership(record.body));
       return SetSourceMembership(named.source, named.membership);
+    }
+    case JournalRecordKind::kVersionCommit: {
+      // Validation marker: the replayed chain must have reached exactly the
+      // version the original commit created, else checkpoint and journal
+      // come from diverged histories.
+      uint64_t expected = 0;
+      if (!ParseDecimalU64(record.body, &expected)) {
+        return Status::ParseError("malformed version-commit record: " +
+                                  record.body);
+      }
+      if (versions_.tip_id() != expected) {
+        return Status::Internal(
+            "version divergence on replay: journal committed version " +
+            std::to_string(expected) + ", replay reached " +
+            std::to_string(versions_.tip_id()));
+      }
+      return Status::OK();
+    }
+    case JournalRecordKind::kRollback: {
+      uint64_t target = 0;
+      if (!ParseDecimalU64(record.body, &target)) {
+        return Status::ParseError("malformed rollback record: " + record.body);
+      }
+      return RollbackToVersion(target).status();
     }
     case JournalRecordKind::kBeginBatch:
     case JournalRecordKind::kCommitBatch:

@@ -24,6 +24,7 @@
 #include "federation/membership.h"
 #include "mkb/capability_change.h"
 #include "mkb/mkb.h"
+#include "mkb/version_store.h"
 
 namespace eve {
 
@@ -43,6 +44,11 @@ struct RegisteredView {
   // rewriting used last-known (possibly stale) constraints from those
   // sources; the marks clear when every listed source heals to HEALTHY.
   std::set<std::string> provisional_sources;
+  // The MKB version this view's definition was last validated or
+  // synchronized against: the version created by its registration, by the
+  // ApplyChange that last rewrote it, or carried verbatim through a
+  // rollback. The scrubber checks it always names a retained version.
+  uint64_t synced_at_version = 0;
 };
 
 enum class ViewOutcomeKind { kUnaffected, kRewritten, kDisabled };
@@ -117,17 +123,82 @@ struct RecoveryReport {
                              // also failed in the original run)
   size_t discarded = 0;      // records in uncommitted batches
   bool torn_tail = false;    // journal ended in a torn record
+  size_t torn_bytes = 0;     // bytes dropped with the torn tail
   std::vector<std::string> notes;
+
+  std::string ToString() const;
+};
+
+// The outcome of a what-if synchronization (DryRunChange / DryRunChangeAt):
+// exactly the ChangeReport a commit from `base_version` would produce, plus
+// the sync diagnostics of the run — with zero side effects on the system.
+struct DryRunReport {
+  uint64_t base_version = 0;  // the pinned version the CVS run read
+  ChangeReport report;
+  SyncDiagnostics diagnostics;
 
   std::string ToString() const;
 };
 
 class EveSystem {
  public:
-  explicit EveSystem(Mkb mkb, CvsOptions options = {})
-      : mkb_(std::move(mkb)), options_(std::move(options)) {}
+  explicit EveSystem(Mkb mkb, CvsOptions options = {});
 
-  const Mkb& mkb() const { return mkb_; }
+  // The live (tip) MKB. Reads through the pinned tip snapshot, so copies
+  // of the returned reference stay valid while a caller holds PinTip().
+  const Mkb& mkb() const { return *mkb_tip_; }
+
+  // --- Versioning ----------------------------------------------------------
+  //
+  // Every journaled mutation (MKB extension/retraction, view registration
+  // and state flips, capability changes, rollbacks) commits a new immutable
+  // version into the copy-on-write chain; reads can pin any retained
+  // version in O(1) and are never blocked (or torn) by a running
+  // synchronization. Federation membership rows are deliberately NOT
+  // versioned: a healed run must stay byte-identical to a fault-free run.
+
+  const MkbVersionStore& versions() const { return versions_; }
+  uint64_t current_version() const { return versions_.tip_id(); }
+
+  // O(1) snapshot of the tip (shared_ptr swap, no copy, no parse).
+  PinnedMkb PinTip() const { return versions_.Tip(); }
+  // Pins an arbitrary retained version (non-tip versions reparse).
+  Result<PinnedMkb> PinVersion(uint64_t version) const {
+    return versions_.Pin(version);
+  }
+  // The serialized view pool frozen at `version` (AT VERSION n reads).
+  Result<std::string> ViewsTextAt(uint64_t version) const {
+    return versions_.ViewsAt(version);
+  }
+
+  // What-if synchronization: runs the full prepare phase (MKB evolution,
+  // affected-view detection, CVS) against the pinned tip and ABORTS —
+  // nothing is journaled, no version is created, MKB and views are
+  // byte-unchanged. The report matches what ApplyChange would commit.
+  Result<DryRunReport> DryRunChange(const CapabilityChange& change) const;
+  // Same, against retained version `version`: the report a
+  // RollbackToVersion(version) followed by ApplyChange(change) would
+  // produce, again with zero side effects.
+  Result<DryRunReport> DryRunChangeAt(const CapabilityChange& change,
+                                      uint64_t version) const;
+
+  // Restores MKB and view pool to retained version `version`, committed as
+  // a NEW journaled version (kRollback) — history is never truncated, so a
+  // rollback can itself be rolled back. Surviving views keep their full
+  // history plus a rollback marker. Returns the new version's id.
+  Result<uint64_t> RollbackToVersion(uint64_t version);
+
+  // Integrity scrub: the whole version chain (segment checksums, version
+  // checksums, id sequence, parent links — see MkbVersionStore::Scrub)
+  // plus every view's synced_at_version naming a retained version and the
+  // live MKB re-rendering byte-identically to the tip version's segments.
+  VersionScrubStats ScrubVersions() const;
+
+  // Checkpoint loading only: overrides a view's synced-at stamp verbatim.
+  Status SetViewSyncedVersion(const std::string& name, uint64_t version);
+  // Checkpoint loading only: replaces the version chain (the live MKB must
+  // re-render to the store's tip, else the checkpoint is inconsistent).
+  Status RestoreVersionStore(MkbVersionStore store);
 
   // Additive MKB evolution: a (new or existing) source publishes MISD
   // statements — relations, join constraints, function-of constraints, PC
@@ -331,10 +402,12 @@ class EveSystem {
   void AttachJournal(Journal* journal) { journal_ = journal; }
   Journal* journal() const { return journal_; }
 
-  // Restores a view verbatim — no re-binding, no journaling. Used by
-  // checkpoint/pool loading, where a disabled view's definition may
-  // reference capabilities the current MKB no longer has.
-  Status RestoreView(ViewDefinition definition, ViewState state);
+  // Restores a view verbatim — no re-binding. Used by checkpoint/pool
+  // loading, where a disabled view's definition may reference capabilities
+  // the current MKB no longer has. `synced_at_version` is carried verbatim
+  // (0 = unknown/legacy pools).
+  Status RestoreView(ViewDefinition definition, ViewState state,
+                     uint64_t synced_at_version = 0);
 
   // Replaces the change log wholesale (checkpoint loading only).
   void RestoreChangeLog(std::vector<ChangeReport> log) {
@@ -352,6 +425,27 @@ class EveSystem {
                                    RecoveryReport* report = nullptr);
 
  private:
+  // The abortable first phase of a capability change: MKB evolution,
+  // affected-view detection and the full CVS fan-out, all against the
+  // pinned tip version and all into private state. Discarding the result
+  // IS the dry-run/abort path; CommitPrepared is the commit path.
+  struct PreparedChange {
+    CapabilityChange change;
+    uint64_t base_version = 0;  // tip id the prepare ran against
+    std::shared_ptr<const Mkb> next_mkb;
+    std::map<std::string, RegisteredView> next_views;
+    std::vector<std::string> affected;
+    ChangeReport report;
+  };
+  Result<PreparedChange> PrepareChange(const CapabilityChange& change) const;
+  // Journals (kApplyChange + kVersionCommit), swaps the tip pointer and
+  // view pool, and commits the new version. Fails with kFailedPrecondition
+  // if the tip advanced since the prepare.
+  Result<ChangeReport> CommitPrepared(PreparedChange prepared);
+
+  // Commits the current live state as a new version.
+  uint64_t CommitVersion(const std::string& change_desc);
+
   // Appends to the attached journal, if any.
   Status JournalAppend(const JournalRecord& record);
   // Replays one journal record onto this system (no journaling).
@@ -378,7 +472,10 @@ class EveSystem {
   void UnindexView(const std::string& name, const ViewDefinition& definition);
   void RebuildViewIndex();
 
-  Mkb mkb_;
+  // The live MKB is the immutable snapshot behind the version-store tip;
+  // commits swap the pointer, so pinned readers keep the old snapshot.
+  MkbVersionStore versions_;
+  std::shared_ptr<const Mkb> mkb_tip_;
   CvsOptions options_;
   std::map<std::string, RegisteredView> views_;
   // relation name / "rel\x1f attr" key → names of views referencing it.

@@ -14,6 +14,7 @@
 #include "eve/view_pool_io.h"
 #include "federation/membership.h"
 #include "mkb/serializer.h"
+#include "mkb/version_store.h"
 
 namespace eve {
 
@@ -32,6 +33,9 @@ constexpr char kSectionViews[] = "-- SECTION VIEWS";
 constexpr char kSectionChangeLog[] = "-- SECTION CHANGELOG";
 // Optional (absent in pre-federation checkpoints): membership rows.
 constexpr char kSectionFederation[] = "-- SECTION FEDERATION";
+// Optional (absent in pre-versioning checkpoints): the serialized MKB
+// version chain (MkbVersionStore::Serialize).
+constexpr char kSectionVersions[] = "-- SECTION VERSIONS";
 constexpr char kSectionEnd[] = "-- SECTION END";
 
 Status Errno(const std::string& what, const std::string& path) {
@@ -57,7 +61,7 @@ uint32_t GetU32(std::string_view bytes, size_t offset) {
 
 bool IsKnownRecordKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(JournalRecordKind::kExtendMkb) &&
-         kind <= static_cast<uint8_t>(JournalRecordKind::kSourceMembership);
+         kind <= static_cast<uint8_t>(JournalRecordKind::kRollback);
 }
 
 Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
@@ -199,6 +203,7 @@ Result<JournalScan> ScanJournalBytes(std::string_view bytes) {
                       std::string(payload.substr(1))});
     pos += kFrameHeaderSize + length;
   }
+  if (scan.torn_tail) scan.dropped_bytes = bytes.size() - pos;
   return scan;
 }
 
@@ -230,6 +235,7 @@ std::string RenderCheckpoint(const EveSystem& system) {
     os << SerializeChange(report.change) << "\n";
   }
   os << kSectionFederation << "\n" << SaveFederation(system);
+  os << kSectionVersions << "\n" << system.versions().Serialize();
   os << kSectionEnd << "\n";
   return os.str();
 }
@@ -284,20 +290,30 @@ Result<EveSystem> LoadCheckpoint(std::string_view text) {
   if (log_at == std::string_view::npos) {
     return Status::ParseError("checkpoint missing CHANGELOG section");
   }
-  // FEDERATION is optional: pre-federation checkpoints go straight from
-  // CHANGELOG to END.
+  // FEDERATION and VERSIONS are optional: older checkpoints go straight
+  // from CHANGELOG to END.
   size_t federation_start = 0;
   const size_t federation_at =
       FindSection(text, kSectionFederation, log_start, &federation_start);
-  const size_t end_from =
+  const size_t versions_from =
       federation_at == std::string_view::npos ? log_start : federation_start;
+  size_t versions_start = 0;
+  const size_t versions_at =
+      FindSection(text, kSectionVersions, versions_from, &versions_start);
+  const size_t end_from =
+      versions_at == std::string_view::npos ? versions_from : versions_start;
   const size_t end_at = FindSection(text, kSectionEnd, end_from, &end_start);
   if (end_at == std::string_view::npos) {
     return Status::ParseError(
         "checkpoint missing END section (torn checkpoint?)");
   }
+  const size_t versions_end = end_at;
+  const size_t federation_end =
+      versions_at == std::string_view::npos ? end_at : versions_at;
   const size_t log_end =
-      federation_at == std::string_view::npos ? end_at : federation_at;
+      federation_at != std::string_view::npos
+          ? federation_at
+          : (versions_at != std::string_view::npos ? versions_at : end_at);
 
   EVE_ASSIGN_OR_RETURN(Mkb mkb,
                        LoadMkb(text.substr(mkb_start, views_at - mkb_start)));
@@ -315,14 +331,22 @@ Result<EveSystem> LoadCheckpoint(std::string_view text) {
   system.RestoreChangeLog(std::move(log));
   if (federation_at != std::string_view::npos) {
     std::map<std::string, federation::SourceMembership> table;
-    for (const std::string& line : Split(
-             text.substr(federation_start, end_at - federation_start), '\n')) {
+    for (const std::string& line :
+         Split(text.substr(federation_start, federation_end - federation_start),
+               '\n')) {
       if (Trim(line).empty()) continue;
       EVE_ASSIGN_OR_RETURN(const federation::NamedMembership named,
                            federation::ParseMembership(line));
       table[named.source] = named.membership;
     }
     system.RestoreSourceMembership(std::move(table));
+  }
+  if (versions_at != std::string_view::npos) {
+    EVE_ASSIGN_OR_RETURN(
+        MkbVersionStore store,
+        MkbVersionStore::Deserialize(
+            text.substr(versions_start, versions_end - versions_start)));
+    EVE_RETURN_IF_ERROR(system.RestoreVersionStore(std::move(store)));
   }
   return system;
 }
@@ -345,6 +369,7 @@ Result<EveSystem> RecoverFromFiles(const std::string& checkpoint_path,
   RecoveryReport local;
   RecoveryReport& out = report != nullptr ? *report : local;
   out.torn_tail = scan.torn_tail;
+  out.torn_bytes = scan.dropped_bytes;
   return EveSystem::Recover(checkpoint_text, scan.records, &out);
 }
 

@@ -42,6 +42,13 @@ enum class JournalRecordKind : uint8_t {
   // One federation membership row (SerializeMembership line); replays via
   // SetSourceMembership, including its heal-time un-marking side effects.
   kSourceMembership = 9,
+  // Marks the version id a kApplyChange commit created (decimal body);
+  // replay validates the replayed chain reached the same id, so a
+  // checkpoint/journal pair from diverged histories is caught.
+  kVersionCommit = 10,
+  // RollbackToVersion(n): decimal target version in the body. Replays via
+  // RollbackToVersion, committing the restored state as a new version.
+  kRollback = 11,
 };
 
 struct JournalRecord {
@@ -85,6 +92,10 @@ struct JournalScan {
   // True when trailing bytes after the valid prefix were dropped (torn
   // final record or corruption); recovery proceeds from the prefix.
   bool torn_tail = false;
+  // How many trailing bytes were dropped — surfaced through
+  // RecoveryReport so operators can distinguish clean recovery from
+  // truncation.
+  size_t dropped_bytes = 0;
 };
 
 // Parses raw journal bytes (magic + frames). Never fails on torn or

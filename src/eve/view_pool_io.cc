@@ -27,6 +27,11 @@ std::string SaveViews(const EveSystem& system) {
         first = false;
       }
     }
+    if (view->synced_at_version != 0) {
+      // The MKB version the view was last synchronized against; omitted
+      // when unknown so legacy pools keep their format.
+      os << " synced_at=" << view->synced_at_version;
+    }
     os << "\n" << view->definition.ToString() << ";\n\n";
   }
   return os.str();
@@ -48,17 +53,37 @@ Status LoadViews(std::string_view text, EveSystem* system) {
         Trim(text.substr(header + 8, header_end - header - 8));
     std::string_view state_word = header_rest;
     std::set<std::string> provisional;
+    uint64_t synced_at = 0;
     const size_t space = header_rest.find(' ');
     if (space != std::string_view::npos) {
       state_word = Trim(header_rest.substr(0, space));
-      const std::string_view extra = Trim(header_rest.substr(space + 1));
-      if (!StartsWith(extra, "provisional=")) {
-        return Status::ParseError("unknown view header token: " +
-                                  std::string(extra));
-      }
-      for (const std::string& source :
-           Split(extra.substr(std::string_view("provisional=").size()), ',')) {
-        if (!Trim(source).empty()) provisional.insert(std::string(Trim(source)));
+      for (const std::string& token :
+           Split(Trim(header_rest.substr(space + 1)), ' ')) {
+        const std::string_view extra = Trim(token);
+        if (extra.empty()) continue;
+        if (StartsWith(extra, "provisional=")) {
+          for (const std::string& source : Split(
+                   extra.substr(std::string_view("provisional=").size()),
+                   ',')) {
+            if (!Trim(source).empty()) {
+              provisional.insert(std::string(Trim(source)));
+            }
+          }
+        } else if (StartsWith(extra, "synced_at=")) {
+          const std::string_view digits =
+              extra.substr(std::string_view("synced_at=").size());
+          synced_at = 0;
+          for (const char c : digits) {
+            if (c < '0' || c > '9') {
+              return Status::ParseError("malformed synced_at token: " +
+                                        std::string(extra));
+            }
+            synced_at = synced_at * 10 + static_cast<uint64_t>(c - '0');
+          }
+        } else {
+          return Status::ParseError("unknown view header token: " +
+                                    std::string(extra));
+        }
       }
     }
     ViewState state;
@@ -89,12 +114,17 @@ Status LoadViews(std::string_view text, EveSystem* system) {
       EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
       view_name = parsed.name;
       EVE_ASSIGN_OR_RETURN(ViewDefinition bound, BindViewUnchecked(parsed));
-      EVE_RETURN_IF_ERROR(
-          system->RestoreView(std::move(bound), ViewState::kDisabled));
+      EVE_RETURN_IF_ERROR(system->RestoreView(std::move(bound),
+                                              ViewState::kDisabled, synced_at));
     }
     if (!provisional.empty()) {
       EVE_RETURN_IF_ERROR(system->SetViewProvisionalSources(
           view_name, std::move(provisional)));
+    }
+    if (synced_at != 0) {
+      // Active views re-registered above got a fresh registration stamp;
+      // the saved stamp wins (it names the version the pool was frozen at).
+      EVE_RETURN_IF_ERROR(system->SetViewSyncedVersion(view_name, synced_at));
     }
     pos = body_end + 1;
   }

@@ -1,0 +1,62 @@
+#include "mkb/scrubber.h"
+
+#include <utility>
+
+namespace eve {
+
+VersionScrubStats MkbScrubber::RunOnce() {
+  VersionScrubStats stats = store_->Scrub();
+  std::lock_guard<std::mutex> lock(mu_);
+  last_ = stats;
+  ++passes_;
+  total_corruptions_ += stats.corruptions;
+  return stats;
+}
+
+void MkbScrubber::Start(std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this, interval] {
+    for (;;) {
+      VersionScrubStats stats = store_->Scrub();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        last_ = std::move(stats);
+        ++passes_;
+        total_corruptions_ += last_.corruptions;
+        if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+      }
+    }
+  });
+}
+
+void MkbScrubber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+VersionScrubStats MkbScrubber::last_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+uint64_t MkbScrubber::passes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passes_;
+}
+
+uint64_t MkbScrubber::total_corruptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_corruptions_;
+}
+
+}  // namespace eve

@@ -310,46 +310,68 @@ std::string RenderRelationMisd(const RelationDef& def) {
   return os.str();
 }
 
+std::array<std::string, 4> RenderMkbSegments(const Mkb& mkb) {
+  std::array<std::string, 4> segments;
+  {
+    std::ostringstream os;
+    for (const std::string& name : mkb.catalog().RelationNames()) {
+      const RelationDef& def = *mkb.catalog().GetRelation(name).value();
+      os << RenderRelationMisd(def) << "\n";
+    }
+    segments[0] = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (const JoinConstraint& jc : mkb.join_constraints()) {
+      os << "JOIN CONSTRAINT " << QuoteIdentifier(jc.id) << " BETWEEN "
+         << QuoteIdentifier(jc.lhs) << " AND " << QuoteIdentifier(jc.rhs)
+         << " WHERE ";
+      for (size_t i = 0; i < jc.clauses.size(); ++i) {
+        if (i > 0) os << " AND ";
+        os << PrintExpression(*jc.clauses[i]);
+      }
+      os << "\n";
+    }
+    segments[1] = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (const FunctionOfConstraint& fc : mkb.function_of_constraints()) {
+      os << "FUNCTION " << QuoteIdentifier(fc.id) << " "
+         << QuoteIdentifier(fc.target.relation) << "."
+         << QuoteIdentifier(fc.target.attribute) << " = "
+         << PrintExpression(*fc.fn) << "\n";
+    }
+    segments[2] = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (const PCConstraint& pc : mkb.pc_constraints()) {
+      std::ostringstream line;
+      line << "PC " << QuoteIdentifier(pc.id) << " "
+           << QuoteIdentifier(pc.lhs_relation) << " ";
+      AppendAttrList(&line, pc.lhs_attrs);
+      if (pc.lhs_condition != nullptr) {
+        line << " WHERE (" << PrintExpression(*pc.lhs_condition) << ")";
+      }
+      line << " " << SetRelationKeyword(pc.relation) << " "
+           << QuoteIdentifier(pc.rhs_relation) << " ";
+      AppendAttrList(&line, pc.rhs_attrs);
+      if (pc.rhs_condition != nullptr) {
+        line << " WHERE (" << PrintExpression(*pc.rhs_condition) << ")";
+      }
+      os << line.str() << "\n";
+    }
+    segments[3] = os.str();
+  }
+  return segments;
+}
+
 std::string SaveMkb(const Mkb& mkb) {
-  std::ostringstream os;
-  os << "-- MISD description (generated)\n";
-  for (const std::string& name : mkb.catalog().RelationNames()) {
-    const RelationDef& def = *mkb.catalog().GetRelation(name).value();
-    os << RenderRelationMisd(def) << "\n";
-  }
-  for (const JoinConstraint& jc : mkb.join_constraints()) {
-    os << "JOIN CONSTRAINT " << QuoteIdentifier(jc.id) << " BETWEEN "
-       << QuoteIdentifier(jc.lhs) << " AND " << QuoteIdentifier(jc.rhs)
-       << " WHERE ";
-    for (size_t i = 0; i < jc.clauses.size(); ++i) {
-      if (i > 0) os << " AND ";
-      os << PrintExpression(*jc.clauses[i]);
-    }
-    os << "\n";
-  }
-  for (const FunctionOfConstraint& fc : mkb.function_of_constraints()) {
-    os << "FUNCTION " << QuoteIdentifier(fc.id) << " "
-       << QuoteIdentifier(fc.target.relation) << "."
-       << QuoteIdentifier(fc.target.attribute) << " = "
-       << PrintExpression(*fc.fn) << "\n";
-  }
-  for (const PCConstraint& pc : mkb.pc_constraints()) {
-    std::ostringstream line;
-    line << "PC " << QuoteIdentifier(pc.id) << " "
-         << QuoteIdentifier(pc.lhs_relation) << " ";
-    AppendAttrList(&line, pc.lhs_attrs);
-    if (pc.lhs_condition != nullptr) {
-      line << " WHERE (" << PrintExpression(*pc.lhs_condition) << ")";
-    }
-    line << " " << SetRelationKeyword(pc.relation) << " "
-         << QuoteIdentifier(pc.rhs_relation) << " ";
-    AppendAttrList(&line, pc.rhs_attrs);
-    if (pc.rhs_condition != nullptr) {
-      line << " WHERE (" << PrintExpression(*pc.rhs_condition) << ")";
-    }
-    os << line.str() << "\n";
-  }
-  return os.str();
+  const std::array<std::string, 4> segments = RenderMkbSegments(mkb);
+  std::string out = "-- MISD description (generated)\n";
+  for (const std::string& segment : segments) out += segment;
+  return out;
 }
 
 Result<Mkb> LoadMkb(std::string_view text) {

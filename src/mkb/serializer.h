@@ -16,6 +16,7 @@
 #ifndef EVE_MKB_SERIALIZER_H_
 #define EVE_MKB_SERIALIZER_H_
 
+#include <array>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,13 @@ namespace eve {
 
 // Renders the full MKB in MISD text form; LoadMkb(SaveMkb(m)) reproduces m.
 std::string SaveMkb(const Mkb& mkb);
+
+// The four MISD blocks of SaveMkb, rendered separately (relations, join
+// constraints, function-of constraints, PC constraints — in that order).
+// Concatenating all four reparses to the same MKB; the version store
+// checksums and shares these segments individually so that a change
+// touching only one block reuses the other three byte-for-byte.
+std::array<std::string, 4> RenderMkbSegments(const Mkb& mkb);
 
 // Renders one relation as its MISD SOURCE statement (no trailing newline).
 // Also used to encode add-relation capability changes in the change journal.

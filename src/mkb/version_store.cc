@@ -1,0 +1,544 @@
+#include "mkb/version_store.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/str_util.h"
+#include "mkb/serializer.h"
+
+namespace eve {
+
+const char* const kVersionSegmentNames[kNumVersionSegments] = {
+    "RELATIONS", "JOINS", "FUNCTIONS", "PCS", "VIEWS"};
+
+namespace {
+
+// Change descriptions live on one line of the VERSIONS section, so any
+// embedded newline would break the framing.
+std::string SanitizeChange(std::string change) {
+  std::replace(change.begin(), change.end(), '\n', ' ');
+  std::replace(change.begin(), change.end(), '\r', ' ');
+  return change;
+}
+
+std::shared_ptr<const MkbVersionSegment> MakeSegment(const char* name,
+                                                     std::string body) {
+  auto segment = std::make_shared<MkbVersionSegment>();
+  segment->name = name;
+  segment->crc = Crc32(body);
+  segment->body = std::move(body);
+  return segment;
+}
+
+std::string ToHex(uint32_t value) {
+  std::ostringstream os;
+  os << std::hex << value;
+  return os.str();
+}
+
+bool ParseHex32(const std::string& word, uint32_t* out) {
+  if (word.empty() || word.size() > 8) return false;
+  uint32_t value = 0;
+  for (const char c : word) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseU64(const std::string& word, uint64_t* out) {
+  if (word.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : word) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string VersionScrubStats::ToString() const {
+  std::ostringstream os;
+  os << "versions=" << versions_checked << " segments=" << segments_checked
+     << " shared=" << segments_shared << " corruptions=" << corruptions;
+  for (const std::string& finding : findings) {
+    os << "\n  scrub: " << finding;
+  }
+  return os.str();
+}
+
+MkbVersionStore::MkbVersionStore(const MkbVersionStore& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  versions_ = other.versions_;
+  tip_mkb_ = other.tip_mkb_;
+}
+
+MkbVersionStore& MkbVersionStore::operator=(const MkbVersionStore& other) {
+  if (this == &other) return *this;
+  std::vector<std::shared_ptr<const MkbVersion>> versions;
+  std::shared_ptr<const Mkb> tip;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    versions = other.versions_;
+    tip = other.tip_mkb_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  versions_ = std::move(versions);
+  tip_mkb_ = std::move(tip);
+  return *this;
+}
+
+void MkbVersionStore::Reset(std::shared_ptr<const Mkb> mkb,
+                            std::string views_text, std::string change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  versions_.clear();
+  tip_mkb_ = nullptr;
+  auto node = std::make_shared<MkbVersion>();
+  node->id = 0;
+  node->parent = 0;
+  node->change = SanitizeChange(std::move(change));
+  std::array<std::string, 4> rendered = RenderMkbSegments(*mkb);
+  for (size_t i = 0; i < 4; ++i) {
+    node->segments.push_back(
+        MakeSegment(kVersionSegmentNames[i], std::move(rendered[i])));
+  }
+  node->segments.push_back(
+      MakeSegment(kVersionSegmentNames[4], std::move(views_text)));
+  node->crc = VersionCrc(*node);
+  versions_.push_back(std::move(node));
+  tip_mkb_ = std::move(mkb);
+}
+
+uint64_t MkbVersionStore::Commit(std::shared_ptr<const Mkb> mkb,
+                                 std::string views_text, std::string change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = std::make_shared<MkbVersion>();
+  node->id = versions_.size();
+  node->parent = versions_.empty() ? 0 : versions_.back()->id;
+  node->change = SanitizeChange(std::move(change));
+  const MkbVersion* tip = versions_.empty() ? nullptr : versions_.back().get();
+  if (tip != nullptr && mkb.get() == tip_mkb_.get()) {
+    // The MKB object is unchanged (view-pool-only commit): reuse the four
+    // MISD segments without re-rendering.
+    node->segments.assign(tip->segments.begin(), tip->segments.begin() + 4);
+  } else {
+    std::array<std::string, 4> rendered = RenderMkbSegments(*mkb);
+    for (size_t i = 0; i < 4; ++i) {
+      if (tip != nullptr && tip->segments[i]->body == rendered[i]) {
+        node->segments.push_back(tip->segments[i]);
+      } else {
+        node->segments.push_back(
+            MakeSegment(kVersionSegmentNames[i], std::move(rendered[i])));
+      }
+    }
+  }
+  if (tip != nullptr && tip->segments[4]->body == views_text) {
+    node->segments.push_back(tip->segments[4]);
+  } else {
+    node->segments.push_back(
+        MakeSegment(kVersionSegmentNames[4], std::move(views_text)));
+  }
+  node->crc = VersionCrc(*node);
+  const uint64_t id = node->id;
+  versions_.push_back(std::move(node));
+  tip_mkb_ = std::move(mkb);
+  return id;
+}
+
+uint64_t MkbVersionStore::tip_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.empty() ? 0 : versions_.back()->id;
+}
+
+uint64_t MkbVersionStore::NextId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+size_t MkbVersionStore::NumVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+bool MkbVersionStore::HasVersion(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < versions_.size();
+}
+
+PinnedMkb MkbVersionStore::Tip() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PinnedMkb pinned;
+  if (!versions_.empty()) {
+    pinned.version = versions_.back();
+    pinned.mkb = tip_mkb_;
+  }
+  return pinned;
+}
+
+std::shared_ptr<const MkbVersion> MkbVersionStore::NodeAt(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= versions_.size()) return nullptr;
+  return versions_[id];
+}
+
+Result<PinnedMkb> MkbVersionStore::Pin(uint64_t id) const {
+  std::shared_ptr<const MkbVersion> node;
+  std::shared_ptr<const Mkb> tip;
+  uint64_t tip_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= versions_.size()) {
+      return Status::NotFound("no version " + std::to_string(id) +
+                              " (retained: 0.." +
+                              std::to_string(versions_.size()) + ")");
+    }
+    node = versions_[id];
+    tip = tip_mkb_;
+    tip_version = versions_.back()->id;
+  }
+  if (id == tip_version) return PinnedMkb{std::move(node), std::move(tip)};
+  std::string text;
+  for (size_t i = 0; i < 4; ++i) text += node->segments[i]->body;
+  Result<Mkb> mkb = LoadMkb(text);
+  if (!mkb.ok()) {
+    return Status::Internal("version " + std::to_string(id) +
+                            " MISD segments do not reparse: " +
+                            mkb.status().ToString());
+  }
+  return PinnedMkb{std::move(node),
+                   std::make_shared<const Mkb>(mkb.MoveValue())};
+}
+
+Result<std::string> MkbVersionStore::ViewsAt(uint64_t id) const {
+  const std::shared_ptr<const MkbVersion> node = NodeAt(id);
+  if (node == nullptr) {
+    return Status::NotFound("no version " + std::to_string(id));
+  }
+  return node->segments[4]->body;
+}
+
+std::vector<std::shared_ptr<const MkbVersion>> MkbVersionStore::Versions()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_;
+}
+
+uint32_t MkbVersionStore::VersionCrc(const MkbVersion& version) {
+  const std::string head = std::to_string(version.id) + "|" +
+                           std::to_string(version.parent) + "|" +
+                           version.change;
+  uint32_t crc = Crc32(head);
+  for (const auto& segment : version.segments) {
+    crc = Crc32(segment->name, crc);
+    const uint32_t body_crc = segment->crc;
+    crc = Crc32(&body_crc, sizeof(body_crc), crc);
+  }
+  return crc;
+}
+
+VersionScrubStats MkbVersionStore::Scrub() const {
+  const std::vector<std::shared_ptr<const MkbVersion>> versions = Versions();
+  VersionScrubStats stats;
+  for (size_t i = 0; i < versions.size(); ++i) {
+    const MkbVersion& version = *versions[i];
+    ++stats.versions_checked;
+    // Tests arm this site to inject a finding (error action) or kill the
+    // scrubber mid-walk (crash action); the chain itself is untouched.
+    const Status injected =
+        Failpoints::Instance().Hit(fp::kVersionScrub);
+    if (!injected.ok()) {
+      ++stats.corruptions;
+      stats.findings.push_back("version " + std::to_string(version.id) +
+                               ": injected fault: " + injected.ToString());
+    }
+    if (version.id != i) {
+      ++stats.corruptions;
+      stats.findings.push_back("version at index " + std::to_string(i) +
+                               " has id " + std::to_string(version.id));
+    }
+    const uint64_t expected_parent = i == 0 ? 0 : i - 1;
+    if (version.parent != expected_parent) {
+      ++stats.corruptions;
+      stats.findings.push_back(
+          "version " + std::to_string(version.id) + " parent link " +
+          std::to_string(version.parent) + " != " +
+          std::to_string(expected_parent));
+    }
+    if (version.segments.size() != kNumVersionSegments) {
+      ++stats.corruptions;
+      stats.findings.push_back("version " + std::to_string(version.id) +
+                               " has " +
+                               std::to_string(version.segments.size()) +
+                               " segments, want " +
+                               std::to_string(kNumVersionSegments));
+      continue;
+    }
+    for (size_t s = 0; s < kNumVersionSegments; ++s) {
+      const MkbVersionSegment& segment = *version.segments[s];
+      ++stats.segments_checked;
+      if (i > 0 && s < versions[i - 1]->segments.size() &&
+          version.segments[s] == versions[i - 1]->segments[s]) {
+        ++stats.segments_shared;
+      }
+      if (segment.name != kVersionSegmentNames[s]) {
+        ++stats.corruptions;
+        stats.findings.push_back("version " + std::to_string(version.id) +
+                                 " segment " + std::to_string(s) +
+                                 " named '" + segment.name + "', want '" +
+                                 kVersionSegmentNames[s] + "'");
+      }
+      if (Crc32(segment.body) != segment.crc) {
+        ++stats.corruptions;
+        stats.findings.push_back("version " + std::to_string(version.id) +
+                                 " segment " + segment.name +
+                                 " body fails its checksum");
+      }
+    }
+    if (VersionCrc(version) != version.crc) {
+      ++stats.corruptions;
+      stats.findings.push_back("version " + std::to_string(version.id) +
+                               " fails its version checksum");
+    }
+  }
+  return stats;
+}
+
+VersionByteStats MkbVersionStore::ByteStats() const {
+  const std::vector<std::shared_ptr<const MkbVersion>> versions = Versions();
+  VersionByteStats stats;
+  std::unordered_set<const MkbVersionSegment*> seen;
+  for (const auto& version : versions) {
+    for (const auto& segment : version->segments) {
+      stats.logical_bytes += segment->body.size();
+      if (seen.insert(segment.get()).second) {
+        stats.retained_bytes += segment->body.size();
+      }
+    }
+  }
+  return stats;
+}
+
+std::string MkbVersionStore::Render() const {
+  const std::vector<std::shared_ptr<const MkbVersion>> versions = Versions();
+  std::ostringstream os;
+  for (const auto& version : versions) {
+    os << "  v" << version->id;
+    if (version->id != version->parent) os << " <- v" << version->parent;
+    os << "  crc=" << ToHex(version->crc);
+    uint64_t bytes = 0;
+    for (const auto& segment : version->segments) {
+      bytes += segment->body.size();
+    }
+    os << " bytes=" << bytes << "  " << version->change << "\n";
+  }
+  return os.str();
+}
+
+std::string MkbVersionStore::Serialize() const {
+  const std::vector<std::shared_ptr<const MkbVersion>> versions = Versions();
+  // Deduplicate shared segments: each unique segment is written once and
+  // versions reference it by table index.
+  std::vector<const MkbVersionSegment*> table;
+  std::map<const MkbVersionSegment*, size_t> index;
+  for (const auto& version : versions) {
+    for (const auto& segment : version->segments) {
+      if (index.emplace(segment.get(), table.size()).second) {
+        table.push_back(segment.get());
+      }
+    }
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const MkbVersionSegment& segment = *table[i];
+    os << "SEGMENT " << i << " " << segment.name << " "
+       << segment.body.size() << " " << ToHex(segment.crc) << "\n"
+       << segment.body << "\n";
+  }
+  for (const auto& version : versions) {
+    os << "VERSION " << version->id << " " << version->parent << " "
+       << ToHex(version->crc) << " SEGS";
+    for (const auto& segment : version->segments) {
+      os << " " << index.at(segment.get());
+    }
+    os << " CHANGE " << version->change << "\n";
+  }
+  return os.str();
+}
+
+Result<MkbVersionStore> MkbVersionStore::Deserialize(std::string_view text) {
+  std::vector<std::shared_ptr<const MkbVersionSegment>> table;
+  std::vector<std::shared_ptr<const MkbVersion>> versions;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string line(text.substr(pos, eol - pos));
+    // A final line without '\n' puts eol at text.size(); don't step past
+    // the end (the unsigned `text.size() - pos` below would underflow).
+    pos = std::min(eol + 1, text.size());
+    if (Trim(line).empty()) continue;
+    std::istringstream is(line);
+    std::string keyword;
+    is >> keyword;
+    if (keyword == "SEGMENT") {
+      std::string index_word, name, len_word, crc_word;
+      if (!(is >> index_word >> name >> len_word >> crc_word)) {
+        return Status::ParseError("VERSIONS: malformed SEGMENT header: " +
+                                  line);
+      }
+      uint64_t index = 0, len = 0;
+      uint32_t crc = 0;
+      if (!ParseU64(index_word, &index) || !ParseU64(len_word, &len) ||
+          !ParseHex32(crc_word, &crc)) {
+        return Status::ParseError("VERSIONS: malformed SEGMENT header: " +
+                                  line);
+      }
+      if (index != table.size()) {
+        return Status::ParseError("VERSIONS: SEGMENT index " + index_word +
+                                  " out of sequence");
+      }
+      if (len > text.size() - pos) {
+        return Status::ParseError("VERSIONS: SEGMENT " + index_word +
+                                  " length " + len_word +
+                                  " overruns the section");
+      }
+      auto segment = std::make_shared<MkbVersionSegment>();
+      segment->name = name;
+      segment->body = std::string(text.substr(pos, len));
+      segment->crc = crc;
+      if (Crc32(segment->body) != crc) {
+        return Status::ParseError("VERSIONS: SEGMENT " + index_word + " (" +
+                                  name + ") fails its checksum");
+      }
+      pos += len;
+      // Strict framing: the body must be immediately newline-terminated.
+      // A flipped separator byte is corruption, not tolerable whitespace —
+      // the mutation-fuzz suite demands every single-byte flip is caught.
+      if (pos < text.size()) {
+        if (text[pos] != '\n') {
+          return Status::ParseError("VERSIONS: SEGMENT " + index_word +
+                                    " body is not newline-terminated");
+        }
+        ++pos;
+      }
+      table.push_back(std::move(segment));
+    } else if (keyword == "VERSION") {
+      std::string id_word, parent_word, crc_word, segs_keyword;
+      if (!(is >> id_word >> parent_word >> crc_word >> segs_keyword) ||
+          segs_keyword != "SEGS") {
+        return Status::ParseError("VERSIONS: malformed VERSION line: " + line);
+      }
+      uint64_t id = 0, parent = 0;
+      uint32_t crc = 0;
+      if (!ParseU64(id_word, &id) || !ParseU64(parent_word, &parent) ||
+          !ParseHex32(crc_word, &crc)) {
+        return Status::ParseError("VERSIONS: malformed VERSION line: " + line);
+      }
+      auto node = std::make_shared<MkbVersion>();
+      node->id = id;
+      node->parent = parent;
+      node->crc = crc;
+      std::string word;
+      while (is >> word) {
+        if (word == "CHANGE") break;
+        uint64_t seg_index = 0;
+        if (!ParseU64(word, &seg_index) || seg_index >= table.size()) {
+          return Status::ParseError("VERSIONS: VERSION " + id_word +
+                                    " references unknown segment " + word);
+        }
+        node->segments.push_back(table[seg_index]);
+      }
+      if (word != "CHANGE") {
+        return Status::ParseError("VERSIONS: VERSION " + id_word +
+                                  " missing CHANGE");
+      }
+      std::string change;
+      std::getline(is, change);
+      // Strip only the single separator space and keep the rest verbatim:
+      // trimming would also eat a flipped trailing separator byte before
+      // the version checksum could catch it.
+      if (!change.empty() && change.front() == ' ') change.erase(0, 1);
+      node->change = std::move(change);
+      if (node->segments.size() != kNumVersionSegments) {
+        return Status::ParseError("VERSIONS: VERSION " + id_word + " has " +
+                                  std::to_string(node->segments.size()) +
+                                  " segments, want " +
+                                  std::to_string(kNumVersionSegments));
+      }
+      for (size_t s = 0; s < kNumVersionSegments; ++s) {
+        if (node->segments[s]->name != kVersionSegmentNames[s]) {
+          return Status::ParseError(
+              "VERSIONS: VERSION " + id_word + " segment " +
+              std::to_string(s) + " is '" + node->segments[s]->name +
+              "', want '" + kVersionSegmentNames[s] + "'");
+        }
+      }
+      if (id != versions.size()) {
+        return Status::ParseError("VERSIONS: VERSION " + id_word +
+                                  " out of sequence");
+      }
+      const uint64_t expected_parent = id == 0 ? 0 : id - 1;
+      if (parent != expected_parent) {
+        return Status::ParseError("VERSIONS: VERSION " + id_word +
+                                  " parent link " + parent_word + " != " +
+                                  std::to_string(expected_parent));
+      }
+      if (VersionCrc(*node) != crc) {
+        return Status::ParseError("VERSIONS: VERSION " + id_word +
+                                  " fails its version checksum");
+      }
+      versions.push_back(std::move(node));
+    } else {
+      return Status::ParseError("VERSIONS: unexpected line: " + line);
+    }
+  }
+  if (versions.empty()) {
+    return Status::ParseError("VERSIONS: section holds no versions");
+  }
+  MkbVersionStore store;
+  std::string tip_text;
+  for (size_t i = 0; i < 4; ++i) {
+    tip_text += versions.back()->segments[i]->body;
+  }
+  Result<Mkb> tip_mkb = LoadMkb(tip_text);
+  if (!tip_mkb.ok()) {
+    return Status::ParseError("VERSIONS: tip MISD segments do not reparse: " +
+                              tip_mkb.status().ToString());
+  }
+  store.versions_ = std::move(versions);
+  store.tip_mkb_ = std::make_shared<const Mkb>(tip_mkb.MoveValue());
+  return store;
+}
+
+bool MkbVersionStore::CorruptSegmentForTesting(uint64_t id, size_t segment,
+                                               size_t byte_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= versions_.size()) return false;
+  if (segment >= versions_[id]->segments.size()) return false;
+  const MkbVersionSegment& victim = *versions_[id]->segments[segment];
+  if (byte_offset >= victim.body.size()) return false;
+  auto corrupt_segment = std::make_shared<MkbVersionSegment>(victim);
+  corrupt_segment->body[byte_offset] =
+      static_cast<char>(corrupt_segment->body[byte_offset] ^ 0x40);
+  auto corrupt_version = std::make_shared<MkbVersion>(*versions_[id]);
+  corrupt_version->segments[segment] = std::move(corrupt_segment);
+  // The node keeps its recorded crcs, which no longer match the body — the
+  // scrubber must flag both the segment and the version checksum.
+  versions_[id] = std::move(corrupt_version);
+  return true;
+}
+
+}  // namespace eve

@@ -83,6 +83,11 @@ std::vector<Op> ScriptOps() {
             .status();
       },
       [](EveSystem* s) { return s->SourceLeaves("ExtraIS").status(); },
+      // Point-in-time rollback to the version RetractConstraint committed
+      // (v5: RentACar deleted, JC6 retracted, everything later restored).
+      // Journaled as kRollback and committed as a NEW version, so a crash
+      // on either side of the journal append recovers to pre or post.
+      [](EveSystem* s) { return s->RollbackToVersion(5).status(); },
       [](EveSystem* s) {
         return s->SetSourceMembership(
             "IS4", federation::OnProbeSuccess(Is4Degraded(), "IS4", 9));
@@ -412,6 +417,9 @@ TEST_F(CrashRecoveryTest, EveryKnownSiteIsExercised) {
       fp::kSyncDeadlineExpired,
       fp::kAdmissionEnqueue,
       fp::kAdmissionDrain,
+      // The script never scrubs; versioning_test (ScrubFailpoint*) arms the
+      // scrub site in both modes.
+      fp::kVersionScrub,
   };
   for (const std::string& site : Failpoints::KnownSites()) {
     if (dedicated.count(site) > 0) continue;

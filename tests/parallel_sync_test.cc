@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -16,6 +18,7 @@
 #include "eve/eve_system.h"
 #include "eve/journal.h"
 #include "mkb/capability_change.h"
+#include "mkb/serializer.h"
 #include "workload/generator.h"
 
 namespace eve {
@@ -198,6 +201,126 @@ TEST(ParallelSyncTest, WorkBudgetPartialsAreDeterministicAcrossThreadCounts) {
     }
     std::remove(journal_path.c_str());
   }
+}
+
+TEST(ParallelSyncTest, DryRunThenCommitMatchesDirectCommitAcrossThreadCounts) {
+  // The prepare/commit split must be invisible: rehearsing a change with
+  // SYNC DRYRUN and then committing it produces byte-identical reports,
+  // view pools and journal files to committing it directly — at every
+  // sync parallelism.
+  const EveSystem base = MakeBatchSystem(24);
+  const CapabilityChange change = CapabilityChange::DeleteRelation("R1");
+
+  std::string reference_fingerprint;
+  std::string reference_journal;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    // Direct commit.
+    EveSystem direct = base;
+    direct.SetSyncParallelism(threads);
+    const std::string direct_path = ::testing::TempDir() +
+                                    "parallel_sync_direct_" +
+                                    std::to_string(threads) + ".wal";
+    std::remove(direct_path.c_str());
+    Result<Journal> direct_journal = Journal::Open(direct_path);
+    ASSERT_TRUE(direct_journal.ok());
+    direct.AttachJournal(&direct_journal.value());
+    const Result<ChangeReport> direct_report = direct.ApplyChange(change);
+    ASSERT_TRUE(direct_report.ok()) << "threads=" << threads;
+    direct.AttachJournal(nullptr);
+
+    // Dry-run first, then commit.
+    EveSystem rehearsed = base;
+    rehearsed.SetSyncParallelism(threads);
+    const std::string rehearsed_path = ::testing::TempDir() +
+                                       "parallel_sync_rehearsed_" +
+                                       std::to_string(threads) + ".wal";
+    std::remove(rehearsed_path.c_str());
+    Result<Journal> rehearsed_journal = Journal::Open(rehearsed_path);
+    ASSERT_TRUE(rehearsed_journal.ok());
+    rehearsed.AttachJournal(&rehearsed_journal.value());
+    const Result<DryRunReport> dry = rehearsed.DryRunChange(change);
+    ASSERT_TRUE(dry.ok()) << "threads=" << threads;
+    const Result<ChangeReport> committed = rehearsed.ApplyChange(change);
+    ASSERT_TRUE(committed.ok()) << "threads=" << threads;
+    rehearsed.AttachJournal(nullptr);
+
+    // The dry-run predicted the commit exactly...
+    EXPECT_EQ(dry.value().report.ToString(), committed.value().ToString())
+        << "threads=" << threads;
+    // ...and left no trace: fingerprints and journal bytes match the
+    // direct run.
+    EXPECT_EQ(Fingerprint(committed.value(), rehearsed),
+              Fingerprint(direct_report.value(), direct))
+        << "threads=" << threads;
+    const std::string direct_bytes = ReadFileToString(direct_path).MoveValue();
+    const std::string rehearsed_bytes =
+        ReadFileToString(rehearsed_path).MoveValue();
+    EXPECT_EQ(rehearsed_bytes, direct_bytes) << "threads=" << threads;
+
+    if (threads == 1) {
+      reference_fingerprint = Fingerprint(direct_report.value(), direct);
+      reference_journal = direct_bytes;
+    } else {
+      EXPECT_EQ(Fingerprint(direct_report.value(), direct),
+                reference_fingerprint)
+          << "threads=" << threads;
+      EXPECT_EQ(direct_bytes, reference_journal) << "threads=" << threads;
+    }
+    std::remove(direct_path.c_str());
+    std::remove(rehearsed_path.c_str());
+  }
+}
+
+TEST(ParallelSyncTest, PinnedReadersObserveOnlyWholeVersionsDuringCommits) {
+  // Concurrent readers pin the tip while commits swap it: every pin must
+  // land on exactly one committed version — the pinned MKB renders byte-
+  // identically to that version's clean render, never a torn in-between.
+  const std::vector<CapabilityChange> changes = {
+      CapabilityChange::DeleteAttribute("R1", "P1"),
+      CapabilityChange::DeleteRelation("R1"),
+      CapabilityChange::RenameRelation("R21", "R21x"),
+      CapabilityChange::RenameRelation("R30", "R30x"),
+      CapabilityChange::DeleteRelation("R40"),
+  };
+  // Clean sequential run records the only legal render per version id.
+  std::map<uint64_t, std::string> legal;
+  {
+    EveSystem clean = MakeBatchSystem(24);
+    legal[clean.current_version()] = SaveMkb(clean.mkb());
+    for (const CapabilityChange& change : changes) {
+      ASSERT_TRUE(clean.ApplyChange(change).ok());
+      legal[clean.current_version()] = SaveMkb(clean.mkb());
+    }
+  }
+
+  EveSystem system = MakeBatchSystem(24);
+  system.SetSyncParallelism(8);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> pins_checked{0};
+  std::atomic<size_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const PinnedMkb pinned = system.PinTip();
+        const auto it = legal.find(pinned.id());
+        if (it == legal.end() || SaveMkb(*pinned.mkb) != it->second) {
+          torn.fetch_add(1);
+        }
+        pins_checked.fetch_add(1);
+      }
+    });
+  }
+  for (const CapabilityChange& change : changes) {
+    ASSERT_TRUE(system.ApplyChange(change).ok());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(torn.load(), 0u)
+      << "a reader pinned a state that is not a whole committed version";
+  EXPECT_GT(pins_checked.load(), 0u);
+  // The writer's final tip agrees with the clean run.
+  EXPECT_EQ(SaveMkb(system.mkb()), legal.at(system.current_version()));
 }
 
 TEST(ParallelSyncTest, PreviewChangeSharesThePoolSafely) {

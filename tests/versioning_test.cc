@@ -1,0 +1,416 @@
+// Versioned-MKB invariants: copy-on-write segment sharing, O(1) pinned
+// snapshots that survive concurrent commits, what-if dry-runs that match the
+// real commit byte for byte while mutating nothing, rollback-as-new-version,
+// checkpoint VERSIONS round-trips where every flipped byte is detected, and
+// the online scrubber (synchronous and background) catching 100% of injected
+// corruptions.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/file_io.h"
+#include "eve/eve_system.h"
+#include "eve/journal.h"
+#include "eve/view_pool_io.h"
+#include "mkb/scrubber.h"
+#include "mkb/serializer.h"
+#include "mkb/version_store.h"
+#include "workload/travel_agency.h"
+
+namespace eve {
+namespace {
+
+EveSystem MakeSystem() {
+  Mkb mkb = MakeTravelAgencyMkb().MoveValue();
+  EXPECT_TRUE(AddAccidentInsPc(&mkb).ok());
+  EveSystem system(std::move(mkb));
+  EXPECT_TRUE(system.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  return system;
+}
+
+// Full observable state, for zero-side-effect assertions.
+std::string StateOf(const EveSystem& system) {
+  return SaveMkb(system.mkb()) + "\n===\n" + SaveViews(system) + "\n===\n" +
+         system.versions().Render();
+}
+
+class VersioningTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Instance().Reset(); }
+  void TearDown() override { Failpoints::Instance().Reset(); }
+};
+
+TEST_F(VersioningTest, EveryMutationCommitsAVersion) {
+  EveSystem system = MakeSystem();
+  // ctor = v0, RegisterViewText = v1.
+  EXPECT_EQ(system.current_version(), 1u);
+  ASSERT_TRUE(
+      system.ExtendMkb("SOURCE IS9 RELATION Extra9 (Name string, X int)")
+          .ok());
+  EXPECT_EQ(system.current_version(), 2u);
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("Extra9")).ok());
+  EXPECT_EQ(system.current_version(), 3u);
+  ASSERT_TRUE(system.RetractConstraint("JC6").ok());
+  EXPECT_EQ(system.current_version(), 4u);
+  ASSERT_TRUE(
+      system.SetViewState("CustomerPassengersAsia", ViewState::kDisabled)
+          .ok());
+  EXPECT_EQ(system.current_version(), 5u);
+  EXPECT_EQ(system.versions().NumVersions(), 6u);
+}
+
+TEST_F(VersioningTest, UnchangedSegmentsAreSharedNotCopied) {
+  EveSystem system = MakeSystem();
+  // A view-state flip touches only the VIEWS segment; the four MISD
+  // segments must be shared with the parent, not re-rendered copies.
+  ASSERT_TRUE(
+      system.SetViewState("CustomerPassengersAsia", ViewState::kDisabled)
+          .ok());
+  const VersionScrubStats stats = system.ScrubVersions();
+  EXPECT_EQ(stats.corruptions, 0u) << stats.ToString();
+  EXPECT_GE(stats.segments_shared, 4u) << stats.ToString();
+  const VersionByteStats bytes = system.versions().ByteStats();
+  EXPECT_LT(bytes.retained_bytes, bytes.logical_bytes);
+}
+
+TEST_F(VersioningTest, PinnedTipSurvivesConcurrentEvolution) {
+  EveSystem system = MakeSystem();
+  const PinnedMkb pinned = system.PinTip();
+  const std::string before = SaveMkb(*pinned.mkb);
+  const uint64_t pinned_id = pinned.id();
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("RentACar")).ok());
+  ASSERT_TRUE(system.RetractConstraint("JC6").ok());
+  // The pin is byte-stable: commits swapped the tip pointer, they never
+  // mutated the pinned snapshot.
+  EXPECT_EQ(SaveMkb(*pinned.mkb), before);
+  EXPECT_EQ(pinned.id(), pinned_id);
+  EXPECT_GT(system.current_version(), pinned_id);
+  // And re-pinning the old id reparses to the same bytes.
+  const Result<PinnedMkb> repinned = system.PinVersion(pinned_id);
+  ASSERT_TRUE(repinned.ok()) << repinned.status();
+  EXPECT_EQ(SaveMkb(*repinned.value().mkb), before);
+}
+
+TEST_F(VersioningTest, DryRunMatchesCommitAndMutatesNothing) {
+  EveSystem system = MakeSystem();
+  const std::string before = StateOf(system);
+
+  const Result<DryRunReport> dry =
+      system.DryRunChange(CapabilityChange::DeleteRelation("Customer"));
+  ASSERT_TRUE(dry.ok()) << dry.status();
+  EXPECT_EQ(dry.value().base_version, system.current_version());
+
+  // Zero side effects: MKB, views and version chain are byte-unchanged.
+  EXPECT_EQ(StateOf(system), before);
+
+  // The real commit produces the identical report.
+  const Result<ChangeReport> applied =
+      system.ApplyChange(CapabilityChange::DeleteRelation("Customer"));
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(dry.value().report.ToString(), applied.value().ToString());
+  EXPECT_NE(StateOf(system), before);
+}
+
+TEST_F(VersioningTest, DryRunAppendsNothingToTheJournal) {
+  const std::string base = ::testing::TempDir() + "versioning_dryrun";
+  const std::string journal_path = base + ".wal";
+  std::remove(journal_path.c_str());
+  Result<Journal> journal = Journal::Open(journal_path);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EveSystem system = MakeSystem();
+  system.AttachJournal(&journal.value());
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("RentACar")).ok());
+  const std::string bytes_before =
+      ReadFileToString(journal_path).MoveValue();
+
+  const Result<DryRunReport> dry =
+      system.DryRunChange(CapabilityChange::DeleteRelation("Customer"));
+  ASSERT_TRUE(dry.ok()) << dry.status();
+  const Result<DryRunReport> dry_at =
+      system.DryRunChangeAt(CapabilityChange::DeleteRelation("Customer"),
+                            /*version=*/1);
+  ASSERT_TRUE(dry_at.ok()) << dry_at.status();
+
+  system.AttachJournal(nullptr);
+  EXPECT_EQ(ReadFileToString(journal_path).MoveValue(), bytes_before)
+      << "a dry-run must not journal anything";
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(VersioningTest, DryRunAtOldVersionMatchesRollbackThenCommit) {
+  EveSystem system = MakeSystem();
+  const uint64_t before_delete = system.current_version();
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("RentACar")).ok());
+
+  const CapabilityChange change = CapabilityChange::DeleteRelation("Customer");
+  const Result<DryRunReport> dry =
+      system.DryRunChangeAt(change, before_delete);
+  ASSERT_TRUE(dry.ok()) << dry.status();
+  EXPECT_EQ(dry.value().base_version, before_delete);
+
+  // Rehearsal equals reality: rollback + commit on a copy produces the
+  // same report bytes.
+  EveSystem replica = system;
+  ASSERT_TRUE(replica.RollbackToVersion(before_delete).ok());
+  const Result<ChangeReport> applied = replica.ApplyChange(change);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(dry.value().report.ToString(), applied.value().ToString());
+  // And the dry-run left the original untouched.
+  EXPECT_NE(StateOf(system), StateOf(replica));
+}
+
+TEST_F(VersioningTest, RollbackCommitsANewVersionAndKeepsHistory) {
+  EveSystem system = MakeSystem();
+  const uint64_t target = system.current_version();
+  const std::string mkb_at_target = SaveMkb(system.mkb());
+  const std::string views_at_target = SaveViews(system);
+
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("Customer")).ok());
+  const uint64_t after_change = system.current_version();
+  EXPECT_NE(SaveMkb(system.mkb()), mkb_at_target);
+
+  const Result<uint64_t> rolled = system.RollbackToVersion(target);
+  ASSERT_TRUE(rolled.ok()) << rolled.status();
+  EXPECT_EQ(rolled.value(), after_change + 1);
+  EXPECT_EQ(system.current_version(), after_change + 1);
+  // Content restored...
+  EXPECT_EQ(SaveMkb(system.mkb()), mkb_at_target);
+  // ...history never truncated: the rolled-past version stays pinnable.
+  ASSERT_TRUE(system.PinVersion(after_change).ok());
+  EXPECT_EQ(system.versions().NumVersions(), after_change + 2);
+  // The surviving view kept its pre-rollback history plus a marker.
+  const RegisteredView* view =
+      system.GetView("CustomerPassengersAsia").value();
+  ASSERT_FALSE(view->history.empty());
+  EXPECT_NE(view->history.back().find("rolled back to version"),
+            std::string::npos);
+  // The view pool content matches the target version (modulo the
+  // synced_at stamps, which name live versions).
+  ASSERT_TRUE(system.ViewsTextAt(target).ok());
+  EXPECT_EQ(views_at_target, system.ViewsTextAt(target).value());
+}
+
+TEST_F(VersioningTest, ARollbackCanItselfBeRolledBack) {
+  EveSystem system = MakeSystem();
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("Customer")).ok());
+  const uint64_t with_change = system.current_version();
+  const std::string mkb_with_change = SaveMkb(system.mkb());
+
+  ASSERT_TRUE(system.RollbackToVersion(1).ok());
+  EXPECT_NE(SaveMkb(system.mkb()), mkb_with_change);
+  // Roll forward again by rolling back to the rolled-past version.
+  ASSERT_TRUE(system.RollbackToVersion(with_change).ok());
+  EXPECT_EQ(SaveMkb(system.mkb()), mkb_with_change);
+  const VersionScrubStats stats = system.ScrubVersions();
+  EXPECT_EQ(stats.corruptions, 0u) << stats.ToString();
+}
+
+TEST_F(VersioningTest, RollbackToUnknownVersionIsAnError) {
+  EveSystem system = MakeSystem();
+  const std::string before = StateOf(system);
+  EXPECT_EQ(system.RollbackToVersion(99).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(StateOf(system), before);
+}
+
+TEST_F(VersioningTest, SerializeDeserializeRoundTrips) {
+  EveSystem system = MakeSystem();
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("RentACar")).ok());
+  ASSERT_TRUE(system.RollbackToVersion(1).ok());
+
+  const std::string text = system.versions().Serialize();
+  const Result<MkbVersionStore> loaded = MkbVersionStore::Deserialize(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().Render(), system.versions().Render());
+  EXPECT_EQ(loaded.value().Serialize(), text);
+  EXPECT_EQ(SaveMkb(*loaded.value().Tip().mkb), SaveMkb(system.mkb()));
+  const VersionScrubStats stats = loaded.value().Scrub();
+  EXPECT_EQ(stats.corruptions, 0u) << stats.ToString();
+}
+
+// Satellite (b): every single flipped byte in the serialized VERSIONS text
+// is detected — either the load fails outright or the loaded chain scrubs
+// dirty. No silent corruption.
+TEST_F(VersioningTest, EveryFlippedSerializedByteIsDetected) {
+  EveSystem system = MakeSystem();
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("RentACar")).ok());
+  const std::string text = system.versions().Serialize();
+  ASSERT_FALSE(text.empty());
+
+  size_t undetected = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    std::string mutated = text;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    const Result<MkbVersionStore> loaded =
+        MkbVersionStore::Deserialize(mutated);
+    if (!loaded.ok()) continue;  // detected at load
+    if (loaded.value().Scrub().corruptions > 0) continue;  // detected by scrub
+    ++undetected;
+    ADD_FAILURE() << "flip at byte " << i << " (" << text[i]
+                  << ") survived both load and scrub";
+  }
+  EXPECT_EQ(undetected, 0u);
+}
+
+// The scrubber finds every injected segment corruption: any version, any
+// segment.
+TEST_F(VersioningTest, ScrubDetectsEveryInjectedSegmentCorruption) {
+  EveSystem system = MakeSystem();
+  ASSERT_TRUE(
+      system.ExtendMkb("SOURCE IS9 RELATION Extra9 (Name string, X int)")
+          .ok());
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("Extra9")).ok());
+
+  const uint64_t versions = system.versions().NumVersions();
+  ASSERT_GE(versions, 4u);
+  for (uint64_t id = 0; id < versions; ++id) {
+    for (size_t segment = 0; segment < kNumVersionSegments; ++segment) {
+      MkbVersionStore corrupted = system.versions();
+      if (!corrupted.CorruptSegmentForTesting(id, segment,
+                                              /*byte_offset=*/0)) {
+        continue;  // empty segment body: nothing to flip
+      }
+      const VersionScrubStats stats = corrupted.Scrub();
+      EXPECT_GT(stats.corruptions, 0u)
+          << "corruption in version " << id << " segment " << segment
+          << " went undetected";
+    }
+  }
+  // The shared original is untouched throughout.
+  EXPECT_EQ(system.ScrubVersions().corruptions, 0u);
+}
+
+TEST_F(VersioningTest, ScrubChecksViewSyncStamps) {
+  EveSystem system = MakeSystem();
+  EXPECT_EQ(system.ScrubVersions().corruptions, 0u);
+  // A stamp naming a version that was never committed is an integrity
+  // finding.
+  ASSERT_TRUE(
+      system.SetViewSyncedVersion("CustomerPassengersAsia", 77).ok());
+  const VersionScrubStats stats = system.ScrubVersions();
+  EXPECT_GT(stats.corruptions, 0u);
+  ASSERT_FALSE(stats.findings.empty());
+  EXPECT_NE(stats.findings.back().find("CustomerPassengersAsia"),
+            std::string::npos);
+}
+
+// crash_recovery_test's site-coverage check points here: the scrub site is
+// armed in BOTH modes by the two ScrubFailpoint tests below.
+TEST_F(VersioningTest, ScrubFailpointErrorIsCountedAsAFinding) {
+  EveSystem system = MakeSystem();
+  Failpoints::Instance().Arm(fp::kVersionScrub, FailpointAction::kError);
+  const VersionScrubStats stats = system.ScrubVersions();
+  Failpoints::Instance().Reset();
+  EXPECT_GT(stats.corruptions, 0u);
+  ASSERT_FALSE(stats.findings.empty());
+  EXPECT_NE(stats.findings.front().find("injected fault"),
+            std::string::npos);
+  // The chain itself is untouched: a clean pass follows.
+  EXPECT_EQ(system.ScrubVersions().corruptions, 0u);
+}
+
+TEST_F(VersioningTest, ScrubFailpointCrashKillsThePassAndRetrySucceeds) {
+  EveSystem system = MakeSystem();
+  Failpoints::Instance().Arm(fp::kVersionScrub, FailpointAction::kCrash);
+  EXPECT_THROW((void)system.ScrubVersions(), SimulatedCrash);
+  Failpoints::Instance().Reset();
+  // Scrubbing is read-only: the killed pass left nothing behind.
+  const VersionScrubStats stats = system.ScrubVersions();
+  EXPECT_EQ(stats.corruptions, 0u) << stats.ToString();
+}
+
+TEST_F(VersioningTest, BackgroundScrubberRunsConcurrentlyWithCommits) {
+  EveSystem system = MakeSystem();
+  MkbScrubber scrubber(&system.versions());
+  scrubber.Start(std::chrono::milliseconds(1));
+  // Commits race the scrub passes; the store hands the scrubber immutable
+  // chain snapshots, so every pass sees whole versions and stays clean.
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = "Bg" + std::to_string(i);
+    ASSERT_TRUE(
+        system
+            .ExtendMkb("SOURCE IS9 RELATION " + name + " (Name string)")
+            .ok());
+    ASSERT_TRUE(
+        system.ApplyChange(CapabilityChange::DeleteRelation(name)).ok());
+  }
+  // Let at least one full pass observe the final chain.
+  while (scrubber.passes() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scrubber.Stop();
+  EXPECT_GE(scrubber.passes(), 2u);
+  EXPECT_EQ(scrubber.total_corruptions(), 0u)
+      << scrubber.last_stats().ToString();
+  EXPECT_GT(scrubber.last_stats().versions_checked, 0u);
+}
+
+TEST_F(VersioningTest, BackgroundScrubberReportsInjectedCorruption) {
+  EveSystem system = MakeSystem();
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("RentACar")).ok());
+  MkbVersionStore corrupted = system.versions();
+  ASSERT_TRUE(corrupted.CorruptSegmentForTesting(/*id=*/1, /*segment=*/0,
+                                                 /*byte_offset=*/0));
+  MkbScrubber scrubber(&corrupted);
+  const VersionScrubStats stats = scrubber.RunOnce();
+  EXPECT_GT(stats.corruptions, 0u);
+  EXPECT_EQ(scrubber.passes(), 1u);
+  EXPECT_GE(scrubber.total_corruptions(), stats.corruptions);
+  // A transient finding is not erased by a later clean pass.
+  MkbScrubber clean_scrubber(&system.versions());
+  (void)clean_scrubber.RunOnce();
+  EXPECT_EQ(clean_scrubber.total_corruptions(), 0u);
+  (void)scrubber.RunOnce();
+  EXPECT_GE(scrubber.total_corruptions(), stats.corruptions);
+}
+
+// Versioning survives the durability cycle: checkpoint + journal replay
+// rebuild the same chain, and RECOVER reports torn-tail bytes.
+TEST_F(VersioningTest, RecoveryRestoresTheVersionChain) {
+  const std::string base = ::testing::TempDir() + "versioning_recover";
+  const std::string checkpoint_path = base + ".ckpt";
+  const std::string journal_path = base + ".wal";
+  std::remove(checkpoint_path.c_str());
+  std::remove(journal_path.c_str());
+
+  EveSystem system = MakeSystem();
+  ASSERT_TRUE(WriteCheckpoint(system, checkpoint_path).ok());
+  Result<Journal> journal = Journal::Open(journal_path);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  system.AttachJournal(&journal.value());
+  ASSERT_TRUE(
+      system.ApplyChange(CapabilityChange::DeleteRelation("Customer")).ok());
+  ASSERT_TRUE(system.RollbackToVersion(1).ok());
+  system.AttachJournal(nullptr);
+
+  const Result<EveSystem> recovered =
+      RecoverFromFiles(checkpoint_path, journal_path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered.value().versions().Render(), system.versions().Render());
+  EXPECT_EQ(recovered.value().current_version(), system.current_version());
+  EXPECT_EQ(SaveMkb(recovered.value().mkb()), SaveMkb(system.mkb()));
+  EXPECT_EQ(recovered.value().ScrubVersions().corruptions, 0u);
+
+  std::remove(checkpoint_path.c_str());
+  std::remove(journal_path.c_str());
+}
+
+}  // namespace
+}  // namespace eve

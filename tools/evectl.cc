@@ -44,6 +44,20 @@
 //                                            and admission counters for the
 //                                            last change/preview
 //   PREVIEW DELETE RELATION <name>;       -- what-if: report without applying
+//   SYNC DRYRUN DELETE|RENAME ... [AT VERSION <n>];
+//                                         -- full what-if synchronization:
+//                                            the exact report a commit from
+//                                            the tip (or retained version n)
+//                                            would produce; commits nothing
+//   SHOW VERSIONS;                        -- the copy-on-write version chain
+//   SHOW MKB AT VERSION <n>;              -- pin and dump an old MKB
+//   SHOW VIEWS AT VERSION <n>;            -- the view pool frozen at n
+//   ROLLBACK TO VERSION <n>;              -- restore MKB + views to version
+//                                            n, committed as a NEW version
+//   SCRUB;                                -- verify the whole version chain
+//                                            (checksums, links, view stamps);
+//                                            fails on any corruption
+//   SHOW SCRUB STATS;                     -- counters of the last SCRUB
 //   DELETE RELATION <name>;               -- capability change
 //   DELETE ATTRIBUTE <rel>.<attr>;        -- capability change
 //   RENAME RELATION <old> TO <new>;       -- capability change
@@ -251,6 +265,18 @@ class Console {
     if (head == "rename" && words.size() >= 5 &&
         EqualsIgnoreCase(words[3], "TO")) {
       return Change(MakeRename(words), /*preview=*/false);
+    }
+    if (head == "sync" && words.size() >= 5 &&
+        EqualsIgnoreCase(words[1], "DRYRUN")) {
+      return DryRun(std::vector<std::string>(words.begin() + 2, words.end()));
+    }
+    if (head == "rollback" && words.size() >= 4 &&
+        EqualsIgnoreCase(words[1], "TO") &&
+        EqualsIgnoreCase(words[2], "VERSION")) {
+      return Rollback(words[3]);
+    }
+    if (head == "scrub") {
+      return Scrub();
     }
     if (head == "preview" && words.size() >= 4) {
       const std::vector<std::string> rest(words.begin() + 1, words.end());
@@ -472,6 +498,47 @@ class Console {
   }
 
   bool Show(const std::vector<std::string>& words) {
+    if (words.size() >= 2 && EqualsIgnoreCase(words[1], "VERSIONS")) {
+      std::cout << system_.versions().Render();
+      return true;
+    }
+    if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SCRUB") &&
+        EqualsIgnoreCase(words[2], "STATS")) {
+      if (!last_scrub_.has_value()) {
+        std::cout << "no scrub has run yet (use SCRUB)\n";
+        return true;
+      }
+      std::cout << last_scrub_->ToString() << "\n";
+      return true;
+    }
+    if (words.size() >= 5 && EqualsIgnoreCase(words[1], "MKB") &&
+        EqualsIgnoreCase(words[2], "AT") &&
+        EqualsIgnoreCase(words[3], "VERSION")) {
+      uint64_t version = 0;
+      if (!ParseTicks(words[4], &version)) return false;
+      const Result<PinnedMkb> pinned = system_.PinVersion(version);
+      if (!pinned.ok()) {
+        std::cerr << "error: " << pinned.status() << "\n";
+        return false;
+      }
+      std::cout << "-- version " << pinned.value().id() << "\n"
+                << pinned.value().mkb->ToString();
+      return true;
+    }
+    if (words.size() >= 5 && EqualsIgnoreCase(words[1], "VIEWS") &&
+        EqualsIgnoreCase(words[2], "AT") &&
+        EqualsIgnoreCase(words[3], "VERSION")) {
+      uint64_t version = 0;
+      if (!ParseTicks(words[4], &version)) return false;
+      const Result<std::string> views = system_.ViewsTextAt(version);
+      if (!views.ok()) {
+        std::cerr << "error: " << views.status() << "\n";
+        return false;
+      }
+      std::cout << "-- view pool at version " << version << "\n"
+                << views.value();
+      return true;
+    }
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SYNC") &&
         EqualsIgnoreCase(words[2], "STATS")) {
       std::cout << "enumeration: " << system_.last_sync_stats().ToString()
@@ -518,9 +585,70 @@ class Console {
       }
       return true;
     }
-    std::cerr << "error: SHOW expects MKB, HYPERGRAPH, VIEWS, VIEW <name> "
-                 "or SYNC STATS\n";
+    std::cerr << "error: SHOW expects MKB, HYPERGRAPH, VIEWS, VIEW <name>, "
+                 "VERSIONS, MKB|VIEWS AT VERSION <n>, SCRUB STATS or SYNC "
+                 "STATS\n";
     return false;
+  }
+
+  // SYNC DRYRUN <change words> [AT VERSION n]: the full what-if pipeline.
+  bool DryRun(std::vector<std::string> rest) {
+    std::optional<uint64_t> at_version;
+    if (rest.size() >= 3 && EqualsIgnoreCase(rest[rest.size() - 3], "AT") &&
+        EqualsIgnoreCase(rest[rest.size() - 2], "VERSION")) {
+      uint64_t version = 0;
+      if (!ParseTicks(rest.back(), &version)) return false;
+      at_version = version;
+      rest.resize(rest.size() - 3);
+    }
+    Result<CapabilityChange> change =
+        Status::InvalidArgument("SYNC DRYRUN expects DELETE or RENAME");
+    if (rest.size() >= 3 && EqualsIgnoreCase(rest[0], "DELETE")) {
+      change = MakeDelete(rest);
+    } else if (rest.size() >= 5 && EqualsIgnoreCase(rest[0], "RENAME") &&
+               EqualsIgnoreCase(rest[3], "TO")) {
+      change = MakeRename(rest);
+    }
+    if (!change.ok()) {
+      std::cerr << "error: " << change.status() << "\n";
+      return false;
+    }
+    const Result<DryRunReport> report =
+        at_version.has_value()
+            ? system_.DryRunChangeAt(change.value(), *at_version)
+            : system_.DryRunChange(change.value());
+    if (!report.ok()) {
+      std::cerr << "error: " << report.status() << "\n";
+      return false;
+    }
+    std::cout << report.value().ToString();
+    return true;
+  }
+
+  bool Rollback(const std::string& version_word) {
+    uint64_t version = 0;
+    if (!ParseTicks(version_word, &version)) return false;
+    const Result<uint64_t> committed = system_.RollbackToVersion(version);
+    if (!committed.ok()) {
+      std::cerr << "error: " << committed.status() << "\n";
+      return false;
+    }
+    std::cout << "rolled back to version " << version << " (committed as v"
+              << committed.value() << ")\n";
+    return true;
+  }
+
+  // SCRUB fails the script on any detected corruption, so CI chaos jobs can
+  // gate on its exit code.
+  bool Scrub() {
+    last_scrub_ = system_.ScrubVersions();
+    std::cout << last_scrub_->ToString() << "\n";
+    if (last_scrub_->corruptions > 0) {
+      std::cerr << "error: scrub found " << last_scrub_->corruptions
+                << " corruption(s)\n";
+      return false;
+    }
+    return true;
   }
 
   Result<CapabilityChange> MakeDelete(
@@ -728,6 +856,7 @@ class Console {
 
   EveSystem system_{Mkb()};
   std::optional<Journal> journal_;
+  std::optional<VersionScrubStats> last_scrub_;
   // Federation console state: one simulated transport and a logical clock
   // that persists across TICK commands (monitors are per-command).
   federation::SimulatedTransport transport_;
