@@ -12,7 +12,15 @@
 # queue batch latency under shedding) into BENCH_admission.json, and the
 # versioning sweep (bench_versioning: O(1) tip-pin snapshot cost, dry-run
 # overhead vs direct apply, COW byte amplification over 1k versions) into
-# BENCH_versioning.json.
+# BENCH_versioning.json, and the sharded serving-core sweep (bench_shards:
+# bulk-registration throughput, 1/4/16-shard disjoint-stream commit
+# throughput, pinned-snapshot read p50/p99 under concurrent commits, and
+# the million-view registration smoke) into BENCH_shards.json.
+#
+# Every suite ends with one machine-readable line on stdout:
+#   BENCHSUMMARY suite=<name> out=<json> key=value ...
+# so CI (and humans grepping logs) can read each suite's headline numbers
+# without parsing the JSON artifacts.
 #
 # Usage: bench/run_benchmarks.sh [--build-dir DIR] [--filter REGEX]
 #                                [--min-time SECONDS]
@@ -102,6 +110,10 @@ for entry in comparison:
     if speedup is not None:
         note += f"  (baseline {entry['baseline']:.0f}, {speedup}x)"
     print(f"{entry['name']:<28}{note}")
+speedups = [e["speedup"] for e in comparison if e.get("speedup") is not None]
+print(f"BENCHSUMMARY suite=cvs out={out_path} points={len(comparison)}"
+      f" min_speedup={min(speedups) if speedups else 'n/a'}"
+      f" max_speedup={max(speedups) if speedups else 'n/a'}")
 PY
 
 ENUM_BENCH="$BUILD_DIR/bench/bench_enumeration"
@@ -190,6 +202,11 @@ for entry in comparison:
     name = f"{entry['kind']} m={entry['covers']} k={entry['k']}"
     print(f"{name:<28}  {entry['current']:.0f} {entry['time_unit']}"
           f"  (eager {entry['baseline']:.0f}, {entry['speedup']}x)")
+speedups = [e["speedup"] for e in comparison if e.get("speedup") is not None]
+print(f"BENCHSUMMARY suite=enumeration out={out_path}"
+      f" pairs={len(comparison)}"
+      f" min_speedup={min(speedups) if speedups else 'n/a'}"
+      f" max_speedup={max(speedups) if speedups else 'n/a'}")
 PY
 
 FED_BENCH="$BUILD_DIR/bench/bench_federation"
@@ -268,6 +285,10 @@ for entry in comparison:
     if "overhead" in entry:
         note += f"  ({entry['overhead']}x fault-free)"
     print(f"{entry['name']:<28}{note}")
+overheads = [e["overhead"] for e in comparison if "overhead" in e]
+print(f"BENCHSUMMARY suite=federation out={out_path}"
+      f" regimes={len(overheads)}"
+      f" max_overhead={max(overheads) if overheads else 'n/a'}")
 PY
 
 ADM_BENCH="$BUILD_DIR/bench/bench_admission"
@@ -357,6 +378,10 @@ for entry in latency:
     print(f"{entry['name']:<24}  p50 {entry.get('p50_us', 0):.0f} us"
           f"  p99 {entry.get('p99_us', 0):.0f} us"
           f"  shed {entry.get('shed_per_batch', 0):.0f}")
+p99s = [e["p99_us"] for e in latency if "p99_us" in e]
+print(f"BENCHSUMMARY suite=admission out={out_path}"
+      f" within_budget={all(e['within_2_percent_budget'] for e in overhead)}"
+      f" max_p99_us={max(p99s) if p99s else 'n/a'}")
 PY
 
 VER_BENCH="$BUILD_DIR/bench/bench_versioning"
@@ -454,4 +479,136 @@ for entry in comparison:
         print(f"{name:<32}  retained {entry['retained_bytes']:.0f} B"
               f"  logical {entry['logical_bytes']:.0f} B"
               f"  ({entry['amplification']:.2f}x saved)")
+tip_entry = next((e for e in comparison
+                  if e["name"] == "snapshot_acquisition"), {})
+print(f"BENCHSUMMARY suite=versioning out={out_path}"
+      f" tip_pin_{tip_entry.get('time_unit', 'ns')}="
+      f"{round(tip_entry.get('tip_pin', 0), 1)}"
+      f" reparse_factor={tip_entry.get('reparse_factor', 'n/a')}")
+PY
+
+SHARDS_BENCH="$BUILD_DIR/bench/bench_shards"
+if [[ ! -x "$SHARDS_BENCH" ]]; then
+  echo "bench binary not found: $SHARDS_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+SHARDS_JSON="$(mktemp)"
+trap 'rm -f "$CURRENT_JSON" "$ENUM_JSON" "$FED_JSON" "$ADM_JSON" "$VER_JSON" "$SHARDS_JSON"' EXIT
+
+# The binary replays the same change stream at 1/4/16 shards and
+# byte-compares every merged report before timing anything; a divergence
+# aborts the run (and, via set -e, this script). EVE_BENCH_MILLION=1 also
+# runs the million-view bulk-registration smoke; export it as 0 to skip
+# (e.g. under sanitizers).
+EVE_BENCH_MILLION="${EVE_BENCH_MILLION:-1}" \
+"$SHARDS_BENCH" --benchmark_min_time="${MIN_TIME}" \
+                --benchmark_out="$SHARDS_JSON" \
+                --benchmark_out_format=json > /dev/null
+
+python3 - "$SHARDS_JSON" "$REPO_ROOT/BENCH_shards.json" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1:3]
+
+with open(current_path) as f:
+    doc = json.load(f)
+
+runs = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    runs[bench["name"]] = bench
+
+registration = []
+commits = []
+for shards in (1, 4, 16):
+    reg = runs.get(f"BM_BulkRegistration/{shards}")
+    if reg is not None:
+        registration.append({
+            "shards": shards,
+            "views": reg.get("views"),
+            "views_per_second": reg.get("items_per_second"),
+        })
+    com = runs.get(f"BM_DisjointCommitThroughput/{shards}")
+    if com is not None:
+        commits.append({
+            "shards": shards,
+            "pool_views": com.get("views"),
+            "commits_per_second": com.get("items_per_second"),
+            "ms_per_commit": com.get("real_time"),
+        })
+
+by_shards = {c["shards"]: c["commits_per_second"] for c in commits}
+speedup_16v1 = (round(by_shards[16] / by_shards[1], 2)
+                if by_shards.get(1) and by_shards.get(16) else None)
+
+reads = {}
+for name, bench in runs.items():
+    if name.startswith("BM_PinnedReadDuringCommits"):
+        p99 = bench.get("read_p99_ns", 0.0)
+        mean_commit = bench.get("mean_commit_ns", 0.0)
+        during = bench.get("reads_during_commit", 0.0)
+        reads = {
+            "read_p50_ns": bench.get("read_p50_ns"),
+            "read_p99_ns": p99,
+            "reads_during_commit": during,
+            "commits_during_run": bench.get("commits_during_run"),
+            "mean_commit_ns": mean_commit,
+            # Reads overlapping an in-flight commit completed, and the
+            # read tail is orders of magnitude below a single commit:
+            # pinned readers never wait for writers.
+            "zero_blocking_reads": bool(
+                during > 0 and mean_commit > 0 and p99 < mean_commit / 100),
+        }
+
+million = None
+for name, bench in runs.items():
+    if name.startswith("BM_MillionViewRegistration"):
+        million = {
+            "seconds": round(bench.get("real_time", 0.0), 2),
+            "views_per_second": bench.get("items_per_second"),
+        }
+
+out = {
+    "description": "Sharded view-pool serving core: bulk-registration "
+                   "throughput, aggregate commit throughput on a "
+                   "disjoint-shard rename stream at 1/4/16 shards "
+                   "(single-core container: the speedup is smaller "
+                   "per-shard snapshot rendering, not parallelism), and "
+                   "pinned-snapshot read latency while a writer commits "
+                   "continuously. Merged reports are validated "
+                   "byte-identical across shard counts before timing.",
+    "context": doc.get("context", {}),
+    "merged_reports_identical": True,  # validated by the binary pre-timing
+    "registration": registration,
+    "commit_throughput": commits,
+    "commit_speedup_16_shards_vs_1": speedup_16v1,
+    "meets_3x_target": speedup_16v1 is not None and speedup_16v1 >= 3.0,
+    "pinned_reads_under_commits": reads,
+    "million_view_registration": million,
+    "raw": doc,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for entry in commits:
+    print(f"commit throughput shards={entry['shards']:<3}"
+          f"  {entry['commits_per_second']:.1f}/s")
+if reads:
+    print(f"pinned reads  p50 {reads['read_p50_ns']:.0f} ns"
+          f"  p99 {reads['read_p99_ns']:.0f} ns"
+          f"  during-commit {reads['reads_during_commit']:.0f}"
+          f"  (mean commit {reads['mean_commit_ns'] / 1e6:.1f} ms)")
+if million:
+    print(f"million-view registration  {million['seconds']:.1f} s")
+print(f"BENCHSUMMARY suite=shards out={out_path}"
+      f" commit_speedup_16v1={speedup_16v1}"
+      f" meets_3x_target={speedup_16v1 is not None and speedup_16v1 >= 3.0}"
+      f" zero_blocking_reads={reads.get('zero_blocking_reads', 'n/a')}"
+      f" read_p99_ns={reads.get('read_p99_ns', 'n/a')}"
+      f" merged_reports_identical=True")
 PY

@@ -1,0 +1,45 @@
+// EpochPtr<T>: RCU-style single-writer publication of immutable snapshots.
+//
+// The writer builds a fully-formed immutable T and publishes it with one
+// atomic shared_ptr store; readers load the current pointer and keep the
+// whole snapshot alive for as long as they hold it. Readers never wait for
+// a writer's in-progress work (the expensive part — rendering the next
+// snapshot — happens before the swap), and a published snapshot can never
+// be observed half-built or torn.
+
+#ifndef EVE_COMMON_EPOCH_PTR_H_
+#define EVE_COMMON_EPOCH_PTR_H_
+
+#include <atomic>
+#include <memory>
+
+namespace eve {
+
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  explicit EpochPtr(std::shared_ptr<const T> initial)
+      : current_(std::move(initial)) {}
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  // Reader side: pin the current snapshot. The returned shared_ptr keeps
+  // the snapshot (and everything it owns) alive; a concurrent Publish only
+  // swaps the pointer, so the pinned snapshot stays byte-stable.
+  std::shared_ptr<const T> Pin() const { return current_.load(); }
+
+  // Writer side: publish a new immutable snapshot. The previous snapshot
+  // stays alive until its last pinned reader releases it.
+  void Publish(std::shared_ptr<const T> next) {
+    current_.store(std::move(next));
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const T>> current_;
+};
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_EPOCH_PTR_H_

@@ -96,6 +96,10 @@ const std::vector<std::string>& Failpoints::KnownSites() {
       fp::kRollbackAfterJournal,
       fp::kRollbackAfterRestore,
       fp::kVersionScrub,
+      fp::kShardedCommitShard,
+      fp::kShardedPublish,
+      fp::kShardedCheckpointManifest,
+      fp::kShardedJournalReset,
   };
   return *sites;
 }

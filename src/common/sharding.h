@@ -1,0 +1,34 @@
+// Stable view-name sharding: the hash is part of the durable format (a
+// view's shard owns its journal records and checkpoint section), so it must
+// never change across platforms, compilers or releases. FNV-1a over the raw
+// bytes gives that stability; std::hash does not.
+
+#ifndef EVE_COMMON_SHARDING_H_
+#define EVE_COMMON_SHARDING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace eve {
+
+// 64-bit FNV-1a. Deterministic across platforms; never reorder or reseed —
+// per-shard journals and checkpoints address views by this hash.
+constexpr uint64_t StableHash64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ull;  // FNV prime
+  }
+  return hash;
+}
+
+// The shard owning `view_name` among `shard_count` shards.
+constexpr size_t ShardOf(std::string_view view_name, size_t shard_count) {
+  return shard_count <= 1
+             ? 0
+             : static_cast<size_t>(StableHash64(view_name) % shard_count);
+}
+
+}  // namespace eve
+
+#endif  // EVE_COMMON_SHARDING_H_

@@ -52,6 +52,11 @@ struct CvsOptions {
   // (0 = no extra cap beyond replacement.max_results). When it fires, a
   // diagnostic reports exactly how much of the space was left unexplored.
   size_t candidate_budget = 0;
+  // Include a kUnaffected outcome line for every untouched view in each
+  // ChangeReport. The default preserves the paper's full per-view report;
+  // large pools (sharded serving, million-view benches) turn it off so a
+  // change's report cost is O(affected), not O(pool).
+  bool report_unaffected = true;
 };
 
 // One synchronized view with full provenance.

@@ -177,6 +177,9 @@ EveSystem::EveSystem(Mkb mkb, CvsOptions options)
 }
 
 uint64_t EveSystem::CommitVersion(const std::string& change_desc) {
+  if (versioning_mode_ == VersioningMode::kMkbOnly) {
+    return versions_.CommitSharedViews(mkb_tip_, change_desc);
+  }
   return versions_.Commit(mkb_tip_, SaveViews(*this), change_desc);
 }
 
@@ -265,6 +268,49 @@ Status EveSystem::RegisterViewText(std::string_view text) {
   EVE_ASSIGN_OR_RETURN(const ViewDefinition bound,
                        BindView(parsed, mkb().catalog()));
   return RegisterView(bound);
+}
+
+Status EveSystem::RegisterViewsBulk(const std::vector<ViewDefinition>& views) {
+  if (views.empty()) return Status::OK();
+  // Validate and bind the whole batch before journaling anything: a bad
+  // view aborts with the system (and the journal) untouched.
+  std::vector<ViewDefinition> bound;
+  bound.reserve(views.size());
+  std::set<std::string> batch_names;
+  for (const ViewDefinition& view : views) {
+    if (view.name().empty()) {
+      return Status::InvalidArgument("view needs a non-empty name");
+    }
+    if (views_.count(view.name()) > 0 ||
+        !batch_names.insert(view.name()).second) {
+      return Status::AlreadyExists("view already registered: " + view.name());
+    }
+    EVE_ASSIGN_OR_RETURN(ViewDefinition rebound,
+                         BindView(view.ToParsedView(), mkb().catalog()));
+    bound.push_back(std::move(rebound));
+  }
+  // One record for the whole batch, in the SaveViews block format so
+  // replay parses it with the same grammar as checkpoint pools.
+  std::string body;
+  for (const ViewDefinition& view : bound) {
+    body += "-- VIEW active\n";
+    body += view.ToString();
+    body += ";\n\n";
+  }
+  EVE_RETURN_IF_ERROR(
+      JournalAppend({JournalRecordKind::kRegisterViewsBulk, body}));
+  const uint64_t stamp = versions_.NextId();
+  for (ViewDefinition& view : bound) {
+    const std::string name = view.name();
+    RegisteredView registered;
+    registered.definition = std::move(view);
+    registered.synced_at_version = stamp;
+    const auto [it, inserted] = views_.emplace(name, std::move(registered));
+    IndexView(name, it->second.definition);
+  }
+  CommitVersion("register " + std::to_string(bound.size()) + " views (bulk)");
+  EVE_FAILPOINT(fp::kRegisterViewAfterJournal);
+  return Status::OK();
 }
 
 Result<const RegisteredView*> EveSystem::GetView(
@@ -406,19 +452,22 @@ Result<EveSystem::PreparedChange> EveSystem::PrepareChange(
   // Step 2: detect affected views.
   const std::vector<std::string> affected = AffectedViews(change);
   prepared.affected = affected;
-  for (const auto& [name, view] : views_) {
-    if (view.state != ViewState::kActive) continue;
-    const bool is_affected =
-        std::binary_search(affected.begin(), affected.end(), name);
-    if (!is_affected) {
-      report.outcomes.push_back(
-          ViewOutcome{name, ViewOutcomeKind::kUnaffected, "", {}});
+  if (options_.report_unaffected) {
+    for (const auto& [name, view] : views_) {
+      if (view.state != ViewState::kActive) continue;
+      const bool is_affected =
+          std::binary_search(affected.begin(), affected.end(), name);
+      if (!is_affected) {
+        report.outcomes.push_back(
+            ViewOutcome{name, ViewOutcomeKind::kUnaffected, "", {}});
+      }
     }
   }
 
-  // Step 3: synchronize each affected view. All mutations land on a copy of
-  // the pool so discarding the PreparedChange (the dry-run/abort path)
-  // leaves this system untouched; the copy, the evolved MKB and the log
+  // Step 3: synchronize each affected view. All mutations land on a delta
+  // map holding just the affected views, so discarding the PreparedChange
+  // (the dry-run/abort path) leaves this system untouched and a prepare
+  // costs O(affected), not O(pool); the delta, the evolved MKB and the log
   // entry commit together in CommitPrepared.
   //
   // The per-view CVS runs are independent of each other: they read the
@@ -427,7 +476,10 @@ Result<EveSystem::PreparedChange> EveSystem::PrepareChange(
   // pool. Everything order-dependent — outcome assembly, journaling, the
   // commit — happens on this thread in view-name order, making the
   // result byte-identical at any parallelism.
-  std::map<std::string, RegisteredView> next_views = views_;
+  std::map<std::string, RegisteredView> next_views;
+  for (const std::string& name : affected) {
+    next_views.emplace(name, views_.at(name));
+  }
   prepared.next_mkb = std::make_shared<const Mkb>(std::move(evolution.mkb));
   const SyncContext context(base.mkb, prepared.next_mkb,
                             prepared.base_version);
@@ -621,17 +673,29 @@ Result<ChangeReport> EveSystem::CommitPrepared(PreparedChange prepared) {
   if (deferred.ok()) deferred = swap_hit;
   // Re-index the synchronized views: out with the pre-change definitions,
   // in with the rewritten ones (a disabled view keeps its definition and
-  // thus its index entries).
+  // thus its index entries). next_views is a delta of just the affected
+  // views; unaffected entries are untouched.
   for (const std::string& name : prepared.affected) {
     UnindexView(name, views_.at(name).definition);
   }
   mkb_tip_ = prepared.next_mkb;
-  views_ = std::move(prepared.next_views);
+  for (auto& [name, synced] : prepared.next_views) {
+    views_.at(name) = std::move(synced);
+  }
   for (const std::string& name : prepared.affected) {
     IndexView(name, views_.at(name).definition);
   }
   change_log_.push_back(prepared.report);
-  CommitVersion(prepared.change.ToString());
+  if (prepared.affected.empty() && prepared.next_views.empty()) {
+    // No view record changed, so the tip's VIEWS segment is still this
+    // pool's exact rendering: share it instead of re-rendering O(pool)
+    // bytes. Replica shards whose view partition a change does not touch
+    // commit in O(MKB) through this path, which is where the sharded
+    // serving core's aggregate commit throughput comes from.
+    versions_.CommitSharedViews(mkb_tip_, prepared.change.ToString());
+  } else {
+    CommitVersion(prepared.change.ToString());
+  }
   const Status after = Failpoints::Instance().Hit(fp::kVersionAfterSwap);
   if (deferred.ok()) deferred = after;
   // Past this point the change is committed both durably and in memory; an
@@ -667,6 +731,12 @@ Result<DryRunReport> EveSystem::DryRunChange(
 
 Result<DryRunReport> EveSystem::DryRunChangeAt(const CapabilityChange& change,
                                                uint64_t version) const {
+  if (versioning_mode_ == VersioningMode::kMkbOnly &&
+      version != versions_.tip_id()) {
+    return Status::FailedPrecondition(
+        "dry-run at a non-tip version requires full-snapshot versioning "
+        "(the store is in MKB-only mode)");
+  }
   if (version == versions_.tip_id()) return DryRunChange(change);
   // A what-if against an older version: rehearse the real flow (rollback,
   // then apply) on a scratch copy. The scratch shares the immutable version
@@ -687,6 +757,11 @@ Result<DryRunReport> EveSystem::DryRunChangeAt(const CapabilityChange& change,
 }
 
 Result<uint64_t> EveSystem::RollbackToVersion(uint64_t version) {
+  if (versioning_mode_ == VersioningMode::kMkbOnly) {
+    return Status::FailedPrecondition(
+        "rollback requires full-snapshot versioning (the store is in "
+        "MKB-only mode: versions do not retain the view pool)");
+  }
   if (!versions_.HasVersion(version)) {
     return Status::NotFound("no retained version " + std::to_string(version) +
                             " (tip is " + std::to_string(versions_.tip_id()) +
@@ -1070,6 +1145,40 @@ Status EveSystem::ReplayRecord(const JournalRecord& record) {
       EVE_ASSIGN_OR_RETURN(ViewDefinition unbound, BindViewUnchecked(parsed));
       return RestoreView(std::move(unbound), ViewState::kDisabled, synced_at);
     }
+    case JournalRecordKind::kRegisterViewsBulk: {
+      // The body is the SaveViews block format, active views only. Parse
+      // every block, then re-register through RegisterViewsBulk so replay
+      // commits exactly one version, like the original call.
+      std::vector<ViewDefinition> batch;
+      std::string_view text = record.body;
+      size_t pos = 0;
+      while (pos < text.size()) {
+        const size_t header = text.find("-- VIEW ", pos);
+        if (header == std::string_view::npos) break;
+        const size_t header_end = text.find('\n', header);
+        if (header_end == std::string_view::npos) {
+          return Status::ParseError("truncated bulk-registration header");
+        }
+        const size_t body_end = text.find(';', header_end);
+        if (body_end == std::string_view::npos) {
+          return Status::ParseError(
+              "bulk-registration statement missing terminating ';'");
+        }
+        const std::string_view statement =
+            text.substr(header_end + 1, body_end - header_end - 1);
+        EVE_ASSIGN_OR_RETURN(const ParsedView parsed, ParseView(statement));
+        EVE_ASSIGN_OR_RETURN(ViewDefinition bound,
+                             BindView(parsed, mkb().catalog()));
+        batch.push_back(std::move(bound));
+        pos = body_end + 1;
+      }
+      return RegisterViewsBulk(batch);
+    }
+    case JournalRecordKind::kJournalEpoch:
+      // Checkpoint-generation marker: consumed by the sharded recovery
+      // barrier before replay; reaching a single-system replay it is a
+      // no-op (the records after it are the live tail).
+      return Status::OK();
     case JournalRecordKind::kSetViewState: {
       std::string state_word, name;
       EVE_RETURN_IF_ERROR(SplitRecordBody(record.body, &state_word, &name));

@@ -140,6 +140,19 @@ struct DryRunReport {
   std::string ToString() const;
 };
 
+// What each committed version retains for the view pool.
+enum class VersioningMode {
+  // Every version carries the serialized view pool (the default): full
+  // point-in-time rollback and AT VERSION reads.
+  kFullSnapshots,
+  // Versions share the VIEWS segment frozen at the mode switch instead of
+  // re-rendering the pool — a commit costs O(MKB), not O(views). The MKB
+  // chain stays fully versioned; RollbackToVersion and DryRunChangeAt are
+  // unavailable. For million-view pools where rendering the pool per
+  // commit would dominate every change.
+  kMkbOnly,
+};
+
 class EveSystem {
  public:
   explicit EveSystem(Mkb mkb, CvsOptions options = {});
@@ -216,6 +229,22 @@ class EveSystem {
   Status RegisterView(const ViewDefinition& view);
   // Parses, binds and registers an E-SQL CREATE VIEW statement.
   Status RegisterViewText(std::string_view text);
+  // Registers a batch of views as ONE journal record and ONE committed
+  // version (all-or-nothing validation up front; nothing is journaled or
+  // registered if any view fails). Bulk loading a million-view pool this
+  // way is O(batch) journal fsyncs instead of O(views).
+  Status RegisterViewsBulk(const std::vector<ViewDefinition>& views);
+
+  // Selects what each committed version retains (see VersioningMode). Not
+  // journaled — a configuration like sync parallelism, set before heavy
+  // load; recovery replays under whatever mode the recovering process set.
+  void SetVersioningMode(VersioningMode mode) { versioning_mode_ = mode; }
+  VersioningMode versioning_mode() const { return versioning_mode_; }
+
+  // Whether each ChangeReport lists a kUnaffected outcome per untouched
+  // view (CvsOptions::report_unaffected): O(pool) per change when on.
+  void SetReportUnaffected(bool on) { options_.report_unaffected = on; }
+  bool report_unaffected() const { return options_.report_unaffected; }
 
   Result<const RegisteredView*> GetView(const std::string& name) const;
 
@@ -425,6 +454,10 @@ class EveSystem {
                                    RecoveryReport* report = nullptr);
 
  private:
+  // The sharded serving core (eve/sharded_system.h) drives the
+  // prepare/commit split and per-shard internals directly.
+  friend class ShardedEveSystem;
+
   // The abortable first phase of a capability change: MKB evolution,
   // affected-view detection and the full CVS fan-out, all against the
   // pinned tip version and all into private state. Discarding the result
@@ -433,6 +466,8 @@ class EveSystem {
     CapabilityChange change;
     uint64_t base_version = 0;  // tip id the prepare ran against
     std::shared_ptr<const Mkb> next_mkb;
+    // Post-sync state of ONLY the affected views (a delta, not a pool
+    // copy — prepare must stay O(affected) on million-view pools).
     std::map<std::string, RegisteredView> next_views;
     std::vector<std::string> affected;
     ChangeReport report;
@@ -497,6 +532,7 @@ class EveSystem {
   uint64_t sync_deadline_micros_ = 0;
   uint64_t sync_watchdog_micros_ = 0;
   const Clock* sync_clock_ = nullptr;  // non-owning; nullptr = steady clock
+  VersioningMode versioning_mode_ = VersioningMode::kFullSnapshots;
   size_t sync_queue_limit_ = 0;
   std::deque<CapabilityChange> sync_queue_;
   AdmissionStats admission_stats_;

@@ -158,6 +158,39 @@ uint64_t MkbVersionStore::Commit(std::shared_ptr<const Mkb> mkb,
   return id;
 }
 
+uint64_t MkbVersionStore::CommitSharedViews(std::shared_ptr<const Mkb> mkb,
+                                            std::string change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = std::make_shared<MkbVersion>();
+  node->id = versions_.size();
+  node->parent = versions_.empty() ? 0 : versions_.back()->id;
+  node->change = SanitizeChange(std::move(change));
+  const MkbVersion* tip = versions_.empty() ? nullptr : versions_.back().get();
+  if (tip != nullptr && mkb.get() == tip_mkb_.get()) {
+    node->segments.assign(tip->segments.begin(), tip->segments.begin() + 4);
+  } else {
+    std::array<std::string, 4> rendered = RenderMkbSegments(*mkb);
+    for (size_t i = 0; i < 4; ++i) {
+      if (tip != nullptr && tip->segments[i]->body == rendered[i]) {
+        node->segments.push_back(tip->segments[i]);
+      } else {
+        node->segments.push_back(
+            MakeSegment(kVersionSegmentNames[i], std::move(rendered[i])));
+      }
+    }
+  }
+  if (tip != nullptr) {
+    node->segments.push_back(tip->segments[4]);
+  } else {
+    node->segments.push_back(MakeSegment(kVersionSegmentNames[4], ""));
+  }
+  node->crc = VersionCrc(*node);
+  const uint64_t id = node->id;
+  versions_.push_back(std::move(node));
+  tip_mkb_ = std::move(mkb);
+  return id;
+}
+
 uint64_t MkbVersionStore::tip_id() const {
   std::lock_guard<std::mutex> lock(mu_);
   return versions_.empty() ? 0 : versions_.back()->id;

@@ -94,6 +94,14 @@ class MkbVersionStore {
   uint64_t Commit(std::shared_ptr<const Mkb> mkb, std::string views_text,
                   std::string change);
 
+  // Commit variant for callers that KNOW the view pool is unchanged since
+  // the tip: shares the tip's VIEWS segment by pointer without rendering or
+  // byte-comparing the pool — O(MKB), not O(views). Used by the sharded
+  // serving core, where an MKB evolution is fanned out to shards whose view
+  // partition the change does not touch.
+  uint64_t CommitSharedViews(std::shared_ptr<const Mkb> mkb,
+                             std::string change);
+
   uint64_t tip_id() const;
   // The id the next Commit will assign (== number of versions).
   uint64_t NextId() const;

@@ -1,9 +1,11 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
+#include "common/sharding.h"
 #include "mkb/builder.h"
 
 namespace eve {
@@ -479,6 +481,72 @@ Result<ViewDefinition> MakeRandomConnectedView(const Mkb& mkb,
   }
   return ViewDefinition("random_view", ViewExtent::kAny, std::move(select),
                         std::move(from), std::move(where));
+}
+
+Result<std::vector<ViewDefinition>> MakeViewPool(const Mkb& mkb,
+                                                 const ViewPoolSpec& spec) {
+  if (spec.max_span < 1) {
+    return Status::InvalidArgument("max_span must be >= 1");
+  }
+  if (spec.shard_skew < 0.0 || spec.shard_skew > 1.0) {
+    return Status::InvalidArgument("shard_skew must be in [0, 1]");
+  }
+  // Chain length = contiguous R0..R{n-1} present in the catalog.
+  size_t chain = 0;
+  while (mkb.catalog().HasRelation(RelName(chain))) ++chain;
+  if (chain == 0) {
+    return Status::InvalidArgument("MKB has no chain relations R0..");
+  }
+  // Zipf CDF over chain positions: P(rank r) ∝ 1/(r+1)^s.
+  std::vector<double> cdf(chain);
+  double mass = 0.0;
+  for (size_t r = 0; r < chain; ++r) {
+    mass += 1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s);
+    cdf[r] = mass;
+  }
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::vector<ViewDefinition> pool;
+  pool.reserve(spec.num_views);
+  for (size_t v = 0; v < spec.num_views; ++v) {
+    const double target = unit(rng) * mass;
+    const size_t anchor = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), target) - cdf.begin());
+    const size_t span =
+        std::min(1 + rng() % spec.max_span, chain - std::min(anchor, chain - 1));
+    const size_t start = std::min(anchor, chain - span);
+
+    std::string name = "wv" + std::to_string(v);
+    if (spec.shard_skew > 0.0 && spec.skew_shards > 1 &&
+        unit(rng) < spec.shard_skew) {
+      // Hash placement cannot be steered, so steer the name: append the
+      // first salt that hashes the view onto shard 0.
+      for (uint64_t salt = 0; ShardOf(name, spec.skew_shards) != 0; ++salt) {
+        name = "wv" + std::to_string(v) + "_s" + std::to_string(salt);
+      }
+    }
+
+    std::vector<ViewSelectItem> select;
+    std::vector<ViewRelation> from;
+    std::vector<ViewCondition> where;
+    for (size_t i = start; i < start + span; ++i) {
+      select.push_back(ViewSelectItem{
+          Expr::Column(AttributeRef{RelName(i), PayloadName(i)}),
+          PayloadName(i), EvolutionParams{false, true}});
+      from.push_back(ViewRelation{RelName(i), EvolutionParams{false, true}});
+      if (i > start) {
+        where.push_back(ViewCondition{
+            Expr::ColumnsEqual(AttributeRef{RelName(i - 1), LinkName(i - 1)},
+                               AttributeRef{RelName(i), LinkName(i - 1)}),
+            EvolutionParams{false, true}});
+      }
+    }
+    pool.push_back(ViewDefinition(std::move(name), ViewExtent::kAny,
+                                  std::move(select), std::move(from),
+                                  std::move(where)));
+  }
+  return pool;
 }
 
 Status PopulateSyntheticDatabase(const Mkb& mkb, Database* db,

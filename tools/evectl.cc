@@ -13,6 +13,13 @@
 //   SHOW HYPERGRAPH;                      -- H(MKB) summary (Fig. 4 style)
 //   SHOW VIEWS;                           -- registered views and states
 //   SHOW VIEW <name>;                     -- one view's E-SQL text
+//   SET SHARDS <n>;                       -- partition the view pool over n
+//                                            hash shards; rejected once any
+//                                            view is registered, a journal
+//                                            is attached or sources are
+//                                            tracked (placement is fixed)
+//   SHOW SHARD STATS;                     -- per-shard view counts, commits,
+//                                            queue depth, version tips
 //   CREATE VIEW ... ;                     -- register an E-SQL view
 //   DEFINE <MISD statement>;              -- a source publishes a relation
 //                                            or constraint (additive)
@@ -88,6 +95,14 @@
 // Every capability change prints the EVE change report (rewritten /
 // disabled views, dropped constraints).
 //
+// The console drives a ShardedEveSystem. At the default SET SHARDS 1 it
+// delegates to shard 0 for exact legacy single-system behavior (same
+// bytes, same journal format); at higher shard counts mutations fan out
+// across the partition and SHOW MKB / SHOW HYPERGRAPH / SHOW VIEWS answer
+// from the last published RCU snapshot (one atomic load, no shard locks).
+// File persistence, versioning, federation and what-if commands operate on
+// the classic single system and require SET SHARDS 1.
+//
 // Setting EVE_FAILPOINTS (e.g. "eve.apply_change.after_journal=crash") arms
 // fault-injection sites; a fired crash site aborts the script with exit
 // code 3, leaving on-disk state for a later RECOVER run.
@@ -104,6 +119,7 @@
 #include "common/str_util.h"
 #include "eve/eve_system.h"
 #include "eve/journal.h"
+#include "eve/sharded_system.h"
 #include "eve/view_pool_io.h"
 #include "federation/membership.h"
 #include "federation/monitor.h"
@@ -157,6 +173,70 @@ std::vector<std::string> SplitStatements(const std::string& script) {
   return statements;
 }
 
+// One view block extracted from a pinned VIEWS segment (the SaveViews
+// format of view_pool_io.h): the name, the state word, and the CREATE VIEW
+// statement exactly as the committing version rendered it.
+struct PinnedViewBlock {
+  std::string name;
+  bool active = true;
+  std::string definition;  // without the terminating ';'
+};
+
+// Parses the view name from "CREATE VIEW <name> ...", handling the
+// printer's double-quote escaping for non-plain identifiers.
+std::string PinnedViewName(std::string_view definition) {
+  constexpr std::string_view kPrefix = "CREATE VIEW ";
+  if (definition.substr(0, kPrefix.size()) != kPrefix) return "";
+  std::string_view rest = definition.substr(kPrefix.size());
+  if (!rest.empty() && rest[0] == '"') {
+    std::string name;
+    for (size_t i = 1; i < rest.size(); ++i) {
+      if (rest[i] == '"') {
+        if (i + 1 < rest.size() && rest[i + 1] == '"') {
+          name += '"';
+          ++i;
+        } else {
+          return name;
+        }
+      } else {
+        name += rest[i];
+      }
+    }
+    return name;
+  }
+  const size_t end = rest.find_first_of(" \t\n(");
+  return std::string(rest.substr(0, end));
+}
+
+// Extracts the view blocks of one shard's pinned VIEWS segment. Reads only
+// the snapshot's immutable bytes — no shard lock, no live-state access.
+void AppendPinnedViews(const std::string& text,
+                       std::vector<PinnedViewBlock>* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t header = text.find("-- VIEW ", pos);
+    if (header == std::string::npos) break;
+    const size_t header_end = text.find('\n', header);
+    if (header_end == std::string::npos) break;
+    const std::string_view header_rest = Trim(std::string_view(text).substr(
+        header + 8, header_end - header - 8));
+    size_t next = text.find("-- VIEW ", header_end);
+    if (next == std::string::npos) next = text.size();
+    std::string body(Trim(std::string_view(text).substr(
+        header_end + 1, next - header_end - 1)));
+    if (!body.empty() && body.back() == ';') {
+      body.pop_back();
+      body = std::string(Trim(body));
+    }
+    PinnedViewBlock block;
+    block.active = header_rest.substr(0, 6) != "disabl";
+    block.definition = std::move(body);
+    block.name = PinnedViewName(block.definition);
+    if (!block.name.empty()) out->push_back(std::move(block));
+    pos = next;
+  }
+}
+
 // Splits a statement head into whitespace-separated words (enough for the
 // non-SQL commands; CREATE VIEW statements go to the E-SQL parser whole).
 std::vector<std::string> Words(const std::string& statement) {
@@ -184,15 +264,15 @@ class Console {
     const std::string head = ToLower(words[0]);
 
     if (head == "create") {
-      return Report(system_.RegisterViewText(statement), statement);
+      return Report(sharded_.RegisterViewText(statement), statement);
     }
     if (head == "retract" && words.size() >= 2) {
-      return Report(system_.RetractConstraint(words[1]), statement);
+      return Report(sharded_.RetractConstraint(words[1]), statement);
     }
     if (head == "define") {
       const std::string body(Trim(
           std::string_view(statement).substr(std::string("define").size())));
-      return Report(system_.ExtendMkb(body), statement);
+      return Report(sharded_.ExtendMkb(body), statement);
     }
     if (head == "load" && words.size() >= 3 &&
         EqualsIgnoreCase(words[1], "MISD")) {
@@ -218,6 +298,10 @@ class Console {
     }
     if (head == "recover" && words.size() >= 3) {
       return Recover(Unquote(words[1]), Unquote(words[2]));
+    }
+    if (head == "set" && words.size() >= 3 &&
+        EqualsIgnoreCase(words[1], "SHARDS")) {
+      return SetShards(words[2]);
     }
     if (head == "set" && words.size() >= 4 &&
         EqualsIgnoreCase(words[1], "SYNC")) {
@@ -304,6 +388,46 @@ class Console {
     return true;
   }
 
+  // Shard 0 of a 1-shard system IS the classic single EveSystem; the
+  // commands that predate sharding operate on it directly.
+  EveSystem& sys() { return sharded_.shard(0); }
+
+  // Sync tuning knobs apply uniformly to every shard replica.
+  template <class Fn>
+  void ForEachShard(Fn fn) {
+    for (size_t i = 0; i < sharded_.shard_count(); ++i) fn(sharded_.shard(i));
+  }
+
+  // File persistence, version-chain, what-if and federation commands have
+  // single-system semantics (their formats and state live on one system).
+  bool RequireSingleShard(const std::string& what) {
+    if (sharded_.shard_count() == 1) return true;
+    std::cerr << "error: " << what << " requires SET SHARDS 1 (currently "
+              << sharded_.shard_count() << " shards)\n";
+    return false;
+  }
+
+  bool SetShards(const std::string& value) {
+    uint64_t count = 0;
+    if (!ParseTicks(value, &count)) return false;
+    if (journal_.has_value()) {
+      std::cerr << "error: SET SHARDS after JOURNAL is not allowed (journal "
+                   "records are placed per shard)\n";
+      return false;
+    }
+    if (!sys().source_membership().empty()) {
+      std::cerr << "error: SET SHARDS after TRACK SOURCES is not allowed\n";
+      return false;
+    }
+    const Status status = sharded_.SetShardCount(static_cast<size_t>(count));
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return false;
+    }
+    std::cout << "shards = " << count << "\n";
+    return true;
+  }
+
   bool LoadMisd(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
@@ -317,8 +441,10 @@ class Console {
       std::cerr << "error: " << mkb.status() << "\n";
       return false;
     }
-    system_ = EveSystem(mkb.value());
-    if (journal_.has_value()) system_.AttachJournal(&*journal_);
+    // Rebuilding keeps the configured shard count: SET SHARDS n; LOAD
+    // MISD ...; CREATE VIEW ... is the sharded bring-up sequence.
+    sharded_ = ShardedEveSystem(mkb.value(), {}, sharded_.shard_count());
+    if (journal_.has_value()) sys().AttachJournal(&*journal_);
     std::cout << "loaded " << mkb.value().catalog().NumRelations()
               << " relations, " << mkb.value().join_constraints().size()
               << " join constraints, "
@@ -330,7 +456,9 @@ class Console {
   }
 
   bool SaveMisd(const std::string& path) {
-    const Status status = AtomicWriteFile(path, SaveMkb(system_.mkb()));
+    // The MKB replicas agree byte-for-byte; save from the pinned snapshot.
+    const Status status =
+        AtomicWriteFile(path, SaveMkb(*sharded_.PinPublished()->mkb));
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";
       return false;
@@ -340,6 +468,7 @@ class Console {
   }
 
   bool LoadViewPool(const std::string& path) {
+    if (!RequireSingleShard("LOAD VIEWS")) return false;
     std::ifstream in(path);
     if (!in) {
       std::cerr << "error: cannot open " << path << "\n";
@@ -347,41 +476,45 @@ class Console {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    const Status status = LoadViews(buffer.str(), &system_);
+    const Status status = LoadViews(buffer.str(), &sys());
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";
       return false;
     }
-    std::cout << "loaded " << system_.NumViews() << " views from " << path
+    sharded_.PublishSnapshot();
+    std::cout << "loaded " << sys().NumViews() << " views from " << path
               << "\n";
     return true;
   }
 
   bool SaveViewPool(const std::string& path) {
-    const Status status = AtomicWriteFile(path, SaveViews(system_));
+    if (!RequireSingleShard("SAVE VIEWS")) return false;
+    const Status status = AtomicWriteFile(path, SaveViews(sys()));
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";
       return false;
     }
-    std::cout << "saved " << system_.NumViews() << " views to " << path
+    std::cout << "saved " << sys().NumViews() << " views to " << path
               << "\n";
     return true;
   }
 
   bool OpenJournal(const std::string& path) {
+    if (!RequireSingleShard("JOURNAL")) return false;
     Result<Journal> journal = Journal::Open(path);
     if (!journal.ok()) {
       std::cerr << "error: " << journal.status() << "\n";
       return false;
     }
     journal_ = std::move(journal.value());
-    system_.AttachJournal(&*journal_);
+    sys().AttachJournal(&*journal_);
     std::cout << "journaling to " << path << "\n";
     return true;
   }
 
   bool Checkpoint(const std::string& path) {
-    const Status status = WriteCheckpoint(system_, path);
+    if (!RequireSingleShard("CHECKPOINT")) return false;
+    const Status status = WriteCheckpoint(sys(), path);
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";
       return false;
@@ -400,6 +533,7 @@ class Console {
 
   bool Recover(const std::string& checkpoint_path,
                const std::string& journal_path) {
+    if (!RequireSingleShard("RECOVER")) return false;
     RecoveryReport report;
     Result<EveSystem> recovered =
         RecoverFromFiles(checkpoint_path, journal_path, &report);
@@ -407,11 +541,12 @@ class Console {
       std::cerr << "error: " << recovered.status() << "\n";
       return false;
     }
-    system_ = std::move(recovered.value());
-    if (journal_.has_value()) system_.AttachJournal(&*journal_);
+    sys() = std::move(recovered.value());
+    if (journal_.has_value()) sys().AttachJournal(&*journal_);
+    sharded_.PublishSnapshot();
     std::cout << report.ToString();
-    std::cout << "recovered " << system_.NumViews() << " views, "
-              << system_.mkb().catalog().NumRelations() << " relations\n";
+    std::cout << "recovered " << sys().NumViews() << " views, "
+              << sys().mkb().catalog().NumRelations() << " relations\n";
     return true;
   }
 
@@ -424,38 +559,44 @@ class Console {
                 << " expects a non-negative integer, got " << value << "\n";
       return false;
     }
+    // Per-shard sync knobs fan out to every replica so behavior is uniform
+    // no matter which shard a view lands on.
     if (EqualsIgnoreCase(knob, "TOPK")) {
-      system_.SetSyncTopK(static_cast<size_t>(parsed));
+      ForEachShard([&](EveSystem& s) {
+        s.SetSyncTopK(static_cast<size_t>(parsed));
+      });
       std::cout << "sync top-k = " << parsed << "\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "BUDGET")) {
-      system_.SetSyncCandidateBudget(static_cast<size_t>(parsed));
+      ForEachShard([&](EveSystem& s) {
+        s.SetSyncCandidateBudget(static_cast<size_t>(parsed));
+      });
       std::cout << "sync candidate budget = " << parsed << "\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "PARALLELISM")) {
-      system_.SetSyncParallelism(static_cast<size_t>(parsed));
+      sharded_.SetSyncParallelism(static_cast<size_t>(parsed));
       std::cout << "sync parallelism = " << parsed << "\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "WORKBUDGET")) {
-      system_.SetSyncWorkBudget(parsed);
+      ForEachShard([&](EveSystem& s) { s.SetSyncWorkBudget(parsed); });
       std::cout << "sync work budget = " << parsed << " units/view\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "DEADLINE")) {
-      system_.SetSyncDeadlineMicros(parsed);
+      ForEachShard([&](EveSystem& s) { s.SetSyncDeadlineMicros(parsed); });
       std::cout << "sync deadline = " << parsed << " us\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "WATCHDOG")) {
-      system_.SetSyncWatchdogMicros(parsed);
+      ForEachShard([&](EveSystem& s) { s.SetSyncWatchdogMicros(parsed); });
       std::cout << "sync watchdog = " << parsed << " us\n";
       return true;
     }
     if (EqualsIgnoreCase(knob, "QUEUE")) {
-      system_.SetSyncQueueLimit(static_cast<size_t>(parsed));
+      sharded_.SetSyncQueueLimit(static_cast<size_t>(parsed));
       std::cout << "sync queue limit = " << parsed << "\n";
       return true;
     }
@@ -472,20 +613,22 @@ class Console {
       std::cerr << "error: " << change.status() << "\n";
       return false;
     }
-    const Status status = system_.EnqueueChange(change.value());
+    const Status status = sharded_.EnqueueChange(change.value());
     if (status.ok()) {
-      std::cout << "enqueued (" << system_.queued_changes() << " queued)\n";
+      std::cout << "enqueued (" << sharded_.queued_changes() << " queued)\n";
       return true;
     }
     // Any admission rejection (capacity or an injected fault) is counted
     // as shed by EnqueueChange, so it is an accounted-for outcome.
     std::cout << "SHED: " << status << "\n";
-    std::cout << "admission: " << system_.admission_stats().ToString() << "\n";
+    std::cout << "admission: " << sharded_.admission_stats().ToString()
+              << "\n";
     return true;
   }
 
   bool Drain() {
-    const Result<std::vector<ChangeReport>> reports = system_.DrainSyncQueue();
+    const Result<std::vector<ChangeReport>> reports =
+        sharded_.DrainSyncQueue();
     if (!reports.ok()) {
       std::cerr << "error: " << reports.status() << "\n";
       return false;
@@ -493,13 +636,20 @@ class Console {
     for (const ChangeReport& report : reports.value()) {
       std::cout << report.ToString();
     }
-    std::cout << "admission: " << system_.admission_stats().ToString() << "\n";
+    std::cout << "admission: " << sharded_.admission_stats().ToString()
+              << "\n";
     return true;
   }
 
   bool Show(const std::vector<std::string>& words) {
+    if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SHARD") &&
+        EqualsIgnoreCase(words[2], "STATS")) {
+      std::cout << sharded_.RenderShardStats();
+      return true;
+    }
     if (words.size() >= 2 && EqualsIgnoreCase(words[1], "VERSIONS")) {
-      std::cout << system_.versions().Render();
+      if (!RequireSingleShard("SHOW VERSIONS")) return false;
+      std::cout << sys().versions().Render();
       return true;
     }
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SCRUB") &&
@@ -514,9 +664,10 @@ class Console {
     if (words.size() >= 5 && EqualsIgnoreCase(words[1], "MKB") &&
         EqualsIgnoreCase(words[2], "AT") &&
         EqualsIgnoreCase(words[3], "VERSION")) {
+      if (!RequireSingleShard("SHOW MKB AT VERSION")) return false;
       uint64_t version = 0;
       if (!ParseTicks(words[4], &version)) return false;
-      const Result<PinnedMkb> pinned = system_.PinVersion(version);
+      const Result<PinnedMkb> pinned = sys().PinVersion(version);
       if (!pinned.ok()) {
         std::cerr << "error: " << pinned.status() << "\n";
         return false;
@@ -528,9 +679,10 @@ class Console {
     if (words.size() >= 5 && EqualsIgnoreCase(words[1], "VIEWS") &&
         EqualsIgnoreCase(words[2], "AT") &&
         EqualsIgnoreCase(words[3], "VERSION")) {
+      if (!RequireSingleShard("SHOW VIEWS AT VERSION")) return false;
       uint64_t version = 0;
       if (!ParseTicks(words[4], &version)) return false;
-      const Result<std::string> views = system_.ViewsTextAt(version);
+      const Result<std::string> views = sys().ViewsTextAt(version);
       if (!views.ok()) {
         std::cerr << "error: " << views.status() << "\n";
         return false;
@@ -541,32 +693,42 @@ class Console {
     }
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SYNC") &&
         EqualsIgnoreCase(words[2], "STATS")) {
-      std::cout << "enumeration: " << system_.last_sync_stats().ToString()
+      std::cout << "enumeration: " << sys().last_sync_stats().ToString()
                 << "\n";
       // Per-view truncation/deadline lists and watchdog count for the last
       // change or preview (name-ordered, deterministic).
-      const std::string diagnostics =
-          system_.last_sync_diagnostics().ToString();
+      const std::string diagnostics = sys().last_sync_diagnostics().ToString();
       if (!diagnostics.empty()) std::cout << "sync: " << diagnostics << "\n";
-      std::cout << "admission: " << system_.admission_stats().ToString()
+      std::cout << "admission: " << sharded_.admission_stats().ToString()
                 << "\n";
       return true;
     }
+    // MKB and hypergraph reads answer from the last published snapshot:
+    // one atomic pin, no shard locks, stable against concurrent commits.
     if (words.size() >= 2 && EqualsIgnoreCase(words[1], "MKB")) {
-      std::cout << system_.mkb().ToString();
+      std::cout << sharded_.PinPublished()->mkb->ToString();
       return true;
     }
     if (words.size() >= 2 && EqualsIgnoreCase(words[1], "HYPERGRAPH")) {
-      std::cout << Hypergraph::Build(system_.mkb()).Summary();
+      std::cout << Hypergraph::Build(*sharded_.PinPublished()->mkb).Summary();
       return true;
     }
     if (words.size() >= 2 && EqualsIgnoreCase(words[1], "VIEWS")) {
-      for (const std::string& name : system_.ViewNames()) {
-        const RegisteredView* view = *system_.GetView(name);
-        std::cout << "  ["
-                  << (view->state == ViewState::kActive ? "active"
-                                                        : "DISABLED")
-                  << "] " << name << "\n";
+      // Served from the pinned snapshot: one atomic load, then only the
+      // snapshot's immutable segment bytes — no shard lock is taken, and
+      // the listing is byte-stable across any concurrent commit.
+      const auto snapshot = sharded_.PinPublished();
+      std::vector<PinnedViewBlock> views;
+      for (size_t i = 0; i < sharded_.shard_count(); ++i) {
+        AppendPinnedViews(snapshot->ViewsText(i), &views);
+      }
+      std::sort(views.begin(), views.end(),
+                [](const PinnedViewBlock& a, const PinnedViewBlock& b) {
+                  return a.name < b.name;
+                });
+      for (const PinnedViewBlock& view : views) {
+        std::cout << "  [" << (view.active ? "active" : "DISABLED") << "] "
+                  << view.name << "\n";
       }
       return true;
     }
@@ -574,25 +736,41 @@ class Console {
       return ShowSources();
     }
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "VIEW")) {
-      const Result<const RegisteredView*> view = system_.GetView(words[2]);
-      if (!view.ok()) {
-        std::cerr << "error: " << view.status() << "\n";
+      // The definition is served from the pinned snapshot (the owning
+      // shard's immutable VIEWS segment), lock-free like SHOW VIEWS.
+      const auto snapshot = sharded_.PinPublished();
+      const size_t shard = sharded_.ShardOfView(words[2]);
+      std::vector<PinnedViewBlock> views;
+      AppendPinnedViews(snapshot->ViewsText(shard), &views);
+      const PinnedViewBlock* found = nullptr;
+      for (const PinnedViewBlock& view : views) {
+        if (view.name == words[2]) found = &view;
+      }
+      if (found == nullptr) {
+        std::cerr << "error: not_found: view not registered: " << words[2]
+                  << "\n";
         return false;
       }
-      std::cout << view.value()->definition.ToString() << "\n";
-      for (const std::string& event : view.value()->history) {
-        std::cout << "  history: " << event << "\n";
+      std::cout << found->definition << "\n";
+      // History is live provenance (not part of the versioned bytes); it
+      // rides along from the owning shard for the console's benefit.
+      const Result<const RegisteredView*> view = sharded_.GetView(words[2]);
+      if (view.ok()) {
+        for (const std::string& event : view.value()->history) {
+          std::cout << "  history: " << event << "\n";
+        }
       }
       return true;
     }
     std::cerr << "error: SHOW expects MKB, HYPERGRAPH, VIEWS, VIEW <name>, "
-                 "VERSIONS, MKB|VIEWS AT VERSION <n>, SCRUB STATS or SYNC "
-                 "STATS\n";
+                 "VERSIONS, MKB|VIEWS AT VERSION <n>, SHARD STATS, SCRUB "
+                 "STATS or SYNC STATS\n";
     return false;
   }
 
   // SYNC DRYRUN <change words> [AT VERSION n]: the full what-if pipeline.
   bool DryRun(std::vector<std::string> rest) {
+    if (!RequireSingleShard("SYNC DRYRUN")) return false;
     std::optional<uint64_t> at_version;
     if (rest.size() >= 3 && EqualsIgnoreCase(rest[rest.size() - 3], "AT") &&
         EqualsIgnoreCase(rest[rest.size() - 2], "VERSION")) {
@@ -615,8 +793,8 @@ class Console {
     }
     const Result<DryRunReport> report =
         at_version.has_value()
-            ? system_.DryRunChangeAt(change.value(), *at_version)
-            : system_.DryRunChange(change.value());
+            ? sys().DryRunChangeAt(change.value(), *at_version)
+            : sys().DryRunChange(change.value());
     if (!report.ok()) {
       std::cerr << "error: " << report.status() << "\n";
       return false;
@@ -626,13 +804,15 @@ class Console {
   }
 
   bool Rollback(const std::string& version_word) {
+    if (!RequireSingleShard("ROLLBACK")) return false;
     uint64_t version = 0;
     if (!ParseTicks(version_word, &version)) return false;
-    const Result<uint64_t> committed = system_.RollbackToVersion(version);
+    const Result<uint64_t> committed = sys().RollbackToVersion(version);
     if (!committed.ok()) {
       std::cerr << "error: " << committed.status() << "\n";
       return false;
     }
+    sharded_.PublishSnapshot();
     std::cout << "rolled back to version " << version << " (committed as v"
               << committed.value() << ")\n";
     return true;
@@ -641,7 +821,8 @@ class Console {
   // SCRUB fails the script on any detected corruption, so CI chaos jobs can
   // gate on its exit code.
   bool Scrub() {
-    last_scrub_ = system_.ScrubVersions();
+    if (!RequireSingleShard("SCRUB")) return false;
+    last_scrub_ = sys().ScrubVersions();
     std::cout << last_scrub_->ToString() << "\n";
     if (last_scrub_->corruptions > 0) {
       std::cerr << "error: scrub found " << last_scrub_->corruptions
@@ -701,29 +882,31 @@ class Console {
   // A fresh monitor aligned to the console's federation clock. Stats are
   // accumulated per command into fed_stats_.
   federation::FederationMonitor MakeMonitor() {
-    federation::FederationMonitor monitor(&system_, &transport_);
+    federation::FederationMonitor monitor(&sys(), &transport_);
     monitor.SetNow(federation_now_);
     return monitor;
   }
 
   bool TrackSources() {
+    if (!RequireSingleShard("TRACK SOURCES")) return false;
     federation::FederationMonitor monitor = MakeMonitor();
     const Status status = monitor.TrackSources();
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";
       return false;
     }
-    std::cout << "tracking " << system_.source_membership().size()
+    std::cout << "tracking " << sys().source_membership().size()
               << " sources at tick " << federation_now_ << "\n";
     return true;
   }
 
   bool ShowSources() {
-    if (system_.source_membership().empty()) {
+    if (!RequireSingleShard("SHOW SOURCES")) return false;
+    if (sys().source_membership().empty()) {
       std::cout << "no tracked sources (use TRACK SOURCES)\n";
       return true;
     }
-    for (const auto& [source, m] : system_.source_membership()) {
+    for (const auto& [source, m] : sys().source_membership()) {
       std::cout << "  " << source << "  "
                 << federation::SourceStateToString(m.state)
                 << "  breaker=" << federation::BreakerStateToString(m.breaker)
@@ -746,15 +929,16 @@ class Console {
 
   bool SetSource(const std::string& source, const std::string& knob,
                  const std::string& value) {
+    if (!RequireSingleShard("SET SOURCE")) return false;
     uint64_t ticks = 0;
     if (!ParseTicks(value, &ticks)) return false;
     const std::vector<std::string> sources =
-        system_.mkb().catalog().SourceNames();
+        sys().mkb().catalog().SourceNames();
     if (std::find(sources.begin(), sources.end(), source) == sources.end()) {
       std::cerr << "error: unknown source " << source << "\n";
       return false;
     }
-    const auto& table = system_.source_membership();
+    const auto& table = sys().source_membership();
     const auto it = table.find(source);
     federation::SourceMembership m =
         it != table.end()
@@ -772,7 +956,7 @@ class Console {
       std::cerr << "error: SET SOURCE expects LEASE, PROBE or BREAKER\n";
       return false;
     }
-    const Status status = system_.SetSourceMembership(source, m);
+    const Status status = sys().SetSourceMembership(source, m);
     if (!status.ok()) {
       std::cerr << "error: " << status << "\n";
       return false;
@@ -804,6 +988,7 @@ class Console {
   }
 
   bool Tick(const std::string& count_word) {
+    if (!RequireSingleShard("TICK")) return false;
     uint64_t count = 0;
     if (!ParseTicks(count_word, &count)) return false;
     federation::FederationMonitor monitor = MakeMonitor();
@@ -813,6 +998,9 @@ class Console {
       return false;
     }
     federation_now_ += count;
+    // Departure cascades committed capability changes on shard 0 directly;
+    // republish so snapshot readers see them.
+    sharded_.PublishSnapshot();
     const federation::MonitorStats& stats = monitor.stats();
     std::cout << "tick " << federation_now_ << ": probes=" << stats.probes
               << " ok=" << stats.successes << " failed=" << stats.failures
@@ -820,7 +1008,7 @@ class Console {
               << " departures=" << stats.departures << "\n";
     // A departure ran the SourceLeaves cascade: show its reports.
     if (stats.departures > 0) {
-      const auto& log = system_.change_log();
+      const auto& log = sys().change_log();
       const size_t shown = std::min<size_t>(log.size(), stats.departures);
       for (size_t i = log.size() - shown; i < log.size(); ++i) {
         std::cout << log[i].ToString();
@@ -834,9 +1022,10 @@ class Console {
       std::cerr << "error: " << change.status() << "\n";
       return false;
     }
+    if (preview && !RequireSingleShard("PREVIEW")) return false;
     const Result<ChangeReport> report =
-        preview ? system_.PreviewChange(change.value())
-                : system_.ApplyChange(change.value());
+        preview ? sys().PreviewChange(change.value())
+                : sharded_.ApplyChange(change.value());
     if (!report.ok()) {
       std::cerr << "error: " << report.status() << "\n";
       return false;
@@ -845,16 +1034,22 @@ class Console {
     std::cout << report.value().ToString();
     // Enumeration counters ride along after the report (never inside it:
     // ChangeReport bytes are journaled/checkpointed and must not change).
-    const EnumerationStats& stats = system_.last_sync_stats();
-    if (stats.combos_generated > 0 || stats.candidates_yielded > 0) {
-      std::cout << "enumeration: " << stats.ToString() << "\n";
+    // With several shards the per-shard counters are not meaningful as a
+    // single line, so they are only printed in the classic 1-shard mode.
+    if (sharded_.shard_count() == 1) {
+      const EnumerationStats& stats = sys().last_sync_stats();
+      if (stats.combos_generated > 0 || stats.candidates_yielded > 0) {
+        std::cout << "enumeration: " << stats.ToString() << "\n";
+      }
+      const std::string diagnostics = sys().last_sync_diagnostics().ToString();
+      if (!diagnostics.empty()) std::cout << "sync: " << diagnostics << "\n";
     }
-    const std::string diagnostics = system_.last_sync_diagnostics().ToString();
-    if (!diagnostics.empty()) std::cout << "sync: " << diagnostics << "\n";
     return true;
   }
 
-  EveSystem system_{Mkb()};
+  // The serving core. SET SHARDS 1 (the default) delegates to shard 0,
+  // which behaves exactly like the classic single EveSystem.
+  ShardedEveSystem sharded_{Mkb()};
   std::optional<Journal> journal_;
   std::optional<VersionScrubStats> last_scrub_;
   // Federation console state: one simulated transport and a logical clock
