@@ -178,6 +178,32 @@ Result<Value> RowBinding::Lookup(const AttributeRef& ref) const {
   return it->second;
 }
 
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& lhs,
+                               const Value& rhs) {
+  if (IsComparisonOp(op)) return EvalComparison(op, lhs, rhs);
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    return EvalLogic(op, lhs, rhs);
+  }
+  return EvalArithmetic(op, lhs, rhs);
+}
+
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& operand) {
+  if (operand.is_null()) return Value::Null();
+  if (op == UnaryOp::kNot) {
+    if (operand.type() != DataType::kBool) {
+      return Status::TypeError("NOT on non-boolean value");
+    }
+    return Value::Bool(!operand.bool_value());
+  }
+  if (operand.type() == DataType::kInt) {
+    return Value::Int(-operand.int_value());
+  }
+  if (operand.type() == DataType::kDouble) {
+    return Value::Double(-operand.double_value());
+  }
+  return Status::TypeError("negation on non-numeric value");
+}
+
 Result<Value> EvalExpr(const Expr& expr, const RowBinding& binding,
                        const FunctionRegistry* registry) {
   switch (expr.kind()) {
@@ -188,32 +214,14 @@ Result<Value> EvalExpr(const Expr& expr, const RowBinding& binding,
     case ExprKind::kUnary: {
       EVE_ASSIGN_OR_RETURN(const Value operand,
                            EvalExpr(*expr.child(0), binding, registry));
-      if (operand.is_null()) return Value::Null();
-      if (expr.unary_op() == UnaryOp::kNot) {
-        if (operand.type() != DataType::kBool) {
-          return Status::TypeError("NOT on non-boolean value");
-        }
-        return Value::Bool(!operand.bool_value());
-      }
-      if (operand.type() == DataType::kInt) {
-        return Value::Int(-operand.int_value());
-      }
-      if (operand.type() == DataType::kDouble) {
-        return Value::Double(-operand.double_value());
-      }
-      return Status::TypeError("negation on non-numeric value");
+      return EvalUnaryValue(expr.unary_op(), operand);
     }
     case ExprKind::kBinary: {
       EVE_ASSIGN_OR_RETURN(const Value lhs,
                            EvalExpr(*expr.child(0), binding, registry));
       EVE_ASSIGN_OR_RETURN(const Value rhs,
                            EvalExpr(*expr.child(1), binding, registry));
-      const BinaryOp op = expr.binary_op();
-      if (IsComparisonOp(op)) return EvalComparison(op, lhs, rhs);
-      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
-        return EvalLogic(op, lhs, rhs);
-      }
-      return EvalArithmetic(op, lhs, rhs);
+      return EvalBinaryValues(expr.binary_op(), lhs, rhs);
     }
     case ExprKind::kFunctionCall: {
       if (registry == nullptr) {

@@ -70,6 +70,14 @@ Result<DataType> InferType(const Expr& expr, const Catalog& catalog);
 Result<bool> EvalPredicate(const Expr& expr, const RowBinding& binding,
                            const FunctionRegistry* registry);
 
+// Scalar kernels shared by the row-at-a-time evaluator above and the
+// vectorized evaluator (algebra/vectorized.cc): one binary / unary
+// application with exactly EvalExpr's semantics (3VL comparisons, Kleene
+// AND/OR, int-preserving arithmetic, date/string rules).
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& lhs,
+                               const Value& rhs);
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& operand);
+
 }  // namespace eve
 
 #endif  // EVE_ALGEBRA_EVAL_H_

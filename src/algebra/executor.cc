@@ -3,9 +3,50 @@
 #include <algorithm>
 #include <set>
 
+#include "algebra/vectorized.h"
+#include "common/str_util.h"
+
 namespace eve {
 
+ExecutorCounters& GlobalExecutorCounters() {
+  static ExecutorCounters counters;
+  return counters;
+}
+
+const char* JoinStrategyToString(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kNestedLoop:
+      return "nested_loop";
+    case JoinStrategy::kHash:
+      return "hash";
+    case JoinStrategy::kVectorized:
+      return "vectorized";
+    case JoinStrategy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+Result<JoinStrategy> ParseJoinStrategy(const std::string& text) {
+  std::string lower = text;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "nested" || lower == "nested_loop" || lower == "nestedloop") {
+    return JoinStrategy::kNestedLoop;
+  }
+  if (lower == "hash") return JoinStrategy::kHash;
+  if (lower == "vectorized" || lower == "vector") {
+    return JoinStrategy::kVectorized;
+  }
+  if (lower == "auto") return JoinStrategy::kAuto;
+  return Status::InvalidArgument("unknown join strategy: " + text);
+}
+
 namespace {
+
+// Below this many rows in the largest input, batch setup overhead beats
+// the vectorized path's gains; kAuto routes such queries to kHash.
+constexpr size_t kAutoVectorizeRowThreshold = 256;
 
 // Conjuncts scheduled by the earliest join position at which all their
 // referenced relations are bound.
@@ -246,6 +287,10 @@ Result<Table> ExecuteHash(const ConjunctiveQuery& query, const Database& db,
 
     if (build_cols.empty()) {
       // No equi link: cartesian extension (filters may still apply after).
+      // Correct but O(|L|x|R|) — counted so operators can spot the missing
+      // equi-join predicate instead of it silently exploding.
+      GlobalExecutorCounters().cartesian_fallbacks.fetch_add(
+          1, std::memory_order_relaxed);
       for (const Tuple& left : current.rows) {
         for (const Tuple& right : table->rows()) {
           Tuple merged = left;
@@ -353,9 +398,29 @@ Result<Table> Execute(const ConjunctiveQuery& query, const Database& db,
   EVE_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
   Table out(std::move(out_schema));
 
+  if (strategy == JoinStrategy::kAuto) {
+    size_t largest = 0;
+    for (const std::string& rel : query.relations) {
+      EVE_ASSIGN_OR_RETURN(const Table* table, db.GetTable(rel));
+      largest = std::max(largest, table->NumRows());
+    }
+    strategy = largest >= kAutoVectorizeRowThreshold
+                   ? JoinStrategy::kVectorized
+                   : JoinStrategy::kHash;
+  }
+
+  if (strategy == JoinStrategy::kVectorized) {
+    GlobalExecutorCounters().vectorized_queries.fetch_add(
+        1, std::memory_order_relaxed);
+    return ExecuteVectorized(query, db, catalog, registry, std::move(out));
+  }
   if (strategy == JoinStrategy::kHash) {
+    GlobalExecutorCounters().hash_queries.fetch_add(
+        1, std::memory_order_relaxed);
     return ExecuteHash(query, db, catalog, registry, std::move(out));
   }
+  GlobalExecutorCounters().nested_loop_queries.fetch_add(
+      1, std::memory_order_relaxed);
 
   EVE_ASSIGN_OR_RETURN(const ScheduledConjuncts scheduled, Schedule(query));
 

@@ -6,6 +6,8 @@
 #ifndef EVE_ALGEBRA_EXECUTOR_H_
 #define EVE_ALGEBRA_EXECUTOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,17 +34,52 @@ struct ConjunctiveQuery {
 
 enum class JoinStrategy {
   // Predicate-pushdown nested loops: no memory overhead, O(∏|Ri|) worst
-  // case.
+  // case. Retained as the differential-testing oracle.
   kNestedLoop,
   // Left-deep hash joins on equi-join conjuncts (column = column across
   // relations); non-equi conjuncts become post-filters. Falls back to a
   // cartesian extension for relations with no equi-join link.
   kHash,
+  // Batch-at-a-time columnar execution: selection vectors over base-table
+  // row ids, hashed equi-joins, typed comparison kernels, and
+  // late-materialized projections (zero-copy for bare columns). Same
+  // cartesian fallback as kHash.
+  kVectorized,
+  // Cost-based pick between kHash (small inputs, where batch setup
+  // overhead dominates) and kVectorized (everything else).
+  kAuto,
 };
 
+const char* JoinStrategyToString(JoinStrategy strategy);
+
+// Parses "nested" / "nested_loop" / "hash" / "vectorized" / "auto"
+// (case-insensitive).
+Result<JoinStrategy> ParseJoinStrategy(const std::string& text);
+
+// Process-wide executor telemetry. The cartesian fallback in the hash and
+// vectorized paths is correct but O(|L|x|R|); instead of silently
+// exploding it bumps `cartesian_fallbacks` so operators can spot the
+// missing equi-join predicate (surfaced via evectl SHOW EXECUTOR STATS).
+struct ExecutorCounters {
+  std::atomic<uint64_t> cartesian_fallbacks{0};
+  std::atomic<uint64_t> nested_loop_queries{0};
+  std::atomic<uint64_t> hash_queries{0};
+  std::atomic<uint64_t> vectorized_queries{0};
+
+  void Reset() {
+    cartesian_fallbacks.store(0, std::memory_order_relaxed);
+    nested_loop_queries.store(0, std::memory_order_relaxed);
+    hash_queries.store(0, std::memory_order_relaxed);
+    vectorized_queries.store(0, std::memory_order_relaxed);
+  }
+};
+
+ExecutorCounters& GlobalExecutorCounters();
+
 // Executes `query` against `db`; output schema types are inferred from
-// `catalog`. `registry` resolves function calls (may be null). Both
-// strategies produce identical result sets (tested in tests/algebra).
+// `catalog`. `registry` resolves function calls (may be null). All
+// strategies produce identical result sets (tested in
+// tests/executor_equivalence_test).
 Result<Table> Execute(const ConjunctiveQuery& query, const Database& db,
                       const Catalog& catalog,
                       const FunctionRegistry* registry = nullptr,

@@ -180,15 +180,17 @@ ExtentRelation InferExtentRelation(const ViewDefinition& old_view,
 Result<ExtentRelation> CompareExtentsEmpirically(
     const ViewDefinition& old_view, const ViewDefinition& new_view,
     const Database& db, const Catalog& old_catalog,
-    const Catalog& new_catalog, const FunctionRegistry* registry) {
-  // Hash joins: the empirical check is run over many seeds/states and the
-  // nested-loop cost is quadratic in table size (E8 measures both).
-  EVE_ASSIGN_OR_RETURN(const Table old_table,
-                       EvaluateView(old_view, db, old_catalog, registry,
-                                    JoinStrategy::kHash));
-  EVE_ASSIGN_OR_RETURN(const Table new_table,
-                       EvaluateView(new_view, db, new_catalog, registry,
-                                    JoinStrategy::kHash));
+    const Catalog& new_catalog, const FunctionRegistry* registry,
+    JoinStrategy strategy) {
+  // Hash joins by default: the empirical check is run over many
+  // seeds/states and the nested-loop cost is quadratic in table size (E8
+  // measures both).
+  EVE_ASSIGN_OR_RETURN(
+      const Table old_table,
+      EvaluateView(old_view, db, old_catalog, registry, strategy));
+  EVE_ASSIGN_OR_RETURN(
+      const Table new_table,
+      EvaluateView(new_view, db, new_catalog, registry, strategy));
 
   // Common interface attributes (B̄_V ∩ B̄_V' by output name).
   std::vector<std::string> common;
@@ -202,20 +204,17 @@ Result<ExtentRelation> CompareExtentsEmpirically(
   if (common.empty()) return ExtentRelation::kUnknown;
 
   auto project = [&](const Table& table) -> Table {
+    // Column selection is a handle copy in the columnar layout — no
+    // row-level materialization.
     std::vector<AttributeDef> attrs;
-    std::vector<size_t> indices;
+    std::vector<std::shared_ptr<const ColumnChunk>> cols;
     for (const std::string& name : common) {
       const auto idx = table.schema().IndexOf(name);
-      indices.push_back(*idx);
       attrs.push_back(table.schema().attribute(*idx));
+      cols.push_back(table.column_handle(*idx));
     }
-    Table out((Schema(attrs)));
-    for (const Tuple& row : table.rows()) {
-      Tuple projected;
-      projected.reserve(indices.size());
-      for (const size_t idx : indices) projected.push_back(row[idx]);
-      out.InsertUnchecked(std::move(projected));
-    }
+    Table out = Table::FromColumns(Schema(std::move(attrs)), std::move(cols),
+                                   table.NumRows());
     out.Deduplicate();
     return out;
   };

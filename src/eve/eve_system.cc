@@ -626,6 +626,7 @@ Result<EveSystem::PreparedChange> EveSystem::PrepareChange(
       ViewOutcome outcome{name, ViewOutcomeKind::kRewritten, detail, {}};
       outcome.provisional_sources = degraded;
       report.outcomes.push_back(std::move(outcome));
+      prepared.verdicts.emplace(name, best.legality.inferred_extent);
     } else {
       registered.state = ViewState::kDisabled;
       registered.provisional_sources.clear();
@@ -671,6 +672,14 @@ Result<ChangeReport> EveSystem::CommitPrepared(PreparedChange prepared) {
                      std::to_string(prepared.base_version + 1)});
   const Status swap_hit = Failpoints::Instance().Hit(fp::kVersionBeforeSwap);
   if (deferred.ok()) deferred = swap_hit;
+  // The materialization hook needs the pre-change definitions after the
+  // swap below overwrites them (IncrementalRefresh diffs old vs new).
+  std::map<std::string, ViewDefinition> old_defs;
+  if (mat_store_ != nullptr && mat_db_ != nullptr) {
+    for (const std::string& name : prepared.affected) {
+      old_defs.emplace(name, views_.at(name).definition);
+    }
+  }
   // Re-index the synchronized views: out with the pre-change definitions,
   // in with the rewritten ones (a disabled view keeps its definition and
   // thus its index entries). next_views is a delta of just the affected
@@ -698,11 +707,43 @@ Result<ChangeReport> EveSystem::CommitPrepared(PreparedChange prepared) {
   }
   const Status after = Failpoints::Instance().Hit(fp::kVersionAfterSwap);
   if (deferred.ok()) deferred = after;
+  // Post-commit data-plane propagation: the control plane is committed, so
+  // a materialization failure is deferred (stale extent, explicit error)
+  // rather than rolled back.
+  if (mat_store_ != nullptr && mat_db_ != nullptr) {
+    const Status mat = SyncMaterialization(prepared, old_defs);
+    if (deferred.ok()) deferred = mat;
+  }
   // Past this point the change is committed both durably and in memory; an
   // injected error here models a response lost after commit.
   EVE_FAILPOINT(fp::kApplyChangeAfterJournal);
   if (!deferred.ok()) return deferred;
   return std::move(prepared.report);
+}
+
+Status EveSystem::SyncMaterialization(
+    const PreparedChange& prepared,
+    const std::map<std::string, ViewDefinition>& old_defs) {
+  // Evolve the base tables first so delta queries and fallback refreshes
+  // run against post-change data.
+  EVE_RETURN_IF_ERROR(ApplyChangeToDatabase(prepared.change, mat_db_));
+  const Catalog& catalog = mkb().catalog();
+  Status first = Status::OK();
+  for (const std::string& name : prepared.affected) {
+    const RegisteredView& view = views_.at(name);
+    if (view.state == ViewState::kDisabled) {
+      mat_store_->Drop(name);
+      continue;
+    }
+    if (!mat_store_->Has(name)) continue;  // never materialized: stay lazy
+    const auto it = prepared.verdicts.find(name);
+    const ExtentRelation verdict =
+        it == prepared.verdicts.end() ? ExtentRelation::kUnknown : it->second;
+    const Status refreshed = mat_store_->IncrementalRefresh(
+        old_defs.at(name), view.definition, verdict, *mat_db_, catalog);
+    if (first.ok()) first = refreshed;
+  }
+  return first;
 }
 
 Result<ChangeReport> EveSystem::ApplyChange(const CapabilityChange& change) {

@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "cvs/cvs.h"
 #include "esql/view_definition.h"
+#include "eve/materialization.h"
 #include "federation/membership.h"
 #include "mkb/capability_change.h"
 #include "mkb/mkb.h"
@@ -245,6 +246,37 @@ class EveSystem {
   // view (CvsOptions::report_unaffected): O(pool) per change when on.
   void SetReportUnaffected(bool on) { options_.report_unaffected = on; }
   bool report_unaffected() const { return options_.report_unaffected; }
+
+  // --- Materialization (data plane) ----------------------------------------
+  //
+  // Optionally couples the control plane to a physical data plane: a
+  // MaterializedViewStore holding view extents and the Database holding
+  // the base tables (both non-owning; pass nullptr/nullptr to detach).
+  // While attached, every committed capability change is propagated
+  // post-commit: the change is applied to the database
+  // (ApplyChangeToDatabase), each rewritten view's stored extent is
+  // brought to its new definition via IncrementalRefresh — consulting the
+  // CVS-inferred extent verdict, so Equal-verdict rewritings reuse the old
+  // extent with zero scanning — and disabled views' extents are dropped.
+  // Data-plane failures surface as the change's (deferred) error but never
+  // roll back the already-committed control-plane state. The database must
+  // hold every relation a change touches. Rollback and recovery do NOT
+  // restore extents; re-attach and refresh after either.
+  void AttachMaterialization(MaterializedViewStore* store, Database* db) {
+    mat_store_ = store;
+    mat_db_ = db;
+    if (mat_store_ != nullptr) mat_store_->SetStrategy(executor_strategy_);
+  }
+  MaterializedViewStore* materialization() const { return mat_store_; }
+
+  // Join/executor strategy for all view evaluation this system triggers
+  // (incremental-refresh delta queries and full refreshes through the
+  // attached store). Also forwarded to the attached store, if any.
+  void SetExecutorStrategy(JoinStrategy strategy) {
+    executor_strategy_ = strategy;
+    if (mat_store_ != nullptr) mat_store_->SetStrategy(strategy);
+  }
+  JoinStrategy executor_strategy() const { return executor_strategy_; }
 
   Result<const RegisteredView*> GetView(const std::string& name) const;
 
@@ -471,6 +503,10 @@ class EveSystem {
     std::map<std::string, RegisteredView> next_views;
     std::vector<std::string> affected;
     ChangeReport report;
+    // CVS-inferred extent verdict per rewritten view (absent for disabled
+    // views). Consumed by the post-commit materialization hook; not
+    // journaled — recovery rebuilds extents by refreshing, not by replay.
+    std::map<std::string, ExtentRelation> verdicts;
   };
   Result<PreparedChange> PrepareChange(const CapabilityChange& change) const;
   // Journals (kApplyChange + kVersionCommit), swaps the tip pointer and
@@ -480,6 +516,14 @@ class EveSystem {
 
   // Commits the current live state as a new version.
   uint64_t CommitVersion(const std::string& change_desc);
+
+  // Post-commit data-plane propagation (see AttachMaterialization). Runs
+  // after the in-memory commit; `old_defs` holds the affected views'
+  // pre-change definitions. Returns the first failure, after attempting
+  // every view.
+  Status SyncMaterialization(
+      const PreparedChange& prepared,
+      const std::map<std::string, ViewDefinition>& old_defs);
 
   // Appends to the attached journal, if any.
   Status JournalAppend(const JournalRecord& record);
@@ -520,6 +564,9 @@ class EveSystem {
   std::vector<ChangeReport> change_log_;
   std::map<std::string, federation::SourceMembership> membership_;
   Journal* journal_ = nullptr;  // non-owning
+  MaterializedViewStore* mat_store_ = nullptr;  // non-owning
+  Database* mat_db_ = nullptr;                  // non-owning
+  JoinStrategy executor_strategy_ = JoinStrategy::kAuto;
   // Shared (not per-copy) so PreviewChange scratch copies reuse the pool;
   // ParallelFor keeps per-call completion state, so concurrent use is safe.
   std::shared_ptr<ThreadPool> sync_pool_;

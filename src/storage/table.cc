@@ -1,29 +1,127 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <cassert>
+#include <numeric>
 #include <sstream>
 
 #include "common/str_util.h"
 
 namespace eve {
 
-namespace {
-
-bool TupleLess(const Tuple& a, const Tuple& b) {
-  const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (a[i] < b[i]) return true;
-    if (b[i] < a[i]) return false;
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (const AttributeDef& attr : schema_.attributes()) {
+    columns_.push_back(std::make_shared<ColumnChunk>(attr.type));
   }
-  return a.size() < b.size();
 }
 
-}  // namespace
+Table::Table(const Table& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      num_rows_(other.num_rows_),
+      dedup_sorted_(other.dedup_sorted_) {}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  columns_ = other.columns_;
+  num_rows_ = other.num_rows_;
+  dedup_sorted_ = other.dedup_sorted_;
+  InvalidateRowCache();
+  return *this;
+}
+
+Table::Table(Table&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      columns_(std::move(other.columns_)),
+      num_rows_(other.num_rows_),
+      dedup_sorted_(other.dedup_sorted_) {}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  columns_ = std::move(other.columns_);
+  num_rows_ = other.num_rows_;
+  dedup_sorted_ = other.dedup_sorted_;
+  InvalidateRowCache();
+  return *this;
+}
+
+Table Table::FromColumns(
+    Schema schema, std::vector<std::shared_ptr<const ColumnChunk>> columns,
+    size_t num_rows) {
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  t.num_rows_ = num_rows;
+  assert(t.columns_.size() == t.schema_.size());
+  return t;
+}
+
+const std::vector<Tuple>& Table::rows() const {
+  std::lock_guard<std::mutex> lock(row_cache_mu_);
+  if (!row_cache_valid_.load(std::memory_order_relaxed)) {
+    row_cache_.clear();
+    row_cache_.reserve(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      Tuple row;
+      row.reserve(columns_.size());
+      for (const auto& col : columns_) row.push_back(col->GetValue(r));
+      row_cache_.push_back(std::move(row));
+    }
+    row_cache_valid_.store(true, std::memory_order_relaxed);
+  }
+  return row_cache_;
+}
+
+void Table::InvalidateRowCache() {
+  if (!row_cache_valid_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(row_cache_mu_);
+  row_cache_valid_.store(false, std::memory_order_relaxed);
+  row_cache_.clear();
+}
+
+void Table::InvalidateDerived() {
+  dedup_sorted_ = false;
+  InvalidateRowCache();
+}
+
+ColumnChunk& Table::MutableColumn(size_t i) {
+  if (columns_[i].use_count() > 1) {
+    columns_[i] = std::make_shared<ColumnChunk>(*columns_[i]);
+  }
+  // Safe: this table is the sole owner now.
+  return const_cast<ColumnChunk&>(*columns_[i]);
+}
 
 Status Table::Insert(Tuple tuple) {
   EVE_RETURN_IF_ERROR(ValidateTuple(schema_, tuple));
-  rows_.push_back(std::move(tuple));
+  InsertUnchecked(std::move(tuple));
   return Status::OK();
+}
+
+void Table::InsertUnchecked(Tuple tuple) {
+  assert(tuple.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    MutableColumn(i).Append(tuple[i]);
+  }
+  ++num_rows_;
+  InvalidateDerived();
+}
+
+void Table::Clear() {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    // Fresh chunks instead of Clear() so shared readers keep their data.
+    columns_[i] =
+        std::make_shared<ColumnChunk>(schema_.attribute(i).type);
+  }
+  num_rows_ = 0;
+  InvalidateDerived();
+}
+
+void Table::Reserve(size_t rows) {
+  for (size_t i = 0; i < columns_.size(); ++i) MutableColumn(i).Reserve(rows);
 }
 
 Status Table::DropColumn(const std::string& name) {
@@ -32,9 +130,8 @@ Status Table::DropColumn(const std::string& name) {
   std::vector<AttributeDef> attrs = schema_.attributes();
   attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*idx));
   EVE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(attrs)));
-  for (Tuple& row : rows_) {
-    row.erase(row.begin() + static_cast<ptrdiff_t>(*idx));
-  }
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(*idx));
+  InvalidateDerived();
   return Status::OK();
 }
 
@@ -49,6 +146,8 @@ Status Table::RenameColumn(const std::string& name,
   std::vector<AttributeDef> attrs = schema_.attributes();
   attrs[*idx].name = new_name;
   EVE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(attrs)));
+  // Column data is untouched; only the row-cache header is unaffected (the
+  // cache stores values, not names), so it can survive a rename.
   return Status::OK();
 }
 
@@ -56,32 +155,144 @@ Status Table::AddColumn(AttributeDef attr) {
   if (schema_.Contains(attr.name)) {
     return Status::AlreadyExists("column already exists: " + attr.name);
   }
+  DataType type = attr.type;
   std::vector<AttributeDef> attrs = schema_.attributes();
   attrs.push_back(std::move(attr));
   EVE_ASSIGN_OR_RETURN(schema_, Schema::Create(std::move(attrs)));
-  for (Tuple& row : rows_) {
-    row.push_back(Value::Null());
-  }
+  columns_.push_back(std::make_shared<ColumnChunk>(
+      ColumnChunk::MakeAllNull(type, num_rows_)));
+  InvalidateDerived();
   return Status::OK();
 }
 
+int Table::CompareTableRows(const Table& a, size_t ra, const Table& b,
+                            size_t rb) {
+  const size_t n = std::min(a.columns_.size(), b.columns_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a.columns_[i]->CompareRows(ra, *b.columns_[i], rb);
+    if (c != 0) return c;
+  }
+  // TupleLess tiebreak: shorter tuple (fewer columns) sorts first.
+  return a.columns_.size() < b.columns_.size()
+             ? -1
+             : (a.columns_.size() > b.columns_.size() ? 1 : 0);
+}
+
+bool Table::TableRowsEqual(const Table& a, size_t ra, const Table& b,
+                           size_t rb) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (!a.columns_[i]->RowsEqual(ra, *b.columns_[i], rb)) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> Table::SortedRowIndex(const Table& t, bool unique) {
+  std::vector<uint32_t> idx(t.num_rows_);
+  std::iota(idx.begin(), idx.end(), 0u);
+  if (!t.dedup_sorted_) {
+    std::sort(idx.begin(), idx.end(), [&t](uint32_t a, uint32_t b) {
+      return CompareTableRows(t, a, t, b) < 0;
+    });
+    if (unique) {
+      idx.erase(std::unique(idx.begin(), idx.end(),
+                            [&t](uint32_t a, uint32_t b) {
+                              return TableRowsEqual(t, a, t, b);
+                            }),
+                idx.end());
+    }
+  }
+  return idx;
+}
+
+void Table::GatherInPlace(const std::vector<uint32_t>& rows) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i] =
+        std::make_shared<ColumnChunk>(columns_[i]->Gather(rows));
+  }
+  num_rows_ = rows.size();
+}
+
 void Table::Deduplicate() {
-  std::sort(rows_.begin(), rows_.end(), TupleLess);
-  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+  if (dedup_sorted_) return;
+  std::vector<uint32_t> idx = SortedRowIndex(*this, /*unique=*/true);
+  // Skip the rebuild when already sorted+unique in place.
+  bool identity = idx.size() == num_rows_;
+  if (identity) {
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (idx[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+  }
+  if (!identity) GatherInPlace(idx);
+  InvalidateDerived();
+  dedup_sorted_ = true;
 }
 
 bool Table::IsSubsetOf(const Table& other) const {
-  std::vector<Tuple> mine = rows_;
-  std::vector<Tuple> theirs = other.rows_;
-  std::sort(mine.begin(), mine.end(), TupleLess);
-  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
-  std::sort(theirs.begin(), theirs.end(), TupleLess);
-  return std::includes(theirs.begin(), theirs.end(), mine.begin(), mine.end(),
-                       TupleLess);
+  std::vector<uint32_t> mine = SortedRowIndex(*this, /*unique=*/true);
+  std::vector<uint32_t> theirs = SortedRowIndex(other, /*unique=*/false);
+  // Two-pointer std::includes over the sorted index views.
+  size_t j = 0;
+  for (uint32_t r : mine) {
+    while (j < theirs.size() &&
+           CompareTableRows(other, theirs[j], *this, r) < 0) {
+      ++j;
+    }
+    if (j == theirs.size() ||
+        CompareTableRows(other, theirs[j], *this, r) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool Table::SetEquals(const Table& other) const {
   return IsSubsetOf(other) && other.IsSubsetOf(*this);
+}
+
+Table Table::SortedUnion(const Table& a, const Table& b) {
+  assert(a.dedup_sorted_ && b.dedup_sorted_);
+  Table out(a.schema_);
+  if (b.num_rows_ == 0) {
+    out = a;
+    return out;
+  }
+  if (a.num_rows_ == 0) {
+    out.columns_ = b.columns_;
+    out.num_rows_ = b.num_rows_;
+    out.dedup_sorted_ = true;
+    return out;
+  }
+  out.Reserve(a.num_rows_ + b.num_rows_);
+  size_t i = 0, j = 0;
+  auto append_row = [&out](const Table& src, size_t r) {
+    for (size_t c = 0; c < out.columns_.size(); ++c) {
+      out.MutableColumn(c).AppendFrom(*src.columns_[c], r);
+    }
+    ++out.num_rows_;
+  };
+  while (i < a.num_rows_ && j < b.num_rows_) {
+    int c = CompareTableRows(a, i, b, j);
+    if (c < 0) {
+      append_row(a, i++);
+    } else if (c > 0) {
+      append_row(b, j++);
+    } else {
+      // Tied under the sort order: emit both unless strictly equal (the
+      // historical unique() used strict Value equality).
+      append_row(a, i);
+      if (!TableRowsEqual(a, i, b, j)) append_row(b, j);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.num_rows_) append_row(a, i++);
+  while (j < b.num_rows_) append_row(b, j++);
+  out.dedup_sorted_ = true;
+  return out;
 }
 
 std::string Table::ToString(size_t max_rows) const {
@@ -92,18 +303,17 @@ std::string Table::ToString(size_t max_rows) const {
     header.push_back(attr.name);
   }
   os << "| " << Join(header, " | ") << " |\n";
-  size_t shown = 0;
-  for (const Tuple& row : rows_) {
-    if (shown++ >= max_rows) {
-      os << "... (" << rows_.size() - max_rows << " more rows)\n";
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (r >= max_rows) {
+      os << "... (" << num_rows_ - max_rows << " more rows)\n";
       break;
     }
     std::vector<std::string> cells;
-    cells.reserve(row.size());
-    for (const Value& v : row) cells.push_back(v.ToString());
+    cells.reserve(columns_.size());
+    for (const auto& col : columns_) cells.push_back(col->GetValue(r).ToString());
     os << "| " << Join(cells, " | ") << " |\n";
   }
-  os << "(" << rows_.size() << " rows)\n";
+  os << "(" << num_rows_ << " rows)\n";
   return os.str();
 }
 

@@ -1,14 +1,27 @@
 // Table: an in-memory relation extent with a schema. Used to evaluate views
 // so legal rewritings can be checked semantically (extent containment),
 // not just syntactically.
+//
+// Storage is columnar: one ColumnChunk per attribute, shared across Table
+// copies via shared_ptr with copy-on-write (a Table copy is O(#columns);
+// columns are cloned only when mutated). Schema-evolution ops
+// (DropColumn/RenameColumn/AddColumn) are column-pointer operations, not
+// per-row splices. The historical row API (`rows()`, Insert of Tuples)
+// remains as a facade: `rows()` materializes a row cache lazily (guarded by
+// a mutex so concurrent const readers are safe) and every mutation
+// invalidates it. New code on hot paths should use the columnar accessors.
 
 #ifndef EVE_STORAGE_TABLE_H_
 #define EVE_STORAGE_TABLE_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "storage/column.h"
 #include "types/schema.h"
 
 namespace eve {
@@ -16,32 +29,64 @@ namespace eve {
 class Table {
  public:
   Table() = default;
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit Table(Schema schema);
+
+  // Copies share column chunks (copy-on-write); the row cache is not
+  // copied.
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   const Schema& schema() const { return schema_; }
-  const std::vector<Tuple>& rows() const { return rows_; }
-  size_t NumRows() const { return rows_.size(); }
+
+  // Legacy row facade: materializes (and caches) all rows as Tuples.
+  // Thread-safe for concurrent const callers; invalidated by any mutation.
+  const std::vector<Tuple>& rows() const;
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  // Columnar accessors. `column(i)` follows schema attribute order.
+  const ColumnChunk& column(size_t i) const { return *columns_[i]; }
+  const std::shared_ptr<const ColumnChunk>& column_handle(size_t i) const {
+    return columns_[i];
+  }
+
+  // Builds a table from pre-built column handles (all of length
+  // `num_rows`); the executor's zero-copy projection path.
+  static Table FromColumns(
+      Schema schema,
+      std::vector<std::shared_ptr<const ColumnChunk>> columns,
+      size_t num_rows);
 
   // Appends `tuple` after validating it against the schema.
   Status Insert(Tuple tuple);
 
-  // Appends without validation (trusted internal producers only).
-  void InsertUnchecked(Tuple tuple) { rows_.push_back(std::move(tuple)); }
+  // Appends without validation (trusted internal producers only). The
+  // tuple arity must match the schema.
+  void InsertUnchecked(Tuple tuple);
 
-  void Clear() { rows_.clear(); }
+  void Clear();
+
+  void Reserve(size_t rows);
 
   // Schema evolution mirroring IS capability changes: removes the named
-  // column (and its values from every row).
+  // column. O(1): drops the column pointer.
   Status DropColumn(const std::string& name);
 
-  // Renames a column in place.
+  // Renames a column in place. O(1): schema-only.
   Status RenameColumn(const std::string& name, const std::string& new_name);
 
-  // Appends a column filled with NULLs.
+  // Appends a column filled with NULLs. O(1): the new chunk stores the
+  // all-null run as a prefix length, not materialized cells.
   Status AddColumn(AttributeDef attr);
 
   // Set semantics helpers (relational extents are sets in the paper's
-  // model): sorts and removes duplicate rows in place.
+  // model): sorts rows (TupleLess order: columns left-to-right, NULLs
+  // first) and removes duplicate rows in place. Tables that went through
+  // Deduplicate stay dedup-sorted until the next mutation, which makes
+  // SortedUnion / IsSubsetOf on them linear.
   void Deduplicate();
 
   // True if every row of *this appears in `other` (bag-to-set containment:
@@ -51,12 +96,46 @@ class Table {
   // True if both tables hold the same set of rows.
   bool SetEquals(const Table& other) const;
 
+  // Set-union of two dedup-sorted tables (each must have been
+  // Deduplicate()d and not mutated since) via a linear merge. The result
+  // carries `a`'s schema and is dedup-sorted.
+  static Table SortedUnion(const Table& a, const Table& b);
+
+  // True if Deduplicate() ran and no mutation followed (rows are sorted
+  // and unique).
+  bool IsDedupSorted() const { return dedup_sorted_; }
+
   // Renders header + rows, for examples and debugging.
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  // Column for in-place mutation; clones the chunk first if it is shared
+  // with another table (copy-on-write).
+  ColumnChunk& MutableColumn(size_t i);
+
+  void InvalidateRowCache();
+  void InvalidateDerived();  // drop row cache + sortedness flag
+
+  // Three-way row comparison across all columns (TupleLess semantics).
+  static int CompareTableRows(const Table& a, size_t ra, const Table& b,
+                              size_t rb);
+  static bool TableRowsEqual(const Table& a, size_t ra, const Table& b,
+                             size_t rb);
+  // Row indexes of `t` in sorted order (optionally unique).
+  static std::vector<uint32_t> SortedRowIndex(const Table& t, bool unique);
+  // Rebuilds *this to hold exactly `rows` (by index) of *this.
+  void GatherInPlace(const std::vector<uint32_t>& rows);
+
   Schema schema_;
-  std::vector<Tuple> rows_;
+  std::vector<std::shared_ptr<const ColumnChunk>> columns_;
+  size_t num_rows_ = 0;
+  bool dedup_sorted_ = false;
+
+  mutable std::mutex row_cache_mu_;
+  // Atomic so mutators can skip the lock when no cache exists (the common
+  // case on bulk loads).
+  mutable std::atomic<bool> row_cache_valid_{false};
+  mutable std::vector<Tuple> row_cache_;
 };
 
 }  // namespace eve

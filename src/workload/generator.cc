@@ -571,4 +571,57 @@ Status PopulateSyntheticDatabase(const Mkb& mkb, Database* db,
   return Status::OK();
 }
 
+Status PopulateRelationSkewed(const Catalog& catalog,
+                              const std::string& relation,
+                              const SkewedDataSpec& spec, Database* db) {
+  if (spec.value_domain <= 0) {
+    return Status::InvalidArgument("value_domain must be positive");
+  }
+  if (spec.join_domain <= 0) {
+    return Status::InvalidArgument("join_domain must be positive");
+  }
+  EVE_ASSIGN_OR_RETURN(const RelationDef* def, catalog.GetRelation(relation));
+  if (!db->HasTable(relation)) {
+    EVE_RETURN_IF_ERROR(db->CreateTable(catalog, relation));
+  }
+  EVE_ASSIGN_OR_RETURN(Table * table, db->GetTable(relation));
+  table->Reserve(table->NumRows() + spec.rows);
+
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int64_t> hot_key(0, spec.join_domain - 1);
+  std::uniform_int_distribution<int64_t> uniform_value(0,
+                                                       spec.value_domain - 1);
+  // Relation-unique negative range for non-joining keys: distinct
+  // relations' cold keys never collide with each other or the hot domain.
+  const int64_t cold_base =
+      -1 - static_cast<int64_t>(ShardOf(relation, 1u << 20)) *
+               static_cast<int64_t>(spec.rows + 1);
+
+  const size_t width = def->schema.size();
+  for (size_t row = 0; row < spec.rows; ++row) {
+    Tuple tuple;
+    tuple.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+      const std::string& name = def->schema.attribute(i).name;
+      if (!name.empty() && name[0] == 'L') {
+        const bool hot = unit(rng) < spec.join_selectivity;
+        tuple.push_back(Value::Int(
+            hot ? hot_key(rng) : cold_base - static_cast<int64_t>(row)));
+      } else if (spec.value_skew > 0.0) {
+        const double u = unit(rng);
+        const int64_t v = static_cast<int64_t>(
+            static_cast<double>(spec.value_domain) *
+            std::pow(u, 1.0 + spec.value_skew));
+        tuple.push_back(
+            Value::Int(std::min(v, spec.value_domain - 1)));
+      } else {
+        tuple.push_back(Value::Int(uniform_value(rng)));
+      }
+    }
+    table->InsertUnchecked(std::move(tuple));
+  }
+  return Status::OK();
+}
+
 }  // namespace eve

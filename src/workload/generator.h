@@ -135,6 +135,33 @@ Result<std::vector<ViewDefinition>> MakeViewPool(const Mkb& mkb,
 Status PopulateSyntheticDatabase(const Mkb& mkb, Database* db,
                                  size_t rows_per_table, uint64_t seed);
 
+// Per-relation bulk-data spec for executor-scale workloads (the
+// bench_executor 10M-row sources). Deterministic: the same spec (incl.
+// seed) always produces the same rows, in the same order.
+struct SkewedDataSpec {
+  size_t rows = 1000;
+  // Non-link attributes draw from [0, value_domain). skew 0 = uniform;
+  // skew > 0 concentrates mass near 0 via inverse-power sampling
+  // (floor(domain * u^(1+skew)) for uniform u), approximating a zipfian
+  // popularity curve without per-draw harmonic sums.
+  int64_t value_domain = 1000;
+  double value_skew = 0.0;
+  // Attributes whose name starts with 'L' are join keys: a row's key is
+  // drawn from the shared hot domain [0, join_domain) with probability
+  // join_selectivity, else it gets a relation-unique negative value that
+  // can never match another relation — so the fraction of rows surviving
+  // an equi-join is directly controlled.
+  int64_t join_domain = 64;
+  double join_selectivity = 1.0;
+  uint64_t seed = 1;
+};
+
+// Fills `relation` (creating its table if absent) with spec.rows tuples as
+// above. Integer-typed schemas only (all generator MKBs qualify).
+Status PopulateRelationSkewed(const Catalog& catalog,
+                              const std::string& relation,
+                              const SkewedDataSpec& spec, Database* db);
+
 }  // namespace eve
 
 #endif  // EVE_WORKLOAD_GENERATOR_H_

@@ -169,5 +169,100 @@ TEST(WarehouseTest, StoreBookkeeping) {
   EXPECT_EQ(store.NumViews(), 0u);
 }
 
+// The post-commit materialization hook: with a store and database
+// attached, ApplyChange evolves the physical tables and brings every
+// affected view's stored extent to its rewritten definition — no manual
+// ApplyChangeToDatabase / Refresh calls.
+TEST(WarehouseTest, AttachedStoreMaintainedAcrossChange) {
+  Mkb mkb = MakeTravelAgencyMkb().value();
+  ASSERT_TRUE(AddAccidentInsPc(&mkb).ok());
+  Database db;
+  ASSERT_TRUE(PopulateTravelAgencyDatabase(mkb, &db, 50, 11).ok());
+
+  EveSystem system(mkb);
+  ASSERT_TRUE(system.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  const FunctionRegistry registry = FunctionRegistry::Default();
+  MaterializedViewStore store(&registry);
+  system.SetExecutorStrategy(JoinStrategy::kAuto);
+  system.AttachMaterialization(&store, &db);
+  EXPECT_EQ(store.strategy(), JoinStrategy::kAuto);
+
+  ASSERT_TRUE(store
+                  .Refresh(system.GetView("CustomerPassengersAsia")
+                               .value()
+                               ->definition,
+                           db, system.mkb().catalog())
+                  .ok());
+  const Table before = *store.Extent("CustomerPassengersAsia").value();
+
+  const Result<ChangeReport> report =
+      system.ApplyChange(CapabilityChange::DeleteRelation("Customer"));
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report.value().CountOutcome(ViewOutcomeKind::kRewritten), 1u);
+
+  // The data plane followed the control plane on its own.
+  EXPECT_FALSE(db.HasTable("Customer"));
+  const Table& after = *store.Extent("CustomerPassengersAsia").value();
+  EXPECT_TRUE(before.IsSubsetOf(after));
+
+  // The maintained extent agrees with a from-scratch refresh of the
+  // rewritten definition over the evolved database.
+  MaterializedViewStore fresh(&registry);
+  ASSERT_TRUE(fresh
+                  .Refresh(system.GetView("CustomerPassengersAsia")
+                               .value()
+                               ->definition,
+                           db, system.mkb().catalog())
+                  .ok());
+  EXPECT_TRUE(
+      after.SetEquals(*fresh.Extent("CustomerPassengersAsia").value()));
+  // Initial manual Refresh plus the hook's maintenance pass.
+  EXPECT_GE(store.StatsFor("CustomerPassengersAsia").total(), 2u);
+}
+
+// The Extent() pointer-stability contract: the returned Table* survives
+// Refresh of OTHER views unchanged, and is invalidated only by a
+// Refresh/Drop of the SAME view.
+TEST(WarehouseTest, ExtentPointerSurvivesRefreshOfOtherViews) {
+  Mkb mkb = MakeTravelAgencyMkb().value();
+  Database db;
+  ASSERT_TRUE(PopulateTravelAgencyDatabase(mkb, &db, 30, 7).ok());
+
+  EveSystem system(mkb);
+  ASSERT_TRUE(system.RegisterViewText(CustomerPassengersAsiaSql()).ok());
+  const ViewDefinition base =
+      system.GetView("CustomerPassengersAsia").value()->definition;
+  ViewDefinition other = base;
+  other.set_name("OtherView");
+
+  const FunctionRegistry registry = FunctionRegistry::Default();
+  MaterializedViewStore store(&registry);
+  const Catalog& catalog = system.mkb().catalog();
+  ASSERT_TRUE(store.Refresh(base, db, catalog).ok());
+  const Table* pinned = store.Extent("CustomerPassengersAsia").value();
+  const std::string before = pinned->ToString(1000);
+
+  // Churn OTHER entries: new views materialized and dropped around it.
+  ASSERT_TRUE(store.Refresh(other, db, catalog).ok());
+  ASSERT_TRUE(store.Refresh(other, db, catalog).ok());
+  store.Drop("OtherView");
+  ASSERT_TRUE(store.Refresh(other, db, catalog).ok());
+
+  // Same pointer, same bytes: std::map nodes never move, and refreshes of
+  // other names never touch this view's Table.
+  EXPECT_EQ(store.Extent("CustomerPassengersAsia").value(), pinned);
+  EXPECT_EQ(pinned->ToString(1000), before);
+
+  // A refresh of the SAME view replaces the mapped Table in place: the
+  // address may stay (map node reuse) but the contract says the old
+  // pointer's contents are no longer guaranteed — re-fetch after any
+  // same-view refresh.
+  ASSERT_TRUE(store.Refresh(base, db, catalog).ok());
+  const Table* refetched = store.Extent("CustomerPassengersAsia").value();
+  EXPECT_EQ(refetched->ToString(1000), before);  // same data, re-fetched
+  store.Drop("CustomerPassengersAsia");
+  EXPECT_FALSE(store.Extent("CustomerPassengersAsia").ok());
+}
+
 }  // namespace
 }  // namespace eve

@@ -50,6 +50,14 @@
 //                                            block, per-view truncation list
 //                                            and admission counters for the
 //                                            last change/preview
+//   SET EXECUTOR <strategy>;              -- join/executor strategy for view
+//                                            evaluation on every shard:
+//                                            NESTED_LOOP, HASH, VECTORIZED
+//                                            or AUTO
+//   SHOW EXECUTOR STATS;                  -- configured strategy + process-
+//                                            wide executor counters (per-
+//                                            strategy query counts and
+//                                            cartesian fallbacks)
 //   PREVIEW DELETE RELATION <name>;       -- what-if: report without applying
 //   SYNC DRYRUN DELETE|RENAME ... [AT VERSION <n>];
 //                                         -- full what-if synchronization:
@@ -114,6 +122,7 @@
 #include <optional>
 #include <sstream>
 
+#include "algebra/executor.h"
 #include "common/failpoint.h"
 #include "common/file_io.h"
 #include "common/str_util.h"
@@ -306,6 +315,10 @@ class Console {
     if (head == "set" && words.size() >= 4 &&
         EqualsIgnoreCase(words[1], "SYNC")) {
       return SetSync(words[2], words[3]);
+    }
+    if (head == "set" && words.size() >= 3 &&
+        EqualsIgnoreCase(words[1], "EXECUTOR")) {
+      return SetExecutor(words[2]);
     }
     if (head == "set" && words.size() >= 5 &&
         EqualsIgnoreCase(words[1], "SOURCE")) {
@@ -605,6 +618,18 @@ class Console {
     return false;
   }
 
+  bool SetExecutor(const std::string& value) {
+    const Result<JoinStrategy> strategy = ParseJoinStrategy(value);
+    if (!strategy.ok()) {
+      std::cerr << "error: " << strategy.status() << "\n";
+      return false;
+    }
+    sharded_.SetExecutorStrategy(strategy.value());
+    std::cout << "executor strategy = "
+              << JoinStrategyToString(strategy.value()) << "\n";
+    return true;
+  }
+
   // A shed change is an EXPECTED admission outcome (the error is explicit,
   // the counters account for it), so it does not fail the script; any
   // other enqueue error does.
@@ -689,6 +714,19 @@ class Console {
       }
       std::cout << "-- view pool at version " << version << "\n"
                 << views.value();
+      return true;
+    }
+    if (words.size() >= 3 && EqualsIgnoreCase(words[1], "EXECUTOR") &&
+        EqualsIgnoreCase(words[2], "STATS")) {
+      const ExecutorCounters& counters = GlobalExecutorCounters();
+      std::cout << "strategy: "
+                << JoinStrategyToString(sharded_.executor_strategy()) << "\n"
+                << "queries: nested_loop "
+                << counters.nested_loop_queries.load() << ", hash "
+                << counters.hash_queries.load() << ", vectorized "
+                << counters.vectorized_queries.load()
+                << "; cartesian fallbacks "
+                << counters.cartesian_fallbacks.load() << "\n";
       return true;
     }
     if (words.size() >= 3 && EqualsIgnoreCase(words[1], "SYNC") &&
