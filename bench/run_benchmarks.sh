@@ -24,6 +24,14 @@
 # binary validates vectorized == nested-loop and incremental == full for
 # every verdict before timing anything, and exits nonzero on a mismatch.
 #
+# The server suite (bench_server: closed-loop chaos load against a forked
+# eved serving loop — 10k concurrent sessions, ~3% running scripted
+# disconnect/stall/flood faults; EVE_BENCH_SERVER_SESSIONS and
+# EVE_BENCH_SERVER_SECONDS override the scale, e.g. under sanitizers)
+# goes into BENCH_server.json. The binary exits nonzero if the server
+# crashes, any well-behaved session sees a protocol violation, or the
+# concurrent plateau falls short of the requested sessions.
+#
 # Every suite ends with one machine-readable line on stdout:
 #   BENCHSUMMARY suite=<name> out=<json> key=value ...
 # so CI (and humans grepping logs) can read each suite's headline numbers
@@ -741,3 +749,20 @@ print(f"BENCHSUMMARY suite=executor out={out_path}"
       f" subset_speedup={speedups.get('subset', 'n/a')}"
       f" meets_5x_target={meets_5x}")
 PY
+
+SERVER_BENCH="$BUILD_DIR/bench/bench_server"
+if [[ ! -x "$SERVER_BENCH" ]]; then
+  echo "bench binary not found: $SERVER_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+# Not a google-benchmark microbench: bench_server forks an eved serving
+# loop, drives EVE_BENCH_SERVER_SESSIONS concurrent closed-loop sessions
+# (~3% running scripted disconnect/stall/flood faults), writes
+# BENCH_server.json itself, and prints its own BENCHSUMMARY line. It
+# exits nonzero — aborting this script via set -e — if the server
+# crashes, a well-behaved session sees a protocol violation, or the
+# concurrent plateau falls short.
+"$SERVER_BENCH" --sessions "${EVE_BENCH_SERVER_SESSIONS:-10000}" \
+                --duration-seconds "${EVE_BENCH_SERVER_SECONDS:-8}" \
+                --out "$REPO_ROOT/BENCH_server.json"

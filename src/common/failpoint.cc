@@ -100,6 +100,12 @@ const std::vector<std::string>& Failpoints::KnownSites() {
       fp::kShardedPublish,
       fp::kShardedCheckpointManifest,
       fp::kShardedJournalReset,
+      fp::kNetAccept,
+      fp::kNetSessionStart,
+      fp::kNetFrameRead,
+      fp::kNetFrameWrite,
+      fp::kNetDrain,
+      fp::kNetShutdown,
   };
   return *sites;
 }

@@ -116,6 +116,22 @@ inline constexpr char kShardedPublish[] = "eve.sharded.publish";
 inline constexpr char kShardedCheckpointManifest[] =
     "eve.sharded.checkpoint.manifest";
 inline constexpr char kShardedJournalReset[] = "eve.sharded.checkpoint.reset";
+// Network front-end sites (net/server.h). accept fires per accepted
+// connection (error = the connection is refused and closed, the server
+// keeps serving); session_start fires after the session object is created
+// but before it is registered (error = immediate eviction); frame_read /
+// frame_write bracket every socket read/flush on a live session (error =
+// that session is evicted as if its connection died); drain fires once
+// when a graceful drain begins; shutdown fires once on server stop. A
+// crash-armed site models the whole server process dying at that point:
+// the listener and every session drop abruptly, and durable state must
+// RECOVER from the journal. Driven by net_server_test.
+inline constexpr char kNetAccept[] = "net.accept";
+inline constexpr char kNetSessionStart[] = "net.session_start";
+inline constexpr char kNetFrameRead[] = "net.frame_read";
+inline constexpr char kNetFrameWrite[] = "net.frame_write";
+inline constexpr char kNetDrain[] = "net.drain";
+inline constexpr char kNetShutdown[] = "net.shutdown";
 }  // namespace fp
 
 // Thrown by an armed kCrash failpoint. The codebase is otherwise

@@ -8,12 +8,45 @@
 
 #include "common/failpoint.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 namespace eve {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+namespace {
+
+// Applies "<prefix>-<index>" as the calling thread's kernel name. Linux
+// caps thread names at 15 characters + NUL; the index digits are the
+// discriminating part, so the prefix is what gets truncated.
+void NameCurrentThread(const std::string& prefix, size_t index) {
+#if defined(__linux__)
+  const std::string digits = std::to_string(index);
+  constexpr size_t kMax = 15;
+  std::string name;
+  if (prefix.size() + 1 + digits.size() <= kMax) {
+    name = prefix + "-" + digits;
+  } else if (digits.size() + 1 < kMax) {
+    name = prefix.substr(0, kMax - digits.size() - 1) + "-" + digits;
+  } else {
+    name = digits.substr(0, kMax);
+  }
+  pthread_setname_np(pthread_self(), name.c_str());
+#else
+  (void)prefix;
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, std::string name_prefix) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i, name_prefix] {
+      NameCurrentThread(name_prefix, i);
+      WorkerLoop();
+    });
   }
 }
 

@@ -29,7 +29,13 @@ namespace eve {
 // (ParallelFor below does).
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  // Workers are named "<name_prefix>-<i>" via pthread_setname_np (e.g.
+  // "eve-wrk-3"), so TSan reports, perf profiles and gdb thread listings
+  // attribute a stack to its pool instead of an anonymous "eve_cvs"
+  // thread. Kernel thread names cap at 15 characters; longer prefixes are
+  // truncated from the left of the index, never dropped entirely.
+  explicit ThreadPool(size_t num_threads,
+                      std::string name_prefix = "eve-wrk");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

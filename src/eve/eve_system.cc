@@ -909,6 +909,10 @@ void EveSystem::CancelActiveSync() const {
 }
 
 Status EveSystem::EnqueueChange(const CapabilityChange& change) {
+  // Producers from any thread share admission_mu_ with the drain's
+  // bookkeeping, so every counter transition is atomic with its queue
+  // transition and the shedding invariant holds at every instant.
+  std::lock_guard<std::mutex> lock(*admission_mu_);
   ++admission_stats_.submitted;
   // Failpoint before the capacity check: an injected error models an
   // admission layer rejecting under external pressure — the change is shed
@@ -930,29 +934,42 @@ Status EveSystem::EnqueueChange(const CapabilityChange& change) {
 }
 
 Result<std::vector<ChangeReport>> EveSystem::DrainSyncQueue() {
+  // One drainer at a time; enqueues stay concurrent. The change being
+  // applied is popped only when its outcome is recorded, so a sampled
+  // admission_stats() never sees it half-accounted.
+  std::lock_guard<std::mutex> drain_lock(*drain_mu_);
   std::vector<ChangeReport> reports;
-  reports.reserve(sync_queue_.size());
-  while (!sync_queue_.empty()) {
-    // Failpoint before each pop: an injected error stops the drain with
-    // the change (and the rest of the queue) still admitted for a retry.
-    const Status injected = Failpoints::Instance().Hit(fp::kAdmissionDrain);
-    if (!injected.ok()) {
-      admission_stats_.queued_now = sync_queue_.size();
-      return injected;
+  while (true) {
+    CapabilityChange change;
+    {
+      std::lock_guard<std::mutex> lock(*admission_mu_);
+      if (sync_queue_.empty()) break;
+      // Failpoint before each application: an injected error stops the
+      // drain with the change (and the rest of the queue) still admitted
+      // for a retry.
+      const Status injected = Failpoints::Instance().Hit(fp::kAdmissionDrain);
+      if (!injected.ok()) {
+        admission_stats_.queued_now = sync_queue_.size();
+        return injected;
+      }
+      change = sync_queue_.front();
     }
-    const CapabilityChange change = sync_queue_.front();
-    sync_queue_.pop_front();
     // Each drained change runs under its own fresh deadline (ApplyChange
-    // builds the token tree from the current knobs).
+    // builds the token tree from the current knobs). Runs outside
+    // admission_mu_ so producers are never blocked by a long sync.
     Result<ChangeReport> report = ApplyChange(change);
-    ++admission_stats_.completed;
-    admission_stats_.queued_now = sync_queue_.size();
-    if (!report.ok()) {
-      // The change was consumed (completed, failed); the remainder stays
-      // queued for a later drain.
-      ++admission_stats_.failed;
-      return report.status();
+    {
+      std::lock_guard<std::mutex> lock(*admission_mu_);
+      sync_queue_.pop_front();
+      ++admission_stats_.completed;
+      if (!report.ok()) {
+        // The change was consumed (completed, failed); the remainder stays
+        // queued for a later drain.
+        ++admission_stats_.failed;
+      }
+      admission_stats_.queued_now = sync_queue_.size();
     }
+    if (!report.ok()) return report.status();
     reports.push_back(report.MoveValue());
   }
   return reports;

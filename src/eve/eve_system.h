@@ -361,6 +361,13 @@ class EveSystem {
   // A bounded FIFO of pending changes with explicit load-shedding. Each
   // drained change runs under a fresh deadline token built from the knobs
   // above. Invariant: submitted == completed + shed + queued_now.
+  //
+  // Thread safety: EnqueueChange, queued_changes, admission_stats and
+  // CancelActiveSync may be called concurrently from any number of threads
+  // (the network front end admits from many sessions at once). Drains are
+  // serialized among themselves, and a change being applied still counts
+  // as queued until its outcome is recorded, so the invariant above holds
+  // at EVERY observable instant, not just at rest.
 
   // Queue bound for EnqueueChange (0 = unbounded).
   void SetSyncQueueLimit(size_t limit) { sync_queue_limit_ = limit; }
@@ -376,8 +383,16 @@ class EveSystem {
   // its error; the remainder stays queued for a later drain.
   Result<std::vector<ChangeReport>> DrainSyncQueue();
 
-  size_t queued_changes() const { return sync_queue_.size(); }
-  const AdmissionStats& admission_stats() const { return admission_stats_; }
+  size_t queued_changes() const {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    return sync_queue_.size();
+  }
+  // A consistent snapshot of the counters (all four fields are updated
+  // under one lock, so a sampled snapshot always satisfies the invariant).
+  AdmissionStats admission_stats() const {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    return admission_stats_;
+  }
 
   // Per-view truncation/deadline lists for the most recent ApplyChange or
   // PreviewChange (same lifecycle as last_sync_stats()).
@@ -583,6 +598,13 @@ class EveSystem {
   size_t sync_queue_limit_ = 0;
   std::deque<CapabilityChange> sync_queue_;
   AdmissionStats admission_stats_;
+  // Guards sync_queue_ + admission_stats_ against concurrent producers
+  // (EnqueueChange from many sessions) racing the drain. Shared across
+  // copies — like sync_token_mu_ — so EveSystem stays copyable.
+  std::shared_ptr<std::mutex> admission_mu_ = std::make_shared<std::mutex>();
+  // Serializes DrainSyncQueue callers (two drains applying the same change
+  // twice would corrupt the accounting; enqueues stay concurrent).
+  std::shared_ptr<std::mutex> drain_mu_ = std::make_shared<std::mutex>();
   // Root token of the in-flight change. Guarded by a shared (not per-copy)
   // mutex so CancelActiveSync and the watchdog may fire from other threads
   // while EveSystem itself stays copyable.

@@ -537,6 +537,9 @@ Result<std::vector<ChangeReport>> ShardedEveSystem::ApplyChanges(
 }
 
 Status ShardedEveSystem::EnqueueChange(const CapabilityChange& change) {
+  // Whole admission decision under one lock: concurrent submitters each
+  // see a consistent submitted/shed/queued_now triple.
+  std::lock_guard<std::mutex> lock(*admission_mu_);
   ++admission_stats_.submitted;
   const Status injected = Failpoints::Instance().Hit(fp::kAdmissionEnqueue);
   if (!injected.ok()) {
@@ -555,23 +558,34 @@ Status ShardedEveSystem::EnqueueChange(const CapabilityChange& change) {
 }
 
 Result<std::vector<ChangeReport>> ShardedEveSystem::DrainSyncQueue() {
+  // Peek under admission_mu_, apply outside it, pop + account afterwards:
+  // the in-flight change stays counted as queued until its outcome lands,
+  // so submitted == completed + shed + queued_now at every instant an
+  // observer can sample. drain_mu_ keeps the front stable across the
+  // unlocked apply (only the serialized drainer pops).
+  std::lock_guard<std::mutex> drain_lock(*drain_mu_);
   std::vector<ChangeReport> reports;
-  reports.reserve(sync_queue_.size());
-  while (!sync_queue_.empty()) {
-    const Status injected = Failpoints::Instance().Hit(fp::kAdmissionDrain);
-    if (!injected.ok()) {
-      admission_stats_.queued_now = sync_queue_.size();
-      return injected;
+  while (true) {
+    CapabilityChange change;
+    {
+      std::lock_guard<std::mutex> lock(*admission_mu_);
+      if (sync_queue_.empty()) break;
+      const Status injected = Failpoints::Instance().Hit(fp::kAdmissionDrain);
+      if (!injected.ok()) {
+        admission_stats_.queued_now = sync_queue_.size();
+        return injected;
+      }
+      change = sync_queue_.front();
     }
-    const CapabilityChange change = sync_queue_.front();
-    sync_queue_.pop_front();
     Result<ChangeReport> report = ApplyChange(change);
-    ++admission_stats_.completed;
-    admission_stats_.queued_now = sync_queue_.size();
-    if (!report.ok()) {
-      ++admission_stats_.failed;
-      return report.status();
+    {
+      std::lock_guard<std::mutex> lock(*admission_mu_);
+      sync_queue_.pop_front();
+      ++admission_stats_.completed;
+      if (!report.ok()) ++admission_stats_.failed;
+      admission_stats_.queued_now = sync_queue_.size();
     }
+    if (!report.ok()) return report.status();
     reports.push_back(report.MoveValue());
   }
   return reports;
@@ -581,8 +595,15 @@ Result<std::vector<ChangeReport>> ShardedEveSystem::DrainSyncQueueParallel() {
   if (poisoned_) return PoisonedError();
   const size_t n = shards_.size();
   if (n <= 1) return DrainSyncQueue();
-  const std::vector<CapabilityChange> stream(sync_queue_.begin(),
-                                             sync_queue_.end());
+  // Serialize against other drains, then snapshot the stream. Changes
+  // admitted after the snapshot stay queued for the next drain; the
+  // snapshot itself stays counted as queued until the accounting below.
+  std::lock_guard<std::mutex> drain_lock(*drain_mu_);
+  std::vector<CapabilityChange> stream;
+  {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    stream.assign(sync_queue_.begin(), sync_queue_.end());
+  }
   const size_t m = stream.size();
   if (m == 0) return std::vector<ChangeReport>{};
 
@@ -685,10 +706,13 @@ Result<std::vector<ChangeReport>> ShardedEveSystem::DrainSyncQueueParallel() {
   // change is consumed (completed + failed); the rest stays queued.
   const bool failed = error_at < m;
   const size_t consumed = std::min(m, applied + (failed ? 1 : 0));
-  for (size_t k = 0; k < consumed; ++k) sync_queue_.pop_front();
-  admission_stats_.completed += consumed;
-  if (failed) ++admission_stats_.failed;
-  admission_stats_.queued_now = sync_queue_.size();
+  {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    for (size_t k = 0; k < consumed; ++k) sync_queue_.pop_front();
+    admission_stats_.completed += consumed;
+    if (failed) ++admission_stats_.failed;
+    admission_stats_.queued_now = sync_queue_.size();
+  }
   PublishSnapshot();
   if (!merge_failure.ok()) return merge_failure;
   if (failed) return first_error;
@@ -696,6 +720,13 @@ Result<std::vector<ChangeReport>> ShardedEveSystem::DrainSyncQueueParallel() {
 }
 
 std::vector<ShardStatsRow> ShardedEveSystem::Stats() const {
+  // Snapshot the queue once so shard locks are never held while touching
+  // admission state (and vice versa).
+  std::vector<CapabilityChange> queued;
+  {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    queued.assign(sync_queue_.begin(), sync_queue_.end());
+  }
   std::vector<ShardStatsRow> rows;
   rows.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
@@ -706,7 +737,7 @@ std::vector<ShardStatsRow> ShardedEveSystem::Stats() const {
     row.active_views = shards_[i]->system.NumActiveViews();
     row.commits = shards_[i]->commits;
     row.last_synced_version = shards_[i]->system.current_version();
-    for (const CapabilityChange& change : sync_queue_) {
+    for (const CapabilityChange& change : queued) {
       if (!shards_[i]->system.AffectedViews(change).empty()) {
         ++row.queue_depth;
       }

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -170,6 +171,12 @@ class ShardedEveSystem {
       const std::vector<CapabilityChange>& changes);
 
   // --- Admission -----------------------------------------------------------
+  //
+  // EnqueueChange, queued_changes and admission_stats are safe from any
+  // thread (network sessions admit concurrently); drains serialize among
+  // themselves and count the in-flight change as queued until its outcome
+  // lands, so submitted == completed + shed + queued_now holds at every
+  // sampled instant.
 
   void SetSyncQueueLimit(size_t limit) { sync_queue_limit_ = limit; }
   size_t sync_queue_limit() const { return sync_queue_limit_; }
@@ -182,8 +189,14 @@ class ShardedEveSystem {
   // their synchronizations concurrently. Reports are merged after the
   // join — byte-identical to the sequential drain's.
   Result<std::vector<ChangeReport>> DrainSyncQueueParallel();
-  size_t queued_changes() const { return sync_queue_.size(); }
-  const AdmissionStats& admission_stats() const { return admission_stats_; }
+  size_t queued_changes() const {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    return sync_queue_.size();
+  }
+  AdmissionStats admission_stats() const {
+    std::lock_guard<std::mutex> lock(*admission_mu_);
+    return admission_stats_;
+  }
 
   // --- Observability -------------------------------------------------------
 
@@ -257,6 +270,13 @@ class ShardedEveSystem {
   size_t sync_queue_limit_ = 0;
   std::deque<CapabilityChange> sync_queue_;
   AdmissionStats admission_stats_;
+  // admission_mu_ guards sync_queue_ + admission_stats_; drain_mu_
+  // serializes drains against each other. Drains only peek/pop under
+  // admission_mu_ and apply changes outside it, so admission_mu_ is never
+  // held while taking shard locks. Behind shared_ptr so the system stays
+  // movable.
+  std::shared_ptr<std::mutex> admission_mu_ = std::make_shared<std::mutex>();
+  std::shared_ptr<std::mutex> drain_mu_ = std::make_shared<std::mutex>();
   bool poisoned_ = false;
 };
 

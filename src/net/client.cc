@@ -1,0 +1,148 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eve {
+namespace net {
+
+Result<NetClient> NetClient::Connect(const ClientOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect " + options.host + ":" +
+                            std::to_string(options.port) + ": " + error);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return NetClient(fd, options);
+}
+
+NetClient::NetClient(int fd, ClientOptions options)
+    : fd_(fd), options_(std::move(options)) {}
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(std::move(other.options_)),
+      next_request_id_(other.next_request_id_),
+      sheds_retried_(other.sheds_retried_),
+      decoder_(std::move(other.decoder_)) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = std::move(other.options_);
+    next_request_id_ = other.next_request_id_;
+    sheds_retried_ = other.sheds_retried_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> NetClient::RoundTrip(const Request& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  const std::string frame =
+      EncodeFrame(FrameType::kRequest, EncodeRequest(request));
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  char buf[65536];
+  while (true) {
+    if (std::optional<Frame> received = decoder_.Next()) {
+      if (received->type == FrameType::kGoodbye) {
+        Close();
+        return Status::Internal("server closed the session: " +
+                                received->payload);
+      }
+      if (received->type != FrameType::kResponse) continue;
+      Result<Response> response = DecodeResponse(received->payload);
+      if (!response.ok()) return response.status();
+      // Stale responses (an id we already gave up on) are skipped.
+      if (response.value().id != request.id && response.value().id != 0) {
+        continue;
+      }
+      return response;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      Close();
+      return Status::Internal("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + strerror(errno));
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<Response> NetClient::Run(const std::string& statement) {
+  Request request;
+  request.deadline_micros = options_.deadline_micros;
+  request.work_budget = options_.work_budget;
+  request.statement = statement;
+  uint64_t backoff = options_.initial_backoff_micros;
+  for (int attempt = 0;; ++attempt) {
+    request.id = next_request_id_++;
+    Result<Response> response = RoundTrip(request);
+    if (!response.ok()) return response;
+    if (response.value().code !=
+            static_cast<int32_t>(StatusCode::kResourceExhausted) ||
+        attempt >= options_.max_shed_retries) {
+      return response;
+    }
+    // Shed: back off and retry. The server's hint can stretch (but never
+    // shrink) the client's own exponential delay.
+    ++sheds_retried_;
+    const uint64_t delay =
+        std::min(std::max(backoff, response.value().retry_after_micros),
+                 options_.max_backoff_micros);
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    backoff = std::min(backoff * 2, options_.max_backoff_micros);
+  }
+}
+
+}  // namespace net
+}  // namespace eve

@@ -1,0 +1,76 @@
+// NetClient: a blocking client for the eved wire protocol.
+//
+// One connection, statements executed in order. The retry policy encodes
+// the shed contract from the server side: a kResourceExhausted response is
+// an EXPECTED overload outcome, so Run retries it with capped exponential
+// backoff, honoring the server's retry-after hint when it is longer than
+// the client's own next delay. Any other outcome (success, a failed
+// statement, a transport error) is returned to the caller directly —
+// failures of the statement itself are not transient and never retried.
+
+#ifndef EVE_NET_CLIENT_H_
+#define EVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/protocol.h"
+
+namespace eve {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Per-request limits forwarded in every request (0 = server default).
+  uint64_t deadline_micros = 0;
+  uint64_t work_budget = 0;
+  // Backoff ladder for kResourceExhausted responses: initial delay doubles
+  // per retry up to the cap; 0 retries turns shed responses into a direct
+  // return.
+  int max_shed_retries = 6;
+  uint64_t initial_backoff_micros = 10'000;
+  uint64_t max_backoff_micros = 1'000'000;
+};
+
+class NetClient {
+ public:
+  // Connects (blocking) and returns a ready client.
+  static Result<NetClient> Connect(const ClientOptions& options);
+
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  ~NetClient();
+
+  // Executes one statement remotely and returns the server's response
+  // (after internal shed retries). A non-OK Result means the TRANSPORT
+  // failed (connection lost, protocol violation) — a failed statement is
+  // an OK Result whose response carries a non-zero code and the error
+  // text.
+  Result<Response> Run(const std::string& statement);
+
+  // Total shed responses absorbed by backoff since Connect.
+  uint64_t sheds_retried() const { return sheds_retried_; }
+
+  void Close();
+
+ private:
+  NetClient(int fd, ClientOptions options);
+
+  // Sends one request frame and blocks for its response (or a goodbye).
+  Result<Response> RoundTrip(const Request& request);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  uint64_t next_request_id_ = 1;
+  uint64_t sheds_retried_ = 0;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace eve
+
+#endif  // EVE_NET_CLIENT_H_

@@ -1,0 +1,238 @@
+#include "net/protocol.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace eve {
+namespace net {
+
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320, built once.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  PutU32(out, static_cast<uint32_t>(value & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(value >> 32));
+}
+
+void PutBytes(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+// Cursor over a payload; every Get checks remaining length.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU32(uint32_t* out) {
+    if (data_.size() - pos_ < 4) return false;
+    *out = 0;
+    for (int i = 3; i >= 0; --i) {
+      *out = (*out << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* out) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!GetU32(&lo) || !GetU32(&hi)) return false;
+    *out = (static_cast<uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool GetBytes(std::string* out) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (data_.size() - pos_ < len) return false;
+    out->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+bool KnownType(uint8_t type) {
+  return type == static_cast<uint8_t>(FrameType::kRequest) ||
+         type == static_cast<uint8_t>(FrameType::kResponse) ||
+         type == static_cast<uint8_t>(FrameType::kGoodbye);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  frame.append(kMagic, sizeof(kMagic));
+  frame.push_back(static_cast<char>(type));
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+void FrameDecoder::Resync(size_t n) {
+  // Skip the poisoned prefix, then scan for the next plausible frame
+  // start. Counted once per discard run, however many bytes it spans.
+  size_t pos = n;
+  while (pos + sizeof(kMagic) <= buffer_.size() &&
+         std::memcmp(buffer_.data() + pos, kMagic, sizeof(kMagic)) != 0) {
+    ++pos;
+  }
+  if (pos + sizeof(kMagic) > buffer_.size()) {
+    // No full magic ahead: keep only a tail that is still a prefix of the
+    // magic (it may complete on the next Feed), discard the rest.
+    while (pos < buffer_.size() &&
+           std::memcmp(buffer_.data() + pos, kMagic,
+                       buffer_.size() - pos) != 0) {
+      ++pos;
+    }
+  }
+  buffer_.erase(0, pos);
+  ++resyncs_;
+}
+
+bool FrameDecoder::has_partial() const {
+  if (buffer_.empty()) return false;
+  if (buffer_.size() < kHeaderSize) return true;
+  uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | static_cast<uint8_t>(buffer_[5 + i]);
+  }
+  return buffer_.size() < kHeaderSize + len;
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  while (true) {
+    if (buffer_.size() < kHeaderSize) {
+      // Could still be mid-header; but if what we have already cannot be
+      // a magic prefix, discard it now so has_partial() means "plausible
+      // frame underway", not "buffered garbage".
+      if (!buffer_.empty() &&
+          std::memcmp(buffer_.data(), kMagic,
+                      std::min(buffer_.size(), sizeof(kMagic))) != 0) {
+        Resync(1);
+        continue;
+      }
+      return std::nullopt;
+    }
+    if (std::memcmp(buffer_.data(), kMagic, sizeof(kMagic)) != 0) {
+      Resync(1);
+      continue;
+    }
+    const uint8_t type = static_cast<uint8_t>(buffer_[4]);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<uint8_t>(buffer_[5 + i]);
+      crc = (crc << 8) | static_cast<uint8_t>(buffer_[9 + i]);
+    }
+    if (!KnownType(type) || len > kMaxPayload) {
+      Resync(1);
+      continue;
+    }
+    if (buffer_.size() < kHeaderSize + len) return std::nullopt;
+    const std::string_view payload(buffer_.data() + kHeaderSize, len);
+    if (Crc32(payload) != crc) {
+      ++crc_failures_;
+      Resync(1);
+      continue;
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(payload);
+    buffer_.erase(0, kHeaderSize + len);
+    return frame;
+  }
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  payload.reserve(28 + request.statement.size());
+  PutU64(&payload, request.id);
+  PutU64(&payload, request.deadline_micros);
+  PutU64(&payload, request.work_budget);
+  PutBytes(&payload, request.statement);
+  return payload;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Request request;
+  Reader reader(payload);
+  if (!reader.GetU64(&request.id) ||
+      !reader.GetU64(&request.deadline_micros) ||
+      !reader.GetU64(&request.work_budget) ||
+      !reader.GetBytes(&request.statement) || !reader.exhausted()) {
+    return Status::ParseError("malformed request payload");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string payload;
+  payload.reserve(28 + response.output.size() + response.error.size());
+  PutU64(&payload, response.id);
+  PutU32(&payload, static_cast<uint32_t>(response.code));
+  PutU64(&payload, response.retry_after_micros);
+  PutBytes(&payload, response.output);
+  PutBytes(&payload, response.error);
+  return payload;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Response response;
+  Reader reader(payload);
+  uint32_t code = 0;
+  if (!reader.GetU64(&response.id) || !reader.GetU32(&code) ||
+      !reader.GetU64(&response.retry_after_micros) ||
+      !reader.GetBytes(&response.output) ||
+      !reader.GetBytes(&response.error) || !reader.exhausted()) {
+    return Status::ParseError("malformed response payload");
+  }
+  response.code = static_cast<int32_t>(code);
+  return response;
+}
+
+}  // namespace net
+}  // namespace eve

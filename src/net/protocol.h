@@ -1,0 +1,127 @@
+// The eved wire protocol: length-prefixed, CRC-guarded frames.
+//
+// Every frame is
+//
+//   magic(4, "EVE1") | type(1) | payload_len(4, LE) | crc32(4, LE) | payload
+//
+// where the CRC covers the payload bytes only (the header fields are
+// validated structurally: known magic, known type, bounded length). The
+// frame layer is deliberately dumb — it moves opaque payload bytes — and
+// the request/response structs below are encoded INTO payloads, so framing
+// robustness (torn frames, corruption, resync) is testable without any
+// statement semantics.
+//
+// Robustness contract (FrameDecoder):
+//  * A partial frame is not an error: Next() returns nullopt until the
+//    remaining bytes arrive (the server's slow-loris sweep, not the
+//    decoder, decides when a stalled partial frame becomes an eviction).
+//  * A corrupt frame (bad magic, unknown type, oversized length, CRC
+//    mismatch) never kills the stream: the decoder drops one byte, scans
+//    forward to the next plausible magic, and counts a resync. A client
+//    that writes garbage loses frames, not the connection.
+//  * Payload length is capped (kMaxPayload) so a hostile length field
+//    cannot make the decoder buffer unbounded memory.
+//
+// Integers are little-endian on the wire, encoded byte-by-byte (the
+// decoder never type-puns the input buffer).
+
+#ifndef EVE_NET_PROTOCOL_H_
+#define EVE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace eve {
+namespace net {
+
+inline constexpr char kMagic[4] = {'E', 'V', 'E', '1'};
+inline constexpr size_t kHeaderSize = 13;  // magic 4 + type 1 + len 4 + crc 4
+inline constexpr size_t kMaxPayload = 4u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,   // client -> server: one statement to execute
+  kResponse = 2,  // server -> client: the statement's outcome
+  kGoodbye = 3,   // server -> client: connection is closing (reason text)
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+// CRC-32 (IEEE 802.3, reflected) over `data`.
+uint32_t Crc32(std::string_view data);
+
+// Renders a complete frame (header + payload) ready to write to a socket.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Incremental frame extractor over a byte stream.
+class FrameDecoder {
+ public:
+  // Appends raw socket bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  // Extracts the next complete, CRC-clean frame, or nullopt when the
+  // buffer holds no complete frame (call again after more Feed()s).
+  // Corrupt prefixes are skipped internally (counted in resyncs()).
+  std::optional<Frame> Next();
+
+  // True when the buffer starts with an incomplete frame (header or
+  // payload still short) — the slow-loris signal when it persists.
+  bool has_partial() const;
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+  // Times the decoder discarded bytes to find the next frame boundary.
+  uint64_t resyncs() const { return resyncs_; }
+  // Structurally complete frames rejected for a CRC mismatch.
+  uint64_t crc_failures() const { return crc_failures_; }
+
+ private:
+  // Drops `n` bytes, then discards everything up to the next magic.
+  void Resync(size_t n);
+
+  std::string buffer_;
+  uint64_t resyncs_ = 0;
+  uint64_t crc_failures_ = 0;
+};
+
+// --- Request / response payloads -------------------------------------------
+
+// One statement, plus the client's per-request limits. A zero deadline or
+// budget means "use the server's configured default" (the limits can only
+// tighten a request, they never loosen server policy).
+struct Request {
+  uint64_t id = 0;              // echoed back verbatim in the response
+  uint64_t deadline_micros = 0; // wall-clock budget for this statement
+  uint64_t work_budget = 0;     // logical work units for this statement
+  std::string statement;
+};
+
+// The statement's outcome. `code` is the eve::StatusCode as an integer:
+// 0 = the statement succeeded (output holds what evectl would print),
+// kResourceExhausted = shed by admission/overload (retry_after_micros is
+// the server's backoff hint), anything else = the statement failed and
+// `error` holds the diagnostic.
+struct Response {
+  uint64_t id = 0;
+  int32_t code = 0;
+  uint64_t retry_after_micros = 0;
+  std::string output;  // the statement's stdout text
+  std::string error;   // the statement's stderr text
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+}  // namespace net
+}  // namespace eve
+
+#endif  // EVE_NET_PROTOCOL_H_

@@ -1,0 +1,693 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/str_util.h"
+
+namespace eve {
+namespace net {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool IsServerStatsStatement(const std::string& statement) {
+  std::istringstream is(statement);
+  std::string a;
+  std::string b;
+  std::string c;
+  std::string rest;
+  is >> a >> b >> c;
+  return !(is >> rest) && EqualsIgnoreCase(a, "SHOW") &&
+         EqualsIgnoreCase(b, "SERVER") && EqualsIgnoreCase(c, "STATS");
+}
+
+}  // namespace
+
+std::string ServerStats::ToString() const {
+  std::ostringstream os;
+  os << "accepted=" << accepted << " refused=" << refused
+     << " sessions_now=" << sessions_now << " requests=" << requests
+     << " responses=" << responses << " shed_overload=" << shed_overload
+     << " evicted_slow_loris=" << evicted_slow_loris
+     << " evicted_overflow=" << evicted_overflow
+     << " evicted_io_error=" << evicted_io_error << " resyncs=" << resyncs
+     << " crc_failures=" << crc_failures << " goodbyes=" << goodbyes;
+  return os.str();
+}
+
+// All counters the I/O thread and workers bump concurrently.
+struct Server::Counters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> refused{0};
+  std::atomic<uint64_t> sessions_now{0};
+  std::atomic<uint64_t> evicted_slow_loris{0};
+  std::atomic<uint64_t> evicted_overflow{0};
+  std::atomic<uint64_t> evicted_io_error{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> shed_overload{0};
+  std::atomic<uint64_t> resyncs{0};
+  std::atomic<uint64_t> crc_failures{0};
+  std::atomic<uint64_t> goodbyes{0};
+};
+
+// Per-connection state. The I/O thread owns fd, decoder and the timestamps;
+// write_buffer and pending are shared with workers under w_mu. Lifetime is
+// shared_ptr: a worker may finish a statement after its session was
+// evicted (closed == true) — the response is simply dropped.
+struct Server::Session {
+  int fd = -1;
+  uint64_t id = 0;
+
+  FrameDecoder decoder;            // I/O thread only
+  uint64_t partial_since_micros = 0;
+  uint64_t reported_resyncs = 0;   // deltas already folded into counters
+  uint64_t reported_crc = 0;
+
+  std::mutex w_mu;
+  std::string write_buffer;        // encoded frames awaiting the socket
+  size_t pending = 0;              // statements handed to workers
+  bool overflowed = false;         // write bound exceeded: evict on flush
+
+  std::atomic<bool> closed{false};
+};
+
+Server::Server(Console* console, ServerOptions options)
+    : console_(console),
+      options_(std::move(options)),
+      counters_(std::make_unique<Counters>()) {}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;  // no failpoint on the destructor path: must not throw
+  }
+  NudgeIo();
+  WaitUntilStopped();
+}
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind: ") + strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    return Status::Internal(std::string("listen: ") + strerror(errno));
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // 0 = the listener
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  epoll_event wake{};
+  wake.events = EPOLLIN;
+  wake.data.u64 = 1;  // 1 = the wake eventfd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake);
+
+  workers_ = std::make_unique<ThreadPool>(
+      options_.worker_threads == 0 ? 1 : options_.worker_threads, "eved-wrk");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::BeginDrain() {
+  // Crash mode models the process dying as the drain begins (abrupt
+  // teardown, crashed_site() set, no goodbyes); error mode is absorbed —
+  // a drain cannot be refused.
+  try {
+    (void)Failpoints::Instance().Hit(fp::kNetDrain);
+  } catch (const SimulatedCrash& crash) {
+    RecordCrash(crash.site());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stopping_) return;
+    draining_ = true;
+    drain_started_micros_ = NowMicros();
+  }
+  NudgeIo();
+}
+
+void Server::Stop() {
+  try {
+    (void)Failpoints::Instance().Hit(fp::kNetShutdown);
+  } catch (const SimulatedCrash& crash) {
+    RecordCrash(crash.site());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  NudgeIo();
+}
+
+bool Server::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopped_ || !started_;
+}
+
+void Server::WaitUntilStopped() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopped_cv_.wait(lock, [this] { return stopped_ || !started_; });
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = counters_->accepted.load();
+  s.refused = counters_->refused.load();
+  s.sessions_now = counters_->sessions_now.load();
+  s.evicted_slow_loris = counters_->evicted_slow_loris.load();
+  s.evicted_overflow = counters_->evicted_overflow.load();
+  s.evicted_io_error = counters_->evicted_io_error.load();
+  s.requests = counters_->requests.load();
+  s.responses = counters_->responses.load();
+  s.shed_overload = counters_->shed_overload.load();
+  s.resyncs = counters_->resyncs.load();
+  s.crc_failures = counters_->crc_failures.load();
+  s.goodbyes = counters_->goodbyes.load();
+  return s;
+}
+
+std::string Server::crashed_site() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_site_;
+}
+
+void Server::RecordCrash(const std::string& site) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_site_.empty()) crashed_site_ = site;
+    stopping_ = true;
+  }
+  NudgeIo();
+}
+
+void Server::NudgeIo() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void Server::IoLoop() {
+  try {
+    IoLoopBody();
+  } catch (const SimulatedCrash& crash) {
+    // The armed site modeled the whole process dying here. Record it and
+    // fall through to the abrupt-teardown path: sessions drop with no
+    // goodbye, exactly like a real crash as seen from the clients.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (crashed_site_.empty()) crashed_site_ = crash.site();
+      stopping_ = true;
+    }
+  }
+  // Teardown: stop the workers (running statements finish; queued ones are
+  // discarded — on a graceful drain the loop only exits once nothing is
+  // pending, so there is nothing to discard), then close every socket.
+  if (workers_ != nullptr) workers_->Shutdown(/*drain=*/false);
+  bool graceful = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    graceful = draining_ && crashed_site_.empty();
+  }
+  if (graceful) {
+    for (auto& [id, session] : sessions_) {
+      QueueGoodbye(session, "server draining");
+      FlushBestEffort(session.get());
+    }
+  }
+  CloseAllSessions();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::IoLoopBody() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  bool listener_armed = true;
+  while (true) {
+    bool draining = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      draining = draining_;
+      if (draining && drain_started_micros_ != 0 &&
+          NowMicros() - drain_started_micros_ > options_.drain_timeout_micros) {
+        // Drain overstayed its budget: give up on stragglers.
+        return;
+      }
+    }
+    if (draining) {
+      if (listener_armed) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        listener_armed = false;
+      }
+      if (DrainComplete()) return;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == 1) {
+        uint64_t drainval = 0;
+        while (::read(wake_fd_, &drainval, sizeof(drainval)) > 0) {
+        }
+        std::vector<uint64_t> ready;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ready.swap(write_ready_);
+        }
+        for (const uint64_t id : ready) {
+          const auto it = sessions_.find(id);
+          if (it != sessions_.end()) FlushSession(it->second);
+        }
+        continue;
+      }
+      const auto it = sessions_.find(tag);
+      if (it == sessions_.end()) continue;
+      std::shared_ptr<Session> session = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        EvictSession(session->id, "io_error");
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(session);
+      if (sessions_.count(tag) == 0) continue;  // evicted while reading
+      if ((events[i].events & EPOLLOUT) != 0) FlushSession(session);
+    }
+    SweepSlowLoris(NowMicros());
+  }
+}
+
+void Server::HandleAccept() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: back to epoll
+    const Status injected = Failpoints::Instance().Hit(fp::kNetAccept);
+    if (!injected.ok()) {
+      // The injected fault refuses THIS connection; the listener lives on.
+      ::close(fd);
+      counters_->refused.fetch_add(1);
+      continue;
+    }
+    bool refuse = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      refuse = draining_ || stopping_;
+    }
+    if (!refuse && options_.max_sessions != 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      refuse = true;
+    }
+    if (refuse) {
+      ::close(fd);
+      counters_->refused.fetch_add(1);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->id = next_session_id_++;
+    const Status start = Failpoints::Instance().Hit(fp::kNetSessionStart);
+    if (!start.ok()) {
+      // Immediate eviction: created but never registered.
+      ::close(fd);
+      counters_->refused.fetch_add(1);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = session->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      counters_->refused.fetch_add(1);
+      continue;
+    }
+    sessions_.emplace(session->id, std::move(session));
+    counters_->accepted.fetch_add(1);
+    counters_->sessions_now.store(sessions_.size());
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Session>& session) {
+  const Status injected = Failpoints::Instance().Hit(fp::kNetFrameRead);
+  if (!injected.ok()) {
+    // The injected fault is THIS session's connection dying mid-read.
+    EvictSession(session->id, "io_error");
+    return;
+  }
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::read(session->fd, buf, sizeof(buf));
+    if (n == 0) {
+      EvictSession(session->id, "peer_closed");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      EvictSession(session->id, "io_error");
+      return;
+    }
+    session->decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (session->decoder.buffered_bytes() > options_.max_read_buffer_bytes) {
+      // Flooding: the peer outruns frame extraction by more than the
+      // bound. (A well-formed burst is drained below before this trips.)
+      EvictSession(session->id, "overflow");
+      return;
+    }
+    while (std::optional<Frame> frame = session->decoder.Next()) {
+      if (frame->type == FrameType::kGoodbye) {
+        EvictSession(session->id, "peer_closed");
+        return;
+      }
+      if (frame->type != FrameType::kRequest) continue;
+      counters_->requests.fetch_add(1);
+      Result<Request> request = DecodeRequest(frame->payload);
+      if (!request.ok()) {
+        Response bad;
+        bad.id = 0;
+        bad.code = static_cast<int32_t>(StatusCode::kParseError);
+        bad.error = "error: " + request.status().ToString() + "\n";
+        QueueResponse(session, bad);
+        continue;
+      }
+      if (IsServerStatsStatement(request.value().statement)) {
+        // Answered from the server's own counters: no console lock, no
+        // worker hop, usable even when the console is saturated.
+        Response stats_response;
+        stats_response.id = request.value().id;
+        stats_response.output = "server: " + stats().ToString() + "\n";
+        QueueResponse(session, stats_response);
+        continue;
+      }
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        shed = draining_ || stopping_;
+      }
+      {
+        std::lock_guard<std::mutex> wlock(session->w_mu);
+        if (session->pending >= options_.max_pending_per_session) shed = true;
+      }
+      if (shed) {
+        counters_->shed_overload.fetch_add(1);
+        QueueResponse(session,
+                      ShedResponse(request.value().id,
+                                   "server overloaded or draining"));
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> wlock(session->w_mu);
+        ++session->pending;
+      }
+      std::shared_ptr<Session> owned = session;
+      Request req = request.MoveValue();
+      workers_->Submit(
+          [this, owned = std::move(owned), req = std::move(req)]() mutable {
+            ExecuteRequest(std::move(owned), std::move(req));
+          },
+          "eved-request");
+    }
+    // Fold this session's decoder counters into the server totals.
+    counters_->resyncs.fetch_add(session->decoder.resyncs() -
+                                 session->reported_resyncs);
+    session->reported_resyncs = session->decoder.resyncs();
+    counters_->crc_failures.fetch_add(session->decoder.crc_failures() -
+                                      session->reported_crc);
+    session->reported_crc = session->decoder.crc_failures();
+  }
+  // Slow-loris clock: a partial frame starts (or keeps) the timer; a
+  // clean inter-frame boundary clears it.
+  if (session->decoder.has_partial()) {
+    if (session->partial_since_micros == 0) {
+      session->partial_since_micros = NowMicros();
+    }
+  } else {
+    session->partial_since_micros = 0;
+  }
+}
+
+void Server::ExecuteRequest(std::shared_ptr<Session> session,
+                            Request request) {
+  Response response;
+  response.id = request.id;
+  std::ostringstream out;
+  std::ostringstream err;
+  bool ok = false;
+  try {
+    if (Console::IsSnapshotRead(request.statement)) {
+      // Snapshot reads share the lock: any number run concurrently, each
+      // against the pinned RCU snapshot, never blocked by a writer that
+      // is WAITING (writers hold the lock only while executing).
+      std::shared_lock<std::shared_mutex> lock(console_mu_);
+      ok = console_->RunSnapshotRead(request.statement, out, err);
+    } else {
+      std::unique_lock<std::shared_mutex> lock(console_mu_);
+      ok = console_->RunWithLimits(request.statement, request.deadline_micros,
+                                   request.work_budget, out, err);
+    }
+  } catch (const SimulatedCrash& crash) {
+    // The armed site models the process dying mid-statement. No response
+    // is ever written (the client sees the connection drop when teardown
+    // closes it), matching a real crash.
+    RecordCrash(crash.site());
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    if (session->pending > 0) --session->pending;
+    return;
+  }
+  response.code = ok ? 0 : static_cast<int32_t>(StatusCode::kInternal);
+  response.output = out.str();
+  response.error = err.str();
+  {
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    if (session->pending > 0) --session->pending;
+  }
+  QueueResponse(session, response);
+}
+
+Response Server::ShedResponse(uint64_t request_id,
+                              const std::string& why) const {
+  Response response;
+  response.id = request_id;
+  response.code = static_cast<int32_t>(StatusCode::kResourceExhausted);
+  response.retry_after_micros = options_.retry_after_micros;
+  response.error = "error: resource_exhausted: " + why + "\n";
+  return response;
+}
+
+void Server::QueueResponse(const std::shared_ptr<Session>& session,
+                           const Response& response) {
+  if (session->closed.load()) return;
+  const std::string frame =
+      EncodeFrame(FrameType::kResponse, EncodeResponse(response));
+  {
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    if (session->write_buffer.size() + frame.size() >
+        options_.max_write_buffer_bytes) {
+      // The peer is not reading its responses; evict on the next flush.
+      session->overflowed = true;
+    } else {
+      session->write_buffer.append(frame);
+      counters_->responses.fetch_add(1);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_ready_.push_back(session->id);
+  }
+  NudgeIo();
+}
+
+void Server::QueueGoodbye(const std::shared_ptr<Session>& session,
+                          const std::string& reason) {
+  if (session->closed.load()) return;
+  const std::string frame = EncodeFrame(FrameType::kGoodbye, reason);
+  {
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    session->write_buffer.append(frame);
+  }
+  counters_->goodbyes.fetch_add(1);
+}
+
+void Server::FlushBestEffort(Session* session) {
+  // Teardown-path flush: one synchronous attempt, no failpoints, no
+  // eviction bookkeeping (everything closes right after).
+  std::lock_guard<std::mutex> wlock(session->w_mu);
+  size_t off = 0;
+  while (off < session->write_buffer.size()) {
+    const ssize_t n =
+        ::send(session->fd, session->write_buffer.data() + off,
+               session->write_buffer.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  session->write_buffer.erase(0, off);
+}
+
+void Server::FlushSession(const std::shared_ptr<Session>& session) {
+  if (session->closed.load()) return;
+  const Status injected = Failpoints::Instance().Hit(fp::kNetFrameWrite);
+  if (!injected.ok()) {
+    EvictSession(session->id, "io_error");
+    return;
+  }
+  bool want_out = false;
+  bool dead_peer = false;
+  bool overflowed = false;
+  {
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    size_t off = 0;
+    while (off < session->write_buffer.size()) {
+      const ssize_t n =
+          ::send(session->fd, session->write_buffer.data() + off,
+                 session->write_buffer.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_out = true;
+      } else {
+        dead_peer = true;
+      }
+      break;
+    }
+    session->write_buffer.erase(0, off);
+    overflowed = session->overflowed;
+  }
+  if (dead_peer) {
+    EvictSession(session->id, "io_error");
+    return;
+  }
+  if (overflowed) {
+    EvictSession(session->id, "overflow");
+    return;
+  }
+  epoll_event ev{};
+  ev.events = want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.u64 = session->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->fd, &ev);
+}
+
+void Server::EvictSession(uint64_t session_id, const char* reason) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  std::shared_ptr<Session> session = it->second;
+  session->closed.store(true);
+  ::close(session->fd);  // the kernel drops it from the epoll set
+  sessions_.erase(it);
+  counters_->sessions_now.store(sessions_.size());
+  if (strcmp(reason, "slow_loris") == 0) {
+    counters_->evicted_slow_loris.fetch_add(1);
+  } else if (strcmp(reason, "overflow") == 0) {
+    counters_->evicted_overflow.fetch_add(1);
+  } else if (strcmp(reason, "io_error") == 0) {
+    counters_->evicted_io_error.fetch_add(1);
+  }
+  // "peer_closed" is a normal departure: no eviction counter.
+}
+
+void Server::SweepSlowLoris(uint64_t now_micros) {
+  if (options_.idle_timeout_micros == 0) return;
+  std::vector<uint64_t> victims;
+  for (const auto& [id, session] : sessions_) {
+    if (session->partial_since_micros != 0 &&
+        now_micros - session->partial_since_micros >
+            options_.idle_timeout_micros) {
+      victims.push_back(id);
+    }
+  }
+  for (const uint64_t id : victims) EvictSession(id, "slow_loris");
+}
+
+bool Server::DrainComplete() {
+  for (const auto& [id, session] : sessions_) {
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    if (session->pending != 0 || !session->write_buffer.empty()) return false;
+  }
+  return true;
+}
+
+void Server::CloseAllSessions() {
+  for (auto& [id, session] : sessions_) {
+    session->closed.store(true);
+    ::close(session->fd);
+  }
+  sessions_.clear();
+  counters_->sessions_now.store(0);
+}
+
+}  // namespace net
+}  // namespace eve

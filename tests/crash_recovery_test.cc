@@ -428,6 +428,15 @@ TEST_F(CrashRecoveryTest, EveryKnownSiteIsExercised) {
       fp::kShardedPublish,
       fp::kShardedCheckpointManifest,
       fp::kShardedJournalReset,
+      // The network front end only exists inside eved; net_server_test
+      // (ServerFailpoint*) arms each site in error mode against a live
+      // server, and the eved crash/RECOVER shell test covers crash mode.
+      fp::kNetAccept,
+      fp::kNetSessionStart,
+      fp::kNetFrameRead,
+      fp::kNetFrameWrite,
+      fp::kNetDrain,
+      fp::kNetShutdown,
   };
   for (const std::string& site : Failpoints::KnownSites()) {
     if (dedicated.count(site) > 0) continue;

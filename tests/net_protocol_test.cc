@@ -1,0 +1,229 @@
+// The eved wire protocol: frame encode/decode roundtrips, the
+// FrameDecoder's robustness contract (partial frames, torn frames, CRC
+// corruption, garbage resync, hostile length fields), and the
+// request/response payload codecs.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace eve {
+namespace net {
+namespace {
+
+std::string Corrupt(std::string frame, size_t at) {
+  frame[at] = static_cast<char>(frame[at] ^ 0x5a);
+  return frame;
+}
+
+// --- CRC --------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Sensitivity: one flipped bit changes the CRC.
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+// --- Frame roundtrip --------------------------------------------------------
+
+TEST(FrameTest, EncodeDecodeRoundtrip) {
+  const std::string wire = EncodeFrame(FrameType::kRequest, "hello");
+  EXPECT_EQ(wire.size(), kHeaderSize + 5);
+  EXPECT_EQ(wire.substr(0, 4), "EVE1");
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kRequest);
+  EXPECT_EQ(frame->payload, "hello");
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.resyncs(), 0u);
+}
+
+TEST(FrameTest, EmptyPayloadIsLegal) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(FrameType::kGoodbye, ""));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kGoodbye);
+  EXPECT_EQ(frame->payload, "");
+}
+
+TEST(FrameTest, BackToBackFramesDecodeInOrder) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(FrameType::kRequest, "one") +
+               EncodeFrame(FrameType::kResponse, "two") +
+               EncodeFrame(FrameType::kGoodbye, "three"));
+  ASSERT_TRUE(decoder.Next().has_value());
+  std::optional<Frame> second = decoder.Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, "two");
+  std::optional<Frame> third = decoder.Next();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->type, FrameType::kGoodbye);
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+// --- Partial / torn frames --------------------------------------------------
+
+TEST(FrameDecoderTest, ByteAtATimeDelivery) {
+  const std::string wire = EncodeFrame(FrameType::kRequest, "slow bytes");
+  FrameDecoder decoder;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.Feed(std::string_view(&wire[i], 1));
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_TRUE(decoder.has_partial());
+  }
+  decoder.Feed(std::string_view(&wire[wire.size() - 1], 1));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "slow bytes");
+  EXPECT_FALSE(decoder.has_partial());
+  EXPECT_EQ(decoder.resyncs(), 0u);
+}
+
+TEST(FrameDecoderTest, TornFrameThenRestResumesCleanly) {
+  const std::string wire = EncodeFrame(FrameType::kResponse, "torn in half");
+  FrameDecoder decoder;
+  decoder.Feed(wire.substr(0, kHeaderSize + 4));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.has_partial());
+  decoder.Feed(wire.substr(kHeaderSize + 4));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "torn in half");
+}
+
+// --- Corruption and resync --------------------------------------------------
+
+TEST(FrameDecoderTest, CrcCorruptionDropsOnlyTheBadFrame) {
+  FrameDecoder decoder;
+  decoder.Feed(Corrupt(EncodeFrame(FrameType::kRequest, "doomed"),
+                       kHeaderSize + 2) +
+               EncodeFrame(FrameType::kRequest, "survivor"));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "survivor");
+  EXPECT_GE(decoder.crc_failures(), 1u);
+  EXPECT_GE(decoder.resyncs(), 1u);
+}
+
+TEST(FrameDecoderTest, GarbagePrefixIsSkipped) {
+  FrameDecoder decoder;
+  decoder.Feed("!@#$ random junk before the stream ");
+  decoder.Feed(EncodeFrame(FrameType::kRequest, "after junk"));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "after junk");
+  EXPECT_GE(decoder.resyncs(), 1u);
+}
+
+TEST(FrameDecoderTest, UnknownFrameTypeTriggersResync) {
+  std::string wire = EncodeFrame(FrameType::kRequest, "typed");
+  wire[4] = 42;  // not a known FrameType
+  FrameDecoder decoder;
+  decoder.Feed(wire + EncodeFrame(FrameType::kRequest, "good"));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "good");
+  EXPECT_GE(decoder.resyncs(), 1u);
+}
+
+TEST(FrameDecoderTest, HostileLengthFieldCannotReserveUnboundedMemory) {
+  // A header claiming a payload far beyond kMaxPayload must be rejected
+  // structurally — the decoder resyncs instead of waiting for 4 GiB.
+  std::string header(kHeaderSize, '\0');
+  std::memcpy(header.data(), kMagic, 4);
+  header[4] = 1;  // kRequest
+  header[5] = static_cast<char>(0xff);
+  header[6] = static_cast<char>(0xff);
+  header[7] = static_cast<char>(0xff);
+  header[8] = static_cast<char>(0xff);
+  FrameDecoder decoder;
+  decoder.Feed(header + EncodeFrame(FrameType::kResponse, "sane"));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "sane");
+  EXPECT_GE(decoder.resyncs(), 1u);
+}
+
+TEST(FrameDecoderTest, MagicBytesInsidePayloadDoNotConfuseTheDecoder) {
+  // A payload that CONTAINS the magic marker still decodes as one frame.
+  const std::string tricky = "xxEVE1yyEVE1zz";
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(FrameType::kRequest, tricky));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, tricky);
+  EXPECT_EQ(decoder.resyncs(), 0u);
+}
+
+TEST(FrameDecoderTest, CorruptMagicResyncsToEmbeddedNextFrame) {
+  // Corrupting the first frame's magic makes the decoder scan forward;
+  // it must land exactly on the second frame's boundary.
+  FrameDecoder decoder;
+  decoder.Feed(Corrupt(EncodeFrame(FrameType::kRequest, "bad magic"), 1) +
+               EncodeFrame(FrameType::kResponse, "found me"));
+  std::optional<Frame> frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "found me");
+  EXPECT_GE(decoder.resyncs(), 1u);
+}
+
+// --- Request / response codecs ----------------------------------------------
+
+TEST(RequestCodecTest, Roundtrip) {
+  Request request;
+  request.id = 0x1122334455667788ull;
+  request.deadline_micros = 250'000;
+  request.work_budget = 42;
+  request.statement = "SHOW SYNC STATS;";
+  Result<Request> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, request.id);
+  EXPECT_EQ(decoded->deadline_micros, request.deadline_micros);
+  EXPECT_EQ(decoded->work_budget, request.work_budget);
+  EXPECT_EQ(decoded->statement, request.statement);
+}
+
+TEST(ResponseCodecTest, Roundtrip) {
+  Response response;
+  response.id = 7;
+  response.code = static_cast<int32_t>(StatusCode::kResourceExhausted);
+  response.retry_after_micros = 50'000;
+  response.output = "line one\nline two\n";
+  response.error = "error: resource_exhausted: queue full\n";
+  Result<Response> decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_EQ(decoded->code, response.code);
+  EXPECT_EQ(decoded->retry_after_micros, response.retry_after_micros);
+  EXPECT_EQ(decoded->output, response.output);
+  EXPECT_EQ(decoded->error, response.error);
+}
+
+TEST(RequestCodecTest, TruncatedPayloadIsAParseError) {
+  const std::string payload = EncodeRequest(Request{1, 0, 0, "DRAIN SYNC;"});
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<Request> decoded = DecodeRequest(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ResponseCodecTest, TrailingGarbageIsAParseError) {
+  const std::string payload = EncodeResponse(Response{});
+  Result<Response> decoded = DecodeResponse(payload + "x");
+  EXPECT_FALSE(decoded.ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace eve

@@ -1,0 +1,192 @@
+// eved: the EVE network daemon.
+//
+// Serves the full evectl statement language to concurrent TCP clients over
+// the framed wire protocol (net/protocol.h). Statement semantics, output
+// bytes and failure modes are identical to a local evectl run — the same
+// net::Console executes both.
+//
+// Usage:
+//   eved [--host <addr>] [--port <n>] [--port-file <path>]
+//        [--workers <n>] [--max-sessions <n>] [--max-pending <n>]
+//        [--idle-timeout-micros <n>] [--drain-timeout-micros <n>]
+//        [--init <script>]
+//
+//   --port 0 (the default) binds an ephemeral port; --port-file writes the
+//   chosen port as a decimal line once the server is listening, so test
+//   harnesses can rendezvous without racing.
+//   --init runs a script through the console BEFORE serving (e.g. LOAD
+//   MISD + CREATE VIEW + JOURNAL bring-up); any failure aborts startup.
+//
+// Lifecycle: SIGTERM or SIGINT begins a graceful drain — stop accepting,
+// shed statements that have not started, finish in-flight ones, flush
+// journaled state (every mutation was already journaled synchronously at
+// commit), close sessions — then the process exits 0. A second signal
+// forces an immediate stop. An armed crash-mode failpoint (EVE_FAILPOINTS)
+// that fires anywhere in the serving path stops the server abruptly and
+// exits 3, leaving durable state for RECOVER — exactly like evectl.
+//
+// Exit status: 0 = clean drain/stop; 1 = failed statement in --init;
+// 2 = usage/startup problem; 3 = simulated crash.
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/failpoint.h"
+#include "net/console.h"
+#include "net/server.h"
+
+namespace eve {
+namespace {
+
+// Signal flag, written by the handler, polled by the main thread.
+std::atomic<int> g_signals{0};
+
+void OnSignal(int) { g_signals.fetch_add(1); }
+
+// Serving thousands of sessions needs thousands of fds; lift the soft
+// limit to the hard limit so the default 1024 does not cap the server.
+void RaiseFdLimit() {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+      limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+int Main(int argc, char** argv) {
+  net::ServerOptions options;
+  std::string port_file;
+  std::string init_script;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--host" && has_value) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--port-file" && has_value) {
+      port_file = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      options.worker_threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-sessions" && has_value) {
+      options.max_sessions = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-pending" && has_value) {
+      options.max_pending_per_session =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--idle-timeout-micros" && has_value) {
+      options.idle_timeout_micros =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--drain-timeout-micros" && has_value) {
+      options.drain_timeout_micros =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--init" && has_value) {
+      init_script = argv[++i];
+    } else {
+      std::cerr << "usage: eved [--host <addr>] [--port <n>] "
+                   "[--port-file <path>] [--workers <n>] "
+                   "[--max-sessions <n>] [--max-pending <n>] "
+                   "[--idle-timeout-micros <n>] "
+                   "[--drain-timeout-micros <n>] [--init <script>]\n";
+      return 2;
+    }
+  }
+  RaiseFdLimit();
+  if (const char* spec = std::getenv("EVE_FAILPOINTS")) {
+    const Status status = Failpoints::Instance().ArmFromSpec(spec);
+    if (!status.ok()) {
+      std::cerr << "error: bad EVE_FAILPOINTS: " << status << "\n";
+      return 2;
+    }
+  }
+
+  net::Console console;
+  if (!init_script.empty()) {
+    std::ifstream in(init_script);
+    if (!in) {
+      std::cerr << "error: cannot open " << init_script << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    for (const net::Statement& statement :
+         net::SplitStatements(buffer.str())) {
+      bool ok = false;
+      try {
+        ok = console.Run(statement.text, std::cout, std::cerr);
+      } catch (const SimulatedCrash& crash) {
+        std::cerr << "simulated crash at failpoint " << crash.site() << "\n";
+        return 3;
+      }
+      if (!ok) {
+        std::cerr << init_script << ":" << statement.line
+                  << ": error: init statement failed: " << statement.text
+                  << "\n";
+        return 1;
+      }
+    }
+  }
+
+  net::Server server(&console, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started << "\n";
+    return 2;
+  }
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out) {
+      std::cerr << "error: cannot write " << port_file << "\n";
+      return 2;
+    }
+  }
+  std::cout << "eved listening on " << options.host << ":" << server.port()
+            << std::endl;
+
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // dead peers surface as write errors, not death
+
+  // Tick until teardown: the first signal starts a graceful drain, a
+  // second forces an immediate stop, and a crash-mode failpoint stops the
+  // server on its own (noticed here through stopped()).
+  int handled_signals = 0;
+  while (!server.stopped()) {
+    const int seen = g_signals.load();
+    if (seen > handled_signals) {
+      handled_signals = seen;
+      if (seen == 1) {
+        std::cout << "eved draining (signal)" << std::endl;
+        server.BeginDrain();
+      } else {
+        std::cout << "eved stopping (repeated signal)" << std::endl;
+        server.Stop();
+      }
+    }
+    usleep(20'000);  // signal latency without busy-waiting
+  }
+  server.WaitUntilStopped();
+  const std::string crashed = server.crashed_site();
+  if (!crashed.empty()) {
+    std::cerr << "simulated crash at failpoint " << crashed << "\n";
+    return 3;
+  }
+  std::cout << "eved exited cleanly" << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) { return eve::Main(argc, argv); }
