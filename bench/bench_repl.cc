@@ -1,0 +1,706 @@
+// bench_repl: the replication chaos gate — 1 primary + 2 replicas as REAL
+// processes under closed-loop write load, with a kill and a partition
+// scenario, asserting the replication contract end to end:
+//
+//   * every ACKED commit (semi-sync, ack_replicas=1) survives the loss of
+//     the primary — zero lost acked commits;
+//   * the survivors elect a new primary within the failover budget
+//     (one lease to detect the loss + the election round);
+//   * the killed/partitioned node rejoins as a replica, discards its
+//     unreplicated suffix through the snapshot/resume handshake, and the
+//     whole cluster converges to byte-identical SHOW MKB and SHOW VIEWS.
+//
+// Scenarios (both run in one invocation):
+//   kill        SIGKILL the current primary under load, wait for the
+//               promotion, restart the corpse as a replica of the winner
+//   partition   SIGSTOP the current primary (its kernel still ACKs, the
+//               process is silent — an asymmetric partition), wait for the
+//               promotion, SIGCONT; the stale primary must demote itself
+//               and re-sync behind the new epoch
+//
+// Node children are spawned by re-executing THIS binary (fork+exec via
+// /proc/self/exe --child ...), so supervisor restarts stay safe after the
+// writer threads exist. A child exits 3 when an armed crash failpoint
+// fires (EVE_FAILPOINTS is armed in the child only); the supervisor
+// restarts it as a replica, which is how the nightly repl.* crash matrix
+// runs this harness.
+//
+// Usage:
+//   bench_repl [--writers N] [--load-seconds S] [--lease-micros U]
+//              [--out PATH]
+//
+// Results land in BENCH_repl.json with "passed": true/false; exit 0 only
+// when every assertion held.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/replication.h"
+
+namespace eve {
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint16_t ReservePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+// --- Child mode: one replicated eved node ----------------------------------
+
+int ChildMain(const std::string& node_id, const std::string& cluster_spec,
+              const std::string& primary_of, const std::string& data_dir,
+              uint16_t port, uint64_t lease_micros, uint64_t heartbeat_micros,
+              uint32_t ack_replicas) {
+  // Crash/error faults are armed in the CHILD only: the supervisor stays
+  // healthy while its nodes die at the armed sites.
+  if (const char* spec = std::getenv("EVE_FAILPOINTS")) {
+    const Status armed = Failpoints::Instance().ArmFromSpec(spec);
+    if (!armed.ok()) {
+      std::cerr << node_id << ": bad EVE_FAILPOINTS: " << armed << "\n";
+      return 2;
+    }
+  }
+  Result<std::map<std::string, net::NodeAddress>> cluster =
+      net::ParseCluster(cluster_spec);
+  if (!cluster.ok()) {
+    std::cerr << node_id << ": bad cluster: " << cluster.status() << "\n";
+    return 2;
+  }
+  net::ReplicatedNodeOptions options;
+  options.server.host = "127.0.0.1";
+  options.server.port = port;
+  options.repl.node_id = node_id;
+  options.repl.cluster = cluster.MoveValue();
+  options.repl.primary_of = primary_of;
+  options.repl.data_dir = data_dir;
+  options.repl.lease_micros = lease_micros;
+  options.repl.heartbeat_micros = heartbeat_micros;
+  options.repl.ack_replicas = ack_replicas;
+  net::ReplicatedNode node;
+  const Status started = node.Start(options);
+  if (!started.ok()) {
+    std::cerr << node_id << ": start failed: " << started << "\n";
+    return 1;
+  }
+  std::cerr << node_id << ": serving on 127.0.0.1:" << node.port() << "\n";
+  node.WaitUntilStopped();
+  if (!node.crashed_site().empty()) {
+    std::cerr << node_id << ": simulated crash at " << node.crashed_site()
+              << "\n";
+    return 3;
+  }
+  return 0;
+}
+
+// --- Supervisor ------------------------------------------------------------
+
+struct NodeProc {
+  std::string id;
+  uint16_t port = 0;
+  std::string data_dir;
+  pid_t pid = -1;
+  bool deliberately_down = false;
+};
+
+struct HarnessConfig {
+  uint64_t lease_micros = 1'000'000;
+  uint64_t heartbeat_micros = 100'000;
+  uint32_t ack_replicas = 1;
+  std::string self_exe;
+  std::string cluster_spec;
+  std::string root_dir;
+};
+
+pid_t SpawnNode(const HarnessConfig& config, const NodeProc& node,
+                const std::string& primary_of) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: exec ourselves in --child mode (a fresh single-threaded
+  // process; no locks inherited from the supervisor's writer threads).
+  const std::string port = std::to_string(node.port);
+  const std::string lease = std::to_string(config.lease_micros);
+  const std::string heartbeat = std::to_string(config.heartbeat_micros);
+  const std::string acks = std::to_string(config.ack_replicas);
+  const char* argv[] = {config.self_exe.c_str(),
+                        "--child",
+                        "--node-id", node.id.c_str(),
+                        "--cluster", config.cluster_spec.c_str(),
+                        "--primary-of", primary_of.c_str(),
+                        "--data-dir", node.data_dir.c_str(),
+                        "--port", port.c_str(),
+                        "--lease-micros", lease.c_str(),
+                        "--heartbeat-micros", heartbeat.c_str(),
+                        "--ack-replicas", acks.c_str(),
+                        nullptr};
+  ::execv(config.self_exe.c_str(), const_cast<char* const*>(argv));
+  ::_exit(127);
+}
+
+// Blocking status probe (kReplStatusReq/kReplStatus) with a hard timeout,
+// so a SIGSTOPped node reads as unreachable rather than hanging us.
+std::optional<net::ReplStatus> ProbeNode(uint16_t port,
+                                         uint64_t timeout_micros = 500'000) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_micros / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout_micros % 1'000'000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string wire = net::EncodeFrame(net::FrameType::kReplStatusReq, "");
+  if (::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(wire.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  net::FrameDecoder decoder;
+  char buf[4096];
+  const uint64_t deadline = NowMicros() + timeout_micros;
+  while (NowMicros() < deadline) {
+    if (std::optional<net::Frame> frame = decoder.Next()) {
+      if (frame->type != net::FrameType::kReplStatus) continue;
+      ::close(fd);
+      Result<net::ReplStatus> status = net::DecodeReplStatus(frame->payload);
+      if (!status.ok()) return std::nullopt;
+      return status.MoveValue();
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  ::close(fd);
+  return std::nullopt;
+}
+
+// The index of the node currently reporting the PRIMARY role, or -1.
+int FindPrimary(const std::vector<NodeProc>& nodes) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].deliberately_down) continue;
+    const std::optional<net::ReplStatus> status = ProbeNode(nodes[i].port);
+    if (status.has_value() && status->role == net::ReplRole::kPrimary) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+// --- Closed-loop writers ----------------------------------------------------
+
+struct WriterLedger {
+  std::mutex mu;
+  std::vector<std::string> acked_relations;  // code==0 (or duplicate-apply)
+  uint64_t acked = 0;
+  uint64_t unacked = 0;       // ack-timeout or retries exhausted
+  uint64_t transport_retries = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> pause{false};
+};
+
+void WriterMain(int writer_index, const std::vector<NodeProc>& nodes,
+                WriterLedger* ledger) {
+  net::ClientOptions options;
+  options.host = "127.0.0.1";
+  options.port = nodes[0].port;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    options.nodes.push_back("127.0.0.1:" + std::to_string(nodes[i].port));
+  }
+  options.max_transport_retries = 16;
+  options.initial_backoff_micros = 20'000;
+  options.max_backoff_micros = 400'000;
+  // A wedged (SIGSTOPped) leader must surface as a transport error so the
+  // client rotates onward instead of hanging the closed loop.
+  options.receive_timeout_micros = 1'500'000;
+  std::optional<net::NetClient> client;
+  int serial = 0;
+  while (!ledger->stop.load()) {
+    if (ledger->pause.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (!client.has_value()) {
+      Result<net::NetClient> connected = net::NetClient::Connect(options);
+      if (!connected.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      client.emplace(connected.MoveValue());
+    }
+    const std::string relation =
+        "W" + std::to_string(writer_index) + "R" + std::to_string(++serial);
+    const std::string statement = "DEFINE SOURCE S" + relation +
+                                  " RELATION " + relation +
+                                  " (Name string, Age int)";
+    // Retry THIS statement until a definitive outcome: applied (acked) or
+    // given up (unacked — it may or may not surface later; the gate only
+    // requires that ACKED commits survive).
+    bool acked = false;
+    bool definitive = false;
+    for (int attempt = 0; attempt < 8 && !definitive && !ledger->stop.load();
+         ++attempt) {
+      const Result<net::Response> response = client->Run(statement);
+      if (!response.ok()) {
+        // Transport retries exhausted: rebuild the client and try again.
+        client.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        Result<net::NetClient> connected = net::NetClient::Connect(options);
+        if (connected.ok()) client.emplace(connected.MoveValue());
+        if (!client.has_value()) break;
+        continue;
+      }
+      const int32_t code = response.value().code;
+      if (code == 0) {
+        acked = definitive = true;
+      } else if (code == static_cast<int32_t>(StatusCode::kAlreadyExists)) {
+        // A transport retry re-sent a statement the dying primary had
+        // already applied (and shipped): it IS in, count it acked.
+        acked = definitive = true;
+      } else if (response.value().error.find("replication ack timeout") !=
+                 std::string::npos) {
+        // Explicitly unacknowledged: retry — if a later attempt lands it
+        // becomes acked; if every attempt times out it stays unacked.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      } else {
+        // Redirect loops or election churn: brief pause, retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    std::lock_guard<std::mutex> lock(ledger->mu);
+    if (acked) {
+      ++ledger->acked;
+      ledger->acked_relations.push_back(relation);
+    } else {
+      ++ledger->unacked;
+    }
+    if (client.has_value()) {
+      ledger->transport_retries = client->transport_retries();
+    }
+  }
+}
+
+// --- Convergence checks -----------------------------------------------------
+
+std::optional<std::string> RunOn(uint16_t port, const std::string& statement) {
+  net::ClientOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.receive_timeout_micros = 2'000'000;
+  Result<net::NetClient> client = net::NetClient::Connect(options);
+  if (!client.ok()) return std::nullopt;
+  Result<net::Response> response = client.value().Run(statement);
+  if (!response.ok() || response.value().code != 0) return std::nullopt;
+  return response.value().output;
+}
+
+// Waits until every live node returns byte-identical SHOW MKB and SHOW
+// VIEWS; returns the converged MKB dump (nullopt on timeout).
+std::optional<std::string> WaitForConvergence(
+    const std::vector<NodeProc>& nodes, uint64_t timeout_micros) {
+  const uint64_t deadline = NowMicros() + timeout_micros;
+  uint64_t next_report = 0;
+  while (NowMicros() < deadline) {
+    std::vector<std::string> mkbs;
+    std::vector<std::string> views;
+    bool all = true;
+    for (const NodeProc& node : nodes) {
+      if (node.deliberately_down) continue;
+      std::optional<std::string> mkb = RunOn(node.port, "SHOW MKB");
+      std::optional<std::string> view_pool = RunOn(node.port, "SHOW VIEWS");
+      if (!mkb.has_value() || !view_pool.has_value()) {
+        all = false;
+        break;
+      }
+      mkbs.push_back(*mkb);
+      views.push_back(*view_pool);
+    }
+    if (all && !mkbs.empty()) {
+      bool identical = true;
+      for (size_t i = 1; i < mkbs.size(); ++i) {
+        if (mkbs[i] != mkbs[0] || views[i] != views[0]) identical = false;
+      }
+      if (identical) return mkbs[0];
+    }
+    if (NowMicros() >= next_report) {
+      next_report = NowMicros() + 3'000'000;
+      std::ostringstream line;
+      line << "convergence wait:";
+      for (const NodeProc& node : nodes) {
+        const std::optional<net::ReplStatus> status = ProbeNode(node.port);
+        if (status.has_value()) {
+          line << " " << node.id << "=role" << static_cast<int>(status->role)
+               << "/e" << status->epoch << "/p" << status->applied_version;
+        } else {
+          line << " " << node.id << "=unreachable";
+        }
+      }
+      std::cerr << line.str() << "\n";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  return std::nullopt;
+}
+
+int Main(int argc, char** argv) {
+  // --child dispatch (exec'd by the supervisor).
+  if (argc > 1 && std::string(argv[1]) == "--child") {
+    std::string node_id, cluster, primary_of, data_dir;
+    uint16_t port = 0;
+    uint64_t lease = 1'000'000, heartbeat = 100'000;
+    uint32_t acks = 1;
+    for (int i = 2; i + 1 < argc; i += 2) {
+      const std::string arg = argv[i];
+      const std::string value = argv[i + 1];
+      if (arg == "--node-id") node_id = value;
+      else if (arg == "--cluster") cluster = value;
+      else if (arg == "--primary-of") primary_of = value;
+      else if (arg == "--data-dir") data_dir = value;
+      else if (arg == "--port") port = static_cast<uint16_t>(std::stoul(value));
+      else if (arg == "--lease-micros") lease = std::stoull(value);
+      else if (arg == "--heartbeat-micros") heartbeat = std::stoull(value);
+      else if (arg == "--ack-replicas") acks = std::stoul(value);
+    }
+    return ChildMain(node_id, cluster, primary_of, data_dir, port, lease,
+                     heartbeat, acks);
+  }
+
+  size_t writers = 2;
+  uint64_t load_micros = 2'000'000;
+  uint64_t lease_micros = 1'000'000;
+  std::string out_path = "BENCH_repl.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--writers" && has_value) {
+      writers = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--load-seconds" && has_value) {
+      load_micros = static_cast<uint64_t>(std::atoll(argv[++i])) * 1'000'000;
+    } else if (arg == "--lease-micros" && has_value) {
+      lease_micros = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_repl [--writers N] [--load-seconds S] "
+                   "[--lease-micros U] [--out PATH]\n";
+      return 2;
+    }
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  // The supervisor must not arm EVE_FAILPOINTS in itself; children read it
+  // from the environment after exec.
+  Failpoints::Instance().Reset();
+  // Children narrate role transitions on stderr: the harness log then shows
+  // the whole failover timeline across processes.
+  ::setenv("EVE_REPL_TRACE", "1", 1);
+
+  HarnessConfig config;
+  config.lease_micros = lease_micros;
+  config.heartbeat_micros = std::max<uint64_t>(lease_micros / 10, 20'000);
+  config.self_exe = "/proc/self/exe";
+  config.root_dir = std::filesystem::temp_directory_path().string() +
+                    "/bench_repl_" + std::to_string(::getpid());
+  std::filesystem::remove_all(config.root_dir);
+
+  std::vector<NodeProc> nodes(3);
+  std::ostringstream spec;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].id = "n" + std::to_string(i + 1);
+    nodes[i].port = ReservePort();
+    nodes[i].data_dir = config.root_dir + "/" + nodes[i].id;
+    std::filesystem::create_directories(nodes[i].data_dir);
+    if (i > 0) spec << ",";
+    spec << nodes[i].id << "=127.0.0.1:" << nodes[i].port;
+  }
+  config.cluster_spec = spec.str();
+
+  const auto spawn = [&](size_t index, const std::string& primary_of) {
+    nodes[index].pid = SpawnNode(config, nodes[index], primary_of);
+    nodes[index].deliberately_down = false;
+  };
+  const auto wait_role = [&](net::ReplRole role, uint64_t budget,
+                             int* index_out) {
+    const uint64_t deadline = NowMicros() + budget;
+    while (NowMicros() < deadline) {
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].deliberately_down) continue;
+        const std::optional<net::ReplStatus> status = ProbeNode(nodes[i].port);
+        if (status.has_value() && status->role == role) {
+          if (index_out != nullptr) *index_out = static_cast<int>(i);
+          return true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+  };
+
+  std::cerr << "cluster: " << config.cluster_spec << "\n";
+  spawn(0, "");
+  spawn(1, "n1");
+  spawn(2, "n1");
+  int primary = -1;
+  if (!wait_role(net::ReplRole::kPrimary, 10'000'000, &primary)) {
+    std::cerr << "bootstrap: no primary came up\n";
+    return 1;
+  }
+
+  // The supervisor restarts any child that dies on its own (exit 3 = an
+  // armed crash failpoint fired) as a replica of the current leader.
+  std::atomic<bool> supervising{true};
+  std::atomic<uint64_t> crash_restarts{0};
+  std::thread supervisor([&] {
+    while (supervising.load()) {
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].pid <= 0 || nodes[i].deliberately_down) continue;
+        int status = 0;
+        if (::waitpid(nodes[i].pid, &status, WNOHANG) == nodes[i].pid) {
+          std::cerr << "supervisor: " << nodes[i].id << " exited ("
+                    << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+                    << "), restarting as replica\n";
+          ++crash_restarts;
+          const int leader = FindPrimary(nodes);
+          spawn(i, leader >= 0 ? nodes[leader].id : "");
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  WriterLedger ledger;
+  std::vector<std::thread> writer_threads;
+  for (size_t w = 0; w < writers; ++w) {
+    writer_threads.emplace_back(
+        [&, w] { WriterMain(static_cast<int>(w), nodes, &ledger); });
+  }
+
+  bool passed = true;
+  std::string failure;
+  uint64_t kill_promotion_micros = 0;
+  uint64_t partition_promotion_micros = 0;
+  uint64_t acked_before_kill = 0;
+  uint64_t acked_before_partition = 0;
+  // The failover budget: one lease to detect the silence, plus election
+  // probes and restart slack.
+  const uint64_t promotion_budget = 3 * lease_micros + 2'000'000;
+
+  // --- Scenario 1: SIGKILL the primary under load ---------------------------
+  std::this_thread::sleep_for(std::chrono::microseconds(load_micros));
+  primary = FindPrimary(nodes);
+  if (primary < 0) {
+    passed = false;
+    failure = "no primary before the kill scenario";
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(ledger.mu);
+      acked_before_kill = ledger.acked;
+    }
+    std::cerr << "scenario kill: SIGKILL " << nodes[primary].id << "\n";
+    nodes[primary].deliberately_down = true;
+    ::kill(nodes[primary].pid, SIGKILL);
+    ::waitpid(nodes[primary].pid, nullptr, 0);
+    nodes[primary].pid = -1;
+    const uint64_t killed_at = NowMicros();
+    int winner = -1;
+    if (!wait_role(net::ReplRole::kPrimary, promotion_budget, &winner)) {
+      passed = false;
+      failure = "kill: no promotion within the budget";
+    } else {
+      kill_promotion_micros = NowMicros() - killed_at;
+      std::cerr << "scenario kill: " << nodes[winner].id << " promoted in "
+                << kill_promotion_micros / 1000 << " ms\n";
+      // Restart the corpse as a replica of the winner (its data dir still
+      // holds the old epoch's journal — the snapshot handshake discards
+      // the unreplicated suffix).
+      const int corpse = primary;
+      spawn(static_cast<size_t>(corpse), nodes[winner].id);
+    }
+  }
+
+  // --- Scenario 2: SIGSTOP (asymmetric partition) the new primary -----------
+  if (passed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(load_micros));
+    primary = FindPrimary(nodes);
+    if (primary < 0) {
+      passed = false;
+      failure = "no primary before the partition scenario";
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(ledger.mu);
+        acked_before_partition = ledger.acked;
+      }
+      std::cerr << "scenario partition: SIGSTOP " << nodes[primary].id
+                << "\n";
+      ::kill(nodes[primary].pid, SIGSTOP);
+      nodes[primary].deliberately_down = true;  // probes would hang
+      const uint64_t stopped_at = NowMicros();
+      int winner = -1;
+      if (!wait_role(net::ReplRole::kPrimary, promotion_budget, &winner)) {
+        passed = false;
+        failure = "partition: no promotion within the budget";
+        ::kill(nodes[primary].pid, SIGCONT);
+      } else {
+        partition_promotion_micros = NowMicros() - stopped_at;
+        std::cerr << "scenario partition: " << nodes[winner].id
+                  << " promoted in " << partition_promotion_micros / 1000
+                  << " ms; SIGCONT the stale primary\n";
+        ::kill(nodes[primary].pid, SIGCONT);
+        nodes[primary].deliberately_down = false;
+        // The resumed node must fence itself behind the new epoch: its
+        // isolation check demotes it, the election rejoins it as a
+        // replica of the winner.
+      }
+    }
+  }
+
+  // --- Drain and verify -----------------------------------------------------
+  std::this_thread::sleep_for(std::chrono::microseconds(load_micros));
+  ledger.stop.store(true);
+  for (std::thread& thread : writer_threads) thread.join();
+  supervising.store(false);
+  supervisor.join();
+
+  std::optional<std::string> converged_mkb;
+  if (passed) {
+    converged_mkb = WaitForConvergence(nodes, 30'000'000);
+    if (!converged_mkb.has_value()) {
+      passed = false;
+      failure = "cluster did not converge to byte-identical state";
+    }
+  }
+
+  // Every surviving node's version chain must scrub clean: SCRUB exits
+  // nonzero on any corruption, and RunOn surfaces that as nullopt.
+  if (passed) {
+    for (const NodeProc& node : nodes) {
+      if (node.deliberately_down) continue;
+      const std::optional<std::string> scrub = RunOn(node.port, "SCRUB");
+      if (!scrub.has_value() ||
+          scrub->find("corruptions=0") == std::string::npos) {
+        passed = false;
+        failure = "scrub failed on " + node.id;
+        break;
+      }
+    }
+  }
+
+  uint64_t lost_acked = 0;
+  std::vector<std::string> acked_relations;
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    acked_relations = ledger.acked_relations;
+  }
+  if (converged_mkb.has_value()) {
+    for (const std::string& relation : acked_relations) {
+      if (converged_mkb->find(relation) == std::string::npos) {
+        ++lost_acked;
+        if (failure.empty()) failure = "lost acked commit " + relation;
+      }
+    }
+    if (lost_acked > 0) passed = false;
+  }
+  if (acked_relations.empty() && passed) {
+    passed = false;
+    failure = "no commit was ever acknowledged (no load reached the cluster)";
+  }
+
+  for (NodeProc& node : nodes) {
+    if (node.pid > 0) {
+      ::kill(node.pid, SIGKILL);
+      ::waitpid(node.pid, nullptr, 0);
+    }
+  }
+  std::filesystem::remove_all(config.root_dir);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"description\": \"Replication chaos gate: 1 primary + 2"
+         " replicas as real processes under closed-loop semi-sync write"
+         " load; SIGKILL and SIGSTOP (partition) of the primary; asserts"
+         " promotion within the failover budget, zero lost acked commits"
+         " and byte-identical converged SHOW MKB / SHOW VIEWS"
+         " scrubbing clean on every survivor.\",\n"
+      << "  \"writers\": " << writers << ",\n"
+      << "  \"lease_micros\": " << lease_micros << ",\n"
+      << "  \"promotion_budget_micros\": " << promotion_budget << ",\n"
+      << "  \"kill_promotion_micros\": " << kill_promotion_micros << ",\n"
+      << "  \"partition_promotion_micros\": " << partition_promotion_micros
+      << ",\n"
+      << "  \"acked_commits\": " << acked_relations.size() << ",\n"
+      << "  \"acked_before_kill\": " << acked_before_kill << ",\n"
+      << "  \"acked_before_partition\": " << acked_before_partition << ",\n"
+      << "  \"unacked_commits\": " << ledger.unacked << ",\n"
+      << "  \"lost_acked_commits\": " << lost_acked << ",\n"
+      << "  \"crash_restarts\": " << crash_restarts.load() << ",\n"
+      << "  \"converged_identical\": "
+      << (converged_mkb.has_value() ? "true" : "false") << ",\n"
+      << "  \"failure\": \"" << failure << "\",\n"
+      << "  \"passed\": " << (passed ? "true" : "false") << "\n"
+      << "}\n";
+  out.close();
+
+  std::cout << "BENCHSUMMARY suite=repl out=" << out_path
+            << " acked=" << acked_relations.size()
+            << " unacked=" << ledger.unacked
+            << " lost_acked=" << lost_acked
+            << " kill_promotion_ms=" << kill_promotion_micros / 1000
+            << " partition_promotion_ms=" << partition_promotion_micros / 1000
+            << " crash_restarts=" << crash_restarts.load()
+            << " converged=" << (converged_mkb.has_value() ? "true" : "false")
+            << " passed=" << (passed ? "true" : "false") << std::endl;
+  return passed ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace eve
+
+int main(int argc, char** argv) { return eve::Main(argc, argv); }

@@ -766,3 +766,18 @@ fi
 "$SERVER_BENCH" --sessions "${EVE_BENCH_SERVER_SESSIONS:-10000}" \
                 --duration-seconds "${EVE_BENCH_SERVER_SECONDS:-8}" \
                 --out "$REPO_ROOT/BENCH_server.json"
+
+REPL_BENCH="$BUILD_DIR/bench/bench_repl"
+if [[ ! -x "$REPL_BENCH" ]]; then
+  echo "bench binary not found: $REPL_BENCH (build the repo first)" >&2
+  exit 1
+fi
+
+# Also not a microbench: bench_repl runs a 3-node replicated cluster as
+# real processes under closed-loop semi-sync load, SIGKILLs the primary,
+# then partitions (SIGSTOP) its successor. It writes BENCH_repl.json
+# itself and exits nonzero — aborting this script via set -e — on a
+# missed promotion budget, any lost acked commit, non-identical
+# converged state, or a dirty scrub.
+"$REPL_BENCH" --writers "${EVE_BENCH_REPL_WRITERS:-2}" \
+              --out "$REPO_ROOT/BENCH_repl.json"

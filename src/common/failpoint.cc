@@ -106,6 +106,12 @@ const std::vector<std::string>& Failpoints::KnownSites() {
       fp::kNetFrameWrite,
       fp::kNetDrain,
       fp::kNetShutdown,
+      fp::kReplHello,
+      fp::kReplSnapshotRender,
+      fp::kReplShipRecord,
+      fp::kReplApplyRecord,
+      fp::kReplAckSend,
+      fp::kReplPromote,
   };
   return *sites;
 }

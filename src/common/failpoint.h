@@ -132,6 +132,27 @@ inline constexpr char kNetFrameRead[] = "net.frame_read";
 inline constexpr char kNetFrameWrite[] = "net.frame_write";
 inline constexpr char kNetDrain[] = "net.drain";
 inline constexpr char kNetShutdown[] = "net.shutdown";
+// Replication sites (net/replication.h). hello fires on the primary per
+// replica subscription (error = the subscription is refused; the replica
+// backs off and retries). snapshot.render fires before the primary renders
+// a bootstrap checkpoint (error = that hello fails). ship.record fires per
+// (record, peer) send on the primary (error = that ONE peer's stream is
+// broken with a goodbye — the replica reconnects and re-syncs; later
+// records are never delivered out of order). apply.record fires on the
+// replica before each shipped record is journaled+applied (error = the
+// replica abandons the stream and re-syncs from a fresh hello; crash =
+// replica process death mid-apply, recovery resumes from its local WAL).
+// ack.send fires before each replica ack (error = the ack is dropped;
+// semi-sync primaries stall until the next ack). promote fires during
+// candidate promotion, after the new epoch is chosen but before the node
+// starts accepting writes (crash = death mid-failover; the cluster elects
+// again without it).
+inline constexpr char kReplHello[] = "repl.hello";
+inline constexpr char kReplSnapshotRender[] = "repl.snapshot.render";
+inline constexpr char kReplShipRecord[] = "repl.ship.record";
+inline constexpr char kReplApplyRecord[] = "repl.apply.record";
+inline constexpr char kReplAckSend[] = "repl.ack.send";
+inline constexpr char kReplPromote[] = "repl.promote";
 }  // namespace fp
 
 // Thrown by an armed kCrash failpoint. The codebase is otherwise

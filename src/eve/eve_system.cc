@@ -1294,55 +1294,14 @@ Result<EveSystem> EveSystem::Recover(
   RecoveryReport& out = report != nullptr ? *report : local;
   EVE_ASSIGN_OR_RETURN(EveSystem system, LoadCheckpoint(checkpoint_text));
 
-  // Replays one record, tolerating application failures: a record whose
-  // replay fails also failed (identically and deterministically) in the
-  // original run, so skipping it reproduces the original outcome.
-  const auto replay_tolerant = [&](const JournalRecord& record) {
-    const Status status = system.ReplayRecord(record);
-    if (status.ok()) {
-      ++out.replayed;
-    } else {
-      ++out.skipped;
-      out.notes.push_back("skipped record: " + status.ToString());
-    }
-  };
-
-  bool in_batch = false;
-  std::vector<JournalRecord> batch;
+  // The batch-buffering tolerant replay loop lives in JournalReplayer so
+  // replication replicas can run the SAME semantics one record at a time
+  // against a live system (see eve/journal.h).
+  JournalReplayer replayer;
   for (const JournalRecord& record : records) {
-    switch (record.kind) {
-      case JournalRecordKind::kBeginBatch:
-        if (in_batch) {
-          out.discarded += batch.size();
-          out.notes.push_back("discarded unterminated batch");
-          batch.clear();
-        }
-        in_batch = true;
-        break;
-      case JournalRecordKind::kCommitBatch:
-        for (const JournalRecord& buffered : batch) replay_tolerant(buffered);
-        batch.clear();
-        in_batch = false;
-        break;
-      case JournalRecordKind::kAbortBatch:
-        out.discarded += batch.size();
-        batch.clear();
-        in_batch = false;
-        break;
-      default:
-        if (in_batch) {
-          batch.push_back(record);
-        } else {
-          replay_tolerant(record);
-        }
-        break;
-    }
+    replayer.Apply(&system, record, &out);
   }
-  if (in_batch) {
-    // Crash mid-batch: no commit marker, so the batch never happened.
-    out.discarded += batch.size();
-    out.notes.push_back("discarded uncommitted trailing batch");
-  }
+  replayer.Finish(&out);
   return system;
 }
 

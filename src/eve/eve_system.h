@@ -504,6 +504,9 @@ class EveSystem {
   // The sharded serving core (eve/sharded_system.h) drives the
   // prepare/commit split and per-shard internals directly.
   friend class ShardedEveSystem;
+  // The incremental replay loop (eve/journal.h) feeds ReplayRecord one
+  // record at a time — recovery and replication replicas share it.
+  friend class JournalReplayer;
 
   // The abortable first phase of a capability change: MKB evolution,
   // affected-view detection and the full CVS fan-out, all against the

@@ -110,7 +110,9 @@ Result<Journal> Journal::Open(const std::string& path) {
 }
 
 Journal::Journal(Journal&& other) noexcept
-    : path_(std::move(other.path_)), fd_(other.fd_) {
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      observer_(std::move(other.observer_)) {
   other.fd_ = -1;
 }
 
@@ -119,6 +121,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(other.path_);
     fd_ = other.fd_;
+    observer_ = std::move(other.observer_);
     other.fd_ = -1;
   }
   return *this;
@@ -160,6 +163,8 @@ Status Journal::Append(JournalRecordKind kind, std::string_view body) {
     if (start >= 0 && ::ftruncate(fd_, start) == 0) ::fsync(fd_);
     return written;
   }
+  // The record is durable: let the replication tail ship it.
+  if (observer_) observer_(kind, body);
   return Status::OK();
 }
 
@@ -367,6 +372,67 @@ Result<EveSystem> LoadCheckpoint(std::string_view text) {
 
 Status WriteCheckpoint(const EveSystem& system, const std::string& path) {
   return AtomicWriteFile(path, RenderCheckpoint(system));
+}
+
+void JournalReplayer::ApplyTolerant(EveSystem* system,
+                                    const JournalRecord& record,
+                                    RecoveryReport* report) {
+  const Status status = system->ReplayRecord(record);
+  if (report == nullptr) return;
+  if (status.ok()) {
+    ++report->replayed;
+  } else {
+    ++report->skipped;
+    report->notes.push_back("skipped record: " + status.ToString());
+  }
+}
+
+void JournalReplayer::Apply(EveSystem* system, const JournalRecord& record,
+                            RecoveryReport* report) {
+  switch (record.kind) {
+    case JournalRecordKind::kBeginBatch:
+      if (in_batch_) {
+        if (report != nullptr) {
+          report->discarded += batch_.size();
+          report->notes.push_back("discarded unterminated batch");
+        }
+        batch_.clear();
+      }
+      in_batch_ = true;
+      break;
+    case JournalRecordKind::kCommitBatch:
+      for (const JournalRecord& buffered : batch_) {
+        ApplyTolerant(system, buffered, report);
+      }
+      batch_.clear();
+      in_batch_ = false;
+      break;
+    case JournalRecordKind::kAbortBatch:
+      if (report != nullptr) report->discarded += batch_.size();
+      batch_.clear();
+      in_batch_ = false;
+      break;
+    default:
+      if (in_batch_) {
+        batch_.push_back(record);
+      } else {
+        ApplyTolerant(system, record, report);
+      }
+      break;
+  }
+}
+
+void JournalReplayer::Finish(RecoveryReport* report) {
+  if (in_batch_) {
+    // Crash (or stream loss) mid-batch: no commit marker, so the batch
+    // never happened.
+    if (report != nullptr) {
+      report->discarded += batch_.size();
+      report->notes.push_back("discarded uncommitted trailing batch");
+    }
+  }
+  batch_.clear();
+  in_batch_ = false;
 }
 
 Result<EveSystem> RecoverFromFiles(const std::string& checkpoint_path,

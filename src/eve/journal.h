@@ -21,6 +21,7 @@
 #define EVE_EVE_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -87,6 +88,14 @@ class Journal {
   // after a successful checkpoint subsumes the journaled history.
   Status Reset();
 
+  // Called after every SUCCESSFUL (durable) Append with the record just
+  // written. The replication hub tails the journal through this hook to
+  // ship committed records to replicas in exact journal order; the
+  // observer runs on the appending thread, under whatever lock guarded
+  // the mutation, so shipped order == journal order by construction.
+  using Observer = std::function<void(JournalRecordKind, std::string_view)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
   const std::string& path() const { return path_; }
 
  private:
@@ -94,6 +103,7 @@ class Journal {
 
   std::string path_;
   int fd_ = -1;
+  Observer observer_;
 };
 
 // Result of scanning journal bytes: the complete CRC-valid record prefix,
@@ -118,6 +128,38 @@ std::string RenderJournalBytes(const std::vector<JournalRecord>& records);
 // corrupted record bytes — the valid prefix is returned and torn_tail set —
 // but rejects bytes that are not a journal at all (bad magic).
 Result<JournalScan> ScanJournalBytes(std::string_view bytes);
+
+// Incremental journal replay with transactional batch semantics — the
+// replay loop of EveSystem::Recover, extracted so it can also run one
+// record at a time against a LIVE system (replication replicas apply the
+// primary's shipped records through it as they arrive).
+//
+// Non-batch records apply immediately, tolerantly: a record whose replay
+// fails also failed (identically, deterministically) in the original run,
+// so skipping reproduces the original outcome. Records inside a
+// kBeginBatch/kCommitBatch bracket are buffered and applied only when the
+// commit marker arrives; an abort marker or a new begin marker discards
+// the buffer — so a stream torn mid-batch never applies a partial batch.
+class JournalReplayer {
+ public:
+  // Feeds one record. `report` (optional) accumulates replayed / skipped /
+  // discarded counts and diagnostics.
+  void Apply(EveSystem* system, const JournalRecord& record,
+             RecoveryReport* report);
+
+  // End-of-stream: discards an uncommitted trailing batch, if any.
+  void Finish(RecoveryReport* report);
+
+  // True while a begun batch awaits its commit/abort marker.
+  bool in_batch() const { return in_batch_; }
+
+ private:
+  void ApplyTolerant(EveSystem* system, const JournalRecord& record,
+                     RecoveryReport* report);
+
+  bool in_batch_ = false;
+  std::vector<JournalRecord> batch_;
+};
 
 // Reads and scans the journal file. A missing file yields an empty scan.
 Result<JournalScan> ReadJournal(const std::string& path);

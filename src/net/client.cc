@@ -5,41 +5,122 @@
 #include <netinet/tcp.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <arpa/inet.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
 #include "common/status.h"
+#include "federation/membership.h"
 
 namespace eve {
 namespace net {
 
-Result<NetClient> NetClient::Connect(const ClientOptions& options) {
+namespace {
+
+// Blocking connect to "host:port"-style coordinates; -1 on any failure.
+int DialHostPort(const std::string& host, uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + strerror(errno));
-  }
+  if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0) {
     ::close(fd);
-    return Status::InvalidArgument("bad server address: " + options.host);
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string error = strerror(errno);
-    ::close(fd);
-    return Status::Internal("connect " + options.host + ":" +
-                            std::to_string(options.port) + ": " + error);
+    return -1;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+// Splits "host:port"; false on malformed input.
+bool SplitHostPort(const std::string& text, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str() + colon + 1, &end, 10);
+  if (end == text.c_str() + colon + 1 || *end != '\0' || parsed < 1 ||
+      parsed > 65535) {
+    return false;
+  }
+  *host = text.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+// Pulls "host:port" out of a "...; leader=host:port" redirect error.
+std::string ExtractLeaderHint(const std::string& error_text) {
+  const size_t at = error_text.find("leader=");
+  if (at == std::string::npos) return "";
+  size_t end = at + 7;
+  while (end < error_text.size() && error_text[end] != '\n' &&
+         error_text[end] != ' ' && error_text[end] != ';') {
+    ++end;
+  }
+  return error_text.substr(at + 7, end - (at + 7));
+}
+
+}  // namespace
+
+uint64_t TransportBackoffMicros(const ClientOptions& options,
+                                std::string_view key, uint64_t attempt) {
+  if (attempt == 0) attempt = 1;
+  uint64_t delay = options.initial_backoff_micros;
+  for (uint64_t i = 1; i < attempt && delay < options.max_backoff_micros;
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options.max_backoff_micros);
+  // Deterministic jitter (same FNV-1a schedule as federation probing):
+  // up to half the base delay, keyed so concurrent clients spread out.
+  return delay + federation::DeterministicJitter(key, attempt, delay / 2 + 1);
+}
+
+namespace {
+
+// Applies the optional receive/send timeout to a freshly dialed socket.
+void ApplySocketTimeouts(int fd, uint64_t micros) {
+  if (micros == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(micros / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(micros % 1'000'000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Result<NetClient> NetClient::Connect(const ClientOptions& options) {
+  int fd = DialHostPort(options.host, options.port);
+  if (fd < 0 && !options.nodes.empty()) {
+    // A failover client must come up even when its preferred endpoint is
+    // the dead node: fall through the rest of the cluster list.
+    for (const std::string& node : options.nodes) {
+      std::string host;
+      uint16_t port = 0;
+      if (!SplitHostPort(node, &host, &port)) continue;
+      fd = DialHostPort(host, port);
+      if (fd >= 0) break;
+    }
+  }
+  if (fd < 0) {
+    return Status::Internal("connect " + options.host + ":" +
+                            std::to_string(options.port) + ": " +
+                            strerror(errno));
+  }
+  ApplySocketTimeouts(fd, options.receive_timeout_micros);
   return NetClient(fd, options);
 }
 
@@ -51,6 +132,8 @@ NetClient::NetClient(NetClient&& other) noexcept
       options_(std::move(other.options_)),
       next_request_id_(other.next_request_id_),
       sheds_retried_(other.sheds_retried_),
+      transport_retries_(other.transport_retries_),
+      leader_hint_(std::move(other.leader_hint_)),
       decoder_(std::move(other.decoder_)) {}
 
 NetClient& NetClient::operator=(NetClient&& other) noexcept {
@@ -60,6 +143,8 @@ NetClient& NetClient::operator=(NetClient&& other) noexcept {
     options_ = std::move(other.options_);
     next_request_id_ = other.next_request_id_;
     sheds_retried_ = other.sheds_retried_;
+    transport_retries_ = other.transport_retries_;
+    leader_hint_ = std::move(other.leader_hint_);
     decoder_ = std::move(other.decoder_);
   }
   return *this;
@@ -118,23 +203,88 @@ Result<Response> NetClient::RoundTrip(const Request& request) {
   }
 }
 
+bool NetClient::Reconnect() {
+  Close();
+  decoder_ = FrameDecoder();
+  std::vector<std::string> candidates;
+  if (!leader_hint_.empty()) candidates.push_back(leader_hint_);
+  // The base list rotates one step per reconnect so a candidate that
+  // accepts connections but never answers (wedged, partitioned) cannot
+  // capture every retry.
+  std::vector<std::string> base;
+  base.push_back(options_.host + ":" + std::to_string(options_.port));
+  for (const std::string& node : options_.nodes) base.push_back(node);
+  const size_t start = reconnect_cursor_++ % base.size();
+  for (size_t i = 0; i < base.size(); ++i) {
+    candidates.push_back(base[(start + i) % base.size()]);
+  }
+  for (const std::string& candidate : candidates) {
+    std::string host;
+    uint16_t port = 0;
+    if (!SplitHostPort(candidate, &host, &port)) continue;
+    const int fd = DialHostPort(host, port);
+    if (fd >= 0) {
+      fd_ = fd;
+      ApplySocketTimeouts(fd_, options_.receive_timeout_micros);
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<Response> NetClient::Run(const std::string& statement) {
   Request request;
   request.deadline_micros = options_.deadline_micros;
   request.work_budget = options_.work_budget;
   request.statement = statement;
   uint64_t backoff = options_.initial_backoff_micros;
-  for (int attempt = 0;; ++attempt) {
+  int shed_attempt = 0;
+  int transport_attempt = 0;
+  while (true) {
     request.id = next_request_id_++;
     Result<Response> response = RoundTrip(request);
-    if (!response.ok()) return response;
+    if (!response.ok()) {
+      // Transport failure: the connection died (or the server restarted)
+      // mid-request. With retries enabled, back off, re-dial across the
+      // node list and resend — the statement may or may not have been
+      // applied by the dying server; callers opting in accept that.
+      if (transport_attempt >= options_.max_transport_retries) {
+        return response;
+      }
+      ++transport_attempt;
+      ++transport_retries_;
+      // The node we were talking to just failed us — if it was the hinted
+      // leader, the hint is stale; drop it so Reconnect rotates onward.
+      leader_hint_.clear();
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          TransportBackoffMicros(options_, statement, transport_attempt)));
+      if (!Reconnect()) continue;  // next attempt backs off longer
+      continue;
+    }
+    if (response.value().code ==
+            static_cast<int32_t>(StatusCode::kFailedPrecondition) &&
+        options_.max_transport_retries > 0) {
+      // A replica turned us away with a leader hint: chase it. Counted as
+      // a transport attempt so a flapping cluster cannot loop forever.
+      const std::string hint = ExtractLeaderHint(response.value().error);
+      if (!hint.empty() && transport_attempt < options_.max_transport_retries) {
+        ++transport_attempt;
+        ++transport_retries_;
+        leader_hint_ = hint;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            TransportBackoffMicros(options_, statement, transport_attempt)));
+        Reconnect();
+        continue;
+      }
+    }
     if (response.value().code !=
             static_cast<int32_t>(StatusCode::kResourceExhausted) ||
-        attempt >= options_.max_shed_retries) {
+        shed_attempt >= options_.max_shed_retries) {
       return response;
     }
     // Shed: back off and retry. The server's hint can stretch (but never
     // shrink) the client's own exponential delay.
+    ++shed_attempt;
     ++sheds_retried_;
     const uint64_t delay =
         std::min(std::max(backoff, response.value().retry_after_micros),

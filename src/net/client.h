@@ -7,12 +7,22 @@
 // the client's own next delay. Any other outcome (success, a failed
 // statement, a transport error) is returned to the caller directly —
 // failures of the statement itself are not transient and never retried.
+//
+// Cluster awareness (opt-in, max_transport_retries > 0): a transport error
+// (connect refused, EPIPE, peer reset — an eved restarting or failing
+// over) is retried on the deterministic capped-jitter backoff schedule,
+// reconnecting across [last leader hint, host:port, nodes...] until one
+// answers. A "not primary ... leader=host:port" redirect from a replica is
+// chased to the hinted leader. With the default max_transport_retries = 0
+// a lost connection surfaces immediately, exactly as before.
 
 #ifndef EVE_NET_CLIENT_H_
 #define EVE_NET_CLIENT_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "net/protocol.h"
@@ -32,7 +42,27 @@ struct ClientOptions {
   int max_shed_retries = 6;
   uint64_t initial_backoff_micros = 10'000;
   uint64_t max_backoff_micros = 1'000'000;
+  // Additional "host:port" candidates beyond host:port — the rest of the
+  // cluster, tried in order when reconnecting after a transport failure.
+  std::vector<std::string> nodes;
+  // Transport-level retries (reconnect + resend) per Run call. 0 (default)
+  // = a lost connection is returned to the caller directly. NOTE: a retry
+  // MAY re-execute a statement the dying server already applied — callers
+  // must treat duplicate-apply outcomes (e.g. AlreadyExists) accordingly.
+  int max_transport_retries = 0;
+  // Socket receive/send timeout (0 = block forever). With a timeout, a
+  // wedged peer (e.g. a SIGSTOPped node whose kernel still ACKs) surfaces
+  // as a transport error instead of hanging the caller — essential for
+  // failover clients, which then rotate to another node.
+  uint64_t receive_timeout_micros = 0;
 };
+
+// The delay before transport reconnect `attempt` (1-based): capped
+// exponential from initial_backoff_micros with deterministic jitter keyed
+// on `key` (same key + attempt = same delay; distinct clients never
+// thunder in lockstep).
+uint64_t TransportBackoffMicros(const ClientOptions& options,
+                                std::string_view key, uint64_t attempt);
 
 class NetClient {
  public:
@@ -54,6 +84,10 @@ class NetClient {
 
   // Total shed responses absorbed by backoff since Connect.
   uint64_t sheds_retried() const { return sheds_retried_; }
+  // Total transport-level reconnect+resend cycles since Connect.
+  uint64_t transport_retries() const { return transport_retries_; }
+  // The last leader hint chased ("" when none was ever seen).
+  const std::string& leader_hint() const { return leader_hint_; }
 
   void Close();
 
@@ -62,11 +96,18 @@ class NetClient {
 
   // Sends one request frame and blocks for its response (or a goodbye).
   Result<Response> RoundTrip(const Request& request);
+  // Re-dials: the leader hint first (when set), then host:port + nodes in
+  // a rotating order so repeated failures cannot pin the client to one
+  // stuck candidate; false when every candidate refused.
+  bool Reconnect();
 
   int fd_ = -1;
   ClientOptions options_;
   uint64_t next_request_id_ = 1;
   uint64_t sheds_retried_ = 0;
+  uint64_t transport_retries_ = 0;
+  size_t reconnect_cursor_ = 0;
+  std::string leader_hint_;
   FrameDecoder decoder_;
 };
 

@@ -237,6 +237,34 @@ bool Console::SnapshotShow(const std::vector<std::string>& words,
   return false;
 }
 
+std::string Console::RenderSnapshotText() const {
+  return RenderCheckpoint(sharded_.shard(0));
+}
+
+Status Console::InstallSnapshotText(const std::string& text) {
+  Result<EveSystem> loaded = LoadCheckpoint(text);
+  if (!loaded.ok()) return loaded.status();
+  sys() = std::move(loaded.value());
+  if (journal_.has_value() && system_journal_attached_) {
+    sys().AttachJournal(&*journal_);
+  }
+  sharded_.PublishSnapshot();
+  return Status::OK();
+}
+
+Status Console::ApplyReplicatedRecord(const JournalRecord& record,
+                                      JournalReplayer* replayer) {
+  replayer->Apply(&sys(), record, nullptr);
+  sharded_.PublishSnapshot();
+  return Status::OK();
+}
+
+void Console::SetSystemJournalAttached(bool attached) {
+  system_journal_attached_ = attached;
+  if (!journal_.has_value()) return;
+  sys().AttachJournal(attached ? &*journal_ : nullptr);
+}
+
 bool Console::RunWithLimits(const std::string& statement,
                             uint64_t deadline_micros, uint64_t work_budget,
                             std::ostream& out, std::ostream& err) {
@@ -350,6 +378,21 @@ bool Console::Run(const std::string& statement, std::ostream& out,
   if (head == "show") {
     return Show(words);
   }
+  if (head == "read" && words.size() >= 3 &&
+      EqualsIgnoreCase(words[1], "STALENESS")) {
+    // Per-session staleness bound for snapshot reads. On a replicated eved
+    // the server intercepts this and gates reads against the replica's
+    // lag; the local console has no lag, so the knob is accepted and
+    // echoed for script compatibility.
+    if (EqualsIgnoreCase(words[2], "NONE")) {
+      Out() << "read staleness bound = none\n";
+      return true;
+    }
+    uint64_t bound = 0;
+    if (!ParseTicks(words[2], &bound)) return false;
+    Out() << "read staleness bound = " << bound << "\n";
+    return true;
+  }
   if (head == "enqueue" && words.size() >= 4) {
     const std::vector<std::string> rest(words.begin() + 1, words.end());
     const std::string sub = ToLower(rest[0]);
@@ -454,7 +497,9 @@ bool Console::LoadMisd(const std::string& path) {
   // Rebuilding keeps the configured shard count: SET SHARDS n; LOAD
   // MISD ...; CREATE VIEW ... is the sharded bring-up sequence.
   sharded_ = ShardedEveSystem(mkb.value(), {}, sharded_.shard_count());
-  if (journal_.has_value()) sys().AttachJournal(&*journal_);
+  if (journal_.has_value() && system_journal_attached_) {
+    sys().AttachJournal(&*journal_);
+  }
   Out() << "loaded " << mkb.value().catalog().NumRelations()
         << " relations, " << mkb.value().join_constraints().size()
         << " join constraints, "
@@ -514,7 +559,7 @@ bool Console::OpenJournal(const std::string& path) {
     return false;
   }
   journal_ = std::move(journal.value());
-  sys().AttachJournal(&*journal_);
+  if (system_journal_attached_) sys().AttachJournal(&*journal_);
   Out() << "journaling to " << path << "\n";
   return true;
 }
@@ -549,7 +594,9 @@ bool Console::Recover(const std::string& checkpoint_path,
     return false;
   }
   sys() = std::move(recovered.value());
-  if (journal_.has_value()) sys().AttachJournal(&*journal_);
+  if (journal_.has_value() && system_journal_attached_) {
+    sys().AttachJournal(&*journal_);
+  }
   sharded_.PublishSnapshot();
   Out() << report.ToString();
   Out() << "recovered " << sys().NumViews() << " views, "
@@ -730,6 +777,12 @@ bool Console::Show(const std::vector<std::string>& words) {
   }
   if (words.size() >= 2 && EqualsIgnoreCase(words[1], "SOURCES")) {
     return ShowSources();
+  }
+  if (words.size() >= 2 && EqualsIgnoreCase(words[1], "REPLICATION")) {
+    // The replicated server intercepts this before the console; reaching
+    // here means the node runs without a replication hub.
+    Out() << "replication: disabled\n";
+    return true;
   }
   if ((words.size() >= 2 && (EqualsIgnoreCase(words[1], "MKB") ||
                              EqualsIgnoreCase(words[1], "HYPERGRAPH") ||

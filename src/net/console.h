@@ -76,6 +76,38 @@ class Console {
   ShardedEveSystem& sharded() { return sharded_; }
   const ShardedEveSystem& sharded() const { return sharded_; }
 
+  // --- Replication plumbing (net/replication.h) ----------------------------
+  // All of these require the caller to hold the server's exclusive console
+  // lock (except CurrentVersion, which reads one atomic-ish counter and is
+  // safe under the shared lock too).
+
+  // The committed version id of shard 0 (the replication unit).
+  uint64_t CurrentVersion() const { return sharded_.shard(0).current_version(); }
+
+  // Renders the complete durable state as checkpoint text (the replication
+  // bootstrap payload).
+  std::string RenderSnapshotText() const;
+
+  // Replaces the in-memory system with a parsed checkpoint and republishes
+  // the snapshot. Does NOT touch durable files — the replica agent has
+  // already installed them (journal reset + checkpoint write) before
+  // calling this.
+  Status InstallSnapshotText(const std::string& text);
+
+  // Applies one shipped journal record through `replayer` (batch-buffering,
+  // tolerant — the recovery semantics) and republishes the snapshot.
+  Status ApplyReplicatedRecord(const JournalRecord& record,
+                               JournalReplayer* replayer);
+
+  // The journal opened by JOURNAL <path> (nullptr when none). Replicas
+  // append shipped records to it verbatim.
+  Journal* attached_journal() { return journal_.has_value() ? &*journal_ : nullptr; }
+
+  // Detach (replica) or reattach (promotion) the journal from the serving
+  // system. Detached, local mutations do NOT journal — a replica's journal
+  // is written only by the agent, with the primary's exact bytes.
+  void SetSystemJournalAttached(bool attached);
+
  private:
   bool Report(const Status& status, const std::string& context);
 
@@ -135,6 +167,10 @@ class Console {
   // which behaves exactly like the classic single EveSystem.
   ShardedEveSystem sharded_{Mkb()};
   std::optional<Journal> journal_;
+  // False on a replica: journal_ stays open (the agent appends shipped
+  // records) but the serving system must not journal its own replayed
+  // mutations on top.
+  bool system_journal_attached_ = true;
   std::optional<VersionScrubStats> last_scrub_;
   // Federation console state: one simulated transport and a logical clock
   // that persists across TICK commands (monitors are per-command).

@@ -1,0 +1,70 @@
+// A minimal plaintext /metrics endpoint for eved (satellite of the
+// replication PR, but useful standalone): one accept-loop thread serves
+// every HTTP request with the same Prometheus-style text document —
+// server/session counters, admission accounting, federation membership
+// state counts, and (when replication is configured) the eve_repl_* role,
+// position and lag series. The request itself is ignored beyond reading
+// one chunk: every path returns the full document, HTTP/1.0,
+// connection-close, so `curl`/`wget` and any scraper work with zero
+// dependencies.
+
+#ifndef EVE_NET_METRICS_H_
+#define EVE_NET_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace eve {
+namespace net {
+
+class Console;
+class ReplicationHub;
+class Server;
+
+// Renders the full metrics document for one node. Takes the server's
+// shared console lock internally for the federation membership walk; call
+// WITHOUT holding any console lock. `hub` may be null (no replication
+// configured — the eve_repl_* series are omitted).
+std::string RenderMetricsText(Server& server, Console& console,
+                              ReplicationHub* hub);
+
+class MetricsServer {
+ public:
+  // `provider` is called once per scrape, on the metrics thread.
+  using Provider = std::function<std::string()>;
+
+  MetricsServer(std::string host, uint16_t port, Provider provider);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  // Binds and starts the accept thread. port 0 picks an ephemeral port
+  // (see port()).
+  Status Start();
+  void Stop();  // joins the thread
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(int fd);
+
+  const std::string host_;
+  const uint16_t requested_port_;
+  const Provider provider_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace net
+}  // namespace eve
+
+#endif  // EVE_NET_METRICS_H_

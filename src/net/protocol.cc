@@ -83,9 +83,8 @@ class Reader {
 };
 
 bool KnownType(uint8_t type) {
-  return type == static_cast<uint8_t>(FrameType::kRequest) ||
-         type == static_cast<uint8_t>(FrameType::kResponse) ||
-         type == static_cast<uint8_t>(FrameType::kGoodbye);
+  return type >= static_cast<uint8_t>(FrameType::kRequest) &&
+         type <= static_cast<uint8_t>(FrameType::kReplStatus);
 }
 
 }  // namespace
@@ -232,6 +231,151 @@ Result<Response> DecodeResponse(std::string_view payload) {
   }
   response.code = static_cast<int32_t>(code);
   return response;
+}
+
+std::string EncodeReplHello(const ReplHello& hello) {
+  std::string payload;
+  payload.reserve(24 + hello.node_id.size());
+  PutBytes(&payload, hello.node_id);
+  PutU64(&payload, hello.epoch);
+  PutU64(&payload, hello.applied_version);
+  return payload;
+}
+
+Result<ReplHello> DecodeReplHello(std::string_view payload) {
+  ReplHello hello;
+  Reader reader(payload);
+  if (!reader.GetBytes(&hello.node_id) || !reader.GetU64(&hello.epoch) ||
+      !reader.GetU64(&hello.applied_version) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-hello payload");
+  }
+  return hello;
+}
+
+std::string EncodeReplSnapshot(const ReplSnapshot& snapshot) {
+  std::string payload;
+  payload.reserve(44 + snapshot.primary_node.size() +
+                  snapshot.checkpoint.size());
+  PutU64(&payload, snapshot.epoch);
+  PutU64(&payload, snapshot.version);
+  PutBytes(&payload, snapshot.primary_node);
+  PutU64(&payload, snapshot.offset);
+  PutU64(&payload, snapshot.total);
+  PutBytes(&payload, snapshot.checkpoint);
+  return payload;
+}
+
+Result<ReplSnapshot> DecodeReplSnapshot(std::string_view payload) {
+  ReplSnapshot snapshot;
+  Reader reader(payload);
+  if (!reader.GetU64(&snapshot.epoch) || !reader.GetU64(&snapshot.version) ||
+      !reader.GetBytes(&snapshot.primary_node) ||
+      !reader.GetU64(&snapshot.offset) || !reader.GetU64(&snapshot.total) ||
+      !reader.GetBytes(&snapshot.checkpoint) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-snapshot payload");
+  }
+  if (snapshot.offset > snapshot.total ||
+      snapshot.checkpoint.size() > snapshot.total - snapshot.offset) {
+    return Status::ParseError("repl-snapshot chunk outside its total");
+  }
+  return snapshot;
+}
+
+std::string EncodeReplRecord(const ReplRecord& record) {
+  std::string payload;
+  payload.reserve(24 + record.body.size());
+  PutU64(&payload, record.epoch);
+  PutU64(&payload, record.seq);
+  PutU32(&payload, record.kind);
+  PutBytes(&payload, record.body);
+  return payload;
+}
+
+Result<ReplRecord> DecodeReplRecord(std::string_view payload) {
+  ReplRecord record;
+  Reader reader(payload);
+  uint32_t kind = 0;
+  if (!reader.GetU64(&record.epoch) || !reader.GetU64(&record.seq) ||
+      !reader.GetU32(&kind) || !reader.GetBytes(&record.body) ||
+      !reader.exhausted()) {
+    return Status::ParseError("malformed repl-record payload");
+  }
+  if (kind == 0 || kind > 0xFF) {
+    return Status::ParseError("repl-record kind out of range");
+  }
+  record.kind = static_cast<uint8_t>(kind);
+  return record;
+}
+
+std::string EncodeReplAck(const ReplAck& ack) {
+  std::string payload;
+  payload.reserve(32 + ack.node_id.size());
+  PutBytes(&payload, ack.node_id);
+  PutU64(&payload, ack.epoch);
+  PutU64(&payload, ack.applied_seq);
+  PutU64(&payload, ack.applied_version);
+  return payload;
+}
+
+Result<ReplAck> DecodeReplAck(std::string_view payload) {
+  ReplAck ack;
+  Reader reader(payload);
+  if (!reader.GetBytes(&ack.node_id) || !reader.GetU64(&ack.epoch) ||
+      !reader.GetU64(&ack.applied_seq) ||
+      !reader.GetU64(&ack.applied_version) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-ack payload");
+  }
+  return ack;
+}
+
+std::string EncodeReplHeartbeat(const ReplHeartbeat& heartbeat) {
+  std::string payload;
+  payload.reserve(24 + heartbeat.primary_node.size());
+  PutU64(&payload, heartbeat.epoch);
+  PutU64(&payload, heartbeat.tip_version);
+  PutBytes(&payload, heartbeat.primary_node);
+  return payload;
+}
+
+Result<ReplHeartbeat> DecodeReplHeartbeat(std::string_view payload) {
+  ReplHeartbeat heartbeat;
+  Reader reader(payload);
+  if (!reader.GetU64(&heartbeat.epoch) ||
+      !reader.GetU64(&heartbeat.tip_version) ||
+      !reader.GetBytes(&heartbeat.primary_node) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-heartbeat payload");
+  }
+  return heartbeat;
+}
+
+std::string EncodeReplStatus(const ReplStatus& status) {
+  std::string payload;
+  payload.reserve(36 + status.node_id.size() + status.primary_hint.size());
+  PutBytes(&payload, status.node_id);
+  PutU32(&payload, static_cast<uint32_t>(status.role));
+  PutU64(&payload, status.epoch);
+  PutU64(&payload, status.applied_version);
+  PutU64(&payload, status.tip_version);
+  PutBytes(&payload, status.primary_hint);
+  return payload;
+}
+
+Result<ReplStatus> DecodeReplStatus(std::string_view payload) {
+  ReplStatus status;
+  Reader reader(payload);
+  uint32_t role = 0;
+  if (!reader.GetBytes(&status.node_id) || !reader.GetU32(&role) ||
+      !reader.GetU64(&status.epoch) ||
+      !reader.GetU64(&status.applied_version) ||
+      !reader.GetU64(&status.tip_version) ||
+      !reader.GetBytes(&status.primary_hint) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-status payload");
+  }
+  if (role > static_cast<uint32_t>(ReplRole::kCandidate)) {
+    return Status::ParseError("repl-status role out of range");
+  }
+  status.role = static_cast<ReplRole>(role);
+  return status;
 }
 
 }  // namespace net

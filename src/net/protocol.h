@@ -47,6 +47,20 @@ enum class FrameType : uint8_t {
   kRequest = 1,   // client -> server: one statement to execute
   kResponse = 2,  // server -> client: the statement's outcome
   kGoodbye = 3,   // server -> client: connection is closing (reason text)
+  // Replication stream (net/replication.h). A replica subscribes with
+  // kReplHello; the primary answers with either a kReplSnapshot (full
+  // bootstrap) or nothing (resume), then streams kReplRecord frames —
+  // one committed journal record each — plus periodic kReplHeartbeat.
+  // The replica acknowledges applied state with kReplAck. kReplStatusReq/
+  // kReplStatus is the connectionless health probe used for failover
+  // elections and SHOW REPLICATION.
+  kReplHello = 4,      // replica -> primary: subscribe (node, epoch, version)
+  kReplSnapshot = 5,   // primary -> replica: full checkpoint bootstrap
+  kReplRecord = 6,     // primary -> replica: one committed journal record
+  kReplAck = 7,        // replica -> primary: applied-through acknowledgment
+  kReplHeartbeat = 8,  // primary -> replica: lease renewal + tip version
+  kReplStatusReq = 9,  // anyone -> node: report your replication status
+  kReplStatus = 10,    // node -> asker: role, epoch, versions, leader hint
 };
 
 struct Frame {
@@ -120,6 +134,107 @@ Result<Request> DecodeRequest(std::string_view payload);
 
 std::string EncodeResponse(const Response& response);
 Result<Response> DecodeResponse(std::string_view payload);
+
+// --- Replication payloads ---------------------------------------------------
+//
+// The same codec discipline as requests/responses: little-endian integers,
+// length-prefixed byte strings, decoders that reject truncation and
+// trailing garbage so a torn or corrupted replication stream can never
+// yield a half-parsed record (the frame CRC already rejects byte flips;
+// these decoders reject structurally-short payloads).
+
+// Replica -> primary subscription. `epoch` and `applied_version` describe
+// the replica's recovered state; the primary resumes the record stream
+// when they match its own epoch and its retained ring, and falls back to
+// a full snapshot otherwise (which is also how a rejoining old primary
+// discards any unreplicated suffix).
+struct ReplHello {
+  std::string node_id;
+  uint64_t epoch = 0;
+  uint64_t applied_version = 0;
+};
+
+// Primary -> replica full-state bootstrap: the rendered checkpoint text at
+// `version`, under `epoch`. The replica atomically replaces its durable
+// state (checkpoint + truncated journal) before applying it.
+// Checkpoints can exceed the frame payload cap, so a snapshot travels as a
+// sequence of chunk frames: `checkpoint` holds the bytes at [offset,
+// offset + checkpoint.size()) of a `total`-byte checkpoint. Chunks arrive
+// in offset order on the session; the replica installs once it holds all
+// `total` bytes. A single-frame snapshot is offset 0 with total ==
+// checkpoint.size().
+struct ReplSnapshot {
+  uint64_t epoch = 0;
+  uint64_t version = 0;
+  std::string primary_node;
+  uint64_t offset = 0;
+  uint64_t total = 0;
+  std::string checkpoint;
+};
+
+// Primary -> replica: one committed journal record, sequence-numbered in
+// ship order within the primary's epoch.
+struct ReplRecord {
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  uint8_t kind = 0;  // JournalRecordKind
+  std::string body;
+};
+
+// Replica -> primary: everything through `applied_version` is applied and
+// locally durable (semi-sync commits wait for these).
+struct ReplAck {
+  std::string node_id;
+  uint64_t epoch = 0;
+  uint64_t applied_seq = 0;
+  uint64_t applied_version = 0;
+};
+
+// Primary -> replica lease renewal; `tip_version` lets the replica compute
+// its staleness lag without a round trip.
+struct ReplHeartbeat {
+  uint64_t epoch = 0;
+  uint64_t tip_version = 0;
+  std::string primary_node;
+};
+
+// Replication role, as carried in kReplStatus frames.
+enum class ReplRole : uint8_t {
+  kSingle = 0,     // no cluster configured
+  kPrimary = 1,
+  kReplica = 2,
+  kCandidate = 3,  // lost its primary; probing / electing
+};
+
+// Node -> asker: the election + discovery probe answer. `primary_hint` is
+// "host:port" of the primary this node currently follows (empty when
+// unknown), so a rejoining node can chase the hint to the leader.
+struct ReplStatus {
+  std::string node_id;
+  ReplRole role = ReplRole::kSingle;
+  uint64_t epoch = 0;
+  uint64_t applied_version = 0;
+  uint64_t tip_version = 0;
+  std::string primary_hint;
+};
+
+std::string EncodeReplHello(const ReplHello& hello);
+Result<ReplHello> DecodeReplHello(std::string_view payload);
+
+std::string EncodeReplSnapshot(const ReplSnapshot& snapshot);
+Result<ReplSnapshot> DecodeReplSnapshot(std::string_view payload);
+
+std::string EncodeReplRecord(const ReplRecord& record);
+Result<ReplRecord> DecodeReplRecord(std::string_view payload);
+
+std::string EncodeReplAck(const ReplAck& ack);
+Result<ReplAck> DecodeReplAck(std::string_view payload);
+
+std::string EncodeReplHeartbeat(const ReplHeartbeat& heartbeat);
+Result<ReplHeartbeat> DecodeReplHeartbeat(std::string_view payload);
+
+std::string EncodeReplStatus(const ReplStatus& status);
+Result<ReplStatus> DecodeReplStatus(std::string_view payload);
 
 }  // namespace net
 }  // namespace eve

@@ -18,6 +18,7 @@
 
 #include "common/failpoint.h"
 #include "common/str_util.h"
+#include "net/replication.h"
 
 namespace eve {
 namespace net {
@@ -40,6 +41,43 @@ bool IsServerStatsStatement(const std::string& statement) {
   is >> a >> b >> c;
   return !(is >> rest) && EqualsIgnoreCase(a, "SHOW") &&
          EqualsIgnoreCase(b, "SERVER") && EqualsIgnoreCase(c, "STATS");
+}
+
+bool IsShowReplicationStatement(const std::string& statement) {
+  std::istringstream is(statement);
+  std::string a;
+  std::string b;
+  std::string rest;
+  is >> a >> b;
+  return !(is >> rest) && EqualsIgnoreCase(a, "SHOW") &&
+         EqualsIgnoreCase(b, "REPLICATION");
+}
+
+// READ STALENESS <bound>|NONE — yields the bound word, or nullopt when the
+// statement is something else.
+std::optional<std::string> ReadStalenessWord(const std::string& statement) {
+  std::istringstream is(statement);
+  std::string a;
+  std::string b;
+  std::string c;
+  std::string rest;
+  is >> a >> b >> c;
+  if ((is >> rest) || !EqualsIgnoreCase(a, "READ") ||
+      !EqualsIgnoreCase(b, "STALENESS") || c.empty()) {
+    return std::nullopt;
+  }
+  return c;
+}
+
+// Statements a non-primary may execute: the read-only SHOW family. Every
+// mutation is redirected to the leader.
+bool AllowedOnReplica(const std::string& statement) {
+  std::istringstream is(statement);
+  std::string head;
+  is >> head;
+  // SHOW variants plus SCRUB: the integrity scan reads the version chain
+  // and mutates nothing durable, and operators need it on every node.
+  return EqualsIgnoreCase(head, "SHOW") || EqualsIgnoreCase(head, "SCRUB");
 }
 
 }  // namespace
@@ -91,6 +129,13 @@ struct Server::Session {
   bool overflowed = false;         // write bound exceeded: evict on flush
 
   std::atomic<bool> closed{false};
+
+  // READ STALENESS bound for this session's snapshot reads (positions
+  // behind the primary tip; UINT64_MAX = unbounded, the default).
+  std::atomic<uint64_t> staleness_bound{UINT64_MAX};
+  // True once a kReplHello registered this session as a replica
+  // subscription: eviction must unsubscribe it from the hub.
+  std::atomic<bool> is_repl_peer{false};
 };
 
 Server::Server(Console* console, ServerOptions options)
@@ -431,6 +476,12 @@ void Server::HandleReadable(const std::shared_ptr<Session>& session) {
         EvictSession(session->id, "peer_closed");
         return;
       }
+      if (frame->type == FrameType::kReplStatusReq ||
+          frame->type == FrameType::kReplHello ||
+          frame->type == FrameType::kReplAck) {
+        HandleReplFrame(session, *frame);
+        continue;
+      }
       if (frame->type != FrameType::kRequest) continue;
       counters_->requests.fetch_add(1);
       Result<Request> request = DecodeRequest(frame->payload);
@@ -451,6 +502,7 @@ void Server::HandleReadable(const std::shared_ptr<Session>& session) {
         QueueResponse(session, stats_response);
         continue;
       }
+      if (HandleReplIntercept(session, request.value())) continue;
       bool shed = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -498,6 +550,92 @@ void Server::HandleReadable(const std::shared_ptr<Session>& session) {
   }
 }
 
+void Server::HandleReplFrame(const std::shared_ptr<Session>& session,
+                             const Frame& frame) {
+  if (frame.type == FrameType::kReplStatusReq) {
+    // Answered inline from atomics: elections probe with this even while
+    // the console is saturated. A hub-less server reports role=single.
+    ReplStatus status;
+    if (hub_ != nullptr) status = hub_->SelfStatus();
+    QueueRawFrame(session, EncodeFrame(FrameType::kReplStatus,
+                                       EncodeReplStatus(status)));
+    return;
+  }
+  if (hub_ == nullptr) {
+    QueueGoodbye(session, "replication not configured");
+    return;
+  }
+  if (frame.type == FrameType::kReplAck) {
+    Result<ReplAck> ack = DecodeReplAck(frame.payload);
+    if (ack.ok() && ack.value().epoch == hub_->epoch()) {
+      hub_->OnAck(ack.value());
+    }
+    return;
+  }
+  // kReplHello: the subscription must register under the exclusive console
+  // lock (so the bootstrap point and the live observer stream cannot leave
+  // a gap) — hop to a worker like any other exclusive statement.
+  Result<ReplHello> hello = DecodeReplHello(frame.payload);
+  if (!hello.ok()) {
+    QueueGoodbye(session, "bad hello: " + hello.status().ToString());
+    return;
+  }
+  session->is_repl_peer.store(true);
+  std::shared_ptr<Session> owned = session;
+  workers_->Submit(
+      [this, owned = std::move(owned), hello = hello.MoveValue()]() mutable {
+        ReplicationHub::PeerSender sender =
+            [this, peer = owned](std::string bytes) {
+              QueueRawFrame(peer, std::move(bytes));
+            };
+        Status subscribed;
+        {
+          std::unique_lock<std::shared_mutex> lock(console_mu_);
+          subscribed = hub_->Subscribe(hello, owned->id, std::move(sender));
+        }
+        if (!subscribed.ok()) {
+          QueueGoodbye(owned, subscribed.ToString());
+        }
+      },
+      "eved-repl-hello");
+}
+
+bool Server::HandleReplIntercept(const std::shared_ptr<Session>& session,
+                                 const Request& request) {
+  if (IsShowReplicationStatement(request.statement)) {
+    Response response;
+    response.id = request.id;
+    response.output = hub_ != nullptr ? hub_->RenderStatus()
+                                      : "replication: disabled\n";
+    QueueResponse(session, response);
+    return true;
+  }
+  const std::optional<std::string> bound_word =
+      ReadStalenessWord(request.statement);
+  if (!bound_word.has_value()) return false;
+  Response response;
+  response.id = request.id;
+  if (EqualsIgnoreCase(*bound_word, "NONE")) {
+    session->staleness_bound.store(UINT64_MAX);
+    response.output = "read staleness bound = none\n";
+  } else {
+    uint64_t bound = 0;
+    std::istringstream is(*bound_word);
+    if (!(is >> bound) || !is.eof()) {
+      response.code = static_cast<int32_t>(StatusCode::kInvalidArgument);
+      response.error =
+          "error: READ STALENESS expects a non-negative integer or NONE\n";
+      QueueResponse(session, response);
+      return true;
+    }
+    session->staleness_bound.store(bound);
+    response.output =
+        "read staleness bound = " + std::to_string(bound) + "\n";
+  }
+  QueueResponse(session, response);
+  return true;
+}
+
 void Server::ExecuteRequest(std::shared_ptr<Session> session,
                             Request request) {
   Response response;
@@ -505,8 +643,53 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
   std::ostringstream out;
   std::ostringstream err;
   bool ok = false;
+  const bool snapshot_read = Console::IsSnapshotRead(request.statement);
+  // Semi-sync bracket: positions the statement advanced must be replica-
+  // acked before the client sees success (checked after the lock drops).
+  uint64_t position_before = 0;
+  uint64_t position_after = 0;
+  // Replication gates, decided before touching the console.
+  if (hub_ != nullptr) {
+    const ReplRole role = hub_->role();
+    if (snapshot_read) {
+      const uint64_t bound = session->staleness_bound.load();
+      uint64_t lag = 0;
+      bool lag_known = false;
+      if (bound != UINT64_MAX &&
+          !hub_->WithinStalenessBound(bound, &lag, &lag_known)) {
+        response.code = static_cast<int32_t>(StatusCode::kFailedPrecondition);
+        response.error =
+            lag_known
+                ? "error: replica lag " + std::to_string(lag) +
+                      " exceeds staleness bound " + std::to_string(bound) +
+                      "\n"
+                : "error: replica lag unknown (no live primary heartbeat); "
+                  "staleness bound " +
+                      std::to_string(bound) + " not satisfiable\n";
+        {
+          std::lock_guard<std::mutex> wlock(session->w_mu);
+          if (session->pending > 0) --session->pending;
+        }
+        QueueResponse(session, response);
+        return;
+      }
+    } else if (role != ReplRole::kPrimary && role != ReplRole::kSingle &&
+               !AllowedOnReplica(request.statement)) {
+      const std::string hint = hub_->SelfStatus().primary_hint;
+      response.code = static_cast<int32_t>(StatusCode::kFailedPrecondition);
+      response.error = "error: not primary (role=" +
+                       std::string(ReplRoleToString(role)) + ")" +
+                       (hint.empty() ? "" : "; leader=" + hint) + "\n";
+      {
+        std::lock_guard<std::mutex> wlock(session->w_mu);
+        if (session->pending > 0) --session->pending;
+      }
+      QueueResponse(session, response);
+      return;
+    }
+  }
   try {
-    if (Console::IsSnapshotRead(request.statement)) {
+    if (snapshot_read) {
       // Snapshot reads share the lock: any number run concurrently, each
       // against the pinned RCU snapshot, never blocked by a writer that
       // is WAITING (writers hold the lock only while executing).
@@ -514,8 +697,10 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
       ok = console_->RunSnapshotRead(request.statement, out, err);
     } else {
       std::unique_lock<std::shared_mutex> lock(console_mu_);
+      if (hub_ != nullptr) position_before = hub_->position();
       ok = console_->RunWithLimits(request.statement, request.deadline_micros,
                                    request.work_budget, out, err);
+      if (hub_ != nullptr) position_after = hub_->position();
     }
   } catch (const SimulatedCrash& crash) {
     // The armed site models the process dying mid-statement. No response
@@ -529,6 +714,19 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
   response.code = ok ? 0 : static_cast<int32_t>(StatusCode::kInternal);
   response.output = out.str();
   response.error = err.str();
+  // Semi-sync: hold the (already locally durable) commit's response until
+  // enough replicas acked it — AFTER the console lock dropped, so replicas
+  // can apply and ack while we wait. A timeout surfaces as an explicit
+  // error: the client must NOT treat the commit as acknowledged (it is
+  // durable here, but a failover could elect a replica that missed it).
+  if (ok && hub_ != nullptr && position_after > position_before &&
+      hub_->RequiresAck() && !hub_->WaitForReplication(position_after)) {
+    response.code = static_cast<int32_t>(StatusCode::kInternal);
+    response.error =
+        "error: replication ack timeout: commit not acknowledged by " +
+        std::to_string(hub_->options().ack_replicas) + " replica(s)\n";
+    response.output.clear();
+  }
   {
     std::lock_guard<std::mutex> wlock(session->w_mu);
     if (session->pending > 0) --session->pending;
@@ -560,6 +758,29 @@ void Server::QueueResponse(const std::shared_ptr<Session>& session,
     } else {
       session->write_buffer.append(frame);
       counters_->responses.fetch_add(1);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_ready_.push_back(session->id);
+  }
+  NudgeIo();
+}
+
+void Server::QueueRawFrame(const std::shared_ptr<Session>& session,
+                           std::string frame_bytes) {
+  if (session->closed.load()) return;
+  {
+    std::lock_guard<std::mutex> wlock(session->w_mu);
+    const size_t limit = session->is_repl_peer.load()
+                             ? options_.max_repl_write_buffer_bytes
+                             : options_.max_write_buffer_bytes;
+    if (session->write_buffer.size() + frame_bytes.size() > limit) {
+      // A replica that stopped reading its stream: evict on next flush —
+      // it will re-sync from a fresh hello.
+      session->overflowed = true;
+    } else {
+      session->write_buffer.append(frame_bytes);
     }
   }
   {
@@ -649,6 +870,9 @@ void Server::EvictSession(uint64_t session_id, const char* reason) {
   ::close(session->fd);  // the kernel drops it from the epoll set
   sessions_.erase(it);
   counters_->sessions_now.store(sessions_.size());
+  if (session->is_repl_peer.load() && hub_ != nullptr) {
+    hub_->OnPeerGone(session_id);
+  }
   if (strcmp(reason, "slow_loris") == 0) {
     counters_->evicted_slow_loris.fetch_add(1);
   } else if (strcmp(reason, "overflow") == 0) {

@@ -58,6 +58,8 @@
 namespace eve {
 namespace net {
 
+class ReplicationHub;
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;  // 0 = pick an ephemeral port (see Server::port())
@@ -68,6 +70,11 @@ struct ServerOptions {
   size_t max_pending_per_session = 64;
   size_t max_read_buffer_bytes = 1u << 20;
   size_t max_write_buffer_bytes = 8u << 20;
+  // Replication peers get a higher write ceiling: a bootstrap ships a full
+  // checkpoint (chunked) through the session buffer, which can dwarf the
+  // normal response cap. A replica that stops reading past THIS bound is
+  // evicted and re-syncs from a fresh hello.
+  size_t max_repl_write_buffer_bytes = 256u << 20;
   // A partial frame older than this is a slow-loris: evict.
   uint64_t idle_timeout_micros = 30'000'000;
   // Retry-after hint attached to kResourceExhausted responses.
@@ -133,6 +140,17 @@ class Server {
   // The server is stopped; eved exits 3 so crash tests can RECOVER.
   std::string crashed_site() const;
 
+  // Attaches the replication hub (net/replication.h) BEFORE Start(). With a
+  // hub the server dispatches kRepl* frames to it, gates writes off
+  // non-primaries (with a leader hint), enforces per-session READ STALENESS
+  // bounds on snapshot reads, and holds acked commits for semi-sync.
+  void SetReplicationHub(ReplicationHub* hub) { hub_ = hub; }
+
+  // The console guard, exposed so the replication agent and the metrics
+  // renderer can take it around console access from their own threads
+  // (exclusive for snapshot install / role flips, shared for reads).
+  std::shared_mutex& console_mutex() { return console_mu_; }
+
  private:
   struct Session;
 
@@ -141,6 +159,14 @@ class Server {
   void IoLoopBody();
   void HandleAccept();
   void HandleReadable(const std::shared_ptr<Session>& session);
+  // Dispatches one kRepl* frame (I/O thread; hellos hop to a worker for
+  // the exclusive console lock).
+  void HandleReplFrame(const std::shared_ptr<Session>& session,
+                       const Frame& frame);
+  // True when the frame was answered inline (SHOW REPLICATION / READ
+  // STALENESS — replication session controls that never hit the console).
+  bool HandleReplIntercept(const std::shared_ptr<Session>& session,
+                           const Request& request);
   void FlushSession(const std::shared_ptr<Session>& session);
   // Teardown-path flush (goodbyes): one synchronous attempt, no failpoints.
   void FlushBestEffort(Session* session);
@@ -155,6 +181,9 @@ class Server {
   void ExecuteRequest(std::shared_ptr<Session> session, Request request);
   void QueueResponse(const std::shared_ptr<Session>& session,
                      const Response& response);
+  // Enqueues pre-encoded frame bytes (replication stream, status replies).
+  void QueueRawFrame(const std::shared_ptr<Session>& session,
+                     std::string frame_bytes);
   void QueueGoodbye(const std::shared_ptr<Session>& session,
                     const std::string& reason);
   Response ShedResponse(uint64_t request_id, const std::string& why) const;
@@ -164,6 +193,7 @@ class Server {
 
   Console* const console_;
   const ServerOptions options_;
+  ReplicationHub* hub_ = nullptr;  // set before Start(); may stay null
 
   // Guards the console: shared for snapshot reads, exclusive otherwise.
   std::shared_mutex console_mu_;

@@ -437,6 +437,16 @@ TEST_F(CrashRecoveryTest, EveryKnownSiteIsExercised) {
       fp::kNetFrameWrite,
       fp::kNetDrain,
       fp::kNetShutdown,
+      // Replication sites only fire inside a clustered eved;
+      // replication_test (ReplicationFailpoint*) arms them against live
+      // in-process nodes, and bench_repl's chaos matrix covers crash mode
+      // across real processes.
+      fp::kReplHello,
+      fp::kReplSnapshotRender,
+      fp::kReplShipRecord,
+      fp::kReplApplyRecord,
+      fp::kReplAckSend,
+      fp::kReplPromote,
   };
   for (const std::string& site : Failpoints::KnownSites()) {
     if (dedicated.count(site) > 0) continue;

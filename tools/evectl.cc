@@ -8,6 +8,15 @@
 //                                        running eved (net/server.h); the
 //                                        output is byte-identical to the
 //                                        local run for the same script
+//   evectl --connect <h:p,h:p,...> <script>|-
+//                                        cluster mode: the extra endpoints
+//                                        are failover candidates — lost
+//                                        connections are retried across the
+//                                        list and "not primary" redirects
+//                                        are chased to the leader (see
+//                                        docs/REPLICATION.md; SHOW
+//                                        REPLICATION and READ STALENESS <n>
+//                                        are the replication session knobs)
 //
 // Statements are ';'-terminated:
 //   LOAD MISD '<path>';                   -- load IS descriptions (MISD text)
@@ -138,15 +147,32 @@ namespace {
 bool RunRemote(const std::string& endpoint,
                const std::vector<net::Statement>& statements,
                const std::string& script_name, std::string* first_failure) {
-  const size_t colon = endpoint.rfind(':');
+  // --connect takes one endpoint, or a comma-separated cluster list: the
+  // first entry is dialed, the rest are failover candidates the client
+  // retries across (with leader-redirect chasing) when a node dies.
+  std::vector<std::string> endpoints;
+  std::istringstream parts(endpoint);
+  std::string part;
+  while (std::getline(parts, part, ',')) {
+    if (!part.empty()) endpoints.push_back(part);
+  }
+  if (endpoints.empty()) {
+    std::cerr << "error: --connect expects <host>:<port>[,<host>:<port>...]\n";
+    return false;
+  }
+  const size_t colon = endpoints[0].rfind(':');
   if (colon == std::string::npos) {
     std::cerr << "error: --connect expects <host>:<port>\n";
     return false;
   }
   net::ClientOptions options;
-  options.host = endpoint.substr(0, colon);
+  options.host = endpoints[0].substr(0, colon);
   options.port = static_cast<uint16_t>(
-      std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+      std::strtoul(endpoints[0].c_str() + colon + 1, nullptr, 10));
+  if (endpoints.size() > 1) {
+    options.nodes.assign(endpoints.begin() + 1, endpoints.end());
+    options.max_transport_retries = 8;
+  }
   Result<net::NetClient> client = net::NetClient::Connect(options);
   if (!client.ok()) {
     std::cerr << "error: " << client.status() << "\n";
@@ -194,7 +220,8 @@ int Main(int argc, char** argv) {
     }
   }
   if (source.empty()) {
-    std::cerr << "usage: evectl [--connect <host:port>] <script>|-\n";
+    std::cerr << "usage: evectl [--connect <host:port>[,<host:port>...]] "
+                 "<script>|-\n";
     return 2;
   }
   std::string script;

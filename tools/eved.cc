@@ -10,12 +10,23 @@
 //        [--workers <n>] [--max-sessions <n>] [--max-pending <n>]
 //        [--idle-timeout-micros <n>] [--drain-timeout-micros <n>]
 //        [--init <script>]
+//        [--node-id <id> --cluster <n1=h:p,...> --data-dir <dir>
+//         [--replica-of <id>] [--lease-micros <n>] [--heartbeat-micros <n>]
+//         [--ack-replicas <n>] [--ack-timeout-micros <n>]]
+//        [--metrics-port <n> [--metrics-host <addr>]]
 //
 //   --port 0 (the default) binds an ephemeral port; --port-file writes the
 //   chosen port as a decimal line once the server is listening, so test
 //   harnesses can rendezvous without racing.
 //   --init runs a script through the console BEFORE serving (e.g. LOAD
 //   MISD + CREATE VIEW + JOURNAL bring-up); any failure aborts startup.
+//
+// Replicated mode (--node-id + --cluster + --data-dir, docs/REPLICATION.md):
+//   the node RECOVERs from <data-dir>/checkpoint + <data-dir>/wal, attaches
+//   the WAL, and joins the cluster — as the journal-shipping primary when
+//   --replica-of is absent, otherwise as a replica following that node
+//   (with automatic failover either way). --metrics-port serves the
+//   plaintext /metrics document (also available without a cluster).
 //
 // Lifecycle: SIGTERM or SIGINT begins a graceful drain — stop accepting,
 // shed statements that have not started, finish in-flight ones, flush
@@ -36,11 +47,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/failpoint.h"
 #include "net/console.h"
+#include "net/metrics.h"
+#include "net/replication.h"
 #include "net/server.h"
 
 namespace eve {
@@ -64,6 +79,10 @@ void RaiseFdLimit() {
 
 int Main(int argc, char** argv) {
   net::ServerOptions options;
+  net::ReplicationOptions repl;
+  std::string cluster_spec;
+  uint16_t metrics_port = 0;
+  std::string metrics_host = "127.0.0.1";
   std::string port_file;
   std::string init_script;
   for (int i = 1; i < argc; ++i) {
@@ -90,22 +109,129 @@ int Main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--init" && has_value) {
       init_script = argv[++i];
+    } else if (arg == "--node-id" && has_value) {
+      repl.node_id = argv[++i];
+    } else if (arg == "--cluster" && has_value) {
+      cluster_spec = argv[++i];
+    } else if (arg == "--replica-of" && has_value) {
+      repl.primary_of = argv[++i];
+    } else if (arg == "--data-dir" && has_value) {
+      repl.data_dir = argv[++i];
+    } else if (arg == "--lease-micros" && has_value) {
+      repl.lease_micros = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--heartbeat-micros" && has_value) {
+      repl.heartbeat_micros = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--ack-replicas" && has_value) {
+      repl.ack_replicas = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--ack-timeout-micros" && has_value) {
+      repl.ack_timeout_micros = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--metrics-port" && has_value) {
+      metrics_port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--metrics-host" && has_value) {
+      metrics_host = argv[++i];
     } else {
       std::cerr << "usage: eved [--host <addr>] [--port <n>] "
                    "[--port-file <path>] [--workers <n>] "
                    "[--max-sessions <n>] [--max-pending <n>] "
                    "[--idle-timeout-micros <n>] "
-                   "[--drain-timeout-micros <n>] [--init <script>]\n";
+                   "[--drain-timeout-micros <n>] [--init <script>] "
+                   "[--node-id <id> --cluster <spec> --data-dir <dir> "
+                   "[--replica-of <id>] [--lease-micros <n>] "
+                   "[--heartbeat-micros <n>] [--ack-replicas <n>] "
+                   "[--ack-timeout-micros <n>]] "
+                   "[--metrics-port <n>] [--metrics-host <addr>]\n";
       return 2;
     }
   }
   RaiseFdLimit();
+  const bool replicated = !repl.node_id.empty() || !cluster_spec.empty();
+  if (replicated &&
+      (repl.node_id.empty() || cluster_spec.empty() ||
+       repl.data_dir.empty())) {
+    std::cerr << "error: replicated mode needs --node-id, --cluster and "
+                 "--data-dir together\n";
+    return 2;
+  }
+  if (replicated && !init_script.empty()) {
+    std::cerr << "error: --init is not supported in replicated mode (state "
+                 "comes from --data-dir recovery and the primary)\n";
+    return 2;
+  }
   if (const char* spec = std::getenv("EVE_FAILPOINTS")) {
     const Status status = Failpoints::Instance().ArmFromSpec(spec);
     if (!status.ok()) {
       std::cerr << "error: bad EVE_FAILPOINTS: " << status << "\n";
       return 2;
     }
+  }
+
+  if (replicated) {
+    Result<std::map<std::string, net::NodeAddress>> cluster =
+        net::ParseCluster(cluster_spec);
+    if (!cluster.ok()) {
+      std::cerr << "error: bad --cluster: " << cluster.status() << "\n";
+      return 2;
+    }
+    repl.cluster = cluster.MoveValue();
+    net::ReplicatedNodeOptions node_options;
+    node_options.server = options;
+    node_options.repl = std::move(repl);
+    node_options.metrics_port = metrics_port;
+    node_options.metrics_host = metrics_host;
+    net::ReplicatedNode node;
+    const Status started = node.Start(node_options);
+    if (!started.ok()) {
+      std::cerr << "error: " << started << "\n";
+      return 2;
+    }
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << node.port() << "\n";
+      if (!out) {
+        std::cerr << "error: cannot write " << port_file << "\n";
+        return 2;
+      }
+    }
+    std::cout << "eved node " << node_options.repl.node_id << " ("
+              << net::ReplRoleToString(node.hub().role()) << ", epoch "
+              << node.hub().epoch() << ") listening on " << options.host
+              << ":" << node.port();
+    if (node.metrics_port() != 0) {
+      std::cout << ", metrics on " << metrics_host << ":"
+                << node.metrics_port();
+    }
+    std::cout << std::endl;
+
+    struct sigaction action{};
+    action.sa_handler = OnSignal;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    int handled_signals = 0;
+    while (!node.stopped()) {
+      const int seen = g_signals.load();
+      if (seen > handled_signals) {
+        handled_signals = seen;
+        if (seen == 1) {
+          std::cout << "eved draining (signal)" << std::endl;
+          node.BeginDrain();
+        } else {
+          std::cout << "eved stopping (repeated signal)" << std::endl;
+          node.Stop();
+        }
+      }
+      usleep(20'000);
+    }
+    node.Stop();  // join the agent/metrics threads
+    node.WaitUntilStopped();
+    const std::string crashed = node.crashed_site();
+    if (!crashed.empty()) {
+      std::cerr << "simulated crash at failpoint " << crashed << "\n";
+      return 3;
+    }
+    std::cout << "eved exited cleanly" << std::endl;
+    return 0;
   }
 
   net::Console console;
@@ -140,6 +266,20 @@ int Main(int argc, char** argv) {
   if (!started.ok()) {
     std::cerr << "error: " << started << "\n";
     return 2;
+  }
+  std::unique_ptr<net::MetricsServer> metrics;
+  if (metrics_port != 0) {
+    metrics = std::make_unique<net::MetricsServer>(
+        metrics_host, metrics_port, [&server, &console] {
+          return net::RenderMetricsText(server, console, nullptr);
+        });
+    const Status metrics_started = metrics->Start();
+    if (!metrics_started.ok()) {
+      std::cerr << "error: " << metrics_started << "\n";
+      return 2;
+    }
+    std::cout << "eved metrics on " << metrics_host << ":"
+              << metrics->port() << std::endl;
   }
   if (!port_file.empty()) {
     std::ofstream out(port_file);
@@ -177,6 +317,7 @@ int Main(int argc, char** argv) {
     usleep(20'000);  // signal latency without busy-waiting
   }
   server.WaitUntilStopped();
+  if (metrics != nullptr) metrics->Stop();
   const std::string crashed = server.crashed_site();
   if (!crashed.empty()) {
     std::cerr << "simulated crash at failpoint " << crashed << "\n";
