@@ -136,10 +136,17 @@ void MetricsServer::AcceptLoop() {
 
 void MetricsServer::ServeOne(int fd) {
   // Read (and discard) one chunk of request bytes so well-behaved HTTP
-  // clients do not see a reset, then answer with the document.
+  // clients do not see a reset, then answer with the document. BOTH
+  // directions are bounded: a scraper that stops reading (stalled curl,
+  // SIGSTOP) would otherwise block the single metrics thread in send()
+  // forever, wedging the accept loop on exactly the degraded node the
+  // endpoint is meant to observe.
   timeval tv{};
   tv.tv_usec = 200'000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  timeval send_tv{};
+  send_tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
   char buf[4096];
   (void)::read(fd, buf, sizeof(buf));
   const std::string body = provider_();
@@ -154,7 +161,8 @@ void MetricsServer::ServeOne(int fd) {
   while (off < response.size()) {
     const ssize_t n = ::send(fd, response.data() + off, response.size() - off,
                              MSG_NOSIGNAL);
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer gone, or the send timeout fired: give up
     off += static_cast<size_t>(n);
   }
   ::close(fd);

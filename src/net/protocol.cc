@@ -84,7 +84,7 @@ class Reader {
 
 bool KnownType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kRequest) &&
-         type <= static_cast<uint8_t>(FrameType::kReplStatus);
+         type <= static_cast<uint8_t>(FrameType::kReplVote);
 }
 
 }  // namespace
@@ -376,6 +376,51 @@ Result<ReplStatus> DecodeReplStatus(std::string_view payload) {
   }
   status.role = static_cast<ReplRole>(role);
   return status;
+}
+
+std::string EncodeReplVoteReq(const ReplVoteReq& request) {
+  std::string payload;
+  payload.reserve(28 + request.candidate.size());
+  PutBytes(&payload, request.candidate);
+  PutU64(&payload, request.epoch);
+  PutU64(&payload, request.last_epoch);
+  PutU64(&payload, request.last_position);
+  return payload;
+}
+
+Result<ReplVoteReq> DecodeReplVoteReq(std::string_view payload) {
+  ReplVoteReq request;
+  Reader reader(payload);
+  if (!reader.GetBytes(&request.candidate) || !reader.GetU64(&request.epoch) ||
+      !reader.GetU64(&request.last_epoch) ||
+      !reader.GetU64(&request.last_position) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-vote-req payload");
+  }
+  return request;
+}
+
+std::string EncodeReplVote(const ReplVote& vote) {
+  std::string payload;
+  payload.reserve(16 + vote.voter.size());
+  PutBytes(&payload, vote.voter);
+  PutU64(&payload, vote.epoch);
+  PutU32(&payload, vote.granted ? 1 : 0);
+  return payload;
+}
+
+Result<ReplVote> DecodeReplVote(std::string_view payload) {
+  ReplVote vote;
+  Reader reader(payload);
+  uint32_t granted = 0;
+  if (!reader.GetBytes(&vote.voter) || !reader.GetU64(&vote.epoch) ||
+      !reader.GetU32(&granted) || !reader.exhausted()) {
+    return Status::ParseError("malformed repl-vote payload");
+  }
+  if (granted > 1) {
+    return Status::ParseError("repl-vote granted flag out of range");
+  }
+  vote.granted = granted == 1;
+  return vote;
 }
 
 }  // namespace net

@@ -61,6 +61,8 @@ enum class FrameType : uint8_t {
   kReplHeartbeat = 8,  // primary -> replica: lease renewal + tip version
   kReplStatusReq = 9,  // anyone -> node: report your replication status
   kReplStatus = 10,    // node -> asker: role, epoch, versions, leader hint
+  kReplVoteReq = 11,   // candidate -> node: request a vote for an epoch
+  kReplVote = 12,      // node -> candidate: the (persisted) vote decision
 };
 
 struct Frame {
@@ -233,8 +235,35 @@ Result<ReplAck> DecodeReplAck(std::string_view payload);
 std::string EncodeReplHeartbeat(const ReplHeartbeat& heartbeat);
 Result<ReplHeartbeat> DecodeReplHeartbeat(std::string_view payload);
 
+// Candidate -> node: "vote for me to become primary under `epoch`".
+// (last_epoch, last_position) describe the candidate's log so the voter
+// can apply the up-to-date rule: a vote is granted only to candidates
+// whose log is at least as advanced as the voter's own, which is what
+// keeps acknowledged commits on every electable leader.
+struct ReplVoteReq {
+  std::string candidate;       // node id requesting the vote
+  uint64_t epoch = 0;          // the epoch the candidate wants to mint
+  uint64_t last_epoch = 0;     // candidate's current lineage epoch
+  uint64_t last_position = 0;  // candidate's applied position
+};
+
+// Node -> candidate: the vote decision. A granted vote was persisted
+// before this frame was sent — a node grants at most one vote per epoch,
+// across restarts.
+struct ReplVote {
+  std::string voter;
+  uint64_t epoch = 0;  // echo of the requested epoch
+  bool granted = false;
+};
+
 std::string EncodeReplStatus(const ReplStatus& status);
 Result<ReplStatus> DecodeReplStatus(std::string_view payload);
+
+std::string EncodeReplVoteReq(const ReplVoteReq& request);
+Result<ReplVoteReq> DecodeReplVoteReq(std::string_view payload);
+
+std::string EncodeReplVote(const ReplVote& vote);
+Result<ReplVote> DecodeReplVote(std::string_view payload);
 
 }  // namespace net
 }  // namespace eve

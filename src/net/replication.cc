@@ -221,6 +221,15 @@ Status ReplicationHub::Initialize() {
     } else {
       observed_epoch_.store(persisted);
     }
+    // The vote ledger survives restarts: a node that voted, crashed and
+    // came back must not vote again in the same epoch.
+    uint64_t voted_epoch = 0;
+    std::string voted_for;
+    if (is >> word >> voted_epoch >> voted_for && word == "voted") {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      voted_epoch_ = voted_epoch;
+      voted_for_ = voted_for;
+    }
   }
   if (options_.primary_of.empty()) {
     // Fresh primary: a new epoch fences out anything the previous
@@ -243,16 +252,24 @@ Status ReplicationHub::Initialize() {
   return Status::OK();
 }
 
+Status ReplicationHub::WriteNodeStateLocked(uint64_t epoch) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.data_dir, ec);
+  std::string text = "epoch " + std::to_string(epoch) + "\nobserved " +
+                     std::to_string(observed_epoch_.load()) + "\n";
+  if (voted_epoch_ != 0 && !voted_for_.empty()) {
+    text += "voted " + std::to_string(voted_epoch_) + " " + voted_for_ + "\n";
+  }
+  return AtomicWriteFile(options_.data_dir + "/node_state", text);
+}
+
 Status ReplicationHub::PersistEpoch(uint64_t epoch) {
   uint64_t observed = observed_epoch_.load();
   while (observed < epoch &&
          !observed_epoch_.compare_exchange_weak(observed, epoch)) {
   }
-  std::error_code ec;
-  std::filesystem::create_directories(options_.data_dir, ec);
-  return AtomicWriteFile(options_.data_dir + "/node_state",
-                         "epoch " + std::to_string(epoch) + "\nobserved " +
-                             std::to_string(observed_epoch_.load()) + "\n");
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return WriteNodeStateLocked(epoch);
 }
 
 void ReplicationHub::NoteObservedEpoch(uint64_t epoch) {
@@ -264,12 +281,64 @@ void ReplicationHub::NoteObservedEpoch(uint64_t epoch) {
   // Best-effort persistence: losing this write only weakens the fence back
   // to the last persisted epoch — the election max over live statuses
   // still prevents collisions in every partition the node can see.
-  std::error_code ec;
-  std::filesystem::create_directories(options_.data_dir, ec);
-  (void)AtomicWriteFile(options_.data_dir + "/node_state",
-                        "epoch " + std::to_string(epoch_.load()) +
-                            "\nobserved " +
-                            std::to_string(observed_epoch_.load()) + "\n");
+  std::lock_guard<std::mutex> lock(state_mu_);
+  (void)WriteNodeStateLocked(epoch_.load());
+}
+
+ReplVote ReplicationHub::HandleVoteRequest(const ReplVoteReq& request) {
+  ReplVote vote;
+  vote.voter = options_.node_id;
+  vote.epoch = request.epoch;
+  vote.granted = false;
+  // The requested epoch feeds the promotion fence whether or not the vote
+  // is granted: this node must never later mint an epoch the candidate
+  // may already be using.
+  NoteObservedEpoch(request.epoch);
+  if (request.candidate.empty() ||
+      options_.cluster.count(request.candidate) == 0) {
+    return vote;
+  }
+  const uint64_t own_epoch = epoch_.load();
+  if (request.epoch <= own_epoch) return vote;
+  // Up-to-date rule: never elect a leader whose log is behind this
+  // node's — the acked-commit quorum intersects every vote majority, so
+  // this check is what makes acknowledged commits survive elections.
+  if (request.last_epoch < own_epoch ||
+      (request.last_epoch == own_epoch &&
+       request.last_position < position_.load())) {
+    return vote;
+  }
+  // Leader stickiness: a replica still inside its primary's lease refuses
+  // to depose it, so a candidate partitioned from a healthy primary (but
+  // not from its replicas) cannot assemble a majority against it.
+  const ReplRole role = role_.load();
+  if (role == ReplRole::kPrimary || role == ReplRole::kSingle) return vote;
+  if (role == ReplRole::kReplica && request.candidate != options_.node_id) {
+    const uint64_t heard = last_heartbeat_micros_.load();
+    if (heard != 0 && NowMicros() - heard <= options_.lease_micros) {
+      return vote;
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (request.epoch < voted_epoch_ ||
+      (request.epoch == voted_epoch_ && voted_for_ != request.candidate)) {
+    return vote;  // already spent this epoch's vote on someone else
+  }
+  const uint64_t prev_epoch = voted_epoch_;
+  const std::string prev_for = voted_for_;
+  voted_epoch_ = request.epoch;
+  voted_for_ = request.candidate;
+  // The grant is only valid once durable: an unpersisted vote could be
+  // re-cast for a different candidate after a restart.
+  if (!WriteNodeStateLocked(epoch_.load()).ok()) {
+    voted_epoch_ = prev_epoch;
+    voted_for_ = prev_for;
+    return vote;
+  }
+  vote.granted = true;
+  Trace(options_.node_id, "voted for " + request.candidate + " in epoch " +
+                              std::to_string(request.epoch));
+  return vote;
 }
 
 void ReplicationHub::OnJournalRecord(JournalRecordKind kind,
@@ -327,13 +396,22 @@ Status ReplicationHub::Subscribe(const ReplHello& hello, uint64_t session_id,
   // Resume is offered to any CLEAN replica position the ring still covers.
   // A non-zero hello epoch asserts "my durable state is exactly the acked
   // lineage through applied_version" — an older epoch is fine (the peer
-  // slept through a failover; its prefix is still a prefix of this log,
-  // because this primary won the election carrying at least that prefix).
-  // Nodes that cannot make that claim (restarts, failed installs, former
-  // primaries with an unreplicated suffix) hello with epoch 0 and
-  // bootstrap. A FUTURE epoch is nonsense: bootstrap it too.
-  if (hello.epoch != 0 && hello.epoch <= epoch_.load() &&
-      (caught_up || in_ring)) {
+  // slept through a failover) but ONLY up to the position this node held
+  // when it was promoted: the election's up-to-date vote rule certifies
+  // this primary carried every acked commit at that moment, so an
+  // old-epoch position beyond the promotion base can only be a divergent
+  // suffix (same seq range, different records) this primary never saw —
+  // resuming it would silently merge lineages. Nodes that cannot claim a
+  // clean prefix (restarts, failed installs, former primaries with an
+  // unreplicated suffix) hello with epoch 0 and bootstrap. A FUTURE epoch
+  // is nonsense: bootstrap it too.
+  const uint64_t epoch = epoch_.load();
+  const bool prefix_certain =
+      hello.epoch == epoch ||
+      hello.applied_version <= promotion_base_position_.load();
+  const bool resumed = hello.epoch != 0 && hello.epoch <= epoch &&
+                       prefix_certain && (caught_up || in_ring);
+  if (resumed) {
     // Resume: replay the retained tail, then the live stream continues.
     for (const ShippedRecord& record : ring_) {
       if (record.seq <= hello.applied_version) continue;
@@ -387,7 +465,12 @@ Status ReplicationHub::Subscribe(const ReplHello& hello, uint64_t session_id,
   peer.node_id = hello.node_id;
   peer.session_id = session_id;
   peer.sender = std::move(sender);
-  peer.acked_seq = std::min(hello.applied_version, pos);
+  // Only a RESUMED peer's claimed position counts as acked: its prefix
+  // was just verified against this lineage. A bootstrapping peer starts
+  // at 0 — its snapshot install is still in flight, and counting the
+  // hello's unverified claim would let a semi-sync commit be acknowledged
+  // against state the replica never durably held.
+  peer.acked_seq = resumed ? std::min(hello.applied_version, pos) : 0;
   peer.acked_version = 0;
   peer.last_contact_micros = NowMicros();
   peers_[session_id] = std::move(peer);
@@ -427,19 +510,26 @@ void ReplicationHub::BroadcastHeartbeat() {
   for (auto& [id, peer] : peers_) peer.sender(frame);
 }
 
+uint64_t ReplicationHub::effective_ack_replicas() const {
+  const size_t cluster = options_.cluster.size();
+  if (cluster <= 1 || options_.ack_replicas == 0) return 0;
+  // Clamp UP to floor(cluster/2): primary + acked replicas then form a
+  // majority, which intersects every election vote majority — the
+  // intersection node's up-to-date vote check blocks any candidate whose
+  // log is missing an acked commit. Clamp DOWN to the peer count so a
+  // misconfigured count cannot make every commit unackable.
+  return std::min<uint64_t>(
+      cluster - 1,
+      std::max<uint64_t>(options_.ack_replicas, cluster / 2));
+}
+
 bool ReplicationHub::RequiresAck() const {
   if (role_.load() != ReplRole::kPrimary) return false;
-  if (options_.cluster.size() <= 1) return false;
-  return std::min<uint64_t>(options_.ack_replicas,
-                            options_.cluster.size() - 1) > 0;
+  return effective_ack_replicas() > 0;
 }
 
 bool ReplicationHub::WaitForReplication(uint64_t position) {
-  const uint64_t need =
-      std::min<uint64_t>(options_.ack_replicas,
-                         options_.cluster.size() > 0
-                             ? options_.cluster.size() - 1
-                             : 0);
+  const uint64_t need = effective_ack_replicas();
   if (need == 0) return true;
   std::unique_lock<std::mutex> lock(mu_);
   const bool acked = ack_cv_.wait_for(
@@ -519,6 +609,10 @@ Status ReplicationHub::Promote(uint64_t new_epoch) {
     primary_address_.clear();
   }
   epoch_.store(new_epoch);
+  // Everything at or below this position was certified by the election
+  // (the up-to-date vote rule); anything past it under an OLDER epoch is
+  // someone else's divergent suffix and must bootstrap, never resume.
+  promotion_base_position_.store(position_.load());
   role_.store(ReplRole::kPrimary);
   last_peer_contact_micros_.store(NowMicros());
   promotions_.fetch_add(1);
@@ -1034,6 +1128,32 @@ void ReplicaAgent::BecomeReplicaOf(const std::string& address) {
   // match; the hello's epoch check forces a bootstrap whenever they don't.
 }
 
+std::optional<ReplVote> ReplicaAgent::RequestVote(const NodeAddress& address,
+                                                  const ReplVoteReq& request) {
+  const int fd = DialBlocking(address.host, address.port);
+  if (fd < 0) return std::nullopt;
+  SetSocketTimeouts(
+      fd, std::max<uint64_t>(hub_->options().heartbeat_micros * 2, 100'000));
+  if (!SendAll(fd, EncodeFrame(FrameType::kReplVoteReq,
+                               EncodeReplVoteReq(request)))) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  FrameDecoder decoder;
+  while (true) {
+    Frame frame;
+    if (ReadFrame(fd, &decoder, &frame) != ReadOutcome::kFrame) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (frame.type != FrameType::kReplVote) continue;
+    ::close(fd);
+    Result<ReplVote> vote = DecodeReplVote(frame.payload);
+    if (!vote.ok()) return std::nullopt;
+    return vote.value();
+  }
+}
+
 std::optional<ReplStatus> ReplicaAgent::ProbeNode(const NodeAddress& address) {
   const int fd = DialBlocking(address.host, address.port);
   if (fd < 0) return std::nullopt;
@@ -1101,26 +1221,59 @@ void ReplicaAgent::RunElection() {
     return;
   }
   // No live primary: with a strict majority reachable, the deterministic
-  // rule elects. Everyone who can see the same quorum picks the same node.
+  // rule NOMINATES (everyone who sees the same quorum nominates the same
+  // node), but nomination alone is not authority — under asymmetric
+  // reachability two candidates can each see a different "majority" and
+  // nominate themselves. Promotion additionally requires an explicit vote
+  // majority: every node persists at most one vote per epoch, and any two
+  // majorities share a voter, so two candidates can never both win the
+  // same epoch.
   if (reachable * 2 > options.cluster.size()) {
     const std::string winner = ChooseLeader(statuses);
     if (winner == options.node_id) {
-      // promote fires after the epoch is chosen, before writes are
+      const uint64_t target_epoch = max_epoch + 1;
+      ReplVoteReq ballot;
+      ballot.candidate = options.node_id;
+      ballot.epoch = target_epoch;
+      ballot.last_epoch = hub_->epoch();
+      ballot.last_position = hub_->position();
+      // Vote for self first (persisted — this epoch's vote is now spent,
+      // even across a crash) …
+      size_t votes = hub_->HandleVoteRequest(ballot).granted ? 1 : 0;
+      // … then canvass the cluster. Unreachable nodes are NOT votes.
+      for (const auto& [node, address] : options.cluster) {
+        if (node == options.node_id || Stopping()) continue;
+        const std::optional<ReplVote> vote = RequestVote(address, ballot);
+        if (vote.has_value() && vote->granted &&
+            vote->epoch == target_epoch) {
+          ++votes;
+        }
+      }
+      if (Stopping()) return;
+      if (TraceEnabled()) {
+        Trace(options.node_id,
+              "vote round for epoch " + std::to_string(target_epoch) + ": " +
+                  std::to_string(votes) + "/" +
+                  std::to_string(options.cluster.size()));
+      }
+      // promote fires after the votes are counted, before writes are
       // accepted. error = this round is abandoned (the cluster re-elects);
       // crash = death mid-failover, thrown to ThreadMain.
-      const Status injected = Failpoints::Instance().Hit(fp::kReplPromote);
-      if (injected.ok()) {
-        std::unique_lock<std::shared_mutex> lock(server_->console_mutex());
-        console_->SetSystemJournalAttached(true);
-        const Status promoted = hub_->Promote(max_epoch + 1);
-        Trace(hub_->options().node_id,
-              "promoting to epoch " + std::to_string(max_epoch + 1) + ": " +
-                  (promoted.ok() ? "ok" : promoted.message()));
-        if (promoted.ok()) {
-          // Any later replica stint starts from a bootstrap: this node's
-          // journal may grow a suffix nobody replicated.
-          stream_intact_ = false;
-          return;
+      if (votes * 2 > options.cluster.size()) {
+        const Status injected = Failpoints::Instance().Hit(fp::kReplPromote);
+        if (injected.ok()) {
+          std::unique_lock<std::shared_mutex> lock(server_->console_mutex());
+          console_->SetSystemJournalAttached(true);
+          const Status promoted = hub_->Promote(target_epoch);
+          Trace(hub_->options().node_id,
+                "promoting to epoch " + std::to_string(target_epoch) + ": " +
+                    (promoted.ok() ? "ok" : promoted.message()));
+          if (promoted.ok()) {
+            // Any later replica stint starts from a bootstrap: this node's
+            // journal may grow a suffix nobody replicated.
+            stream_intact_ = false;
+            return;
+          }
         }
       }
     } else if (!winner.empty()) {

@@ -28,10 +28,17 @@
 // the lease expires the replica turns CANDIDATE, status-probes the whole
 // cluster, and — if a majority is reachable and no live primary answers —
 // the deterministic ChooseLeader rule (max epoch, then max position, then
-// min node id) picks the winner, which promotes under epoch+1. Semi-sync
-// commits (ack_replicas > 0) guarantee every acknowledged commit is
-// applied on at least that many replicas before the client sees success,
-// so the max-position winner always carries every acknowledged commit.
+// min node id) nominates the candidate that runs a VOTE ROUND: it asks
+// every node to vote for (epoch, candidate), where each node persists at
+// most one vote per epoch (across restarts) and grants it only to
+// candidates whose (epoch, position) is at least its own. Promotion
+// requires a strict majority of explicit votes — merely observing a
+// majority of statuses is not enough, so two candidates with asymmetric
+// views of a partition can never both promote (their vote majorities
+// would have to intersect, and the common voter votes once). Semi-sync
+// commits wait for max(ack_replicas, floor(cluster/2)) replica acks, so
+// the commit set intersects every vote majority and the up-to-date rule
+// forces every electable leader to carry every acknowledged commit.
 
 #ifndef EVE_NET_REPLICATION_H_
 #define EVE_NET_REPLICATION_H_
@@ -101,8 +108,12 @@ struct ReplicationOptions {
   uint64_t heartbeat_micros = 100'000;
   // Semi-sync: a committed write is acknowledged to the client only after
   // this many replicas acked its version (0 = async, acks only feed lag
-  // gauges). Timeout turns the response into an explicit error — the
-  // client must treat it as NOT committed.
+  // gauges — an explicit opt-out of the zero-acked-loss guarantee).
+  // Timeout turns the response into an explicit error — the client must
+  // treat it as NOT committed. When non-zero the effective count is
+  // clamped UP to floor(cluster_size / 2): the ack set must intersect
+  // every election vote majority, or a majority excluding the most
+  // advanced replica could elect a leader missing an acked commit.
   uint32_t ack_replicas = 1;
   uint64_t ack_timeout_micros = 2'000'000;
   // Records retained for resume — shipped ones on the primary, applied ones
@@ -191,7 +202,13 @@ class ReplicationHub {
   // clamped to the peers the cluster can actually have).
   bool RequiresAck() const;
 
-  // Blocks until `position` is acked by the effective ack_replicas count,
+  // The replica-ack count semi-sync commits actually wait for: 0 when
+  // ack_replicas is 0 (explicit async opt-out) or the cluster has no
+  // peers; otherwise max(ack_replicas, floor(cluster/2)) capped at the
+  // peer count, so the acked set intersects every election vote majority.
+  uint64_t effective_ack_replicas() const;
+
+  // Blocks until `position` is acked by effective_ack_replicas() peers,
   // or the ack timeout elapses (returns false — the caller reports the
   // commit as NOT acknowledged).
   bool WaitForReplication(uint64_t position);
@@ -241,6 +258,21 @@ class ReplicationHub {
   // its ring instead of re-bootstrapping a full snapshot.
   void RetainApplied(uint64_t seq, uint8_t kind, std::string_view body);
 
+  // --- Elections ------------------------------------------------------------
+
+  // Decides one vote request (any role, any thread). A vote is granted
+  // only when ALL of:
+  //  * the requested epoch exceeds this node's lineage epoch,
+  //  * this node has not voted for a DIFFERENT candidate in that epoch
+  //    (the vote is persisted in node_state before the grant is returned,
+  //    so a restart cannot double-vote),
+  //  * the candidate's (last_epoch, last_position) is at least this
+  //    node's own (the up-to-date rule: no acked commit may be lost),
+  //  * this node does not currently follow a live primary (leader
+  //    stickiness: a reachable primary's replicas refuse to depose it).
+  // The requested epoch is always folded into observed_epoch().
+  ReplVote HandleVoteRequest(const ReplVoteReq& request);
+
   // --- Introspection --------------------------------------------------------
 
   ReplStatus SelfStatus() const;
@@ -275,8 +307,13 @@ class ReplicationHub {
     uint64_t last_contact_micros = 0;
   };
 
-  // Writes node_state with `epoch` and the (monotonic) observed epoch.
+  // Writes node_state with `epoch`, the (monotonic) observed epoch, and
+  // the persisted vote.
   Status PersistEpoch(uint64_t epoch);
+  // Serializes every node_state write so a concurrent best-effort
+  // observed-epoch write can never clobber a just-persisted vote. Caller
+  // holds state_mu_.
+  Status WriteNodeStateLocked(uint64_t epoch);
 
   const ReplicationOptions options_;
   Console* const console_;
@@ -285,6 +322,10 @@ class ReplicationHub {
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> observed_epoch_{0};
   std::atomic<uint64_t> position_{0};
+  // The position this node held when it (last) became primary. Resumes
+  // from an OLDER epoch are only offered up to this base: anything past
+  // it under an old epoch is a divergent suffix this primary never saw.
+  std::atomic<uint64_t> promotion_base_position_{0};
   std::atomic<uint64_t> applied_version_{0};
   // Replica-side staleness clock: the primary's last-announced tip
   // position and when it was heard.
@@ -297,6 +338,12 @@ class ReplicationHub {
   std::deque<ShippedRecord> ring_;
   std::map<uint64_t, Peer> peers_;  // by session id
   std::string primary_address_;
+
+  // Vote ledger + node_state writes (votes are decided under this lock
+  // and persisted before they are returned).
+  mutable std::mutex state_mu_;
+  uint64_t voted_epoch_ = 0;
+  std::string voted_for_;
 
   std::atomic<uint64_t> records_shipped_{0};
   std::atomic<uint64_t> snapshots_sent_{0};
@@ -349,6 +396,10 @@ class ReplicaAgent {
   void BecomeReplicaOf(const std::string& address);
   // Probes `address` with kReplStatusReq; nullopt on timeout/refusal.
   std::optional<ReplStatus> ProbeNode(const NodeAddress& address);
+  // Asks `address` to vote for `request`; nullopt on timeout/refusal (a
+  // node that cannot answer has not voted — it counts as no vote).
+  std::optional<ReplVote> RequestVote(const NodeAddress& address,
+                                      const ReplVoteReq& request);
   bool Stopping() const;
   void SleepMicros(uint64_t micros);  // stop-responsive
 

@@ -477,6 +477,7 @@ void Server::HandleReadable(const std::shared_ptr<Session>& session) {
         return;
       }
       if (frame->type == FrameType::kReplStatusReq ||
+          frame->type == FrameType::kReplVoteReq ||
           frame->type == FrameType::kReplHello ||
           frame->type == FrameType::kReplAck) {
         HandleReplFrame(session, *frame);
@@ -565,6 +566,20 @@ void Server::HandleReplFrame(const std::shared_ptr<Session>& session,
     QueueGoodbye(session, "replication not configured");
     return;
   }
+  if (frame.type == FrameType::kReplVoteReq) {
+    // Answered inline like a status probe: the vote decision (and its
+    // persistence) lives in the hub and needs no console state, so an
+    // election can make progress even against a saturated node.
+    Result<ReplVoteReq> request = DecodeReplVoteReq(frame.payload);
+    if (!request.ok()) {
+      QueueGoodbye(session, "bad vote request: " + request.status().ToString());
+      return;
+    }
+    const ReplVote vote = hub_->HandleVoteRequest(request.value());
+    QueueRawFrame(session,
+                  EncodeFrame(FrameType::kReplVote, EncodeReplVote(vote)));
+    return;
+  }
   if (frame.type == FrameType::kReplAck) {
     Result<ReplAck> ack = DecodeReplAck(frame.payload);
     if (ack.ok() && ack.value().epoch == hub_->epoch()) {
@@ -648,6 +663,15 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
   // acked before the client sees success (checked after the lock drops).
   uint64_t position_before = 0;
   uint64_t position_after = 0;
+  // The not-primary redirect, used by the pre-lock gate and the locked
+  // re-check below.
+  const auto fill_not_primary = [this, &response](ReplRole role) {
+    const std::string hint = hub_->SelfStatus().primary_hint;
+    response.code = static_cast<int32_t>(StatusCode::kFailedPrecondition);
+    response.error = "error: not primary (role=" +
+                     std::string(ReplRoleToString(role)) + ")" +
+                     (hint.empty() ? "" : "; leader=" + hint) + "\n";
+  };
   // Replication gates, decided before touching the console.
   if (hub_ != nullptr) {
     const ReplRole role = hub_->role();
@@ -675,11 +699,7 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
       }
     } else if (role != ReplRole::kPrimary && role != ReplRole::kSingle &&
                !AllowedOnReplica(request.statement)) {
-      const std::string hint = hub_->SelfStatus().primary_hint;
-      response.code = static_cast<int32_t>(StatusCode::kFailedPrecondition);
-      response.error = "error: not primary (role=" +
-                       std::string(ReplRoleToString(role)) + ")" +
-                       (hint.empty() ? "" : "; leader=" + hint) + "\n";
+      fill_not_primary(role);
       {
         std::lock_guard<std::mutex> wlock(session->w_mu);
         if (session->pending > 0) --session->pending;
@@ -697,7 +717,30 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
       ok = console_->RunSnapshotRead(request.statement, out, err);
     } else {
       std::unique_lock<std::shared_mutex> lock(console_mu_);
-      if (hub_ != nullptr) position_before = hub_->position();
+      // The pre-lock gate raced with any demotion that took this lock
+      // first (isolation self-demotion, BecomeReplicaOf): by now the
+      // journal may be detached and the role flipped, and executing would
+      // mutate a non-primary's memory unjournaled and unshipped — then
+      // skip the semi-sync bracket (the hub position never moves) and
+      // falsely ack the write. Primary -> non-primary transitions only
+      // happen under this exclusive lock, so this re-check cannot go
+      // stale before the statement runs.
+      if (hub_ != nullptr) {
+        const ReplRole locked_role = hub_->role();
+        if (locked_role != ReplRole::kPrimary &&
+            locked_role != ReplRole::kSingle &&
+            !AllowedOnReplica(request.statement)) {
+          lock.unlock();
+          fill_not_primary(locked_role);
+          {
+            std::lock_guard<std::mutex> wlock(session->w_mu);
+            if (session->pending > 0) --session->pending;
+          }
+          QueueResponse(session, response);
+          return;
+        }
+        position_before = hub_->position();
+      }
       ok = console_->RunWithLimits(request.statement, request.deadline_micros,
                                    request.work_budget, out, err);
       if (hub_ != nullptr) position_after = hub_->position();
@@ -724,7 +767,7 @@ void Server::ExecuteRequest(std::shared_ptr<Session> session,
     response.code = static_cast<int32_t>(StatusCode::kInternal);
     response.error =
         "error: replication ack timeout: commit not acknowledged by " +
-        std::to_string(hub_->options().ack_replicas) + " replica(s)\n";
+        std::to_string(hub_->effective_ack_replicas()) + " replica(s)\n";
     response.output.clear();
   }
   {

@@ -327,6 +327,33 @@ TEST(ReplCodecTest, AckHeartbeatStatusRoundtrip) {
   EXPECT_EQ(decoded_status->primary_hint, status.primary_hint);
 }
 
+TEST(ReplCodecTest, VoteRoundtrip) {
+  ReplVoteReq request;
+  request.candidate = "n2";
+  request.epoch = 11;
+  request.last_epoch = 10;
+  request.last_position = 0x0102030405060708ull;
+  Result<ReplVoteReq> decoded_req =
+      DecodeReplVoteReq(EncodeReplVoteReq(request));
+  ASSERT_TRUE(decoded_req.ok());
+  EXPECT_EQ(decoded_req->candidate, request.candidate);
+  EXPECT_EQ(decoded_req->epoch, request.epoch);
+  EXPECT_EQ(decoded_req->last_epoch, request.last_epoch);
+  EXPECT_EQ(decoded_req->last_position, request.last_position);
+
+  for (const bool granted : {true, false}) {
+    ReplVote vote;
+    vote.voter = "n3";
+    vote.epoch = 11;
+    vote.granted = granted;
+    Result<ReplVote> decoded = DecodeReplVote(EncodeReplVote(vote));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->voter, vote.voter);
+    EXPECT_EQ(decoded->epoch, vote.epoch);
+    EXPECT_EQ(decoded->granted, granted);
+  }
+}
+
 TEST(ReplCodecTest, TruncatedReplPayloadsAreParseErrors) {
   // A torn stream must never yield a partially-decoded replication
   // payload: every strict prefix of every repl codec is an explicit error.
@@ -342,6 +369,31 @@ TEST(ReplCodecTest, TruncatedReplPayloadsAreParseErrors) {
   }
   EXPECT_FALSE(DecodeReplAck(record).ok());       // cross-type decode fails
   EXPECT_FALSE(DecodeReplRecord(record + "x").ok());  // trailing garbage
+
+  ReplVoteReq vote_req;
+  vote_req.candidate = "n2";
+  vote_req.epoch = 11;
+  vote_req.last_epoch = 10;
+  vote_req.last_position = 42;
+  const std::string vote_req_bytes = EncodeReplVoteReq(vote_req);
+  for (size_t cut = 0; cut < vote_req_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeReplVoteReq(vote_req_bytes.substr(0, cut)).ok())
+        << "vote-req cut at " << cut;
+  }
+  ReplVote vote;
+  vote.voter = "n3";
+  vote.epoch = 11;
+  vote.granted = true;
+  const std::string vote_bytes = EncodeReplVote(vote);
+  for (size_t cut = 0; cut < vote_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeReplVote(vote_bytes.substr(0, cut)).ok())
+        << "vote cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeReplVote(vote_bytes + "x").ok());  // trailing garbage
+  // A granted flag outside {0, 1} is rejected, not coerced.
+  std::string bad_flag = vote_bytes;
+  bad_flag[bad_flag.size() - 4] = 2;
+  EXPECT_FALSE(DecodeReplVote(bad_flag).ok());
 }
 
 // The wire bytes of one frame of each replication type, used by the
@@ -364,6 +416,15 @@ std::vector<std::pair<FrameType, std::string>> ReplFrames() {
   status.node_id = "n1";
   status.role = ReplRole::kPrimary;
   status.epoch = 2;
+  ReplVoteReq vote_req;
+  vote_req.candidate = "n3";
+  vote_req.epoch = 3;
+  vote_req.last_epoch = 2;
+  vote_req.last_position = 7;
+  ReplVote vote;
+  vote.voter = "n1";
+  vote.epoch = 3;
+  vote.granted = true;
   return {
       {FrameType::kReplHello, EncodeReplHello(SampleHello())},
       {FrameType::kReplSnapshot, EncodeReplSnapshot(snapshot)},
@@ -372,6 +433,8 @@ std::vector<std::pair<FrameType, std::string>> ReplFrames() {
       {FrameType::kReplHeartbeat, EncodeReplHeartbeat(heartbeat)},
       {FrameType::kReplStatusReq, ""},
       {FrameType::kReplStatus, EncodeReplStatus(status)},
+      {FrameType::kReplVoteReq, EncodeReplVoteReq(vote_req)},
+      {FrameType::kReplVote, EncodeReplVote(vote)},
   };
 }
 

@@ -314,6 +314,220 @@ TEST_F(HubTest, StalenessBoundTracksHeartbeats) {
   EXPECT_EQ(lag, 0u);
 }
 
+TEST_F(HubTest, VotesArePersistedOncePerEpoch) {
+  Console console;
+  const ReplicationOptions options = Options("n3", "n1");
+  ReplicationHub hub(options, &console);
+  ASSERT_TRUE(hub.Initialize().ok());  // replica, never heard a heartbeat
+
+  ReplVoteReq request;
+  request.candidate = "n2";
+  request.epoch = hub.epoch() + 5;
+  request.last_epoch = hub.epoch();
+  request.last_position = 0;
+  ReplVote vote = hub.HandleVoteRequest(request);
+  EXPECT_TRUE(vote.granted);
+  EXPECT_EQ(vote.voter, "n3");
+  EXPECT_EQ(vote.epoch, request.epoch);
+  // The requested epoch fed the promotion fence.
+  EXPECT_GE(hub.observed_epoch(), request.epoch);
+
+  // Same epoch, different candidate: this epoch's vote is already spent.
+  ReplVoteReq rival = request;
+  rival.candidate = "n1";
+  EXPECT_FALSE(hub.HandleVoteRequest(rival).granted);
+  // Re-asking for the SAME (epoch, candidate) is idempotent (retries).
+  EXPECT_TRUE(hub.HandleVoteRequest(request).granted);
+  // Older epochs are never granted.
+  ReplVoteReq stale = request;
+  stale.epoch = request.epoch - 1;
+  EXPECT_FALSE(hub.HandleVoteRequest(stale).granted);
+  // Unknown candidates are never granted.
+  ReplVoteReq stranger = request;
+  stranger.epoch = request.epoch + 10;
+  stranger.candidate = "nX";
+  EXPECT_FALSE(hub.HandleVoteRequest(stranger).granted);
+
+  // The vote survives a restart: the node must not double-vote after a
+  // crash between granting and the candidate promoting.
+  ReplicationHub restarted(options, &console);
+  ASSERT_TRUE(restarted.Initialize().ok());
+  EXPECT_FALSE(restarted.HandleVoteRequest(rival).granted);
+  EXPECT_TRUE(restarted.HandleVoteRequest(request).granted);
+}
+
+TEST_F(HubTest, VotesApplyTheUpToDateRule) {
+  Console console;
+  ReplicationHub hub(Options("n3", "n1"), &console);
+  ASSERT_TRUE(hub.Initialize().ok());
+  hub.SetAppliedPosition(10, 0);
+
+  // A candidate whose log is behind this node's must not be elected: the
+  // acked-commit quorum intersects every vote majority, and this is the
+  // check that makes the intersection matter.
+  ReplVoteReq behind;
+  behind.candidate = "n2";
+  behind.epoch = hub.epoch() + 1;
+  behind.last_epoch = hub.epoch();
+  behind.last_position = 9;
+  EXPECT_FALSE(hub.HandleVoteRequest(behind).granted);
+
+  ReplVoteReq even = behind;
+  even.epoch = hub.epoch() + 2;
+  even.last_position = 10;
+  EXPECT_TRUE(hub.HandleVoteRequest(even).granted);
+}
+
+TEST_F(HubTest, LivePrimariesAndTheirReplicasRefuseVotes) {
+  Console console;
+  // A primary never votes someone else into its own job.
+  ReplicationHub primary(Options("n1", ""), &console);
+  ASSERT_TRUE(primary.Initialize().ok());
+  ReplVoteReq request;
+  request.candidate = "n2";
+  request.epoch = primary.epoch() + 1;
+  request.last_epoch = primary.epoch();
+  request.last_position = 0;
+  EXPECT_FALSE(primary.HandleVoteRequest(request).granted);
+  // … but the fence still advances: it can never mint the asked epoch.
+  EXPECT_GE(primary.observed_epoch(), request.epoch);
+
+  // A replica inside a live primary lease refuses to depose it.
+  Console replica_console;
+  ReplicationHub replica(Options("n3", "n1"), &replica_console);
+  ASSERT_TRUE(replica.Initialize().ok());
+  ReplHeartbeat heartbeat;
+  heartbeat.epoch = replica.epoch();
+  heartbeat.tip_version = 0;
+  replica.OnPrimaryHeartbeat(heartbeat);
+  EXPECT_FALSE(replica.HandleVoteRequest(request).granted);
+}
+
+TEST_F(HubTest, BootstrapPeersStartUnacked) {
+  Console console;
+  ReplicationOptions options = Options("n1", "");
+  options.ack_replicas = 1;
+  options.ack_timeout_micros = 50'000;
+  ReplicationHub hub(options, &console);
+  ASSERT_TRUE(hub.Initialize().ok());
+  for (int i = 0; i < 3; ++i) {
+    hub.OnJournalRecord(JournalRecordKind::kExtendMkb, "body");
+  }
+
+  // A bootstrapping peer CLAIMS it already applied position 3, but its
+  // hello was not resumable — the claim is unverified (its snapshot
+  // install is still in flight). It must not satisfy semi-sync.
+  ReplHello hello;
+  hello.node_id = "n2";
+  hello.epoch = 0;  // bootstrap path
+  hello.applied_version = 3;
+  ASSERT_TRUE(hub.Subscribe(hello, 100, [](std::string) {}).ok());
+  EXPECT_FALSE(hub.WaitForReplication(3));
+
+  // Only a real ack counts.
+  ReplAck ack;
+  ack.node_id = "n2";
+  ack.epoch = hub.epoch();
+  ack.applied_seq = 3;
+  hub.OnAck(ack);
+  EXPECT_TRUE(hub.WaitForReplication(3));
+}
+
+TEST_F(HubTest, EffectiveAckQuorumIntersectsElections) {
+  Console console;
+  ReplicationOptions options = Options("n1", "");
+  options.cluster["n4"] = {"127.0.0.1", 1004};
+  options.cluster["n5"] = {"127.0.0.1", 1005};
+  options.ack_replicas = 1;  // configured below the safe floor
+  options.ack_timeout_micros = 50'000;
+  ReplicationHub hub(options, &console);
+  ASSERT_TRUE(hub.Initialize().ok());
+  // 5 nodes: primary + 2 acks form a majority, which intersects every
+  // 3-of-5 vote quorum — a bare single ack would let a majority that
+  // excludes the acked replica elect a shorter log.
+  EXPECT_EQ(hub.effective_ack_replicas(), 2u);
+
+  hub.OnJournalRecord(JournalRecordKind::kExtendMkb, "body");
+  ReplHello hello;
+  hello.node_id = "n2";
+  hello.epoch = hub.epoch();
+  hello.applied_version = 0;
+  ASSERT_TRUE(hub.Subscribe(hello, 100, [](std::string) {}).ok());
+  hello.node_id = "n3";
+  ASSERT_TRUE(hub.Subscribe(hello, 101, [](std::string) {}).ok());
+
+  ReplAck ack;
+  ack.node_id = "n2";
+  ack.epoch = hub.epoch();
+  ack.applied_seq = 1;
+  hub.OnAck(ack);
+  // One ack is not a quorum at cluster size 5.
+  EXPECT_FALSE(hub.WaitForReplication(1));
+  ack.node_id = "n3";
+  hub.OnAck(ack);
+  EXPECT_TRUE(hub.WaitForReplication(1));
+
+  // ack_replicas = 0 stays an explicit async opt-out.
+  ReplicationOptions async_options = Options("n1", "");
+  async_options.ack_replicas = 0;
+  ReplicationHub async_hub(async_options, &console);
+  ASSERT_TRUE(async_hub.Initialize().ok());
+  EXPECT_EQ(async_hub.effective_ack_replicas(), 0u);
+  EXPECT_FALSE(async_hub.RequiresAck());
+}
+
+TEST_F(HubTest, OldEpochResumeStopsAtThePromotionBase) {
+  Console console;
+  ReplicationHub hub(Options("n1", ""), &console);
+  ASSERT_TRUE(hub.Initialize().ok());
+  const uint64_t old_epoch = hub.epoch();
+  for (int i = 0; i < 3; ++i) {
+    hub.OnJournalRecord(JournalRecordKind::kExtendMkb, "body");
+  }
+  // Re-promotion at position 3: the election certified THIS log through 3.
+  ASSERT_TRUE(hub.Demote(ReplRole::kCandidate).ok());
+  ASSERT_TRUE(hub.Promote(old_epoch + 4).ok());
+  for (int i = 0; i < 2; ++i) {
+    hub.OnJournalRecord(JournalRecordKind::kExtendMkb, "body");
+  }
+  ASSERT_EQ(hub.position(), 5u);
+
+  std::vector<FrameType> types;
+  ReplicationHub::PeerSender collect = [&types](std::string bytes) {
+    FrameDecoder decoder;
+    decoder.Feed(bytes);
+    while (std::optional<Frame> frame = decoder.Next()) {
+      types.push_back(frame->type);
+    }
+  };
+
+  // An old-epoch position at or below the promotion base is a certified
+  // prefix: resume.
+  ReplHello hello;
+  hello.node_id = "n2";
+  hello.epoch = old_epoch;
+  hello.applied_version = 2;
+  ASSERT_TRUE(hub.Subscribe(hello, 100, collect).ok());
+  EXPECT_EQ(types.size(), 3u);  // records 3, 4, 5
+  for (const FrameType type : types) {
+    EXPECT_EQ(type, FrameType::kReplRecord);
+  }
+
+  // An old-epoch position PAST the base can only be a divergent suffix
+  // (records this primary never saw under a dead lineage): bootstrap,
+  // even though the ring technically covers the position.
+  types.clear();
+  hello.applied_version = 4;
+  ASSERT_TRUE(hub.Subscribe(hello, 101, collect).ok());
+  EXPECT_EQ(types, std::vector<FrameType>{FrameType::kReplSnapshot});
+
+  // The same position under the CURRENT epoch is this lineage: resume.
+  types.clear();
+  hello.epoch = hub.epoch();
+  ASSERT_TRUE(hub.Subscribe(hello, 102, collect).ok());
+  EXPECT_EQ(types, std::vector<FrameType>{FrameType::kReplRecord});
+}
+
 TEST_F(HubTest, PromoteFencesAndDemoteDropsPeers) {
   Console console;
   ReplicationHub hub(Options("n1", ""), &console);

@@ -13,6 +13,10 @@
 //        [--node-id <id> --cluster <n1=h:p,...> --data-dir <dir>
 //         [--replica-of <id>] [--lease-micros <n>] [--heartbeat-micros <n>]
 //         [--ack-replicas <n>] [--ack-timeout-micros <n>]]
+//
+//   --ack-replicas is a floor, not the exact quorum: a non-zero value is
+//   clamped UP to floor(cluster/2) so the acked set intersects every
+//   election vote majority (0 opts out of semi-sync entirely).
 //        [--metrics-port <n> [--metrics-host <addr>]]
 //
 //   --port 0 (the default) binds an ephemeral port; --port-file writes the
